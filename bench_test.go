@@ -1,0 +1,236 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (§5) under `go test -bench=.`:
+//
+//	BenchmarkFig1LaunchLatency   — Figure 1 (launch latency vs queue depth)
+//	BenchmarkFig8Microbenchmark  — Figure 8 (latency decomposition)
+//	BenchmarkFig9Jacobi          — Figure 9 (2D Jacobi speedup sweep)
+//	BenchmarkFig10Allreduce      — Figure 10 (8MB Allreduce strong scaling)
+//	BenchmarkFig11DeepLearning   — Figure 11 + Table 3 (DL projections)
+//	BenchmarkAblation*           — the DESIGN.md §5 ablation studies
+//
+// Reported custom metrics carry the figures' headline values (speedups,
+// microseconds), so `go test -bench=. -benchmem | tee bench_output.txt`
+// is the full reproduction record.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/bench"
+	"repro/internal/collective"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/workloads/jacobi"
+	"repro/internal/workloads/mlearn"
+)
+
+func BenchmarkFig1LaunchLatency(b *testing.B) {
+	cfg := config.Default()
+	for _, preset := range config.Figure1Presets() {
+		for _, depth := range []int{1, 16, 256} {
+			b.Run(fmt.Sprintf("%s/depth=%d", preset.Name, depth), func(b *testing.B) {
+				var last float64
+				for i := 0; i < b.N; i++ {
+					_ = cfg
+					last = preset.LaunchLatency(depth).Us()
+				}
+				b.ReportMetric(last, "launch-us")
+			})
+		}
+	}
+}
+
+func BenchmarkFig8Microbenchmark(b *testing.B) {
+	cfg := config.Default()
+	var res *bench.Fig8Result
+	for i := 0; i < b.N; i++ {
+		res = bench.Figure8(cfg)
+	}
+	b.ReportMetric(res.Runs[backends.GPUTN].TargetComplete.Us(), "gputn-us")
+	b.ReportMetric(res.Runs[backends.GDS].TargetComplete.Us(), "gds-us")
+	b.ReportMetric(res.Runs[backends.HDN].TargetComplete.Us(), "hdn-us")
+	b.ReportMetric(res.SpeedupVs(backends.HDN), "speedup-vs-hdn")
+	b.ReportMetric(res.SpeedupVs(backends.GDS), "speedup-vs-gds")
+}
+
+func BenchmarkFig9Jacobi(b *testing.B) {
+	cfg := config.Default()
+	for _, n := range []int{16, 128, 1024} {
+		for _, kind := range backends.All() {
+			b.Run(fmt.Sprintf("N=%d/%s", n, kind), func(b *testing.B) {
+				var dur sim.Time
+				for i := 0; i < b.N; i++ {
+					c := node.NewCluster(cfg, 4)
+					res, err := jacobi.Run(c, jacobi.Params{
+						Kind: kind, N: n, PX: 2, PY: 2, Iters: bench.Fig9Iters,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					dur = res.Duration
+				}
+				b.ReportMetric(dur.Us()/float64(bench.Fig9Iters), "us/iter")
+			})
+		}
+	}
+}
+
+func BenchmarkFig10Allreduce(b *testing.B) {
+	cfg := config.Default()
+	for _, n := range []int{2, 8, 16, 32} {
+		for _, kind := range backends.All() {
+			b.Run(fmt.Sprintf("nodes=%d/%s", n, kind), func(b *testing.B) {
+				var dur sim.Time
+				for i := 0; i < b.N; i++ {
+					c := node.NewCluster(cfg, n)
+					res, err := collective.Run(c, collective.Config{
+						Kind: kind, TotalBytes: bench.Fig10Payload,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					dur = res.Duration
+				}
+				b.ReportMetric(dur.Us(), "allreduce-us")
+			})
+		}
+	}
+}
+
+func BenchmarkFig11DeepLearning(b *testing.B) {
+	cfg := config.Default()
+	for _, w := range mlearn.Table3() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			var sp map[backends.Kind]float64
+			for i := 0; i < b.N; i++ {
+				times, err := mlearn.AllreduceTimes(cfg, bench.Fig11Nodes, w.AvgMsgBytes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sp = mlearn.Project(w, times)
+			}
+			b.ReportMetric(sp[backends.GPUTN], "gputn-speedup")
+			b.ReportMetric(sp[backends.GDS], "gds-speedup")
+			b.ReportMetric(sp[backends.CPU], "cpu-speedup")
+		})
+	}
+}
+
+func BenchmarkAblationRelaxedSync(b *testing.B) {
+	cfg := config.Default()
+	var relaxed, strict sim.Time
+	for i := 0; i < b.N; i++ {
+		relaxed, strict = bench.AblationRelaxedSync(cfg, 2*sim.Microsecond)
+	}
+	b.ReportMetric(relaxed.Us(), "relaxed-us")
+	b.ReportMetric(strict.Us(), "strict-us")
+}
+
+func BenchmarkAblationGranularity(b *testing.B) {
+	cfg := config.Default()
+	var res map[core.Granularity]sim.Time
+	for i := 0; i < b.N; i++ {
+		res = bench.AblationGranularity(cfg, 8, 64)
+	}
+	b.ReportMetric(res[core.WorkItem].Us(), "workitem-us")
+	b.ReportMetric(res[core.WorkGroup].Us(), "workgroup-us")
+	b.ReportMetric(res[core.KernelLevel].Us(), "kernel-us")
+	b.ReportMetric(res[core.Mixed].Us(), "mixed-us")
+}
+
+func BenchmarkAblationTriggerLookup(b *testing.B) {
+	cfg := config.Default()
+	var res map[string]sim.Time
+	for i := 0; i < b.N; i++ {
+		res = bench.AblationTriggerLookup(cfg, 1024)
+	}
+	b.ReportMetric(res["associative"].Us(), "associative-us")
+	b.ReportMetric(res["hash"].Us(), "hash-us")
+	b.ReportMetric(res["linked-list"].Us(), "linkedlist-us")
+}
+
+func BenchmarkAblationKernelOverhead(b *testing.B) {
+	cfg := config.Default()
+	var res map[float64][2]float64
+	for i := 0; i < b.N; i++ {
+		res = bench.AblationKernelOverhead(cfg, []float64{1, 4})
+	}
+	b.ReportMetric(res[1][0], "x1-vs-hdn")
+	b.ReportMetric(res[4][0], "x4-vs-hdn")
+}
+
+func BenchmarkAblationDiscreteGPU(b *testing.B) {
+	cfg := config.Default()
+	var apu, disc sim.Time
+	for i := 0; i < b.N; i++ {
+		apu, disc = bench.AblationDiscreteGPU(cfg, 500*sim.Nanosecond)
+	}
+	b.ReportMetric(apu.Us(), "apu-us")
+	b.ReportMetric(disc.Us(), "discrete-us")
+}
+
+func BenchmarkAblationPipelining(b *testing.B) {
+	cfg := config.Default()
+	var res map[int][2]sim.Time
+	for i := 0; i < b.N; i++ {
+		res = bench.AblationPipelining(cfg, []int{8})
+	}
+	b.ReportMetric(res[8][0].Us(), "plain-us")
+	b.ReportMetric(res[8][1].Us(), "pipelined-us")
+}
+
+func BenchmarkAblationDynamicTrigger(b *testing.B) {
+	cfg := config.Default()
+	var res [4]sim.Time
+	for i := 0; i < b.N; i++ {
+		res = bench.AblationDynamicTrigger(cfg)
+	}
+	b.ReportMetric(res[0].Us(), "static-us")
+	b.ReportMetric(res[3].Us(), "3fields-us")
+}
+
+// BenchmarkTrainingLoop cross-validates the Figure 11 projection with a
+// full in-sim synchronous-SGD segment on 4 nodes.
+func BenchmarkTrainingLoop(b *testing.B) {
+	cfg := config.Default()
+	w := mlearn.Table3()[1] // AN4 LSTM
+	times, err := mlearn.AllreduceTimes(cfg, 4, w.AvgMsgBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := mlearn.GenerateTrace(w, 6, times[backends.HDN], 1)
+	var sp map[backends.Kind]float64
+	for i := 0; i < b.N; i++ {
+		sp, err = mlearn.TrainingSpeedups(cfg, 4, trace, w.AvgMsgBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(sp[backends.GPUTN], "gputn-speedup")
+	b.ReportMetric(mlearn.Project(w, times)[backends.GPUTN], "projected")
+}
+
+// BenchmarkSimulatorThroughput measures raw engine throughput: events
+// executed per second of wall time, the figure of merit for scaling these
+// experiments up.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		count := 0
+		var tick func()
+		tick = func() {
+			count++
+			if count < 100000 {
+				eng.After(10, tick)
+			}
+		}
+		eng.After(0, tick)
+		eng.Run()
+	}
+	b.ReportMetric(100000, "events/op")
+}

@@ -1,0 +1,53 @@
+// Command gputn-allreduce runs the ring Allreduce collective (§5.4.1) on a
+// chosen backend, payload, and node count, or the full Figure 10 sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/backends"
+	"repro/internal/bench"
+	"repro/internal/collective"
+	"repro/internal/config"
+	"repro/internal/node"
+	"repro/internal/stats"
+)
+
+func main() {
+	sweep := flag.Bool("sweep", false, "run the full Figure 10 sweep")
+	nodes := flag.Int("nodes", 8, "cluster size")
+	bytes := flag.Int64("bytes", 8<<20, "payload per rank")
+	backend := flag.String("backend", "", "one of CPU|HDN|GDS|GPU-TN (empty = all)")
+	flag.Parse()
+
+	cfg := config.Default()
+	if *sweep {
+		fmt.Println(stats.RenderSeries("Figure 10: 8MB Allreduce speedup vs CPU (strong scaling)",
+			"nodes", bench.Figure10(cfg)))
+		return
+	}
+	kinds := backends.All()
+	if *backend != "" {
+		kinds = nil
+		for _, k := range backends.All() {
+			if k.String() == *backend {
+				kinds = []backends.Kind{k}
+			}
+		}
+		if kinds == nil {
+			fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backend)
+			os.Exit(2)
+		}
+	}
+	for _, k := range kinds {
+		c := node.NewCluster(cfg, *nodes)
+		res, err := collective.Run(c, collective.Config{Kind: k, TotalBytes: *bytes})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-7s %d nodes, %d bytes: %v\n", k, *nodes, *bytes, res.Duration)
+	}
+}

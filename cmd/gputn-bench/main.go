@@ -1,0 +1,103 @@
+// Command gputn-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gputn-bench -exp all
+//	gputn-bench -exp fig10
+//
+// Experiments: fig1, fig8, fig9, fig10, fig11, table1, table2, table3,
+// ablations, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// writeCSV saves a figure's series to <dir>/<name>.csv when dir is set.
+func writeCSV(dir, name, xlabel string, series []*stats.Series) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := stats.WriteSeriesCSV(f, xlabel, series); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|all")
+	csvDir := flag.String("csv", "", "also write figure data as CSV into this directory")
+	flag.Parse()
+
+	cfg := config.Default()
+	runners := map[string]func(){
+		"fig1": func() {
+			series := bench.Figure1(cfg)
+			fmt.Println(stats.RenderSeries("Figure 1: kernel launch latency (us) vs queued kernel commands",
+				"queued", series))
+			fmt.Println(stats.Plot(series, stats.PlotOptions{LogX: true, XLabel: "queued kernel commands", Title: "launch latency (us)"}))
+			writeCSV(*csvDir, "fig1", "queued", series)
+		},
+		"fig8": func() {
+			res := bench.Figure8Extended(cfg)
+			fmt.Println(bench.RenderFigure8(res))
+			fmt.Println(bench.RenderFigure8Bars(res))
+			fmt.Println(bench.RenderFigure8Extended(res))
+		},
+		"fig9": func() {
+			series := bench.Figure9(cfg)
+			fmt.Println(stats.RenderSeries("Figure 9: Jacobi speedup vs HDN (2x2 nodes, per-iteration)",
+				"N", series))
+			fmt.Println(stats.Plot(series, stats.PlotOptions{LogX: true, XLabel: "local grid N", Title: "speedup vs HDN"}))
+			writeCSV(*csvDir, "fig9", "N", series)
+		},
+		"fig10": func() {
+			series := bench.Figure10(cfg)
+			fmt.Println(stats.RenderSeries("Figure 10: 8MB Allreduce speedup vs CPU (strong scaling)",
+				"nodes", series))
+			fmt.Println(stats.Plot(series, stats.PlotOptions{XLabel: "nodes", Title: "speedup vs CPU"}))
+			writeCSV(*csvDir, "fig10", "nodes", series)
+		},
+		"fig11": func() {
+			results, err := bench.Figure11(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fig11:", err)
+				os.Exit(1)
+			}
+			fmt.Println(bench.RenderFigure11(results))
+		},
+		"table1":    func() { fmt.Println(bench.RenderTable1()) },
+		"table2":    func() { fmt.Println(bench.RenderTable2(cfg)) },
+		"table3":    func() { fmt.Println(bench.RenderTable3()) },
+		"ablations": func() { fmt.Println(bench.RenderAblations(cfg)) },
+	}
+	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			runners[name]()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %v or all)\n", *exp, order)
+		os.Exit(2)
+	}
+	run()
+}

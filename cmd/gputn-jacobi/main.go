@@ -1,0 +1,57 @@
+// Command gputn-jacobi runs the 2D Jacobi relaxation (§5.3) on a chosen
+// backend and grid size, or the full Figure 9 sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/backends"
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads/jacobi"
+)
+
+func main() {
+	sweep := flag.Bool("sweep", false, "run the full Figure 9 sweep")
+	n := flag.Int("n", 128, "local grid size (NxN)")
+	px := flag.Int("px", 2, "node grid width")
+	py := flag.Int("py", 2, "node grid height")
+	iters := flag.Int("iters", 8, "iterations")
+	backend := flag.String("backend", "", "one of CPU|HDN|GDS|GPU-TN (empty = all)")
+	flag.Parse()
+
+	cfg := config.Default()
+	if *sweep {
+		fmt.Println(stats.RenderSeries("Figure 9: Jacobi speedup vs HDN (2x2 nodes, per-iteration)",
+			"N", bench.Figure9(cfg)))
+		return
+	}
+	kinds := backends.All()
+	if *backend != "" {
+		kinds = nil
+		for _, k := range backends.All() {
+			if k.String() == *backend {
+				kinds = []backends.Kind{k}
+			}
+		}
+		if kinds == nil {
+			fmt.Fprintf(os.Stderr, "unknown backend %q\n", *backend)
+			os.Exit(2)
+		}
+	}
+	for _, k := range kinds {
+		c := node.NewCluster(cfg, (*px)*(*py))
+		res, err := jacobi.Run(c, jacobi.Params{Kind: k, N: *n, PX: *px, PY: *py, Iters: *iters})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-7s N=%d %dx%d iters=%d: total=%v per-iter=%v\n",
+			k, *n, *px, *py, *iters, res.Duration, res.Duration/sim.Time(*iters))
+	}
+}

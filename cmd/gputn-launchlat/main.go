@@ -1,0 +1,18 @@
+// Command gputn-launchlat runs the Figure 1 study: per-kernel launch
+// latency versus the number of kernel commands queued to the GPU hardware
+// scheduler, for three GPU presets.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func main() {
+	fmt.Println(stats.RenderSeries(
+		"Figure 1: kernel launch latency (us) vs queued kernel commands",
+		"queued", bench.Figure1(config.Default())))
+}

@@ -1,0 +1,35 @@
+// Command gputn-micro runs the Figure 8 latency-decomposition
+// microbenchmark and prints the initiator/target timelines for HDN, GDS,
+// and GPU-TN, including the full span traces.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/backends"
+	"repro/internal/bench"
+	"repro/internal/config"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print full span timelines")
+	extended := flag.Bool("extended", false, "include the GHN/GNN models (§5.1.1 made quantitative)")
+	flag.Parse()
+
+	cfg := config.Default()
+	if *extended {
+		res := bench.Figure8Extended(cfg)
+		fmt.Print(bench.RenderFigure8(res))
+		fmt.Println()
+		fmt.Print(bench.RenderFigure8Extended(res))
+		return
+	}
+	res := bench.Figure8(cfg)
+	fmt.Print(bench.RenderFigure8(res))
+	if *verbose {
+		for _, kind := range []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN} {
+			fmt.Printf("\n--- %s timeline ---\n%s", kind, res.Runs[kind].Tracer.Render())
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command gputn-ml reproduces the deep-learning study: Table 3 (workload
+// characteristics) and Figure 11 (projected training speedup on 8 nodes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/backends"
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/workloads/mlearn"
+)
+
+func main() {
+	table3 := flag.Bool("table3", false, "print Table 3 only")
+	nodes := flag.Int("nodes", bench.Fig11Nodes, "cluster size for the projection")
+	sweep := flag.Bool("sweep", false, "sweep GPU-TN projections across node counts (extension)")
+	train := flag.Bool("train", false, "run the in-sim training loop cross-validation (extension)")
+	flag.Parse()
+
+	cfg := config.Default()
+	switch {
+	case *table3:
+		fmt.Println(bench.RenderTable3())
+
+	case *sweep:
+		counts := []int{2, 4, 8, 16, 32}
+		fmt.Println("Extension: projected GPU-TN speedup vs HDN across cluster sizes")
+		for _, w := range mlearn.Table3() {
+			res, err := mlearn.SweepNodes(cfg, w, counts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-13s", w.Name)
+			for _, n := range counts {
+				fmt.Printf("  %d:%.3f", n, res[n])
+			}
+			fmt.Println()
+		}
+
+	case *train:
+		fmt.Printf("Extension: in-sim synchronous-SGD training loop (%d nodes), measured vs projected\n", *nodes)
+		for _, w := range mlearn.Table3() {
+			times, err := mlearn.AllreduceTimes(cfg, *nodes, w.AvgMsgBytes)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			closed := mlearn.Project(w, times)
+			trace := mlearn.GenerateTrace(w, 6, times[backends.HDN], 1)
+			measured, err := mlearn.TrainingSpeedups(cfg, *nodes, trace, w.AvgMsgBytes)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-13s GPU-TN measured %.3f / projected %.3f\n",
+				w.Name, measured[backends.GPUTN], closed[backends.GPUTN])
+		}
+
+	default:
+		results, err := mlearn.RunStudy(cfg, *nodes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.RenderTable3())
+		fmt.Println(bench.RenderFigure11(results))
+	}
+}

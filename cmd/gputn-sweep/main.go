@@ -1,0 +1,78 @@
+// Command gputn-sweep runs a two-dimensional sensitivity study around the
+// Figure 8 microbenchmark: GPU kernel-overhead scale (the Figure 1 range)
+// crossed with network bandwidth (fabric generations). The cell value is
+// GPU-TN's end-to-end latency reduction versus a chosen baseline — mapping
+// out where intra-kernel triggering matters most.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/backends"
+	"repro/internal/bench"
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	baseline := flag.String("baseline", "HDN", "baseline: HDN or GDS")
+	csvPath := flag.String("csv", "", "also write the grid as CSV")
+	flag.Parse()
+
+	var base backends.Kind
+	switch *baseline {
+	case "HDN":
+		base = backends.HDN
+	case "GDS":
+		base = backends.GDS
+	default:
+		fmt.Fprintf(os.Stderr, "unknown baseline %q\n", *baseline)
+		os.Exit(2)
+	}
+
+	scales := []float64{0.5, 1, 2, 4}
+	rates := []float64{10, 25, 100, 400}
+
+	tbl := stats.Table{
+		Title:   fmt.Sprintf("GPU-TN latency reduction vs %s (%%), kernel-overhead scale x bandwidth", base),
+		Headers: []string{"overhead\\Gbps"},
+	}
+	var series []*stats.Series
+	for _, r := range rates {
+		tbl.Headers = append(tbl.Headers, fmt.Sprintf("%.0f", r))
+	}
+	for _, s := range scales {
+		row := []string{fmt.Sprintf("x%.1f", s)}
+		sr := &stats.Series{Name: fmt.Sprintf("x%.1f", s)}
+		for _, rate := range rates {
+			cfg := config.Default()
+			cfg.GPU.KernelLaunch = sim.Time(float64(cfg.GPU.KernelLaunch) * s)
+			cfg.GPU.KernelTeardown = sim.Time(float64(cfg.GPU.KernelTeardown) * s)
+			cfg.Network.BandwidthGbps = rate
+			res := bench.Figure8(cfg)
+			reduction := (1 - 1/res.SpeedupVs(base)) * 100
+			row = append(row, fmt.Sprintf("%.1f", reduction))
+			sr.Add(rate, reduction)
+		}
+		tbl.AddRow(row...)
+		series = append(series, sr)
+	}
+	fmt.Println(tbl.String())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := stats.WriteSeriesCSV(f, "gbps", series); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *csvPath)
+	}
+}

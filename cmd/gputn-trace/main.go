@@ -1,0 +1,41 @@
+// Command gputn-trace runs the Figure 8 microbenchmark and writes each
+// backend's span timeline as a Chrome trace-event JSON file, loadable in
+// chrome://tracing or https://ui.perfetto.dev.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/backends"
+	"repro/internal/bench"
+	"repro/internal/config"
+)
+
+func main() {
+	dir := flag.String("o", ".", "output directory")
+	flag.Parse()
+
+	res := bench.Figure8(config.Default())
+	for _, kind := range []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN} {
+		name := strings.ToLower(strings.ReplaceAll(kind.String(), "-", ""))
+		path := filepath.Join(*dir, fmt.Sprintf("fig8-%s.trace.json", name))
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := res.Runs[kind].Tracer.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}

@@ -1,0 +1,72 @@
+// Dynamic communication (§3.4): the GPU decides the message's destination
+// at run time. The host stages a generic triggered put; the kernel's
+// trigger write carries an override field that redirects the operation to
+// a target computed on the GPU — here, the node holding the largest
+// partial result, determined inside the kernel.
+//
+// The paper leaves dynamic GPU-TN as future work and notes it trades "some
+// additional GPU-side control flow divergence" for flexibility; the run
+// prints the extra system-scope stores that divergence costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+func main() {
+	const n = 4
+	cluster := node.NewCluster(config.Default(), n)
+
+	// Every node exposes a landing region; we watch who receives.
+	recvCTs := make([]*portals.CT, n)
+	for i := 1; i < n; i++ {
+		recvCTs[i] = cluster.Nodes[i].Ptl.CTAlloc()
+		cluster.Nodes[i].Ptl.MEAppend(&portals.ME{MatchBits: 0xD1, Length: 4096, CT: recvCTs[i]})
+	}
+
+	cluster.Eng.Go("node0", func(p *sim.Proc) {
+		host := core.NewHost(cluster.Eng, cluster.Nodes[0].Ptl, cluster.Nodes[0].GPU)
+		md := host.Portals().MDBind("result", 4096, nil, nil)
+		// Staged toward node 1 as a default; the kernel will override.
+		if err := host.TrigPut(p, 1, 1, md, 4096, 1, 0xD1); err != nil {
+			log.Fatal(err)
+		}
+		trig := host.GetTriggerAddr()
+
+		partials := []float64{0.3, 0.9, 0.1} // owned by nodes 1..3
+		host.LaunchKernSync(p, &gpu.Kernel{
+			Name:       "argmax-and-send",
+			WorkGroups: 1,
+			Body: func(wg *gpu.WGCtx) {
+				wg.Compute(400 * sim.Nanosecond) // compute the partials
+				// GPU-side decision: send to the owner of the maximum.
+				best, target := partials[0], 1
+				for i, v := range partials[1:] {
+					if v > best {
+						best, target = v, i+2
+					}
+				}
+				fmt.Printf("[%8v] kernel: argmax=%.1f -> sending to node %d\n", wg.Now(), best, target)
+				core.TriggerKernelDynamic(wg, trig, 1, core.DynamicFields{
+					HasTarget: true, Target: target,
+				})
+			},
+		})
+	})
+	cluster.Run()
+
+	for i := 1; i < n; i++ {
+		fmt.Printf("node %d received %d message(s)\n", i, recvCTs[i].Value())
+	}
+	st := cluster.Nodes[0].NIC.Stats()
+	fmt.Printf("NIC: dynamic fires=%d (1 override field = 1 extra system-scope store on the GPU)\n",
+		st.DynamicFires)
+}

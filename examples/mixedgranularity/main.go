@@ -1,0 +1,104 @@
+// Mixed granularity and relaxed synchronization: the two programming-model
+// refinements of §4.2.3 and §3.2.
+//
+// Part 1 sends one message per *pair* of work-groups by setting the NIC
+// threshold to 2 (half as many messages as work-group granularity), using
+// core.Plan so host registration and kernel triggering cannot disagree.
+//
+// Part 2 launches the kernel *before* the host registers the triggered
+// operations: the GPU's tag writes arrive at a NIC that has never heard of
+// them, placeholder trigger entries absorb the counts, and the operations
+// fire the moment the late registrations land (relaxed synchronization).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+func main() {
+	partOneMixed()
+	partTwoRelaxed()
+}
+
+func partOneMixed() {
+	fmt.Println("-- mixed granularity: one message per pair of work-groups --")
+	cluster := node.NewCluster(config.Default(), 2)
+	n0, n1 := cluster.Nodes[0], cluster.Nodes[1]
+	recvCT := n1.Ptl.CTAlloc()
+	n1.Ptl.MEAppend(&portals.ME{MatchBits: 0x1, Length: 64, CT: recvCT})
+
+	const wgs, per = 8, 2
+	cluster.Eng.Go("host", func(p *sim.Proc) {
+		host := core.NewHost(cluster.Eng, n0.Ptl, n0.GPU)
+		md := host.Portals().MDBind("buf", 64, nil, nil)
+		regs, err := core.Plan(core.Mixed, 0, wgs, 64, per)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("host: plan = %d messages (thresholds:", len(regs))
+		for _, r := range regs {
+			fmt.Printf(" %d", r.Threshold)
+		}
+		fmt.Println(")")
+		if err := host.TrigPutPlan(p, regs, md, 64, 1, 0x1); err != nil {
+			log.Fatal(err)
+		}
+		trig := host.GetTriggerAddr()
+		host.LaunchKernSync(p, &gpu.Kernel{
+			Name: "mixed", WorkGroups: wgs,
+			Body: func(wg *gpu.WGCtx) {
+				wg.Compute(200 * sim.Nanosecond)
+				core.TriggerMixed(wg, trig, 0, per)
+			},
+		})
+		recvCT.Wait(p, int64(len(regs)))
+		fmt.Printf("target received %d messages from %d work-groups at %v\n\n",
+			recvCT.Value(), wgs, p.Now())
+	})
+	cluster.Run()
+}
+
+func partTwoRelaxed() {
+	fmt.Println("-- relaxed synchronization: trigger before register --")
+	cluster := node.NewCluster(config.Default(), 2)
+	n0, n1 := cluster.Nodes[0], cluster.Nodes[1]
+	recvCT := n1.Ptl.CTAlloc()
+	n1.Ptl.MEAppend(&portals.ME{MatchBits: 0x2, Length: 64, CT: recvCT})
+
+	host := core.NewHost(cluster.Eng, n0.Ptl, n0.GPU)
+	trig := host.GetTriggerAddr()
+
+	// Kernel launched immediately; it triggers tag 9 long before the host
+	// gets around to registering it.
+	cluster.Eng.Go("gpu-side", func(p *sim.Proc) {
+		host.LaunchKern(&gpu.Kernel{
+			Name: "eager", WorkGroups: 1,
+			Body: func(wg *gpu.WGCtx) {
+				core.TriggerKernel(wg, trig, 9)
+				fmt.Printf("kernel: tag 9 written at %v (nothing registered yet)\n", wg.Now())
+			},
+		})
+	})
+	cluster.Eng.Go("host-side", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond) // host busy elsewhere
+		md := host.Portals().MDBind("buf", 64, nil, nil)
+		if err := host.TrigPut(p, 9, 1, md, 64, 1, 0x2); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("host: registration landed at %v\n", p.Now())
+		recvCT.Wait(p, 1)
+		fmt.Printf("target: message delivered at %v — fired immediately on registration\n", p.Now())
+		st := n0.NIC.Stats()
+		fmt.Printf("NIC stats: placeholders=%d immediate-fires=%d\n",
+			st.PlaceholdersMade, st.ImmediateFires)
+	})
+	cluster.Run()
+}

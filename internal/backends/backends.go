@@ -1,0 +1,123 @@
+// Package backends defines the four networking strategies the paper
+// evaluates (§5.1) — CPU, HDN, GDS, and GPU-TN — the qualitative taxonomy
+// of Table 1, and the shared host-side messaging helpers the workload
+// implementations build on.
+package backends
+
+import (
+	"fmt"
+
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// Kind identifies one evaluated system configuration.
+type Kind int
+
+const (
+	// CPU: all computation and communication on the host; the non-GPU
+	// baseline and sanity check.
+	CPU Kind = iota
+	// HDN: host-driven networking — GPU computes, the CPU performs
+	// two-sided send/recv on kernel boundaries (the classic coprocessor
+	// model).
+	HDN
+	// GDS: GPUDirect-Async-like — the CPU pre-posts operations; the GPU
+	// front-end rings the NIC doorbell at kernel boundaries from within a
+	// stream.
+	GDS
+	// GPUTN: the paper's contribution — the CPU pre-registers triggered
+	// operations; GPU kernels fire them intra-kernel via the trigger
+	// address.
+	GPUTN
+	// GHN: GPU Host Networking — intra-kernel handoff to a dedicated CPU
+	// helper thread (modeled for the extended §5.1.1 comparison; not in
+	// the paper's evaluated set).
+	GHN
+	// GNN: GPU Native Networking — the kernel builds the network command
+	// itself and rings the doorbell (extended comparison).
+	GNN
+)
+
+// All returns the four evaluated kinds in presentation order.
+func All() []Kind { return []Kind{CPU, HDN, GDS, GPUTN} }
+
+// GPUKinds returns the three evaluated GPU-accelerated kinds.
+func GPUKinds() []Kind { return []Kind{HDN, GDS, GPUTN} }
+
+// IntraKernelKinds returns every intra-kernel strategy including the
+// modeled GHN/GNN extensions.
+func IntraKernelKinds() []Kind { return []Kind{GPUTN, GHN, GNN} }
+
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case HDN:
+		return "HDN"
+	case GDS:
+		return "GDS"
+	case GPUTN:
+		return "GPU-TN"
+	case GHN:
+		return "GHN"
+	case GNN:
+		return "GNN"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// TaxonomyRow is one row of Table 1's qualitative comparison.
+type TaxonomyRow struct {
+	Approach     string
+	GPUTriggered bool
+	IntraKernel  bool
+	GPUOverhead  string
+	CPUOverhead  string
+}
+
+// Taxonomy reproduces Table 1.
+func Taxonomy() []TaxonomyRow {
+	return []TaxonomyRow{
+		{"Host-Driven Networking (HDN)", false, false, "Kernel Boundary", "Network Stack"},
+		{"GPU Native Networking", true, true, "Network Stack", "NA"},
+		{"GPU Host Networking", false, true, "CPU/GPU Queues", "Service Threads, Network Stack"},
+		{"GPU Direct Async (GDS)", true, false, "Kernel Boundary, Trigger", "Partial Network Stack"},
+		{"GPU Triggered Networking (GPU-TN)", true, true, "Trigger", "Partial Network Stack"},
+	}
+}
+
+// HostSend models one two-sided send on the host (the HDN critical path):
+// a runtime call into the communication library, software send processing,
+// and a put to the matched receive region on the target.
+func HostSend(p *sim.Proc, nd *node.Node, md *portals.MD, size int64, target int, matchBits uint64) {
+	nd.CPU.RuntimeCall(p)
+	nd.CPU.SendProcessing(p)
+	nd.Ptl.Put(p, md, size, target, matchBits)
+}
+
+// HostRecvWait models the receive side of two-sided messaging: the host
+// waits for the n-th delivery on the CT, then pays receive processing.
+func HostRecvWait(p *sim.Proc, nd *node.Node, ct *portals.CT, n int64) {
+	ct.Wait(p, n)
+	nd.CPU.RecvProcessing(p)
+}
+
+// PrePost stages a put command for GDS-style use: the host performs the
+// runtime work up front and returns a doorbell closure for the GPU
+// front-end to ring at a kernel boundary (stream network-initiation point).
+func PrePost(p *sim.Proc, nd *node.Node, md *portals.MD, size int64, target int, matchBits uint64) func() {
+	nd.CPU.RuntimeCall(p) // posting work happens off the critical path
+	cmdSent := false      // guard against double rings in model code
+	return func() {
+		if cmdSent {
+			panic("backends: GDS doorbell rung twice")
+		}
+		cmdSent = true
+		// The front-end's ring enqueues the pre-built command; the NIC
+		// model charges doorbell + command parse costs.
+		nd.Ptl.PutAsync(md, size, target, matchBits)
+	}
+}

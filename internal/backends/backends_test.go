@@ -1,0 +1,187 @@
+package backends
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/nic"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{CPU: "CPU", HDN: "HDN", GDS: "GDS", GPUTN: "GPU-TN", Kind(9): "Kind(9)"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestAllAndGPUKinds(t *testing.T) {
+	if len(All()) != 4 {
+		t.Fatalf("All() = %v", All())
+	}
+	for _, k := range GPUKinds() {
+		if k == CPU {
+			t.Fatal("CPU in GPUKinds")
+		}
+	}
+}
+
+func TestTaxonomyMatchesTable1(t *testing.T) {
+	rows := Taxonomy()
+	if len(rows) != 5 {
+		t.Fatalf("Table 1 has 5 rows, got %d", len(rows))
+	}
+	byName := map[string]TaxonomyRow{}
+	for _, r := range rows {
+		byName[r.Approach] = r
+	}
+	tn := byName["GPU Triggered Networking (GPU-TN)"]
+	if !tn.GPUTriggered || !tn.IntraKernel || tn.GPUOverhead != "Trigger" {
+		t.Errorf("GPU-TN row wrong: %+v", tn)
+	}
+	hdn := byName["Host-Driven Networking (HDN)"]
+	if hdn.GPUTriggered || hdn.IntraKernel {
+		t.Errorf("HDN row wrong: %+v", hdn)
+	}
+	gds := byName["GPU Direct Async (GDS)"]
+	if !gds.GPUTriggered || gds.IntraKernel {
+		t.Errorf("GDS row wrong: %+v", gds)
+	}
+}
+
+func TestHostSendRecv(t *testing.T) {
+	c := node.NewCluster(config.Default(), 2)
+	n0, n1 := c.Nodes[0], c.Nodes[1]
+	ct := n1.Ptl.CTAlloc()
+	n1.Ptl.MEAppend(&portals.ME{MatchBits: 0x1, Length: 1 << 20, CT: ct})
+	var sendDone, recvDone sim.Time
+	c.Eng.Go("send", func(p *sim.Proc) {
+		md := n0.Ptl.MDBind("b", 1024, nil, nil)
+		HostSend(p, n0, md, 1024, 1, 0x1)
+		sendDone = p.Now()
+	})
+	c.Eng.Go("recv", func(p *sim.Proc) {
+		HostRecvWait(p, n1, ct, 1)
+		recvDone = p.Now()
+	})
+	c.Run()
+	// Send must pay runtime + software costs up front.
+	minSend := config.Default().CPU.RuntimeCall + config.Default().CPU.SendOverhead
+	if sendDone < minSend {
+		t.Fatalf("sendDone = %v < %v", sendDone, minSend)
+	}
+	if recvDone <= sendDone {
+		t.Fatalf("recv (%v) should complete after send call returns (%v)", recvDone, sendDone)
+	}
+}
+
+func TestPrePostDoorbell(t *testing.T) {
+	c := node.NewCluster(config.Default(), 2)
+	n0, n1 := c.Nodes[0], c.Nodes[1]
+	ct := n1.Ptl.CTAlloc()
+	n1.Ptl.MEAppend(&portals.ME{MatchBits: 0x2, Length: 1 << 20, CT: ct})
+	var postDone, ringAt sim.Time
+	c.Eng.Go("host", func(p *sim.Proc) {
+		md := n0.Ptl.MDBind("b", 64, nil, nil)
+		ring := PrePost(p, n0, md, 64, 1, 0x2)
+		postDone = p.Now()
+		p.Sleep(10 * sim.Microsecond) // ... kernels run ...
+		ringAt = p.Now()
+		ring() // the front-end rings at the kernel boundary
+		ct.Wait(p, 1)
+	})
+	c.Run()
+	if postDone != config.Default().CPU.RuntimeCall {
+		t.Fatalf("postDone = %v", postDone)
+	}
+	if ct.Value() != 1 {
+		t.Fatal("pre-posted put never delivered")
+	}
+	_ = ringAt
+}
+
+func TestHelperThreadServesMultipleRequests(t *testing.T) {
+	c := node.NewCluster(config.Default(), 2)
+	n0, n1 := c.Nodes[0], c.Nodes[1]
+	ct := n1.Ptl.CTAlloc()
+	n1.Ptl.MEAppend(&portals.ME{MatchBits: 0x9, Length: 1 << 16, CT: ct})
+	helper := NewHelperThread(n0)
+	c.Eng.Go("gpu", func(p *sim.Proc) {
+		n0.GPU.LaunchSync(p, &gpu.Kernel{
+			Name: "k", WorkGroups: 1,
+			Body: func(wg *gpu.WGCtx) {
+				for i := 0; i < 3; i++ {
+					cmd := &nic.Command{Kind: nic.OpPut, Target: 1, MatchBits: 0x9, Size: 256}
+					helper.HandoffFromGPU(wg, cmd, 256)
+				}
+			},
+		})
+		ct.Wait(p, 3)
+	})
+	c.Run()
+	if helper.Served() != 3 {
+		t.Fatalf("helper served %d, want 3", helper.Served())
+	}
+	if ct.Value() != 3 {
+		t.Fatalf("deliveries = %d", ct.Value())
+	}
+}
+
+func TestGPUNativeSendDelivers(t *testing.T) {
+	c := node.NewCluster(config.Default(), 2)
+	n0, n1 := c.Nodes[0], c.Nodes[1]
+	ct := n1.Ptl.CTAlloc()
+	n1.Ptl.MEAppend(&portals.ME{MatchBits: 0x9, Length: 64, CT: ct})
+	var sendCost sim.Time
+	c.Eng.Go("gpu", func(p *sim.Proc) {
+		n0.GPU.LaunchSync(p, &gpu.Kernel{
+			Name: "k", WorkGroups: 1,
+			Body: func(wg *gpu.WGCtx) {
+				t0 := wg.Now()
+				GPUNativeSend(wg, n0, &nic.Command{Kind: nic.OpPut, Target: 1, MatchBits: 0x9, Size: 64})
+				sendCost = wg.Now() - t0
+			},
+		})
+		ct.Wait(p, 1)
+	})
+	c.Run()
+	if ct.Value() != 1 {
+		t.Fatal("native send never delivered")
+	}
+	// The in-kernel construction dominates the send cost.
+	if sendCost < GPUCommandBuildTime {
+		t.Fatalf("sendCost = %v < construction time", sendCost)
+	}
+}
+
+func TestExtendedKindStrings(t *testing.T) {
+	if GHN.String() != "GHN" || GNN.String() != "GNN" {
+		t.Error("extended kind strings wrong")
+	}
+	if len(IntraKernelKinds()) != 3 {
+		t.Error("IntraKernelKinds wrong")
+	}
+}
+
+func TestPrePostDoubleRingPanics(t *testing.T) {
+	c := node.NewCluster(config.Default(), 2)
+	n0, n1 := c.Nodes[0], c.Nodes[1]
+	n1.Ptl.MEAppend(&portals.ME{MatchBits: 0x2, Length: 1 << 20})
+	c.Eng.Go("host", func(p *sim.Proc) {
+		md := n0.Ptl.MDBind("b", 64, nil, nil)
+		ring := PrePost(p, n0, md, 64, 1, 0x2)
+		ring()
+		ring()
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	c.Run()
+}

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/backends"
+	"repro/internal/collective"
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/memsys"
+	"repro/internal/node"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workloads/jacobi"
+	"repro/internal/workloads/mlearn"
+)
+
+// Fig1Depths are the queue depths swept in Figure 1.
+var Fig1Depths = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// Figure1 measures per-kernel launch latency versus the number of kernel
+// commands exposed to the hardware scheduler at once, for the three GPU
+// presets, by driving the simulated front-end with empty kernels.
+func Figure1(cfg config.SystemConfig) []*stats.Series {
+	var out []*stats.Series
+	for _, preset := range config.Figure1Presets() {
+		s := &stats.Series{Name: preset.Name}
+		for _, depth := range Fig1Depths {
+			eng := sim.NewEngine()
+			g := gpu.New(eng, cfg.GPU, memsys.FromGPU(cfg.GPU, cfg.CPU))
+			g.SetLaunchModel(preset.LaunchLatency)
+			var total sim.Time
+			eng.Go("driver", func(p *sim.Proc) {
+				start := p.Now()
+				var last *gpu.Kernel
+				for i := 0; i < depth; i++ {
+					last = &gpu.Kernel{Name: "empty", WorkGroups: 1}
+					g.Launch(last)
+				}
+				last.Wait(p)
+				total = p.Now() - start
+			})
+			eng.Run()
+			// Launch latency excludes the teardown the empty kernel pays.
+			perKernel := total/sim.Time(depth) - cfg.GPU.KernelTeardown
+			s.Add(float64(depth), perKernel.Us())
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fig9Sizes are the local grid sizes swept in Figure 9.
+var Fig9Sizes = []int{16, 32, 64, 128, 256, 512, 1024}
+
+// Fig9Iters amortizes fixed startup over several iterations so the
+// reported numbers reflect the steady-state per-iteration time the paper
+// plots ("a single iteration of Jacobi").
+const Fig9Iters = 8
+
+// Figure9 runs the 2D Jacobi relaxation per grid size per backend on a
+// 2x2 cluster and reports per-iteration speedup relative to HDN.
+func Figure9(cfg config.SystemConfig) []*stats.Series {
+	kinds := []backends.Kind{backends.CPU, backends.GDS, backends.GPUTN}
+	series := map[backends.Kind]*stats.Series{}
+	for _, k := range kinds {
+		series[k] = &stats.Series{Name: k.String()}
+	}
+	for _, n := range Fig9Sizes {
+		run := func(kind backends.Kind) sim.Time {
+			c := node.NewCluster(cfg, 4)
+			res, err := jacobi.Run(c, jacobi.Params{Kind: kind, N: n, PX: 2, PY: 2, Iters: Fig9Iters})
+			if err != nil {
+				panic(fmt.Sprintf("bench: figure9 %s N=%d: %v", kind, n, err))
+			}
+			return res.Duration
+		}
+		hdn := run(backends.HDN)
+		for _, k := range kinds {
+			series[k].Add(float64(n), float64(hdn)/float64(run(k)))
+		}
+	}
+	out := make([]*stats.Series, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, series[k])
+	}
+	return out
+}
+
+// Figure9Weak checks the paper's weak-scaling remark for Jacobi (§5.3):
+// "weak scaling would stay at the same point, since the communication
+// patterns do not significantly change with the introduction of more
+// nodes." It runs the same local grid on growing node meshes and returns
+// GPU-TN's speedup vs HDN per mesh — the values should be nearly flat.
+func Figure9Weak(cfg config.SystemConfig, n int, meshes [][2]int) map[int]float64 {
+	out := map[int]float64{}
+	for _, m := range meshes {
+		px, py := m[0], m[1]
+		run := func(kind backends.Kind) sim.Time {
+			c := node.NewCluster(cfg, px*py)
+			res, err := jacobi.Run(c, jacobi.Params{Kind: kind, N: n, PX: px, PY: py, Iters: Fig9Iters})
+			if err != nil {
+				panic(fmt.Sprintf("bench: figure9weak %s %dx%d: %v", kind, px, py, err))
+			}
+			return res.Duration
+		}
+		out[px*py] = float64(run(backends.HDN)) / float64(run(backends.GPUTN))
+	}
+	return out
+}
+
+// Fig10Nodes are the cluster sizes swept in Figure 10.
+var Fig10Nodes = []int{2, 5, 8, 11, 14, 17, 20, 23, 26, 29, 32}
+
+// Fig10Payload is the collective payload of Figure 10 (8 MB).
+const Fig10Payload = int64(8 << 20)
+
+// Figure10 runs the 8 MB ring Allreduce strong-scaling study: speedup of
+// each GPU backend relative to the CPU backend at each node count.
+func Figure10(cfg config.SystemConfig) []*stats.Series {
+	kinds := backends.GPUKinds()
+	series := map[backends.Kind]*stats.Series{}
+	for _, k := range kinds {
+		series[k] = &stats.Series{Name: k.String()}
+	}
+	for _, n := range Fig10Nodes {
+		run := func(kind backends.Kind) sim.Time {
+			c := node.NewCluster(cfg, n)
+			res, err := collective.Run(c, collective.Config{Kind: kind, TotalBytes: Fig10Payload})
+			if err != nil {
+				panic(fmt.Sprintf("bench: figure10 %s n=%d: %v", kind, n, err))
+			}
+			return res.Duration
+		}
+		cpu := run(backends.CPU)
+		for _, k := range kinds {
+			series[k].Add(float64(n), float64(cpu)/float64(run(k)))
+		}
+	}
+	out := make([]*stats.Series, 0, len(kinds))
+	for _, k := range kinds {
+		out = append(out, series[k])
+	}
+	return out
+}
+
+// Fig11Nodes is the cluster size of Figure 11 (8 nodes in the paper).
+const Fig11Nodes = 8
+
+// Figure11 reproduces the deep-learning projection study.
+func Figure11(cfg config.SystemConfig) ([]mlearn.StudyResult, error) {
+	return mlearn.RunStudy(cfg, Fig11Nodes)
+}
+
+// RenderFigure11 formats the study as the paper's grouped bars.
+func RenderFigure11(results []mlearn.StudyResult) string {
+	tbl := stats.Table{
+		Title:   "Figure 11: projected training speedup vs HDN (8 nodes)",
+		Headers: []string{"Workload", "CPU", "HDN", "GDS", "GPU-TN"},
+	}
+	for _, r := range results {
+		tbl.AddRow(r.Workload.Name,
+			fmt.Sprintf("%.3f", r.Speedup[backends.CPU]),
+			fmt.Sprintf("%.3f", r.Speedup[backends.HDN]),
+			fmt.Sprintf("%.3f", r.Speedup[backends.GDS]),
+			fmt.Sprintf("%.3f", r.Speedup[backends.GPUTN]))
+	}
+	return tbl.String()
+}
+
+// RenderTable3 reproduces Table 3.
+func RenderTable3() string {
+	tbl := stats.Table{
+		Title:   "Table 3: CNTK workload description",
+		Headers: []string{"Name", "Domain", "%Blocked", "Reductions", "AvgMsgBytes (calibrated)"},
+	}
+	for _, w := range mlearn.Table3() {
+		tbl.AddRow(w.Name, w.Domain,
+			fmt.Sprintf("%.0f%%", w.PctBlocked*100),
+			fmt.Sprintf("%d", w.Reductions),
+			fmt.Sprintf("%d", w.AvgMsgBytes))
+	}
+	return tbl.String()
+}
+
+// RenderTable2 prints the simulation configuration.
+func RenderTable2(cfg config.SystemConfig) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: GPU-TN simulation configuration\n")
+	fmt.Fprintf(&b, "CPU: %d cores, %.0f GHz, %d-wide OOO\n", cfg.CPU.Cores, cfg.CPU.ClockGHz, cfg.CPU.IssueWide)
+	fmt.Fprintf(&b, "  L1D %dK  L2 %dM  L3 %dM\n", cfg.CPU.L1D.SizeBytes>>10, cfg.CPU.L2.SizeBytes>>20, cfg.CPU.L3.SizeBytes>>20)
+	fmt.Fprintf(&b, "GPU: %d CUs, %.0f GHz, wavefront %d\n", cfg.GPU.ComputeUnits, cfg.GPU.ClockGHz, cfg.GPU.WavefrontSize)
+	fmt.Fprintf(&b, "  kernel latencies: %.1fus launch / %.1fus teardown\n", cfg.GPU.KernelLaunch.Us(), cfg.GPU.KernelTeardown.Us())
+	fmt.Fprintf(&b, "Network: %v link, %v switch, %.0f Gbps, star topology\n",
+		cfg.Network.LinkLatency, cfg.Network.SwitchLatency, cfg.Network.BandwidthGbps)
+	fmt.Fprintf(&b, "NIC: trigger list <= %d entries (associative lookup)\n", cfg.NIC.MaxTriggerEntries)
+	return b.String()
+}
+
+// RenderTable1 prints the qualitative taxonomy.
+func RenderTable1() string {
+	tbl := stats.Table{
+		Title:   "Table 1: qualitative comparison of GPU networking strategies",
+		Headers: []string{"Approach", "GPU Triggered", "Intra-Kernel", "GPU Overhead", "CPU Overhead"},
+	}
+	yn := func(b bool) string {
+		if b {
+			return "Yes"
+		}
+		return "No"
+	}
+	for _, r := range backends.Taxonomy() {
+		tbl.AddRow(r.Approach, yn(r.GPUTriggered), yn(r.IntraKernel), r.GPUOverhead, r.CPUOverhead)
+	}
+	return tbl.String()
+}

@@ -1,0 +1,401 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/backends"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/nic"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// allreduceMatchBits addresses every rank's Allreduce landing region.
+const allreduceMatchBits = 0xA11
+
+// elemBytes is the size of one fp32 element (the paper's single-precision
+// payload, §5.4.1).
+const elemBytes = 4
+
+// reduceWGs is the work-group count of the reduction kernels.
+const reduceWGs = 64
+
+// trigWindow is the registration window of GPU-TN runs, keeping the number
+// of simultaneously active trigger entries within the NIC's 16-entry
+// associative lookup (§3.3).
+const trigWindow = 12
+
+// Config describes one Allreduce invocation.
+type Config struct {
+	// Kind selects the backend (§5.1).
+	Kind backends.Kind
+	// TotalBytes is the per-rank payload (e.g. 8 MB in Figure 10).
+	TotalBytes int64
+	// Data optionally supplies real per-rank vectors (length
+	// TotalBytes/4); when set, Result.Output carries the reduced vectors
+	// so tests can verify numerical correctness on every backend.
+	Data [][]float32
+	// Pipeline, when > 1, enables §5.4.1's work-group-granularity software
+	// pipelining for the GPU-TN backend: each ring chunk is split into
+	// Pipeline slices with independent triggered puts, overlapping the
+	// reduction with the network transfer. Ignored values 0 and 1 select
+	// the kernel-granularity implementation.
+	Pipeline int
+}
+
+// Result reports one Allreduce run.
+type Result struct {
+	// Duration is the time from simulation start to the last rank's
+	// completion of the collective.
+	Duration sim.Time
+	// PerRank holds each rank's own completion time.
+	PerRank []sim.Time
+	// Output carries the reduced vectors when Config.Data was provided.
+	Output [][]float32
+}
+
+// chunkMsg is the wire payload of one ring step.
+type chunkMsg struct {
+	step int
+	vals []float32
+}
+
+// rankState is the per-rank execution state shared by all backends.
+type rankState struct {
+	nd     *node.Node
+	rounds []Round
+	recvCT *portals.CT
+	vec    []float32 // nil in size-only runs
+	nelems int
+	nranks int
+	chunk  int64 // bytes per ring message
+
+	// pipeCTs are the per-slice delivery counters of a pipelined run.
+	pipeCTs []*portals.CT
+
+	// mb is the landing-region address and tagBase the first trigger tag;
+	// episodic drivers (training loops) give each episode its own values.
+	mb      uint64
+	tagBase uint64
+}
+
+// Run executes one Allreduce on the cluster and drives the simulation to
+// completion. The cluster must be freshly constructed (time zero).
+func Run(c *node.Cluster, cfg Config) (Result, error) {
+	n := c.Size()
+	if n < 2 {
+		return Result{}, fmt.Errorf("collective: allreduce needs >= 2 nodes")
+	}
+	if cfg.TotalBytes < int64(n)*elemBytes {
+		return Result{}, fmt.Errorf("collective: payload %dB too small for %d chunks", cfg.TotalBytes, n)
+	}
+	if cfg.Data != nil && len(cfg.Data) != n {
+		return Result{}, fmt.Errorf("collective: got %d data vectors for %d ranks", len(cfg.Data), n)
+	}
+	if err := validatePipeline(cfg, n); err != nil {
+		return Result{}, err
+	}
+	if cfg.Pipeline > 1 && cfg.Kind != backends.GPUTN {
+		return Result{}, fmt.Errorf("collective: pipelining requires the GPU-TN backend")
+	}
+	nelems := int(cfg.TotalBytes / elemBytes)
+
+	states := make([]*rankState, n)
+	for i := 0; i < n; i++ {
+		rounds, err := RingSchedule(i, n)
+		if err != nil {
+			return Result{}, err
+		}
+		st := &rankState{
+			nd:      c.Nodes[i],
+			rounds:  rounds,
+			recvCT:  c.Nodes[i].Ptl.CTAlloc(),
+			nelems:  nelems,
+			nranks:  n,
+			chunk:   cfg.TotalBytes / int64(n),
+			mb:      allreduceMatchBits,
+			tagBase: 0,
+		}
+		if cfg.Data != nil {
+			if len(cfg.Data[i]) != nelems {
+				return Result{}, fmt.Errorf("collective: rank %d vector has %d elems, want %d", i, len(cfg.Data[i]), nelems)
+			}
+			st.vec = append([]float32(nil), cfg.Data[i]...)
+		}
+		states[i] = st
+	}
+	// Expose the landing region on every rank. Incoming chunks are applied
+	// (reduce or copy) at delivery time; the rank's control flow observes
+	// arrival through recvCT.
+	for i := 0; i < n; i++ {
+		st := states[i]
+		ways := cfg.Pipeline
+		st.nd.Ptl.MEAppend(&portals.ME{
+			MatchBits: st.mb,
+			Length:    cfg.TotalBytes,
+			CT:        st.recvCT,
+			OnDelivery: func(d nic.Delivery) {
+				if _, ok := d.Data.(pipeMsg); ok {
+					st.applyPipeDelivery(d, ways)
+					return
+				}
+				if st.vec == nil {
+					return
+				}
+				msg := d.Data.(chunkMsg)
+				r := st.rounds[msg.step]
+				lo, hi := ChunkRange(st.nelems, st.nranks, r.RecvChunk)
+				if len(msg.vals) != hi-lo {
+					panic(fmt.Sprintf("collective: chunk size mismatch %d vs %d", len(msg.vals), hi-lo))
+				}
+				if r.Reduce {
+					for k, v := range msg.vals {
+						st.vec[lo+k] += v
+					}
+				} else {
+					copy(st.vec[lo:hi], msg.vals)
+				}
+			},
+		})
+	}
+
+	res := Result{PerRank: make([]sim.Time, n)}
+	for i := 0; i < n; i++ {
+		i := i
+		st := states[i]
+		run := func(p *sim.Proc) {
+			switch cfg.Kind {
+			case backends.CPU:
+				runCPURank(p, st)
+			case backends.HDN:
+				runHDNRank(p, st)
+			case backends.GDS:
+				runGDSRank(p, st)
+			case backends.GPUTN:
+				if cfg.Pipeline > 1 {
+					runGPUTNPipelined(p, st, cfg.Pipeline)
+				} else {
+					runGPUTNRank(p, st)
+				}
+			default:
+				panic(fmt.Sprintf("collective: unknown backend %v", cfg.Kind))
+			}
+			res.PerRank[i] = p.Now()
+		}
+		c.Eng.Go(fmt.Sprintf("allreduce.%s.%d", cfg.Kind, i), run)
+	}
+	c.Run()
+	for _, t := range res.PerRank {
+		if t == 0 {
+			return Result{}, fmt.Errorf("collective: a rank never completed (deadlock?)")
+		}
+		if t > res.Duration {
+			res.Duration = t
+		}
+	}
+	if cfg.Data != nil {
+		for _, st := range states {
+			res.Output = append(res.Output, st.vec)
+		}
+	}
+	return res, nil
+}
+
+// right returns the ring successor.
+func (st *rankState) right() int { return (st.nd.Index + 1) % st.nranks }
+
+// sendPayload builds the deferred wire payload for one round: the chunk
+// contents are captured at NIC DMA time, after the producing reduction.
+func (st *rankState) sendPayload(r Round) any {
+	if st.vec == nil {
+		return nil
+	}
+	step := r.Step
+	chunk := r.SendChunk
+	return nic.Deferred(func() any {
+		lo, hi := ChunkRange(st.nelems, st.nranks, chunk)
+		return chunkMsg{step: step, vals: append([]float32(nil), st.vec[lo:hi]...)}
+	})
+}
+
+// chunkElems returns the element count of one ring message.
+func (st *rankState) chunkElems() int64 { return st.chunk / elemBytes }
+
+// Effective streaming bandwidths of the reduction loop, tiered by where
+// the three fp32 streams (two reads, one write) reside. The CPU's scalar
+// OpenMP sum loop pays read-for-ownership traffic on the destination and
+// achieves a modest fraction of peak DRAM bandwidth, while cache-resident
+// chunks stream much faster; the GPU's coalesced wavefront accesses with
+// write-combining get close to peak DRAM bandwidth but its small L2 and
+// long latencies blunt the advantage on small chunks — together with the
+// kernel boundary this produces Figure 10's strong-scaling crossover.
+const (
+	cpuDRAMReduceGBps = 25.0
+	cpuL3ReduceGBps   = 70.0
+	cpuL2ReduceGBps   = 120.0
+	gpuDRAMReduceGBps = 110.0
+)
+
+// cpuReduceTime is the host-side cost of combining one received chunk.
+func (st *rankState) cpuReduceTime() sim.Time {
+	e := st.chunkElems()
+	bytes := 3 * e * elemBytes
+	arith := st.nd.CPU.ComputeTime(e, 0, 0)
+	levels := st.nd.HostMem.Levels()
+	l2, l3 := levels[1], levels[2]
+	var bw float64
+	switch {
+	case bytes > l3.Size/2:
+		bw = cpuDRAMReduceGBps // streams spill to DRAM
+	case bytes > l2.Size:
+		bw = cpuL3ReduceGBps
+	default:
+		bw = cpuL2ReduceGBps
+	}
+	mem := sim.BytesAtGbps(bytes, bw*8)
+	if arith > mem {
+		return arith
+	}
+	return mem
+}
+
+// gpuReduceKernel builds the per-round reduction kernel: reduceWGs
+// work-groups each combining an equal slice of the chunk.
+func (st *rankState) gpuReduceKernel(name string) *gpu.Kernel {
+	perWG := st.gpuReducePerWGTime()
+	return &gpu.Kernel{
+		Name:       name,
+		WorkGroups: reduceWGs,
+		Body: func(wg *gpu.WGCtx) {
+			wg.Compute(perWG)
+		},
+	}
+}
+
+// gpuReducePerWGTime is the duration of each reduction work-group: the
+// groups stream the chunk concurrently, so a bandwidth-bound round takes
+// total-bytes/effective-bandwidth regardless of group count, while a
+// cache-resident round is bound by the GPU's L2 latency over the groups'
+// aggregate memory-level parallelism.
+func (st *rankState) gpuReducePerWGTime() sim.Time {
+	e := st.chunkElems() / reduceWGs
+	if e < 1 {
+		e = 1
+	}
+	bytes := 3 * st.chunkElems() * elemBytes
+	g := st.nd.GPU
+	arith := g.ComputeTime(e, 0)
+	// The GPU hides latency with massive thread-level parallelism, so the
+	// round is bound by whichever is *smaller*: the latency-limited rate
+	// (~8 outstanding lines per group) or the streaming bandwidth.
+	lines := st.nd.GPUMem.LineTransfers(bytes)
+	lat := st.nd.GPUMem.AvgAccessLatency(bytes)
+	mem := sim.Time(float64(lines) * float64(lat) / (8 * reduceWGs))
+	if bw := sim.BytesAtGbps(bytes, gpuDRAMReduceGBps*8); bw < mem {
+		mem = bw
+	}
+	if arith > mem {
+		return arith
+	}
+	return mem
+}
+
+// runCPURank: everything on the host (the paper's non-GPU baseline).
+func runCPURank(p *sim.Proc, st *rankState) {
+	md := st.nd.Ptl.MDBind("allreduce", st.chunk, nil, nil)
+	for _, r := range st.rounds {
+		md.Data = st.sendPayload(r)
+		backends.HostSend(p, st.nd, md, st.chunk, st.right(), st.mb)
+		backends.HostRecvWait(p, st.nd, st.recvCT, int64(r.Step)+1)
+		if r.Reduce {
+			p.Sleep(st.cpuReduceTime())
+		}
+	}
+}
+
+// runHDNRank: two-sided host messaging on kernel boundaries; each
+// reduction is a separate GPU kernel (launch/teardown per round).
+func runHDNRank(p *sim.Proc, st *rankState) {
+	md := st.nd.Ptl.MDBind("allreduce", st.chunk, nil, nil)
+	for _, r := range st.rounds {
+		md.Data = st.sendPayload(r)
+		backends.HostSend(p, st.nd, md, st.chunk, st.right(), st.mb)
+		backends.HostRecvWait(p, st.nd, st.recvCT, int64(r.Step)+1)
+		if r.Reduce {
+			st.nd.GPU.LaunchSync(p, st.gpuReduceKernel(fmt.Sprintf("hdn.reduce.%d", r.Step)))
+		}
+	}
+}
+
+// runGDSRank: the host pre-posts every send; the GPU front-end executes a
+// stream of [doorbell, wait, reduce-kernel] triples without host
+// involvement, but still pays kernel boundaries between rounds.
+func runGDSRank(p *sim.Proc, st *rankState) {
+	stream := st.nd.GPU.NewStream(fmt.Sprintf("gds.%d", st.nd.Index))
+	for _, r := range st.rounds {
+		md := st.nd.Ptl.MDBind(fmt.Sprintf("gds.%d", r.Step), st.chunk, st.sendPayload(r), nil)
+		ring := backends.PrePost(p, st.nd, md, st.chunk, st.right(), st.mb)
+		stream.EnqueueDoorbell(ring)
+		stream.EnqueueWait(st.recvCT.Raw(), int64(r.Step)+1)
+		if r.Reduce {
+			stream.EnqueueKernel(st.gpuReduceKernel(fmt.Sprintf("gds.reduce.%d", r.Step)))
+		}
+	}
+	stream.Sync(p)
+}
+
+// runGPUTNRank: the paper's approach — the entire collective runs inside
+// one persistent kernel. The host registers triggered puts (kernel-level
+// granularity: threshold = work-groups) in a sliding window sized to the
+// NIC's associative lookup, and the kernel triggers each round's send with
+// a single tag store, polls for the neighbour's chunk, and reduces in
+// place (§5.4.1).
+func runGPUTNRank(p *sim.Proc, st *rankState) {
+	host := core.NewHost(st.nd.Eng, st.nd.Ptl, st.nd.GPU)
+	comp := host.NewCompletion()
+	trig := host.GetTriggerAddr()
+	total := len(st.rounds)
+	perWG := st.gpuReducePerWGTime()
+	rounds := st.rounds
+
+	// Persistent kernel: all rounds inside one kernel dispatch.
+	kern := &gpu.Kernel{
+		Name:       fmt.Sprintf("gputn.allreduce.%d", st.nd.Index),
+		WorkGroups: reduceWGs,
+		Body: func(wg *gpu.WGCtx) {
+			for _, r := range rounds {
+				core.TriggerKernel(wg, trig, st.tagBase+uint64(r.Step))
+				wg.PollUntil(st.recvCT.Raw(), int64(r.Step)+1)
+				if r.Reduce {
+					wg.Compute(perWG)
+				}
+			}
+		},
+	}
+	host.LaunchKern(kern)
+
+	// Host side: windowed registration keyed on local completions; the
+	// host stays off the critical path (relaxed synchronization lets the
+	// GPU trigger tags before their registration lands).
+	register := func(step int) {
+		r := rounds[step]
+		md := st.nd.Ptl.MDBind(fmt.Sprintf("tn.%d", step), st.chunk, st.sendPayload(r), comp.CT)
+		if err := host.TrigPut(p, st.tagBase+uint64(step), reduceWGs, md, st.chunk, st.right(), st.mb); err != nil {
+			panic(fmt.Sprintf("collective: rank %d step %d: %v", st.nd.Index, step, err))
+		}
+	}
+	window := trigWindow
+	if window > total {
+		window = total
+	}
+	for s := 0; s < window; s++ {
+		register(s)
+	}
+	for s := window; s < total; s++ {
+		comp.WaitHost(p, int64(s-window)+1)
+		register(s)
+	}
+	kern.Wait(p)
+}

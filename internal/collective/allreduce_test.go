@@ -1,0 +1,278 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/backends"
+	"repro/internal/config"
+	"repro/internal/node"
+)
+
+func TestRingScheduleShape(t *testing.T) {
+	n := 4
+	for rank := 0; rank < n; rank++ {
+		rounds, err := RingSchedule(rank, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rounds) != 2*(n-1) {
+			t.Fatalf("rank %d: %d rounds, want %d", rank, len(rounds), 2*(n-1))
+		}
+		for i, r := range rounds {
+			if r.Step != i {
+				t.Fatalf("round %d has step %d", i, r.Step)
+			}
+			if (i < n-1) != r.Reduce {
+				t.Fatalf("round %d reduce flag wrong", i)
+			}
+			if r.SendChunk < 0 || r.SendChunk >= n || r.RecvChunk < 0 || r.RecvChunk >= n {
+				t.Fatalf("round %d chunk out of range: %+v", i, r)
+			}
+		}
+	}
+}
+
+func TestRingScheduleErrors(t *testing.T) {
+	if _, err := RingSchedule(0, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := RingSchedule(5, 4); err == nil {
+		t.Error("rank out of range accepted")
+	}
+	if _, err := RingSchedule(-1, 4); err == nil {
+		t.Error("negative rank accepted")
+	}
+}
+
+// Property: what rank r sends at step s is exactly what rank r+1 receives
+// at step s — the schedules of neighbours interlock.
+func TestRingScheduleInterlock(t *testing.T) {
+	f := func(nRaw, rankRaw uint8) bool {
+		n := int(nRaw%14) + 2
+		rank := int(rankRaw) % n
+		mine, _ := RingSchedule(rank, n)
+		theirs, _ := RingSchedule((rank+1)%n, n)
+		for i := range mine {
+			if mine[i].SendChunk != theirs[i].RecvChunk {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: simulating the schedule abstractly (no timing) computes the
+// element-wise sum on every rank, for any ring size.
+func TestRingScheduleComputesSum(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%12) + 2
+		// One value per chunk per rank.
+		vals := make([][]float64, n)
+		for r := range vals {
+			vals[r] = make([]float64, n)
+			for c := range vals[r] {
+				vals[r][c] = float64(r*100 + c)
+			}
+		}
+		want := make([]float64, n)
+		for c := 0; c < n; c++ {
+			for r := 0; r < n; r++ {
+				want[c] += vals[r][c]
+			}
+		}
+		scheds := make([][]Round, n)
+		for r := 0; r < n; r++ {
+			scheds[r], _ = RingSchedule(r, n)
+		}
+		// Execute round-synchronously.
+		for step := 0; step < 2*(n-1); step++ {
+			sent := make([]float64, n) // what each rank sends this step
+			for r := 0; r < n; r++ {
+				sent[r] = vals[r][scheds[r][step].SendChunk]
+			}
+			for r := 0; r < n; r++ {
+				left := (r - 1 + n) % n
+				rd := scheds[r][step]
+				if rd.Reduce {
+					vals[r][rd.RecvChunk] += sent[left]
+				} else {
+					vals[r][rd.RecvChunk] = sent[left]
+				}
+			}
+		}
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if vals[r][c] != want[c] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkRange(t *testing.T) {
+	// 10 elements, 3 chunks: [0,3) [3,6) [6,10).
+	cases := []struct{ c, lo, hi int }{{0, 0, 3}, {1, 3, 6}, {2, 6, 10}}
+	for _, cs := range cases {
+		lo, hi := ChunkRange(10, 3, cs.c)
+		if lo != cs.lo || hi != cs.hi {
+			t.Errorf("ChunkRange(10,3,%d) = %d,%d", cs.c, lo, hi)
+		}
+	}
+}
+
+func TestChunkRangeCoversAll(t *testing.T) {
+	f := func(nelemsRaw, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		nelems := int(nelemsRaw) + n // at least one elem per chunk
+		covered := 0
+		prevHi := 0
+		for c := 0; c < n; c++ {
+			lo, hi := ChunkRange(nelems, n, c)
+			if lo != prevHi {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == nelems
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// makeInputs builds deterministic per-rank vectors and their expected sum.
+func makeInputs(n, nelems int, seed int64) (data [][]float32, want []float32) {
+	rng := rand.New(rand.NewSource(seed))
+	data = make([][]float32, n)
+	want = make([]float32, nelems)
+	for r := 0; r < n; r++ {
+		data[r] = make([]float32, nelems)
+		for i := range data[r] {
+			data[r][i] = float32(rng.Intn(64)) // exact in fp32 addition
+			want[i] += data[r][i]
+		}
+	}
+	return data, want
+}
+
+func TestAllreduceCorrectnessAllBackends(t *testing.T) {
+	for _, kind := range backends.All() {
+		for _, n := range []int{2, 3, 5} {
+			kind, n := kind, n
+			t.Run(kind.String(), func(t *testing.T) {
+				nelems := 64 * n
+				data, want := makeInputs(n, nelems, int64(n))
+				c := node.NewCluster(config.Default(), n)
+				res, err := Run(c, Config{Kind: kind, TotalBytes: int64(nelems) * 4, Data: data})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Output) != n {
+					t.Fatalf("outputs = %d", len(res.Output))
+				}
+				for r := 0; r < n; r++ {
+					for i := range want {
+						if math.Abs(float64(res.Output[r][i]-want[i])) > 1e-3 {
+							t.Fatalf("%s n=%d rank %d elem %d: got %v want %v",
+								kind, n, r, i, res.Output[r][i], want[i])
+						}
+					}
+				}
+				if res.Duration <= 0 {
+					t.Fatal("non-positive duration")
+				}
+			})
+		}
+	}
+}
+
+func TestAllreduceInputValidation(t *testing.T) {
+	c := node.NewCluster(config.Default(), 2)
+	if _, err := Run(c, Config{Kind: backends.CPU, TotalBytes: 4}); err == nil {
+		t.Error("payload smaller than one elem per chunk accepted")
+	}
+	c2 := node.NewCluster(config.Default(), 2)
+	if _, err := Run(c2, Config{Kind: backends.CPU, TotalBytes: 1024, Data: make([][]float32, 3)}); err == nil {
+		t.Error("wrong vector count accepted")
+	}
+	c3 := node.NewCluster(config.Default(), 1)
+	if _, err := Run(c3, Config{Kind: backends.CPU, TotalBytes: 1024}); err == nil {
+		t.Error("single node accepted")
+	}
+	c4 := node.NewCluster(config.Default(), 2)
+	if _, err := Run(c4, Config{Kind: backends.CPU, TotalBytes: 1024,
+		Data: [][]float32{make([]float32, 7), make([]float32, 7)}}); err == nil {
+		t.Error("wrong vector length accepted")
+	}
+}
+
+func TestAllreduceTimingOrdering(t *testing.T) {
+	// At a strong-scaled operating point (many nodes, small chunks) the
+	// paper's ordering must hold: GPU-TN < GDS < HDN (Figure 10).
+	const n = 16
+	const total = 1 << 23 // 8 MB
+	dur := map[backends.Kind]float64{}
+	for _, kind := range backends.GPUKinds() {
+		c := node.NewCluster(config.Default(), n)
+		res, err := Run(c, Config{Kind: kind, TotalBytes: total})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dur[kind] = res.Duration.Us()
+	}
+	if !(dur[backends.GPUTN] < dur[backends.GDS] && dur[backends.GDS] < dur[backends.HDN]) {
+		t.Fatalf("ordering violated: GPU-TN=%.1fus GDS=%.1fus HDN=%.1fus",
+			dur[backends.GPUTN], dur[backends.GDS], dur[backends.HDN])
+	}
+}
+
+func TestAllreduceGPUTNNoTriggerOverflow(t *testing.T) {
+	// 32 nodes -> 62 rounds per rank; the windowed registration must stay
+	// within the 16-entry trigger list and never drop a trigger.
+	const n = 32
+	c := node.NewCluster(config.Default(), n)
+	res, err := Run(c, Config{Kind: backends.GPUTN, TotalBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration <= 0 {
+		t.Fatal("no progress")
+	}
+	for _, nd := range c.Nodes {
+		st := nd.NIC.Stats()
+		if st.DroppedTriggers != 0 {
+			t.Fatalf("node %d dropped %d triggers", nd.Index, st.DroppedTriggers)
+		}
+		if st.TriggerFires != int64(2*(n-1)) {
+			t.Fatalf("node %d fired %d, want %d", nd.Index, st.TriggerFires, 2*(n-1))
+		}
+	}
+}
+
+func TestAllreducePerRankTimesPopulated(t *testing.T) {
+	c := node.NewCluster(config.Default(), 3)
+	res, err := Run(c, Config{Kind: backends.CPU, TotalBytes: 3 * 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerRank) != 3 {
+		t.Fatalf("PerRank = %v", res.PerRank)
+	}
+	for _, tm := range res.PerRank {
+		if tm <= 0 || tm > res.Duration {
+			t.Fatalf("per-rank times inconsistent: %v (max %v)", res.PerRank, res.Duration)
+		}
+	}
+}

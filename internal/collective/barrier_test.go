@@ -1,0 +1,144 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func TestBarrierRounds(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 16: 4, 17: 5, 32: 5}
+	for n, want := range cases {
+		if got := barrierRounds(n); got != want {
+			t.Errorf("barrierRounds(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestHostBarrierSynchronizes(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			c := node.NewCluster(config.Default(), n)
+			g := NewBarrierGroup(c)
+			enter := make([]sim.Time, n)
+			exit := make([]sim.Time, n)
+			for i := 0; i < n; i++ {
+				i := i
+				c.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+					// Skewed arrival: rank i enters i*5us late.
+					p.Sleep(sim.Time(i) * 5 * sim.Microsecond)
+					enter[i] = p.Now()
+					g.HostBarrier(p, i)
+					exit[i] = p.Now()
+				})
+			}
+			c.Run()
+			// No rank may exit before the last rank entered.
+			var lastEnter sim.Time
+			for _, e := range enter {
+				if e > lastEnter {
+					lastEnter = e
+				}
+			}
+			for i, x := range exit {
+				if x < lastEnter {
+					t.Fatalf("rank %d exited at %v before last entry %v", i, x, lastEnter)
+				}
+			}
+		})
+	}
+}
+
+func TestHostBarrierReusable(t *testing.T) {
+	const n = 4
+	c := node.NewCluster(config.Default(), n)
+	g := NewBarrierGroup(c)
+	const episodes = 3
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			for e := 0; e < episodes; e++ {
+				p.Sleep(sim.Time(i+1) * sim.Microsecond)
+				g.HostBarrier(p, i)
+				counts[i]++
+			}
+		})
+	}
+	c.Run()
+	for i, cnt := range counts {
+		if cnt != episodes {
+			t.Fatalf("rank %d completed %d episodes", i, cnt)
+		}
+	}
+}
+
+func TestGPUTNBarrierIntraKernel(t *testing.T) {
+	const n = 4
+	const wgs = 4
+	c := node.NewCluster(config.Default(), n)
+	g := NewBarrierGroup(c)
+	afterBarrier := make([]sim.Time, n)
+	kernelStart := make([]sim.Time, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			// Skew kernel launches.
+			p.Sleep(sim.Time(i) * 3 * sim.Microsecond)
+			barrier, err := g.GPUTNBarrierKernel(p, i, wgs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			c.Nodes[i].GPU.LaunchSync(p, &gpu.Kernel{
+				Name: fmt.Sprintf("bar%d", i), WorkGroups: wgs,
+				Body: func(wg *gpu.WGCtx) {
+					if wg.Group == 0 {
+						kernelStart[i] = wg.Now()
+					}
+					wg.Compute(500 * sim.Nanosecond)
+					barrier(wg)
+					if wg.Group == 0 {
+						afterBarrier[i] = wg.Now()
+					}
+				},
+			})
+		})
+	}
+	c.Run()
+	var lastStart sim.Time
+	for _, s := range kernelStart {
+		if s > lastStart {
+			lastStart = s
+		}
+	}
+	for i, x := range afterBarrier {
+		if x == 0 {
+			t.Fatalf("rank %d never passed the barrier", i)
+		}
+		if x < lastStart {
+			t.Fatalf("rank %d passed the barrier at %v before the last kernel started (%v)", i, x, lastStart)
+		}
+	}
+	// The whole barrier ran inside one kernel per rank.
+	for _, nd := range c.Nodes {
+		if nd.GPU.KernelsLaunched() != 1 {
+			t.Fatalf("node %d launched %d kernels, want 1", nd.Index, nd.GPU.KernelsLaunched())
+		}
+	}
+}
+
+func TestBarrierGroupValidation(t *testing.T) {
+	c := node.NewCluster(config.Default(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for 1-node barrier")
+		}
+	}()
+	NewBarrierGroup(c)
+}

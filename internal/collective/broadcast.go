@@ -1,0 +1,275 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/backends"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/nic"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// Broadcast implements a segmented chain broadcast: the root streams S
+// segments down a chain of ranks; every intermediate rank forwards each
+// segment as soon as it arrives, so segments pipeline through the chain.
+//
+// The backend differences isolate the forwarding path: HDN pays the host
+// runtime + send processing per forwarded segment, GDS pre-posts the
+// forwards as stream doorbells gated on waits, and GPU-TN forwards from
+// inside a persistent kernel with triggered puts. Because forwarding needs
+// no GPU compute between segments, GDS and GPU-TN perform similarly here —
+// GPU-TN's advantage appears when network initiation interleaves with
+// kernel compute (see the Allreduce and Jacobi workloads).
+
+// bcastMatchBits addresses the broadcast landing region.
+const bcastMatchBits = 0xBC
+
+// BcastConfig describes one broadcast.
+type BcastConfig struct {
+	Kind       backends.Kind
+	Root       int
+	TotalBytes int64
+	// Segments pipelines the payload; must divide into at least 1 byte
+	// per segment.
+	Segments int
+	// Data optionally supplies the root's fp32 vector for verification.
+	Data []float32
+}
+
+// BcastResult reports one broadcast run.
+type BcastResult struct {
+	Duration sim.Time
+	// Received holds every rank's final vector when Data was supplied
+	// (the root's entry is its own copy).
+	Received [][]float32
+}
+
+type segMsg struct {
+	seg  int
+	vals []float32
+}
+
+type bcastState struct {
+	nd     *node.Node
+	cfg    BcastConfig
+	n      int
+	pos    int // position in chain, 0 = root
+	recvCT *portals.CT
+	vec    []float32
+	nelems int
+}
+
+// RunBroadcast executes one broadcast and drives the simulation.
+func RunBroadcast(c *node.Cluster, cfg BcastConfig) (BcastResult, error) {
+	n := c.Size()
+	if n < 2 {
+		return BcastResult{}, fmt.Errorf("collective: broadcast needs >= 2 nodes")
+	}
+	if cfg.Root < 0 || cfg.Root >= n {
+		return BcastResult{}, fmt.Errorf("collective: root %d outside cluster of %d", cfg.Root, n)
+	}
+	if cfg.Segments < 1 {
+		return BcastResult{}, fmt.Errorf("collective: segments must be >= 1")
+	}
+	if cfg.TotalBytes < int64(cfg.Segments) {
+		return BcastResult{}, fmt.Errorf("collective: %dB cannot split into %d segments", cfg.TotalBytes, cfg.Segments)
+	}
+	nelems := int(cfg.TotalBytes / elemBytes)
+	if cfg.Data != nil && len(cfg.Data) != nelems {
+		return BcastResult{}, fmt.Errorf("collective: data has %d elems, want %d", len(cfg.Data), nelems)
+	}
+
+	states := make([]*bcastState, n)
+	for i := 0; i < n; i++ {
+		st := &bcastState{
+			nd:     c.Nodes[i],
+			cfg:    cfg,
+			n:      n,
+			pos:    ((i - cfg.Root) + n) % n,
+			recvCT: c.Nodes[i].Ptl.CTAlloc(),
+			nelems: nelems,
+		}
+		if cfg.Data != nil {
+			if st.pos == 0 {
+				st.vec = append([]float32(nil), cfg.Data...)
+			} else {
+				st.vec = make([]float32, nelems)
+			}
+		}
+		states[i] = st
+	}
+	for _, st := range states {
+		st := st
+		st.nd.Ptl.MEAppend(&portals.ME{
+			MatchBits: bcastMatchBits,
+			Length:    cfg.TotalBytes,
+			CT:        st.recvCT,
+			OnDelivery: func(d nic.Delivery) {
+				if st.vec == nil {
+					return
+				}
+				msg := d.Data.(segMsg)
+				lo, hi := ChunkRange(st.nelems, st.cfg.Segments, msg.seg)
+				copy(st.vec[lo:hi], msg.vals)
+			},
+		})
+	}
+
+	res := BcastResult{}
+	done := make([]sim.Time, n)
+	for i := 0; i < n; i++ {
+		i := i
+		st := states[i]
+		c.Eng.Go(fmt.Sprintf("bcast.%s.%d", cfg.Kind, i), func(p *sim.Proc) {
+			st.run(p)
+			done[i] = p.Now()
+		})
+	}
+	c.Run()
+	for _, t := range done {
+		if t == 0 {
+			return BcastResult{}, fmt.Errorf("collective: a rank never completed broadcast")
+		}
+		if t > res.Duration {
+			res.Duration = t
+		}
+	}
+	if cfg.Data != nil {
+		for _, st := range states {
+			res.Received = append(res.Received, st.vec)
+		}
+	}
+	return res, nil
+}
+
+// next returns the chain successor's rank, or -1 at the tail.
+func (st *bcastState) next() int {
+	if st.pos == st.n-1 {
+		return -1
+	}
+	return (st.nd.Index + 1) % st.n
+}
+
+func (st *bcastState) segBytes(seg int) int64 {
+	lo, hi := ChunkRange(st.nelems, st.cfg.Segments, seg)
+	return int64(hi-lo) * elemBytes
+}
+
+// segPayload reads the segment at DMA time (after it has been stored by
+// the inbound delivery, for forwarding ranks).
+func (st *bcastState) segPayload(seg int) any {
+	s := seg
+	return nic.Deferred(func() any {
+		if st.vec == nil {
+			return segMsg{seg: s}
+		}
+		lo, hi := ChunkRange(st.nelems, st.cfg.Segments, s)
+		return segMsg{seg: s, vals: append([]float32(nil), st.vec[lo:hi]...)}
+	})
+}
+
+func (st *bcastState) run(p *sim.Proc) {
+	segs := st.cfg.Segments
+	next := st.next()
+	switch {
+	case st.pos == 0:
+		st.runRoot(p, segs, next)
+	case next < 0:
+		// Tail: wait for every segment.
+		st.recvCT.Wait(p, int64(segs))
+	default:
+		st.runForwarder(p, segs, next)
+	}
+}
+
+func (st *bcastState) runRoot(p *sim.Proc, segs, next int) {
+	switch st.cfg.Kind {
+	case backends.CPU, backends.HDN:
+		md := st.nd.Ptl.MDBind("bcast", st.cfg.TotalBytes, nil, nil)
+		for s := 0; s < segs; s++ {
+			md.Data = st.segPayload(s)
+			backends.HostSend(p, st.nd, md, st.segBytes(s), next, bcastMatchBits)
+		}
+	case backends.GDS:
+		stream := st.nd.GPU.NewStream(fmt.Sprintf("gds.bcast.%d", st.nd.Index))
+		for s := 0; s < segs; s++ {
+			md := st.nd.Ptl.MDBind(fmt.Sprintf("bcast.%d", s), st.segBytes(s), st.segPayload(s), nil)
+			stream.EnqueueDoorbell(backends.PrePost(p, st.nd, md, st.segBytes(s), next, bcastMatchBits))
+		}
+		stream.Sync(p)
+	case backends.GPUTN:
+		st.gputnSend(p, segs, next, nil)
+	default:
+		panic(fmt.Sprintf("collective: unknown broadcast backend %v", st.cfg.Kind))
+	}
+}
+
+func (st *bcastState) runForwarder(p *sim.Proc, segs, next int) {
+	switch st.cfg.Kind {
+	case backends.CPU, backends.HDN:
+		md := st.nd.Ptl.MDBind("bcast", st.cfg.TotalBytes, nil, nil)
+		for s := 0; s < segs; s++ {
+			st.recvCT.Wait(p, int64(s)+1)
+			st.nd.CPU.RecvProcessing(p)
+			md.Data = st.segPayload(s)
+			backends.HostSend(p, st.nd, md, st.segBytes(s), next, bcastMatchBits)
+		}
+	case backends.GDS:
+		stream := st.nd.GPU.NewStream(fmt.Sprintf("gds.bcast.%d", st.nd.Index))
+		for s := 0; s < segs; s++ {
+			md := st.nd.Ptl.MDBind(fmt.Sprintf("bcast.%d", s), st.segBytes(s), st.segPayload(s), nil)
+			ring := backends.PrePost(p, st.nd, md, st.segBytes(s), next, bcastMatchBits)
+			stream.EnqueueWait(st.recvCT.Raw(), int64(s)+1)
+			stream.EnqueueDoorbell(ring)
+		}
+		stream.Sync(p)
+	case backends.GPUTN:
+		st.gputnSend(p, segs, next, st.recvCT)
+	default:
+		panic(fmt.Sprintf("collective: unknown broadcast backend %v", st.cfg.Kind))
+	}
+}
+
+// gputnSend runs the root/forwarder inside one persistent kernel: for each
+// segment, optionally poll for its arrival, then trigger its staged put.
+func (st *bcastState) gputnSend(p *sim.Proc, segs, next int, gate *portals.CT) {
+	host := core.NewHost(st.nd.Eng, st.nd.Ptl, st.nd.GPU)
+	comp := host.NewCompletion()
+	trig := host.GetTriggerAddr()
+
+	kern := &gpu.Kernel{
+		Name:       fmt.Sprintf("gputn.bcast.%d", st.nd.Index),
+		WorkGroups: 1,
+		Body: func(wg *gpu.WGCtx) {
+			for s := 0; s < segs; s++ {
+				if gate != nil {
+					wg.PollUntil(gate.Raw(), int64(s)+1)
+				}
+				core.TriggerKernel(wg, trig, uint64(s)+1)
+			}
+		},
+	}
+	host.LaunchKern(kern)
+
+	register := func(s int) {
+		md := st.nd.Ptl.MDBind(fmt.Sprintf("tn.bcast.%d", s), st.segBytes(s), st.segPayload(s), comp.CT)
+		if err := host.TrigPut(p, uint64(s)+1, 1, md, st.segBytes(s), next, bcastMatchBits); err != nil {
+			panic(fmt.Sprintf("collective: broadcast rank %d seg %d: %v", st.nd.Index, s, err))
+		}
+	}
+	window := trigWindow
+	if window > segs {
+		window = segs
+	}
+	for s := 0; s < window; s++ {
+		register(s)
+	}
+	for s := window; s < segs; s++ {
+		comp.WaitHost(p, int64(s-window)+1)
+		register(s)
+	}
+	kern.Wait(p)
+}

@@ -1,0 +1,142 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/config"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func TestBroadcastCorrectnessAllBackends(t *testing.T) {
+	const nelems = 512
+	data := make([]float32, nelems)
+	for i := range data {
+		data[i] = float32(i * 3)
+	}
+	for _, kind := range backends.All() {
+		for _, n := range []int{2, 4, 6} {
+			for _, root := range []int{0, n - 1} {
+				c := node.NewCluster(config.Default(), n)
+				res, err := RunBroadcast(c, BcastConfig{
+					Kind: kind, Root: root, TotalBytes: nelems * 4, Segments: 4, Data: data,
+				})
+				if err != nil {
+					t.Fatalf("%s n=%d root=%d: %v", kind, n, root, err)
+				}
+				for r := 0; r < n; r++ {
+					for i := range data {
+						if res.Received[r][i] != data[i] {
+							t.Fatalf("%s n=%d root=%d rank %d elem %d: got %v want %v",
+								kind, n, root, r, i, res.Received[r][i], data[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBroadcastValidation(t *testing.T) {
+	cases := []BcastConfig{
+		{Kind: backends.CPU, Root: 5, TotalBytes: 1024, Segments: 2},                           // bad root
+		{Kind: backends.CPU, Root: 0, TotalBytes: 1024, Segments: 0},                           // bad segments
+		{Kind: backends.CPU, Root: 0, TotalBytes: 2, Segments: 4},                              // too many segments
+		{Kind: backends.CPU, Root: 0, TotalBytes: 1024, Segments: 2, Data: make([]float32, 7)}, // bad data len
+	}
+	for i, cfg := range cases {
+		c := node.NewCluster(config.Default(), 2)
+		if _, err := RunBroadcast(c, cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	c := node.NewCluster(config.Default(), 1)
+	if _, err := RunBroadcast(c, BcastConfig{Kind: backends.CPU, TotalBytes: 8, Segments: 1}); err == nil {
+		t.Error("single-node broadcast accepted")
+	}
+}
+
+func TestBroadcastSegmentationPipelines(t *testing.T) {
+	// More segments -> better pipelining through the chain (until
+	// per-segment overheads dominate).
+	run := func(segments int) sim.Time {
+		c := node.NewCluster(config.Default(), 8)
+		res, err := RunBroadcast(c, BcastConfig{
+			Kind: backends.GPUTN, Root: 0, TotalBytes: 1 << 20, Segments: segments,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration
+	}
+	if s8 := run(8); s8 >= run(1) {
+		t.Fatalf("8 segments (%v) should pipeline better than 1 (%v)", s8, run(1))
+	}
+}
+
+func TestBroadcastBackendOrdering(t *testing.T) {
+	// Forwarding has no kernel compute: GDS and GPU-TN should be close
+	// (within 15%), and both clearly ahead of HDN's per-segment host path.
+	durations := map[backends.Kind]float64{}
+	for _, kind := range []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN} {
+		c := node.NewCluster(config.Default(), 8)
+		res, err := RunBroadcast(c, BcastConfig{
+			Kind: kind, Root: 0, TotalBytes: 256 << 10, Segments: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		durations[kind] = res.Duration.Us()
+	}
+	if durations[backends.GPUTN] >= durations[backends.HDN] {
+		t.Fatalf("GPU-TN (%v) should beat HDN (%v)", durations[backends.GPUTN], durations[backends.HDN])
+	}
+	ratio := durations[backends.GPUTN] / durations[backends.GDS]
+	if ratio < 0.8 || ratio > 1.2 {
+		t.Fatalf("GPU-TN/GDS = %.3f; with no interleaved compute they should be close", ratio)
+	}
+}
+
+func TestBroadcastManySegmentsNoTriggerOverflow(t *testing.T) {
+	const segments = 40 // far beyond the 16-entry trigger list
+	c := node.NewCluster(config.Default(), 4)
+	_, err := RunBroadcast(c, BcastConfig{
+		Kind: backends.GPUTN, Root: 0, TotalBytes: 1 << 18, Segments: segments,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range c.Nodes {
+		if st := nd.NIC.Stats(); st.DroppedTriggers != 0 {
+			t.Fatalf("node %d dropped triggers", nd.Index)
+		}
+	}
+}
+
+func TestBroadcastDurationScalesWithChain(t *testing.T) {
+	run := func(n int) sim.Time {
+		c := node.NewCluster(config.Default(), n)
+		res, err := RunBroadcast(c, BcastConfig{
+			Kind: backends.CPU, Root: 0, TotalBytes: 64 << 10, Segments: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration
+	}
+	if run(8) <= run(2) {
+		t.Fatal("longer chains must take longer")
+	}
+}
+
+func ExampleRunBroadcast() {
+	c := node.NewCluster(config.Default(), 4)
+	data := []float32{1, 2, 3, 4}
+	res, _ := RunBroadcast(c, BcastConfig{
+		Kind: backends.GPUTN, Root: 0, TotalBytes: 16, Segments: 2, Data: data,
+	})
+	fmt.Println(res.Received[3])
+	// Output: [1 2 3 4]
+}

@@ -1,0 +1,92 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/backends"
+	"repro/internal/nic"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// Episodes supports workloads that issue many Allreduce operations over
+// the lifetime of one simulation — e.g. a synchronous-SGD training loop
+// calling a gradient reduction per minibatch (§5.4.2). Each episode gets
+// its own landing region and trigger-tag namespace, so episodes can run
+// back to back on a single cluster without interference.
+type Episodes struct {
+	kind   backends.Kind
+	states [][]*rankState // [episode][rank]
+}
+
+// episodeMatchBits returns episode e's landing-region address.
+func episodeMatchBits(e int) uint64 { return 0xA11_0000 | uint64(e) }
+
+// PrepareEpisodes sets up `count` Allreduce episodes of the given payload
+// on a fresh cluster. Episodes are size-only (no data plane): the
+// training-loop studies measure time, and numerical correctness is
+// covered by Run's data-carrying tests.
+func PrepareEpisodes(c *node.Cluster, kind backends.Kind, totalBytes int64, count int) (*Episodes, error) {
+	n := c.Size()
+	if n < 2 {
+		return nil, fmt.Errorf("collective: episodes need >= 2 nodes")
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("collective: episode count must be positive")
+	}
+	if totalBytes < int64(n)*elemBytes {
+		return nil, fmt.Errorf("collective: payload %dB too small for %d chunks", totalBytes, n)
+	}
+	nelems := int(totalBytes / elemBytes)
+	ep := &Episodes{kind: kind}
+	for e := 0; e < count; e++ {
+		states := make([]*rankState, n)
+		for i := 0; i < n; i++ {
+			rounds, err := RingSchedule(i, n)
+			if err != nil {
+				return nil, err
+			}
+			st := &rankState{
+				nd:      c.Nodes[i],
+				rounds:  rounds,
+				recvCT:  c.Nodes[i].Ptl.CTAlloc(),
+				nelems:  nelems,
+				nranks:  n,
+				chunk:   totalBytes / int64(n),
+				mb:      episodeMatchBits(e),
+				tagBase: uint64(e) * 4096,
+			}
+			st.nd.Ptl.MEAppend(&portals.ME{
+				MatchBits:  st.mb,
+				Length:     totalBytes,
+				CT:         st.recvCT,
+				OnDelivery: func(d nic.Delivery) {},
+			})
+			states[i] = st
+		}
+		ep.states = append(ep.states, states)
+	}
+	return ep, nil
+}
+
+// Count returns the prepared episode count.
+func (e *Episodes) Count() int { return len(e.states) }
+
+// RunEpisode executes one episode for one rank on the calling process.
+// All ranks must run every episode, in order, for the ring to progress.
+func (e *Episodes) RunEpisode(p *sim.Proc, episode, rank int) {
+	st := e.states[episode][rank]
+	switch e.kind {
+	case backends.CPU:
+		runCPURank(p, st)
+	case backends.HDN:
+		runHDNRank(p, st)
+	case backends.GDS:
+		runGDSRank(p, st)
+	case backends.GPUTN:
+		runGPUTNRank(p, st)
+	default:
+		panic(fmt.Sprintf("collective: unknown backend %v", e.kind))
+	}
+}

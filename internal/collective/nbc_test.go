@@ -1,0 +1,343 @@
+package collective
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/nic"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+const nbcMB = 0x4E0
+
+// allgatherWorld wires an NBC per rank with a block-store data plane.
+type agRank struct {
+	nbc    *NBC
+	blocks [][]float32
+}
+
+type agMsg struct {
+	block int
+	vals  []float32
+}
+
+func newAllgatherWorld(t testing.TB, n, blockElems int) (*node.Cluster, []*agRank) {
+	t.Helper()
+	c := node.NewCluster(config.Default(), n)
+	ranks := make([]*agRank, n)
+	for i := 0; i < n; i++ {
+		r := &agRank{nbc: NewNBC(c.Nodes[i], nbcMB), blocks: make([][]float32, n)}
+		r.blocks[i] = make([]float32, blockElems)
+		for j := range r.blocks[i] {
+			r.blocks[i][j] = float32(i*1000 + j)
+		}
+		rr := r
+		r.nbc.OnDelivery = func(d nic.Delivery) {
+			msg := d.Data.(agMsg)
+			rr.blocks[msg.block] = append([]float32(nil), msg.vals...)
+		}
+		ranks[i] = r
+	}
+	return c, ranks
+}
+
+func checkAllgather(t *testing.T, ranks []*agRank, blockElems int) {
+	t.Helper()
+	for i, r := range ranks {
+		for b, blk := range r.blocks {
+			if len(blk) != blockElems {
+				t.Fatalf("rank %d block %d missing", i, b)
+			}
+			for j, v := range blk {
+				if v != float32(b*1000+j) {
+					t.Fatalf("rank %d block %d elem %d = %v", i, b, j, v)
+				}
+			}
+		}
+	}
+}
+
+func agSchedule(t testing.TB, rank int, ranks []*agRank, blockElems int) *Schedule {
+	t.Helper()
+	n := len(ranks)
+	r := ranks[rank]
+	sched, err := AllgatherSchedule(rank, n, int64(blockElems)*4, nbcMB, func(block int) any {
+		return agMsg{block: block, vals: append([]float32(nil), r.blocks[block]...)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+func TestNBCAllgatherStart(t *testing.T) {
+	const n, blockElems = 5, 16
+	c, ranks := newAllgatherWorld(t, n, blockElems)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			req, err := ranks[i].nbc.Start(agSchedule(t, i, ranks, blockElems))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Wait(p)
+		})
+	}
+	c.Run()
+	checkAllgather(t, ranks, blockElems)
+}
+
+func TestNBCAllgatherOffload(t *testing.T) {
+	// The same collective fully offloaded to the NIC: the host registers
+	// triggered puts and goes idle; chained triggered operations progress
+	// the ring autonomously.
+	const n, blockElems = 5, 16
+	c, ranks := newAllgatherWorld(t, n, blockElems)
+	registered := make([]sim.Time, n)
+	completed := make([]sim.Time, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			req, err := ranks[i].nbc.Offload(p, agSchedule(t, i, ranks, blockElems))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			registered[i] = p.Now() // host is done here
+			req.Wait(p)
+			completed[i] = p.Now()
+		})
+	}
+	c.Run()
+	checkAllgather(t, ranks, blockElems)
+	for i := 0; i < n; i++ {
+		// Registration is cheap; completion takes rounds of network time.
+		if registered[i] >= completed[i] {
+			t.Fatalf("rank %d: offload did not progress after registration", i)
+		}
+		if registered[i] > 10*sim.Microsecond {
+			t.Fatalf("rank %d: registration took %v — host not off the critical path", i, registered[i])
+		}
+	}
+}
+
+func TestNBCNonBlockingOverlap(t *testing.T) {
+	// The point of NBC: the caller computes while the collective runs.
+	const n, blockElems = 4, 256
+	c, ranks := newAllgatherWorld(t, n, blockElems)
+	var computeDone, collectiveDone sim.Time
+	for i := 0; i < n; i++ {
+		i := i
+		c.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			req, err := ranks[i].nbc.Start(agSchedule(t, i, ranks, blockElems))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(3 * sim.Microsecond) // overlapped computation
+			if i == 0 {
+				computeDone = p.Now()
+			}
+			req.Wait(p)
+			if i == 0 {
+				collectiveDone = p.Now()
+			}
+		})
+	}
+	c.Run()
+	checkAllgather(t, ranks, blockElems)
+	if computeDone == 0 || collectiveDone < computeDone {
+		t.Fatalf("compute %v / collective %v", computeDone, collectiveDone)
+	}
+}
+
+func TestNBCReduceChain(t *testing.T) {
+	const n = 5
+	for _, root := range []int{0, 2} {
+		c := node.NewCluster(config.Default(), n)
+		// Each rank holds one float64; the chain accumulates a running sum.
+		vals := make([]float64, n)
+		partial := make([]float64, n)
+		for i := range vals {
+			vals[i] = float64(i + 1)
+			partial[i] = vals[i]
+		}
+		inbox := make([]float64, n)
+		nbcs := make([]*NBC, n)
+		for i := 0; i < n; i++ {
+			i := i
+			nbcs[i] = NewNBC(c.Nodes[i], nbcMB)
+			nbcs[i].OnDelivery = func(d nic.Delivery) { inbox[i] = d.Data.(float64) }
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			sched, err := ReduceChainSchedule(i, root, n, 8, nbcMB,
+				100*sim.Nanosecond,
+				func() { partial[i] += inbox[i] },
+				func() any { return partial[i] })
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+				req, err := nbcs[i].Start(sched)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Wait(p)
+			})
+		}
+		c.Run()
+		want := float64(n * (n + 1) / 2)
+		if partial[root] != want {
+			t.Fatalf("root %d sum = %v, want %v", root, partial[root], want)
+		}
+	}
+}
+
+func TestNBCOffloadRejectsOps(t *testing.T) {
+	c := node.NewCluster(config.Default(), 2)
+	n := NewNBC(c.Nodes[0], nbcMB)
+	sched := &Schedule{Rounds: [][]Action{{{Kind: ActOp, Duration: 1}}}}
+	c.Eng.Go("h", func(p *sim.Proc) {
+		if _, err := n.Offload(p, sched); err == nil {
+			t.Error("offload accepted a schedule with ops")
+		}
+	})
+	c.Run()
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []*Schedule{
+		{Rounds: [][]Action{{{Kind: ActSend, Peer: 0}}}},           // self
+		{Rounds: [][]Action{{{Kind: ActSend, Peer: 9}}}},           // range
+		{Rounds: [][]Action{{{Kind: ActSend, Peer: 1, Size: -1}}}}, // size
+		{Rounds: [][]Action{{{Kind: ActRecv, Count: 0}}}},          // count
+		{Rounds: [][]Action{{{Kind: ActOp, Duration: -1}}}},        // duration
+		{Rounds: [][]Action{{{Kind: ActionKind(9)}}}},              // kind
+	}
+	for i, s := range bad {
+		if err := s.Validate(0, 4); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	good := &Schedule{Rounds: [][]Action{
+		{{Kind: ActSend, Peer: 1, Size: 64}, {Kind: ActRecv, Count: 1}},
+		{{Kind: ActOp, Duration: 5}},
+	}}
+	if err := good.Validate(0, 4); err != nil {
+		t.Errorf("good schedule rejected: %v", err)
+	}
+	if good.DataMovementOnly() {
+		t.Error("schedule with op claimed data-movement-only")
+	}
+	if got := good.recvsBefore(0); got != 0 {
+		t.Errorf("recvsBefore(0) = %d", got)
+	}
+	if got := good.recvsBefore(1); got != 1 { // round 0 holds the recv
+		t.Errorf("recvsBefore(1) = %d", got)
+	}
+	if got := good.recvsBefore(2); got != 1 {
+		t.Errorf("recvsBefore(2) = %d", got)
+	}
+}
+
+func TestActionKindString(t *testing.T) {
+	if ActSend.String() != "send" || ActRecv.String() != "recv" || ActOp.String() != "op" {
+		t.Error("kind strings wrong")
+	}
+	if ActionKind(7).String() != "ActionKind(7)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestScheduleBuilderErrors(t *testing.T) {
+	if _, err := AllgatherSchedule(0, 1, 8, 1, nil); err == nil {
+		t.Error("1-rank allgather accepted")
+	}
+	if _, err := AllgatherSchedule(5, 4, 8, 1, nil); err == nil {
+		t.Error("bad rank accepted")
+	}
+	if _, err := ReduceChainSchedule(0, 9, 4, 8, 1, 0, nil, nil); err == nil {
+		t.Error("bad root accepted")
+	}
+	if _, err := ReduceChainSchedule(0, 0, 1, 8, 1, 0, nil, nil); err == nil {
+		t.Error("1-rank reduce accepted")
+	}
+}
+
+type a2aMsg struct {
+	from int
+	vals []float32
+}
+
+func TestNBCAlltoall(t *testing.T) {
+	const n, blockElems = 5, 8
+	c := node.NewCluster(config.Default(), n)
+	// blocks[i][d] is what rank i sends to rank d; recv[i][s] what it got.
+	blocks := make([][][]float32, n)
+	recv := make([][][]float32, n)
+	nbcs := make([]*NBC, n)
+	for i := 0; i < n; i++ {
+		blocks[i] = make([][]float32, n)
+		recv[i] = make([][]float32, n)
+		for d := 0; d < n; d++ {
+			blocks[i][d] = make([]float32, blockElems)
+			for j := range blocks[i][d] {
+				blocks[i][d][j] = float32(i*100 + d*10 + j)
+			}
+		}
+		nbcs[i] = NewNBC(c.Nodes[i], nbcMB)
+		ii := i
+		nbcs[i].OnDelivery = func(d nic.Delivery) {
+			msg := d.Data.(a2aMsg)
+			recv[ii][msg.from] = msg.vals
+		}
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		sched, err := AlltoallSchedule(i, n, blockElems*4, nbcMB, func(dest int) any {
+			return a2aMsg{from: i, vals: blocks[i][dest]}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Eng.Go(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			req, err := nbcs[i].Start(sched)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Wait(p)
+		})
+	}
+	c.Run()
+	for i := 0; i < n; i++ {
+		for s := 0; s < n; s++ {
+			if s == i {
+				continue
+			}
+			got := recv[i][s]
+			if len(got) != blockElems {
+				t.Fatalf("rank %d missing block from %d", i, s)
+			}
+			for j, v := range got {
+				if v != float32(s*100+i*10+j) {
+					t.Fatalf("rank %d from %d elem %d = %v", i, s, j, v)
+				}
+			}
+		}
+	}
+}
+
+func TestAlltoallScheduleErrors(t *testing.T) {
+	if _, err := AlltoallSchedule(0, 1, 8, 1, nil); err == nil {
+		t.Error("1-rank alltoall accepted")
+	}
+	if _, err := AlltoallSchedule(9, 4, 8, 1, nil); err == nil {
+		t.Error("bad rank accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package collective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/backends"
+	"repro/internal/config"
+	"repro/internal/node"
+)
+
+func TestSliceRangeCoversChunk(t *testing.T) {
+	f := func(loRaw, spanRaw, waysRaw uint8) bool {
+		lo := int(loRaw)
+		ways := int(waysRaw%8) + 1
+		span := int(spanRaw) + ways // at least one elem per slice
+		hi := lo + span
+		covered := 0
+		prev := lo
+		for w := 0; w < ways; w++ {
+			slo, shi := sliceRange(lo, hi, ways, w)
+			if slo != prev || shi < slo {
+				return false
+			}
+			covered += shi - slo
+			prev = shi
+		}
+		return covered == span && prev == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeTagUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for step := 0; step < 20; step++ {
+		for w := 0; w < 8; w++ {
+			tag := pipeTag(step, w, 8)
+			if seen[tag] {
+				t.Fatalf("duplicate tag %d", tag)
+			}
+			seen[tag] = true
+		}
+	}
+}
+
+func TestPipelinedCorrectness(t *testing.T) {
+	for _, n := range []int{2, 4, 7} {
+		for _, ways := range []int{2, 4, 8} {
+			nelems := 64 * n
+			data, want := makeInputs(n, nelems, int64(n*ways))
+			c := node.NewCluster(config.Default(), n)
+			res, err := Run(c, Config{
+				Kind: backends.GPUTN, TotalBytes: int64(nelems) * 4,
+				Data: data, Pipeline: ways,
+			})
+			if err != nil {
+				t.Fatalf("n=%d ways=%d: %v", n, ways, err)
+			}
+			for r := 0; r < n; r++ {
+				for i := range want {
+					if math.Abs(float64(res.Output[r][i]-want[i])) > 1e-3 {
+						t.Fatalf("n=%d ways=%d rank %d elem %d: got %v want %v",
+							n, ways, r, i, res.Output[r][i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPipelinedValidation(t *testing.T) {
+	c := node.NewCluster(config.Default(), 2)
+	if _, err := Run(c, Config{Kind: backends.GPUTN, TotalBytes: 1024, Pipeline: -1}); err == nil {
+		t.Error("negative ways accepted")
+	}
+	c2 := node.NewCluster(config.Default(), 2)
+	if _, err := Run(c2, Config{Kind: backends.HDN, TotalBytes: 1024, Pipeline: 4}); err == nil {
+		t.Error("pipelining on HDN accepted")
+	}
+	c3 := node.NewCluster(config.Default(), 2)
+	if _, err := Run(c3, Config{Kind: backends.GPUTN, TotalBytes: 1024, Pipeline: 13}); err == nil {
+		t.Error("ways beyond trigger window accepted")
+	}
+	c4 := node.NewCluster(config.Default(), 2)
+	// 2 chunks of 2 elems each: 8 ways exceed chunk elems.
+	if _, err := Run(c4, Config{Kind: backends.GPUTN, TotalBytes: 16, Pipeline: 8}); err == nil {
+		t.Error("ways beyond chunk elements accepted")
+	}
+}
+
+func TestPipelinedOverlapsComputeWithTransfer(t *testing.T) {
+	// At an operating point where compute and wire are both substantial,
+	// pipelining must beat the kernel-granularity implementation (§5.4.1).
+	const n = 8
+	const total = 8 << 20
+	run := func(ways int) float64 {
+		c := node.NewCluster(config.Default(), n)
+		res, err := Run(c, Config{Kind: backends.GPUTN, TotalBytes: total, Pipeline: ways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration.Us()
+	}
+	plain := run(0)
+	piped := run(8)
+	if piped >= plain {
+		t.Fatalf("pipelined (%v us) should beat kernel-granularity (%v us)", piped, plain)
+	}
+	// The win should be tangible: at least 5%.
+	if piped > 0.95*plain {
+		t.Logf("pipelined = %.1f us, plain = %.1f us (modest win)", piped, plain)
+	}
+}
+
+func TestPipelinedNoTriggerOverflow(t *testing.T) {
+	const n = 16
+	c := node.NewCluster(config.Default(), n)
+	_, err := Run(c, Config{Kind: backends.GPUTN, TotalBytes: 1 << 20, Pipeline: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range c.Nodes {
+		st := nd.NIC.Stats()
+		if st.DroppedTriggers != 0 {
+			t.Fatalf("node %d dropped %d triggers", nd.Index, st.DroppedTriggers)
+		}
+		want := int64(2 * (n - 1) * 8) // rounds x ways
+		if st.TriggerFires != want {
+			t.Fatalf("node %d fires = %d, want %d", nd.Index, st.TriggerFires, want)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Package collective implements non-blocking collective operations in the
+// style of libNBC (§5.4.1): a collective call expands into a schedule of
+// rounds whose send/receive/reduce subtasks completely define all
+// operations and dependencies. The schedule is then executed by one of the
+// four evaluated backends — CPU, HDN, GDS, or GPU-TN — the latter mapping
+// rounds directly onto pre-registered triggered operations, "the original
+// motivation for the introduction of triggered network semantics".
+//
+// The Allreduce uses the simple ring pattern of Figure 2, chunked as a
+// reduce-scatter followed by an allgather: 2(N-1) rounds, each moving
+// total/N bytes to the right neighbour.
+package collective
+
+import "fmt"
+
+// Round is one step of a ring schedule for a single rank: send one chunk
+// right, receive one chunk from the left, and (during reduce-scatter)
+// combine the received chunk into the local vector.
+type Round struct {
+	// Step is the global round index, 0-based across both phases.
+	Step int
+	// SendChunk and RecvChunk are chunk indices into the N-chunk vector.
+	SendChunk, RecvChunk int
+	// Reduce is true during the reduce-scatter phase: the received chunk
+	// is combined (sum) into the local vector. In the allgather phase the
+	// received chunk overwrites the local one.
+	Reduce bool
+}
+
+// RingSchedule builds the per-rank schedule of a chunked ring Allreduce
+// over n ranks: rounds 0..n-2 reduce-scatter, rounds n-1..2n-3 allgather.
+func RingSchedule(rank, n int) ([]Round, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("collective: ring needs >= 2 ranks, got %d", n)
+	}
+	if rank < 0 || rank >= n {
+		return nil, fmt.Errorf("collective: rank %d outside [0,%d)", rank, n)
+	}
+	mod := func(x int) int { return ((x % n) + n) % n }
+	var rounds []Round
+	for s := 0; s < n-1; s++ {
+		rounds = append(rounds, Round{
+			Step:      s,
+			SendChunk: mod(rank - s),
+			RecvChunk: mod(rank - s - 1),
+			Reduce:    true,
+		})
+	}
+	for s := 0; s < n-1; s++ {
+		rounds = append(rounds, Round{
+			Step:      n - 1 + s,
+			SendChunk: mod(rank + 1 - s),
+			RecvChunk: mod(rank - s),
+			Reduce:    false,
+		})
+	}
+	return rounds, nil
+}
+
+// ChunkRange returns the [lo, hi) element range of chunk c when nelems
+// elements are split into n chunks (the last chunk absorbs the remainder).
+func ChunkRange(nelems, n, c int) (lo, hi int) {
+	base := nelems / n
+	lo = c * base
+	hi = lo + base
+	if c == n-1 {
+		hi = nelems
+	}
+	return lo, hi
+}

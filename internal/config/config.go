@@ -1,0 +1,262 @@
+// Package config holds the simulated system configuration, mirroring
+// Table 2 of the paper ("GPU-TN simulation configuration"), plus the GPU
+// front-end scheduler presets used to regenerate Figure 1.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// CacheConfig describes one cache level.
+type CacheConfig struct {
+	SizeBytes int64
+	Ways      int
+	LineBytes int64
+	Latency   sim.Time // hit latency
+}
+
+// CPUConfig mirrors the "CPU and Memory Configuration" block of Table 2:
+// 8-wide OOO, 4 GHz, 8 cores.
+type CPUConfig struct {
+	Cores     int
+	ClockGHz  float64
+	IssueWide int
+	L1D       CacheConfig
+	L2        CacheConfig
+	L3        CacheConfig
+	// DRAM model: DDR4, 8 channels, 2133 MHz.
+	DRAMLatency  sim.Time
+	DRAMGBps     float64
+	RuntimeCall  sim.Time // cost of a user/runtime API call (driver entry)
+	SendOverhead sim.Time // software send/recv processing on the host
+}
+
+// GPUConfig mirrors the "GPU Configuration" block of Table 2: 1 GHz,
+// 24 CUs, plus the calibrated 1.5 µs launch / 1.5 µs teardown latencies.
+type GPUConfig struct {
+	ComputeUnits   int
+	ClockGHz       float64
+	WavefrontSize  int
+	MaxWGPerCU     int
+	L1D            CacheConfig
+	L1I            CacheConfig
+	L2             CacheConfig
+	KernelLaunch   sim.Time // front-end dispatch cost per kernel
+	KernelTeardown sim.Time // context teardown cost per kernel
+	// Memory-model operation costs (§4.2.6): system-scope operations
+	// bypass the GPU caches and are substantially slower than the
+	// work-group-scope defaults.
+	FenceSystemScope  sim.Time // release/acquire fence to system scope
+	AtomicSystemStore sim.Time // atomic store with all-svm-devices scope
+	BarrierWorkGroup  sim.Time // hardware work-group barrier
+}
+
+// NICConfig describes the RDMA NIC and the GPU-TN trigger hardware.
+type NICConfig struct {
+	// DoorbellLatency is the MMIO write cost from an agent to the NIC.
+	DoorbellLatency sim.Time
+	// CommandLatency is the time to parse and start a posted command.
+	CommandLatency sim.Time
+	// DMAStartup is the fixed cost to begin a DMA of the payload.
+	DMAStartup sim.Time
+	// DMAGBps is host-memory read/write bandwidth for payload DMA.
+	DMAGBps float64
+	// TriggerMatchLatency is the trigger-list lookup cost per tag write
+	// with the associative-lookup optimization (§3.3).
+	TriggerMatchLatency sim.Time
+	// TriggerFIFODepth bounds buffered trigger writes (0 = unbounded).
+	TriggerFIFODepth int
+	// MaxTriggerEntries caps simultaneously active trigger entries for the
+	// associative lookup; the paper's prototype uses 16.
+	MaxTriggerEntries int
+	// CompletionWriteLatency is the cost of the NIC writing a local
+	// completion flag (§4.2.4) into host/GPU-visible memory.
+	CompletionWriteLatency sim.Time
+}
+
+// Topology names for NetworkConfig.Topology.
+const (
+	// TopologyStar is the paper's single-switch star (Table 2).
+	TopologyStar = "star"
+	// TopologyTree is the two-level tree extension with shared uplinks.
+	TopologyTree = "tree"
+)
+
+// NetworkConfig mirrors the "Network Configuration" block of Table 2.
+type NetworkConfig struct {
+	LinkLatency   sim.Time // 100 ns per link
+	SwitchLatency sim.Time // 100 ns through the switch
+	BandwidthGbps float64  // 100 Gb/s
+	MTUBytes      int64    // packetization unit
+	// Topology selects the interconnect: TopologyStar (default, the
+	// paper's configuration) or TopologyTree.
+	Topology string
+	// TreeLeafSize is the nodes-per-leaf-switch of TopologyTree.
+	TreeLeafSize int
+}
+
+// SystemConfig aggregates a full node + fabric configuration.
+type SystemConfig struct {
+	Name    string
+	CPU     CPUConfig
+	GPU     GPUConfig
+	NIC     NICConfig
+	Network NetworkConfig
+	// DiscreteGPU, when true, adds an IO-bus hop (PCIe-like) between
+	// CPU/GPU/NIC interactions instead of the coherent-APU default (§5.1).
+	DiscreteGPU  bool
+	IOBusLatency sim.Time
+}
+
+// Default returns the Table 2 configuration used for all headline results.
+func Default() SystemConfig {
+	return SystemConfig{
+		Name: "table2",
+		CPU: CPUConfig{
+			Cores:        8,
+			ClockGHz:     4,
+			IssueWide:    8,
+			L1D:          CacheConfig{SizeBytes: 64 << 10, Ways: 2, LineBytes: 64, Latency: cycles(2, 4)},
+			L2:           CacheConfig{SizeBytes: 2 << 20, Ways: 8, LineBytes: 64, Latency: cycles(4, 4)},
+			L3:           CacheConfig{SizeBytes: 16 << 20, Ways: 16, LineBytes: 64, Latency: cycles(20, 4)},
+			DRAMLatency:  80 * sim.Nanosecond,
+			DRAMGBps:     8 * 17.0, // DDR4-2133 x 8 channels
+			RuntimeCall:  250 * sim.Nanosecond,
+			SendOverhead: 300 * sim.Nanosecond,
+		},
+		GPU: GPUConfig{
+			ComputeUnits:      24,
+			ClockGHz:          1,
+			WavefrontSize:     64,
+			MaxWGPerCU:        8,
+			L1D:               CacheConfig{SizeBytes: 16 << 10, Ways: 16, LineBytes: 64, Latency: cycles(25, 1)},
+			L1I:               CacheConfig{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, Latency: cycles(25, 1)},
+			L2:                CacheConfig{SizeBytes: 768 << 10, Ways: 16, LineBytes: 64, Latency: cycles(150, 1)},
+			KernelLaunch:      1500 * sim.Nanosecond,
+			KernelTeardown:    1500 * sim.Nanosecond,
+			FenceSystemScope:  120 * sim.Nanosecond,
+			AtomicSystemStore: 60 * sim.Nanosecond,
+			BarrierWorkGroup:  20 * sim.Nanosecond,
+		},
+		NIC: NICConfig{
+			DoorbellLatency: 40 * sim.Nanosecond,
+			CommandLatency:  50 * sim.Nanosecond,
+			DMAStartup:      60 * sim.Nanosecond,
+			DMAGBps:         50,
+			// The associative lookup matches one trigger write per NIC
+			// clock or two: §3.3 requires "absorbing triggers from
+			// potentially thousands of GPU threads in quick succession".
+			TriggerMatchLatency:    2 * sim.Nanosecond,
+			TriggerFIFODepth:       0,
+			MaxTriggerEntries:      16,
+			CompletionWriteLatency: 30 * sim.Nanosecond,
+		},
+		Network: NetworkConfig{
+			LinkLatency:   100 * sim.Nanosecond,
+			SwitchLatency: 100 * sim.Nanosecond,
+			BandwidthGbps: 100,
+			MTUBytes:      4096,
+		},
+	}
+}
+
+// cycles converts a cycle count at a clock in GHz to simulated time.
+func cycles(n int, ghz float64) sim.Time {
+	return sim.Nanoseconds(float64(n) / ghz)
+}
+
+// Validate performs basic sanity checks; experiment drivers call it after
+// mutating a preset.
+func (c *SystemConfig) Validate() error {
+	switch {
+	case c.CPU.Cores <= 0:
+		return fmt.Errorf("config: CPU.Cores = %d", c.CPU.Cores)
+	case c.GPU.ComputeUnits <= 0:
+		return fmt.Errorf("config: GPU.ComputeUnits = %d", c.GPU.ComputeUnits)
+	case c.GPU.WavefrontSize <= 0:
+		return fmt.Errorf("config: GPU.WavefrontSize = %d", c.GPU.WavefrontSize)
+	case c.Network.BandwidthGbps <= 0:
+		return fmt.Errorf("config: Network.BandwidthGbps = %v", c.Network.BandwidthGbps)
+	case c.Network.MTUBytes <= 0:
+		return fmt.Errorf("config: Network.MTUBytes = %d", c.Network.MTUBytes)
+	case c.Network.Topology == TopologyTree && c.Network.TreeLeafSize <= 0:
+		return fmt.Errorf("config: tree topology requires TreeLeafSize > 0")
+	case c.Network.Topology != "" && c.Network.Topology != TopologyStar && c.Network.Topology != TopologyTree:
+		return fmt.Errorf("config: unknown topology %q", c.Network.Topology)
+	case c.NIC.MaxTriggerEntries <= 0:
+		return fmt.Errorf("config: NIC.MaxTriggerEntries = %d", c.NIC.MaxTriggerEntries)
+	case c.DiscreteGPU && c.IOBusLatency <= 0:
+		return fmt.Errorf("config: DiscreteGPU requires IOBusLatency > 0")
+	}
+	return nil
+}
+
+// SchedulerPreset models one GPU front-end hardware scheduler for the
+// Figure 1 launch-latency study. Launch latency depends on how many kernel
+// commands are exposed to the scheduler at once: with a deep queue the
+// scheduler pipelines dispatch (amortizing per-command work), while a
+// shallow queue pays full serialization each time.
+type SchedulerPreset struct {
+	Name string
+	// BaseLatency is the un-pipelined cost of launching one kernel.
+	BaseLatency sim.Time
+	// PipelinedLatency is the asymptotic per-kernel cost with a full queue.
+	PipelinedLatency sim.Time
+	// PipelineDepth is the queue depth at which amortization saturates.
+	PipelineDepth int
+	// QueueScanPerCmd adds cost per queued command for schedulers whose
+	// dispatch logic scans the queue (observed as *rising* latency with
+	// depth on some devices in Figure 1).
+	QueueScanPerCmd sim.Time
+}
+
+// Figure1Presets returns three anonymized GPU presets ("GPU 1..3")
+// qualitatively matching Figure 1: latencies between 3 µs and 20 µs, with
+// different shapes versus queue depth.
+func Figure1Presets() []SchedulerPreset {
+	return []SchedulerPreset{
+		{
+			// Discrete flagship: expensive single launch, amortizes well.
+			Name:             "GPU 1",
+			BaseLatency:      20 * sim.Microsecond,
+			PipelinedLatency: 7 * sim.Microsecond,
+			PipelineDepth:    64,
+		},
+		{
+			// Mid-range: moderate base cost, mild queue-scan growth.
+			Name:             "GPU 2",
+			BaseLatency:      9 * sim.Microsecond,
+			PipelinedLatency: 5 * sim.Microsecond,
+			PipelineDepth:    16,
+			QueueScanPerCmd:  8 * sim.Nanosecond,
+		},
+		{
+			// Integrated APU: best case ~3-4 µs, nearly flat.
+			Name:             "GPU 3",
+			BaseLatency:      4 * sim.Microsecond,
+			PipelinedLatency: 3 * sim.Microsecond,
+			PipelineDepth:    8,
+		},
+	}
+}
+
+// LaunchLatency returns the per-kernel launch latency this scheduler
+// exhibits when presented with queued kernel commands at the given depth.
+func (s SchedulerPreset) LaunchLatency(queued int) sim.Time {
+	if queued < 1 {
+		queued = 1
+	}
+	depth := s.PipelineDepth
+	if depth < 1 {
+		depth = 1
+	}
+	frac := float64(queued-1) / float64(depth)
+	if frac > 1 {
+		frac = 1
+	}
+	lat := sim.Time(float64(s.BaseLatency) - frac*float64(s.BaseLatency-s.PipelinedLatency))
+	lat += sim.Time(queued) * s.QueueScanPerCmd
+	return lat
+}

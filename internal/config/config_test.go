@@ -1,0 +1,108 @@
+package config
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDefaultMatchesTable2(t *testing.T) {
+	c := Default()
+	if c.CPU.Cores != 8 || c.CPU.ClockGHz != 4 || c.CPU.IssueWide != 8 {
+		t.Errorf("CPU block mismatch: %+v", c.CPU)
+	}
+	if c.GPU.ComputeUnits != 24 || c.GPU.ClockGHz != 1 {
+		t.Errorf("GPU block mismatch: %+v", c.GPU)
+	}
+	if c.GPU.KernelLaunch != 1500*sim.Nanosecond || c.GPU.KernelTeardown != 1500*sim.Nanosecond {
+		t.Errorf("kernel latency calibration mismatch (want 1.5us/1.5us)")
+	}
+	if c.Network.LinkLatency != 100*sim.Nanosecond || c.Network.SwitchLatency != 100*sim.Nanosecond {
+		t.Errorf("network latency mismatch: %+v", c.Network)
+	}
+	if c.Network.BandwidthGbps != 100 {
+		t.Errorf("bandwidth = %v", c.Network.BandwidthGbps)
+	}
+	if c.NIC.MaxTriggerEntries != 16 {
+		t.Errorf("MaxTriggerEntries = %d, want 16 (paper §3.3)", c.NIC.MaxTriggerEntries)
+	}
+	// Cache latencies from Table 2: L1 2 cyc @4GHz = 0.5ns; GPU L2 150 cyc @1GHz.
+	if c.CPU.L1D.Latency != 500*sim.Picosecond {
+		t.Errorf("CPU L1D latency = %v", c.CPU.L1D.Latency)
+	}
+	if c.GPU.L2.Latency != 150*sim.Nanosecond {
+		t.Errorf("GPU L2 latency = %v", c.GPU.L2.Latency)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []func(*SystemConfig){
+		func(c *SystemConfig) { c.CPU.Cores = 0 },
+		func(c *SystemConfig) { c.GPU.ComputeUnits = -1 },
+		func(c *SystemConfig) { c.GPU.WavefrontSize = 0 },
+		func(c *SystemConfig) { c.Network.BandwidthGbps = 0 },
+		func(c *SystemConfig) { c.Network.MTUBytes = 0 },
+		func(c *SystemConfig) { c.NIC.MaxTriggerEntries = 0 },
+		func(c *SystemConfig) { c.DiscreteGPU = true; c.IOBusLatency = 0 },
+	}
+	for i, m := range mutations {
+		c := Default()
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestFigure1PresetsShape(t *testing.T) {
+	presets := Figure1Presets()
+	if len(presets) != 3 {
+		t.Fatalf("want 3 GPUs, got %d", len(presets))
+	}
+	for _, p := range presets {
+		lat1 := p.LaunchLatency(1)
+		// Paper: 3us-20us across devices and depths.
+		if lat1 < 3*sim.Microsecond || lat1 > 20*sim.Microsecond {
+			t.Errorf("%s: depth-1 latency %v outside paper range", p.Name, lat1)
+		}
+		// Even the best case takes 3-4us at some depth.
+		best := lat1
+		for _, q := range []int{1, 4, 16, 64, 256} {
+			if l := p.LaunchLatency(q); l < best {
+				best = l
+			}
+		}
+		if best < 3*sim.Microsecond {
+			t.Errorf("%s: best latency %v below the paper's 3us floor", p.Name, best)
+		}
+	}
+	// GPU 1 must amortize: deep queue strictly cheaper than depth 1.
+	g1 := presets[0]
+	if g1.LaunchLatency(256) >= g1.LaunchLatency(1) {
+		t.Error("GPU 1 should amortize with queue depth")
+	}
+}
+
+func TestLaunchLatencyMonotoneSaturation(t *testing.T) {
+	p := SchedulerPreset{Name: "x", BaseLatency: 10 * sim.Microsecond, PipelinedLatency: 2 * sim.Microsecond, PipelineDepth: 8}
+	if p.LaunchLatency(0) != p.LaunchLatency(1) {
+		t.Error("queued<1 should clamp to 1")
+	}
+	// Saturates at PipelinedLatency beyond PipelineDepth.
+	if p.LaunchLatency(9) != p.LaunchLatency(100) {
+		t.Error("latency should saturate past pipeline depth")
+	}
+	if p.LaunchLatency(9) != 2*sim.Microsecond {
+		t.Errorf("saturated latency = %v", p.LaunchLatency(9))
+	}
+}
+
+func TestQueueScanGrowth(t *testing.T) {
+	p := SchedulerPreset{Name: "x", BaseLatency: 5 * sim.Microsecond, PipelinedLatency: 5 * sim.Microsecond, PipelineDepth: 1, QueueScanPerCmd: 10 * sim.Nanosecond}
+	if p.LaunchLatency(100) <= p.LaunchLatency(1) {
+		t.Error("queue-scan preset should grow with depth")
+	}
+}

@@ -1,0 +1,268 @@
+// Package core implements GPU Triggered Networking (GPU-TN), the paper's
+// contribution: a hybrid CPU/GPU communication primitive in which the host
+// CPU constructs and pre-registers network operations on the NIC, and GPU
+// kernels initiate them from inside a running kernel with a single
+// memory-mapped store of a tag to the NIC's trigger address.
+//
+// The package exposes both halves of the programming model:
+//
+//   - The host API of §4.1 / Figure 6: TrigPut to stage operations,
+//     GetTriggerAddr to obtain the trigger address kernel argument, and
+//     LaunchKern to dispatch kernels.
+//   - The kernel API of §4.2 / Figure 7: TriggerWorkItem (7a),
+//     TriggerWorkGroup (7b), TriggerKernel (7c), and the mixed-granularity
+//     generalization of §4.2.3, plus local-completion queries (§4.2.4).
+//
+// Granularity planning (how many tags and what threshold a dispatch needs)
+// is captured by Plan, so host and kernel sides cannot disagree.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/network"
+	"repro/internal/nic"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// Granularity selects which kernel-side triggering scheme a message uses
+// (§4.2). It determines the number of tags and the NIC-side threshold.
+type Granularity int
+
+const (
+	// WorkItem: one message per work-item; every work-item writes its own
+	// tag (Figure 7a). Threshold 1, tags = work-items.
+	WorkItem Granularity = iota
+	// WorkGroup: one message per work-group; a leader work-item writes the
+	// group's tag after a work-group barrier (Figure 7b). Threshold 1,
+	// tags = work-groups.
+	WorkGroup
+	// KernelLevel: one message per kernel; every work-group's leader
+	// writes the same tag and the NIC counts to the number of work-groups
+	// (Figure 7c). Threshold = work-groups, 1 tag.
+	KernelLevel
+	// Mixed: one message per ItemsPerMessage work-groups (§4.2.3).
+	// Threshold = ItemsPerMessage, tags = ceil(work-groups / threshold).
+	Mixed
+)
+
+func (g Granularity) String() string {
+	switch g {
+	case WorkItem:
+		return "work-item"
+	case WorkGroup:
+		return "work-group"
+	case KernelLevel:
+		return "kernel"
+	case Mixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Granularity(%d)", int(g))
+	}
+}
+
+// Registration is one (tag, threshold) pair the host must register via
+// TrigPut for a planned dispatch.
+type Registration struct {
+	Tag       uint64
+	Threshold int64
+}
+
+// Plan computes the registrations a dispatch needs for a granularity.
+// tagBase is the first tag; groupsPerMessage is used by Mixed only.
+func Plan(g Granularity, tagBase uint64, workGroups, wgSize, groupsPerMessage int) ([]Registration, error) {
+	if workGroups <= 0 || wgSize <= 0 {
+		return nil, fmt.Errorf("core: invalid dispatch %dx%d", workGroups, wgSize)
+	}
+	var regs []Registration
+	switch g {
+	case WorkItem:
+		n := workGroups * wgSize
+		for i := 0; i < n; i++ {
+			regs = append(regs, Registration{Tag: tagBase + uint64(i), Threshold: 1})
+		}
+	case WorkGroup:
+		for i := 0; i < workGroups; i++ {
+			regs = append(regs, Registration{Tag: tagBase + uint64(i), Threshold: 1})
+		}
+	case KernelLevel:
+		regs = append(regs, Registration{Tag: tagBase, Threshold: int64(workGroups)})
+	case Mixed:
+		if groupsPerMessage <= 0 {
+			return nil, fmt.Errorf("core: mixed granularity needs groupsPerMessage > 0")
+		}
+		nmsgs := (workGroups + groupsPerMessage - 1) / groupsPerMessage
+		for i := 0; i < nmsgs; i++ {
+			th := groupsPerMessage
+			if rem := workGroups - i*groupsPerMessage; rem < th {
+				th = rem // tail message triggered by fewer groups
+			}
+			regs = append(regs, Registration{Tag: tagBase + uint64(i), Threshold: int64(th)})
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown granularity %v", g)
+	}
+	return regs, nil
+}
+
+// Host is the CPU-side GPU-TN runtime for one node (Figure 6).
+type Host struct {
+	eng *sim.Engine
+	ptl *portals.Runtime
+	gpu *gpu.GPU
+}
+
+// NewHost builds the host runtime over a node's Portals runtime and GPU.
+func NewHost(eng *sim.Engine, ptl *portals.Runtime, g *gpu.GPU) *Host {
+	return &Host{eng: eng, ptl: ptl, gpu: g}
+}
+
+// Rank returns this node's rank.
+func (h *Host) Rank() int { return h.ptl.Rank() }
+
+// Portals exposes the underlying runtime for MD/ME management.
+func (h *Host) Portals() *portals.Runtime { return h.ptl }
+
+// GPU exposes the node's GPU for dispatch configuration.
+func (h *Host) GPU() *gpu.GPU { return h.gpu }
+
+// Completion is the local-completion hook of §4.2.4: a flag the NIC bumps
+// when the send buffer is reusable (puts) or data has arrived (gets). Both
+// the host and GPU threads can wait on it without touching a completion
+// queue.
+type Completion struct {
+	CT *portals.CT
+}
+
+// NewCompletion allocates a completion flag.
+func (h *Host) NewCompletion() Completion {
+	return Completion{CT: h.ptl.CTAlloc()}
+}
+
+// Done reports whether at least n operations have completed.
+func (c Completion) Done(n int64) bool { return c.CT.Value() >= n }
+
+// WaitGPU parks a GPU work-group until n operations have completed.
+func (c Completion) WaitGPU(wg *gpu.WGCtx, n int64) { wg.PollUntil(c.CT.Raw(), n) }
+
+// WaitHost parks a host process until n operations have completed.
+func (c Completion) WaitHost(p *sim.Proc, n int64) { c.CT.Wait(p, n) }
+
+// TrigPut registers one triggered put with the NIC (Figure 6 step 2): the
+// staged operation sends size bytes of md to the target rank's match entry
+// once the trigger address has received threshold writes of tag.
+func (h *Host) TrigPut(p *sim.Proc, tag uint64, threshold int64, md *portals.MD, size int64, target int, matchBits uint64) error {
+	return h.ptl.TrigPut(p, tag, threshold, md, size, target, matchBits)
+}
+
+// TrigPutPlan registers every (tag, threshold) pair of a Plan against the
+// same buffer and target — the N_MSGS loop of Figure 6.
+func (h *Host) TrigPutPlan(p *sim.Proc, regs []Registration, md *portals.MD, size int64, target int, matchBits uint64) error {
+	for _, r := range regs {
+		if err := h.ptl.TrigPut(p, r.Tag, r.Threshold, md, size, target, matchBits); err != nil {
+			return fmt.Errorf("core: registering tag %d: %w", r.Tag, err)
+		}
+	}
+	return nil
+}
+
+// GetTriggerAddr returns the memory-mapped trigger address to pass to the
+// kernel (Figure 6 step 3).
+func (h *Host) GetTriggerAddr() portals.TriggerAddr {
+	return h.ptl.GetTriggerAddr()
+}
+
+// LaunchKern dispatches a kernel (Figure 6 step 4). Asynchronous; combine
+// with Kernel.Wait or LaunchKernSync.
+func (h *Host) LaunchKern(k *gpu.Kernel) { h.gpu.Launch(k) }
+
+// LaunchKernSync dispatches a kernel and parks p until it completes.
+func (h *Host) LaunchKernSync(p *sim.Proc, k *gpu.Kernel) { h.gpu.LaunchSync(p, k) }
+
+// --- Kernel-side API (§4.2, Figure 7) ---
+
+// TriggerWorkItem implements Figure 7a inside a kernel body: after a
+// system-scope release fence, every work-item of the group stores its own
+// tag (tagBase + global work-item id) to the trigger address. In the
+// work-group-granular execution model each of the group's WGSize items
+// issues one store.
+func TriggerWorkItem(wg *gpu.WGCtx, trig portals.TriggerAddr, tagBase uint64) {
+	wg.FenceSystem()
+	base := tagBase + uint64(wg.Group*wg.WGSize)
+	for i := 0; i < wg.WGSize; i++ {
+		tag := base + uint64(i)
+		wg.AtomicStoreSystem(func() { trig.Write(tag) })
+	}
+}
+
+// TriggerWorkGroup implements Figure 7b: work-group barrier, then the
+// leader work-item stores the group's tag (tagBase + group id).
+func TriggerWorkGroup(wg *gpu.WGCtx, trig portals.TriggerAddr, tagBase uint64) {
+	wg.Barrier()
+	wg.FenceSystem() // make the send buffer visible to the NIC (§4.2.6)
+	tag := tagBase + uint64(wg.Group)
+	wg.AtomicStoreSystem(func() { trig.Write(tag) })
+}
+
+// TriggerKernel implements Figure 7c: work-group barrier, then the leader
+// work-item stores the kernel's single shared tag. The host must have
+// registered the tag with threshold equal to the number of work-groups.
+func TriggerKernel(wg *gpu.WGCtx, trig portals.TriggerAddr, tag uint64) {
+	wg.Barrier()
+	wg.FenceSystem() // make the send buffer visible to the NIC (§4.2.6)
+	wg.AtomicStoreSystem(func() { trig.Write(tag) })
+}
+
+// DynamicFields carries per-message values a kernel computes at run time
+// for the §3.4 dynamic-communication extension. Zero-value fields are
+// left as the host staged them.
+type DynamicFields struct {
+	// Target, when set, redirects the staged operation to another rank.
+	HasTarget bool
+	Target    int
+	// Size, when set, truncates the transfer to the given byte count.
+	HasSize bool
+	Size    int64
+	// MatchBits, when set, re-addresses the remote landing region.
+	HasMatchBits bool
+	MatchBits    uint64
+}
+
+// TriggerKernelDynamic is TriggerKernel extended per §3.4: the leader
+// work-item contributes GPU-computed fields along with the tag. Each
+// present field costs one additional system-scope store, the extra
+// control-flow divergence the paper trades against flexibility.
+func TriggerKernelDynamic(wg *gpu.WGCtx, trig portals.TriggerAddr, tag uint64, f DynamicFields) {
+	wg.Barrier()
+	wg.FenceSystem()
+	w := nic.DynamicWrite{
+		Tag:          tag,
+		HasTarget:    f.HasTarget,
+		Target:       network.NodeID(f.Target),
+		HasSize:      f.HasSize,
+		Size:         f.Size,
+		HasMatchBits: f.HasMatchBits,
+		MatchBits:    f.MatchBits,
+	}
+	// One store per dynamic field, then the tag store that commits the
+	// record to the trigger FIFO.
+	for i := 0; i < w.Fields(); i++ {
+		wg.AtomicStoreSystem(nil)
+	}
+	wg.AtomicStoreSystem(func() { trig.WriteDynamic(w) })
+}
+
+// TriggerMixed implements §4.2.3: groups are bundled groupsPerMessage at a
+// time onto a shared tag; the NIC threshold (set by Plan) completes the
+// message when the whole bundle has contributed.
+func TriggerMixed(wg *gpu.WGCtx, trig portals.TriggerAddr, tagBase uint64, groupsPerMessage int) {
+	if groupsPerMessage <= 0 {
+		panic("core: groupsPerMessage must be positive")
+	}
+	wg.Barrier()
+	wg.FenceSystem() // make the send buffer visible to the NIC (§4.2.6)
+	tag := tagBase + uint64(wg.Group/groupsPerMessage)
+	wg.AtomicStoreSystem(func() { trig.Write(tag) })
+}

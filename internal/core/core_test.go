@@ -1,0 +1,325 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// pair builds a 2-node cluster with GPU-TN hosts and a receive ME on the
+// target counting deliveries.
+func pair(t testing.TB) (*node.Cluster, *Host, *Host, *portals.CT) {
+	t.Helper()
+	c := node.NewCluster(config.Default(), 2)
+	h0 := NewHost(c.Eng, c.Nodes[0].Ptl, c.Nodes[0].GPU)
+	h1 := NewHost(c.Eng, c.Nodes[1].Ptl, c.Nodes[1].GPU)
+	recvCT := h1.Portals().CTAlloc()
+	h1.Portals().MEAppend(&portals.ME{MatchBits: 0x1, Length: 1 << 24, CT: recvCT})
+	return c, h0, h1, recvCT
+}
+
+func TestGranularityString(t *testing.T) {
+	cases := map[Granularity]string{
+		WorkItem: "work-item", WorkGroup: "work-group",
+		KernelLevel: "kernel", Mixed: "mixed", Granularity(9): "Granularity(9)",
+	}
+	for g, want := range cases {
+		if g.String() != want {
+			t.Errorf("%d.String() = %q", int(g), g.String())
+		}
+	}
+}
+
+func TestPlanWorkItem(t *testing.T) {
+	regs, err := Plan(WorkItem, 100, 4, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 256 {
+		t.Fatalf("regs = %d, want 256", len(regs))
+	}
+	if regs[0].Tag != 100 || regs[255].Tag != 355 {
+		t.Fatalf("tag range wrong: %v..%v", regs[0].Tag, regs[255].Tag)
+	}
+	for _, r := range regs {
+		if r.Threshold != 1 {
+			t.Fatal("work-item threshold must be 1")
+		}
+	}
+}
+
+func TestPlanWorkGroup(t *testing.T) {
+	regs, err := Plan(WorkGroup, 0, 8, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 8 {
+		t.Fatalf("regs = %d", len(regs))
+	}
+}
+
+func TestPlanKernelLevel(t *testing.T) {
+	regs, err := Plan(KernelLevel, 7, 24, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Tag != 7 || regs[0].Threshold != 24 {
+		t.Fatalf("regs = %+v", regs)
+	}
+}
+
+func TestPlanMixed(t *testing.T) {
+	// 10 groups, 4 per message -> messages with thresholds 4,4,2.
+	regs, err := Plan(Mixed, 0, 10, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("regs = %d", len(regs))
+	}
+	want := []int64{4, 4, 2}
+	for i, r := range regs {
+		if r.Threshold != want[i] {
+			t.Fatalf("thresholds = %+v", regs)
+		}
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := Plan(WorkGroup, 0, 0, 64, 0); err == nil {
+		t.Error("zero work-groups accepted")
+	}
+	if _, err := Plan(Mixed, 0, 8, 64, 0); err == nil {
+		t.Error("mixed without groupsPerMessage accepted")
+	}
+	if _, err := Plan(Granularity(42), 0, 8, 64, 0); err == nil {
+		t.Error("unknown granularity accepted")
+	}
+}
+
+// Property: a plan's total threshold equals the number of trigger writes
+// the matching kernel-side scheme will produce (leader-write schemes write
+// once per group; work-item writes once per item). This is the invariant
+// that makes host and kernel agree.
+func TestPlanWriteCountInvariant(t *testing.T) {
+	f := func(wgs, wgSize, gpm uint8) bool {
+		workGroups := int(wgs%32) + 1
+		size := int(wgSize%8)*16 + 16
+		groupsPer := int(gpm%5) + 1
+		for _, g := range []Granularity{WorkItem, WorkGroup, KernelLevel, Mixed} {
+			regs, err := Plan(g, 0, workGroups, size, groupsPer)
+			if err != nil {
+				return false
+			}
+			var total int64
+			for _, r := range regs {
+				total += r.Threshold
+			}
+			switch g {
+			case WorkItem:
+				if total != int64(workGroups*size) {
+					return false
+				}
+			default:
+				if total != int64(workGroups) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkGroupGranularityEndToEnd(t *testing.T) {
+	c, h0, _, recvCT := pair(t)
+	const wgs = 6
+	c.Eng.Go("host0", func(p *sim.Proc) {
+		md := h0.Portals().MDBind("buf", 4096, nil, nil)
+		regs, err := Plan(WorkGroup, 0, wgs, 64, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := h0.TrigPutPlan(p, regs, md, 4096, 1, 0x1); err != nil {
+			t.Error(err)
+			return
+		}
+		trig := h0.GetTriggerAddr()
+		h0.LaunchKernSync(p, &gpu.Kernel{
+			Name: "wgput", WorkGroups: wgs,
+			Body: func(wg *gpu.WGCtx) {
+				wg.Compute(200 * sim.Nanosecond)
+				TriggerWorkGroup(wg, trig, 0)
+			},
+		})
+	})
+	c.Run()
+	if recvCT.Value() != wgs {
+		t.Fatalf("deliveries = %d, want %d (one per work-group)", recvCT.Value(), wgs)
+	}
+}
+
+func TestKernelGranularityEndToEnd(t *testing.T) {
+	c, h0, _, recvCT := pair(t)
+	const wgs = 8
+	var recvAt, kernelDone sim.Time
+	c.Eng.Go("host0", func(p *sim.Proc) {
+		md := h0.Portals().MDBind("buf", 64, nil, nil)
+		regs, _ := Plan(KernelLevel, 5, wgs, 64, 0)
+		if err := h0.TrigPutPlan(p, regs, md, 64, 1, 0x1); err != nil {
+			t.Error(err)
+			return
+		}
+		trig := h0.GetTriggerAddr()
+		h0.LaunchKernSync(p, &gpu.Kernel{
+			Name: "kput", WorkGroups: wgs,
+			Body: func(wg *gpu.WGCtx) {
+				wg.Compute(100 * sim.Nanosecond)
+				TriggerKernel(wg, trig, 5)
+			},
+		})
+		kernelDone = p.Now()
+	})
+	c.Eng.Go("watch", func(p *sim.Proc) {
+		recvCT.Wait(p, 1)
+		recvAt = p.Now()
+	})
+	c.Run()
+	if recvCT.Value() != 1 {
+		t.Fatalf("deliveries = %d, want exactly 1", recvCT.Value())
+	}
+	// The Figure 8 signature: the target receives data before the
+	// initiator kernel finishes tearing down.
+	if recvAt >= kernelDone {
+		t.Fatalf("recv at %v, after kernel completion %v — not intra-kernel", recvAt, kernelDone)
+	}
+}
+
+func TestWorkItemGranularityEndToEnd(t *testing.T) {
+	c, h0, _, recvCT := pair(t)
+	const wgs, wgSize = 2, 8
+	c.Eng.Go("host0", func(p *sim.Proc) {
+		md := h0.Portals().MDBind("buf", 64, nil, nil)
+		regs, _ := Plan(WorkItem, 0, wgs, wgSize, 0)
+		if err := h0.TrigPutPlan(p, regs, md, 64, 1, 0x1); err != nil {
+			t.Error(err)
+			return
+		}
+		trig := h0.GetTriggerAddr()
+		h0.LaunchKernSync(p, &gpu.Kernel{
+			Name: "wiput", WorkGroups: wgs, WGSize: wgSize,
+			Body: func(wg *gpu.WGCtx) {
+				TriggerWorkItem(wg, trig, 0)
+			},
+		})
+	})
+	c.Run()
+	if recvCT.Value() != wgs*wgSize {
+		t.Fatalf("deliveries = %d, want %d (one per work-item)", recvCT.Value(), wgs*wgSize)
+	}
+}
+
+func TestMixedGranularityEndToEnd(t *testing.T) {
+	// §4.2.3's example: a message per pair of work-groups.
+	c, h0, _, recvCT := pair(t)
+	const wgs, per = 8, 2
+	c.Eng.Go("host0", func(p *sim.Proc) {
+		md := h0.Portals().MDBind("buf", 64, nil, nil)
+		regs, _ := Plan(Mixed, 0, wgs, 64, per)
+		if err := h0.TrigPutPlan(p, regs, md, 64, 1, 0x1); err != nil {
+			t.Error(err)
+			return
+		}
+		trig := h0.GetTriggerAddr()
+		h0.LaunchKernSync(p, &gpu.Kernel{
+			Name: "mixput", WorkGroups: wgs,
+			Body: func(wg *gpu.WGCtx) {
+				TriggerMixed(wg, trig, 0, per)
+			},
+		})
+	})
+	c.Run()
+	if recvCT.Value() != wgs/per {
+		t.Fatalf("deliveries = %d, want %d", recvCT.Value(), wgs/per)
+	}
+}
+
+func TestTriggerMixedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	TriggerMixed(nil, portals.TriggerAddr{}, 0, 0)
+}
+
+func TestLocalCompletion(t *testing.T) {
+	// §4.2.4: the GPU queries completion without a completion queue.
+	c, h0, _, _ := pair(t)
+	comp := h0.NewCompletion()
+	var sawInKernel bool
+	c.Eng.Go("host0", func(p *sim.Proc) {
+		md := h0.Portals().MDBind("buf", 64, nil, comp.CT)
+		if err := h0.TrigPut(p, 1, 1, md, 64, 1, 0x1); err != nil {
+			t.Error(err)
+			return
+		}
+		trig := h0.GetTriggerAddr()
+		h0.LaunchKernSync(p, &gpu.Kernel{
+			Name: "cput", WorkGroups: 1,
+			Body: func(wg *gpu.WGCtx) {
+				TriggerKernel(wg, trig, 1)
+				comp.WaitGPU(wg, 1) // safe to reuse the send buffer
+				sawInKernel = comp.Done(1)
+			},
+		})
+		comp.WaitHost(p, 1)
+	})
+	c.Run()
+	if !sawInKernel {
+		t.Fatal("kernel never observed local completion")
+	}
+}
+
+func TestRelaxedSyncOverlapLaunchAndPost(t *testing.T) {
+	// §4.1: "An optimized implementation can launch the kernel at the
+	// beginning of the program and post the triggered operations later."
+	c, h0, _, recvCT := pair(t)
+	trig := h0.GetTriggerAddr()
+	c.Eng.Go("host0", func(p *sim.Proc) {
+		// Launch first; kernel triggers long before the host registers.
+		h0.LaunchKern(&gpu.Kernel{
+			Name: "early", WorkGroups: 1,
+			Body: func(wg *gpu.WGCtx) {
+				TriggerKernel(wg, trig, 3)
+			},
+		})
+		p.Sleep(20 * sim.Microsecond)
+		md := h0.Portals().MDBind("buf", 64, nil, nil)
+		if err := h0.TrigPut(p, 3, 1, md, 64, 1, 0x1); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if recvCT.Value() != 1 {
+		t.Fatalf("deliveries = %d", recvCT.Value())
+	}
+}
+
+func TestHostAccessors(t *testing.T) {
+	c, h0, h1, _ := pair(t)
+	if h0.Rank() != 0 || h1.Rank() != 1 {
+		t.Error("ranks wrong")
+	}
+	if h0.GPU() != c.Nodes[0].GPU || h0.Portals() != c.Nodes[0].Ptl {
+		t.Error("accessors wrong")
+	}
+}

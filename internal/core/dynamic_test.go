@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/nic"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// Tests for the §3.4 dynamic-communication kernel API.
+
+func TestTriggerKernelDynamicRedirectsTarget(t *testing.T) {
+	c := node.NewCluster(config.Default(), 3)
+	h0 := NewHost(c.Eng, c.Nodes[0].Ptl, c.Nodes[0].GPU)
+	cts := make([]*portals.CT, 3)
+	for i := 1; i < 3; i++ {
+		cts[i] = c.Nodes[i].Ptl.CTAlloc()
+		c.Nodes[i].Ptl.MEAppend(&portals.ME{MatchBits: 0x1, Length: 1 << 16, CT: cts[i]})
+	}
+	c.Eng.Go("host0", func(p *sim.Proc) {
+		md := h0.Portals().MDBind("buf", 64, nil, nil)
+		// Staged toward rank 1; the kernel decides at run time to send to
+		// rank 2 instead.
+		if err := h0.TrigPut(p, 5, 1, md, 64, 1, 0x1); err != nil {
+			t.Error(err)
+			return
+		}
+		trig := h0.GetTriggerAddr()
+		h0.LaunchKernSync(p, &gpu.Kernel{
+			Name: "dyn", WorkGroups: 1,
+			Body: func(wg *gpu.WGCtx) {
+				chosen := 2 // computed on the GPU
+				TriggerKernelDynamic(wg, trig, 5, DynamicFields{HasTarget: true, Target: chosen})
+			},
+		})
+	})
+	c.Run()
+	if cts[1].Value() != 0 || cts[2].Value() != 1 {
+		t.Fatalf("deliveries = %d/%d, want redirect to rank 2", cts[1].Value(), cts[2].Value())
+	}
+}
+
+func TestTriggerKernelDynamicCostsExtraStores(t *testing.T) {
+	// Each dynamic field costs one extra system-scope store: the
+	// flexibility/performance trade-off the paper describes.
+	run := func(fields DynamicFields) sim.Time {
+		c := node.NewCluster(config.Default(), 2)
+		h0 := NewHost(c.Eng, c.Nodes[0].Ptl, c.Nodes[0].GPU)
+		ct := c.Nodes[1].Ptl.CTAlloc()
+		c.Nodes[1].Ptl.MEAppend(&portals.ME{MatchBits: 0x1, Length: 1 << 16, CT: ct})
+		var execTime sim.Time
+		c.Eng.Go("host", func(p *sim.Proc) {
+			md := h0.Portals().MDBind("buf", 64, nil, nil)
+			if err := h0.TrigPut(p, 5, 1, md, 64, 1, 0x1); err != nil {
+				t.Error(err)
+				return
+			}
+			trig := h0.GetTriggerAddr()
+			h0.LaunchKernSync(p, &gpu.Kernel{
+				Name: "dyn", WorkGroups: 1,
+				Body: func(wg *gpu.WGCtx) {
+					t0 := wg.Now()
+					TriggerKernelDynamic(wg, trig, 5, fields)
+					execTime = wg.Now() - t0
+				},
+			})
+		})
+		c.Run()
+		return execTime
+	}
+	cfg := config.Default()
+	static := run(DynamicFields{})
+	oneField := run(DynamicFields{HasTarget: true, Target: 1})
+	threeFields := run(DynamicFields{HasTarget: true, Target: 1, HasSize: true, Size: 32, HasMatchBits: true, MatchBits: 0x1})
+	if oneField-static != cfg.GPU.AtomicSystemStore {
+		t.Errorf("one field added %v, want one store (%v)", oneField-static, cfg.GPU.AtomicSystemStore)
+	}
+	if threeFields-static != 3*cfg.GPU.AtomicSystemStore {
+		t.Errorf("three fields added %v, want three stores", threeFields-static)
+	}
+}
+
+func TestDynamicSizeOverrideThroughKernel(t *testing.T) {
+	c := node.NewCluster(config.Default(), 2)
+	h0 := NewHost(c.Eng, c.Nodes[0].Ptl, c.Nodes[0].GPU)
+	ct := c.Nodes[1].Ptl.CTAlloc()
+	var gotSize int64
+	c.Nodes[1].Ptl.MEAppend(&portals.ME{MatchBits: 0x1, Length: 1 << 20, CT: ct,
+		OnDelivery: func(d nic.Delivery) { gotSize = d.Size }})
+	c.Eng.Go("host", func(p *sim.Proc) {
+		md := h0.Portals().MDBind("buf", 4096, nil, nil)
+		if err := h0.TrigPut(p, 5, 1, md, 4096, 1, 0x1); err != nil {
+			t.Error(err)
+			return
+		}
+		trig := h0.GetTriggerAddr()
+		h0.LaunchKernSync(p, &gpu.Kernel{
+			Name: "dyn", WorkGroups: 1,
+			Body: func(wg *gpu.WGCtx) {
+				// The kernel produced only 512 valid bytes this round.
+				TriggerKernelDynamic(wg, trig, 5, DynamicFields{HasSize: true, Size: 512})
+			},
+		})
+	})
+	c.Run()
+	if ct.Value() != 1 || gotSize != 512 {
+		t.Fatalf("delivery size = %d (ct=%d), want 512", gotSize, ct.Value())
+	}
+}

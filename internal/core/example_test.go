@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// Example demonstrates the full GPU-TN flow of Figure 6/7: the host stages
+// a triggered put, and the kernel fires it intra-kernel with a tag store.
+func Example() {
+	cluster := node.NewCluster(config.Default(), 2)
+	host := core.NewHost(cluster.Eng, cluster.Nodes[0].Ptl, cluster.Nodes[0].GPU)
+
+	recvCT := cluster.Nodes[1].Ptl.CTAlloc()
+	cluster.Nodes[1].Ptl.MEAppend(&portals.ME{MatchBits: 0x1, Length: 64, CT: recvCT})
+
+	cluster.Eng.Go("host", func(p *sim.Proc) {
+		md := host.Portals().MDBind("buf", 64, "payload", nil)
+		if err := host.TrigPut(p, 42, 1, md, 64, 1, 0x1); err != nil {
+			panic(err)
+		}
+		trig := host.GetTriggerAddr()
+		host.LaunchKernSync(p, &gpu.Kernel{
+			Name: "send", WorkGroups: 1,
+			Body: func(wg *gpu.WGCtx) {
+				wg.Compute(100 * sim.Nanosecond)
+				core.TriggerKernel(wg, trig, 42)
+			},
+		})
+		recvCT.Wait(p, 1)
+		fmt.Println("delivered:", recvCT.Value())
+	})
+	cluster.Run()
+	// Output: delivered: 1
+}
+
+// ExamplePlan shows how host registration and kernel triggering stay in
+// agreement through a shared plan.
+func ExamplePlan() {
+	regs, _ := core.Plan(core.Mixed, 100, 10, 64, 4)
+	for _, r := range regs {
+		fmt.Printf("tag=%d threshold=%d\n", r.Tag, r.Threshold)
+	}
+	// Output:
+	// tag=100 threshold=4
+	// tag=101 threshold=4
+	// tag=102 threshold=2
+}

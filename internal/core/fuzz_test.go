@@ -1,0 +1,50 @@
+package core
+
+import "testing"
+
+// FuzzPlan checks the host/kernel agreement invariant over arbitrary
+// dispatch geometries: every successful plan's total threshold equals the
+// number of trigger writes the kernel side will produce, tags are unique,
+// and thresholds are positive.
+func FuzzPlan(f *testing.F) {
+	f.Add(uint8(0), uint64(0), 8, 64, 2)
+	f.Add(uint8(1), uint64(10), 3, 32, 1)
+	f.Add(uint8(2), uint64(100), 24, 256, 4)
+	f.Add(uint8(3), uint64(7), 10, 64, 3)
+	f.Fuzz(func(t *testing.T, gRaw uint8, tagBase uint64, workGroups, wgSize, gpm int) {
+		g := Granularity(gRaw % 4)
+		regs, err := Plan(g, tagBase, workGroups, wgSize, gpm)
+		if err != nil {
+			return // invalid inputs are allowed to fail
+		}
+		if workGroups <= 0 || wgSize <= 0 {
+			t.Fatalf("plan accepted invalid dispatch %dx%d", workGroups, wgSize)
+		}
+		// Guard against overflow-heavy fuzz inputs dominating runtime.
+		if workGroups > 1<<12 || wgSize > 1<<12 {
+			return
+		}
+		seen := map[uint64]bool{}
+		var total int64
+		for _, r := range regs {
+			if r.Threshold <= 0 {
+				t.Fatalf("non-positive threshold %d", r.Threshold)
+			}
+			if seen[r.Tag] {
+				t.Fatalf("duplicate tag %d", r.Tag)
+			}
+			seen[r.Tag] = true
+			total += r.Threshold
+		}
+		var wantWrites int64
+		switch g {
+		case WorkItem:
+			wantWrites = int64(workGroups) * int64(wgSize)
+		default:
+			wantWrites = int64(workGroups)
+		}
+		if total != wantWrites {
+			t.Fatalf("%v: total threshold %d != kernel writes %d", g, total, wantWrites)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+// Package gpu models the paper's GPU: a front-end hardware scheduler that
+// consumes in-memory command queues (whose dispatch latency is the subject
+// of Figure 1), a pool of compute units executing work-groups, the scoped
+// memory-model operations of §4.2.6 (system-scope fences and atomics), and
+// in-order streams with network-initiation points for the GDS baseline.
+//
+// Kernel bodies are Go functions executed per work-group inside simulation
+// processes, so intra-kernel behaviour — polling on flags, triggering the
+// NIC mid-kernel, work-group barriers — composes naturally with the rest
+// of the simulated node.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/memsys"
+	"repro/internal/sim"
+)
+
+// Kernel describes one GPU kernel dispatch.
+type Kernel struct {
+	Name       string
+	WorkGroups int
+	WGSize     int
+	// Body runs once per work-group. A nil body is an empty kernel (used
+	// by the Figure 1 launch-latency study).
+	Body func(wg *WGCtx)
+	// OnComplete, when non-nil, runs after teardown finishes.
+	OnComplete func()
+
+	done *sim.Counter // counts 1 when the kernel has fully completed
+}
+
+// WGCtx is the execution context handed to a kernel body for one
+// work-group: the paper's kernel API surface (§4.2) plus cost accounting.
+type WGCtx struct {
+	gpu *GPU
+	p   *sim.Proc
+
+	// Group is the work-group id (get_group_id), NumGroups the dispatch
+	// width in work-groups, and WGSize the work-items per group.
+	Group     int
+	NumGroups int
+	WGSize    int
+}
+
+// Proc exposes the underlying simulation process for advanced waits.
+func (w *WGCtx) Proc() *sim.Proc { return w.p }
+
+// Now returns the current simulated time.
+func (w *WGCtx) Now() sim.Time { return w.p.Now() }
+
+// Compute advances the work-group by d of pure computation.
+func (w *WGCtx) Compute(d sim.Time) { w.p.Sleep(d) }
+
+// Barrier executes a work-group barrier (work_group_barrier).
+func (w *WGCtx) Barrier() { w.p.Sleep(w.gpu.cfg.BarrierWorkGroup) }
+
+// FenceSystem executes an atomic_work_item_fence to system scope with
+// release/acquire semantics — required before the trigger write so the
+// send buffer is visible to the NIC (§4.2.6).
+func (w *WGCtx) FenceSystem() { w.p.Sleep(w.gpu.cfg.FenceSystemScope) }
+
+// AtomicStoreSystem performs an atomic store with
+// memory_scope_all_svm_devices: it pays the cache-bypassing store cost and
+// then applies the store's effect (e.g. a trigger-address write).
+func (w *WGCtx) AtomicStoreSystem(effect func()) {
+	w.p.Sleep(w.gpu.cfg.AtomicSystemStore)
+	if effect != nil {
+		effect()
+	}
+}
+
+// PollUntil blocks the work-group until the counter reaches target,
+// modeling a spin on a memory flag updated by the NIC or a peer (§4.2.5).
+func (w *WGCtx) PollUntil(c *sim.Counter, target int64) { c.WaitGE(w.p, target) }
+
+// GPU is one node's GPU device.
+type GPU struct {
+	eng *sim.Engine
+	cfg config.GPUConfig
+	mem *memsys.Hierarchy
+
+	slots *sim.Resource // work-group occupancy: CUs x MaxWGPerCU
+	queue *sim.Queue[*Kernel]
+
+	// launchModel, when non-nil, replaces the fixed KernelLaunch cost with
+	// a queue-depth-dependent one (Figure 1 presets).
+	launchModel func(queued int) sim.Time
+
+	kernelsLaunched int64
+}
+
+// New creates a GPU and starts its front-end scheduler.
+func New(eng *sim.Engine, cfg config.GPUConfig, mem *memsys.Hierarchy) *GPU {
+	slots := cfg.ComputeUnits * cfg.MaxWGPerCU
+	if slots <= 0 {
+		panic("gpu: non-positive work-group occupancy")
+	}
+	g := &GPU{
+		eng:   eng,
+		cfg:   cfg,
+		mem:   mem,
+		slots: sim.NewResource(eng, int64(slots)),
+		queue: sim.NewQueue[*Kernel](eng),
+	}
+	eng.Go("gpu.frontend", g.frontend)
+	return g
+}
+
+// Config returns the GPU configuration.
+func (g *GPU) Config() config.GPUConfig { return g.cfg }
+
+// KernelsLaunched reports how many kernels the front-end has dispatched.
+func (g *GPU) KernelsLaunched() int64 { return g.kernelsLaunched }
+
+// SetLaunchModel installs a queue-depth-dependent launch-latency model
+// (the Figure 1 scheduler presets). Pass nil to restore the fixed cost.
+func (g *GPU) SetLaunchModel(f func(queued int) sim.Time) { g.launchModel = f }
+
+// Launch enqueues a kernel on the GPU's command queue. The front-end
+// scheduler dispatches it in FIFO order. Completion is observable via
+// k.OnComplete or LaunchSync.
+func (g *GPU) Launch(k *Kernel) {
+	if k.WorkGroups <= 0 {
+		panic(fmt.Sprintf("gpu: kernel %q with %d work-groups", k.Name, k.WorkGroups))
+	}
+	if k.WGSize <= 0 {
+		k.WGSize = g.cfg.WavefrontSize
+	}
+	k.done = sim.NewCounter(g.eng)
+	g.queue.Push(k)
+}
+
+// Wait parks p until the kernel (previously launched) fully completes.
+func (k *Kernel) Wait(p *sim.Proc) {
+	if k.done == nil {
+		panic(fmt.Sprintf("gpu: waiting on kernel %q that was never launched", k.Name))
+	}
+	k.done.WaitGE(p, 1)
+}
+
+// LaunchSync launches k and parks p until it completes — the host-blocking
+// dispatch used by HDN-style code.
+func (g *GPU) LaunchSync(p *sim.Proc, k *Kernel) {
+	g.Launch(k)
+	k.Wait(p)
+}
+
+// frontend is the hardware scheduler: it pops kernel commands, pays the
+// launch latency, runs all work-groups on the CU pool, pays teardown, and
+// signals completion.
+func (g *GPU) frontend(p *sim.Proc) {
+	for {
+		k := g.queue.Pop(p)
+		// Queue depth seen by the scheduler includes the popped command.
+		depth := g.queue.Len() + 1
+		launch := g.cfg.KernelLaunch
+		if g.launchModel != nil {
+			launch = g.launchModel(depth)
+		}
+		p.Sleep(launch)
+		g.kernelsLaunched++
+
+		wgDone := sim.NewCounter(g.eng)
+		if k.Body != nil {
+			for wg := 0; wg < k.WorkGroups; wg++ {
+				wg := wg
+				kk := k
+				g.eng.Go(fmt.Sprintf("gpu.%s.wg%d", k.Name, wg), func(wp *sim.Proc) {
+					g.slots.Acquire(wp, 1)
+					defer g.slots.Release(1)
+					ctx := &WGCtx{gpu: g, p: wp, Group: wg, NumGroups: kk.WorkGroups, WGSize: kk.WGSize}
+					kk.Body(ctx)
+					wgDone.Add(1)
+				})
+			}
+			wgDone.WaitGE(p, int64(k.WorkGroups))
+		}
+		p.Sleep(g.cfg.KernelTeardown)
+		if k.OnComplete != nil {
+			k.OnComplete()
+		}
+		k.done.Add(1)
+	}
+}
+
+// ComputeTime estimates the time for one work-group to execute the given
+// number of scalar operations: the group's work-items retire
+// WGSize-wide vector operations at the GPU clock.
+func (g *GPU) ComputeTime(ops int64, wgSize int) sim.Time {
+	if ops <= 0 {
+		return 0
+	}
+	if wgSize <= 0 {
+		wgSize = g.cfg.WavefrontSize
+	}
+	cyclesF := float64(ops) / float64(wgSize)
+	return sim.Nanoseconds(cyclesF / g.cfg.ClockGHz)
+}
+
+// MemoryTime estimates the time for one work-group to touch the given
+// bytes out of a working set of the given size, assuming the memory system
+// overlaps several outstanding cache-line requests.
+func (g *GPU) MemoryTime(bytes, workingSet int64) sim.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	const mlp = 8 // outstanding misses the CU can sustain
+	lines := g.mem.LineTransfers(bytes)
+	lat := g.mem.AvgAccessLatency(workingSet)
+	return sim.Time((float64(lines) / mlp) * float64(lat))
+}

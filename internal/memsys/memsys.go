@@ -1,0 +1,142 @@
+// Package memsys models a multi-level cache hierarchy plus DRAM as an
+// analytic latency/bandwidth estimator. The simulator's compute-time models
+// (CPU parallel-for, GPU work-group execution) consult it to translate a
+// workload's memory footprint and access pattern into time, the same role
+// gem5's classic memory system played for the paper's experiments.
+package memsys
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// Level is one cache level in a Hierarchy.
+type Level struct {
+	Name    string
+	Size    int64    // capacity in bytes
+	Line    int64    // line size in bytes
+	Latency sim.Time // hit latency
+}
+
+// Hierarchy is an inclusive cache hierarchy backed by DRAM.
+type Hierarchy struct {
+	levels      []Level
+	dramLatency sim.Time
+	dramGBps    float64
+}
+
+// New builds a hierarchy from explicit levels. Levels must be ordered from
+// closest (smallest) to farthest and strictly increasing in size.
+func New(levels []Level, dramLatency sim.Time, dramGBps float64) (*Hierarchy, error) {
+	for i, l := range levels {
+		if l.Size <= 0 || l.Line <= 0 || l.Latency < 0 {
+			return nil, fmt.Errorf("memsys: invalid level %q", l.Name)
+		}
+		if i > 0 && levels[i-1].Size >= l.Size {
+			return nil, fmt.Errorf("memsys: level %q not larger than %q", l.Name, levels[i-1].Name)
+		}
+	}
+	if dramGBps <= 0 {
+		return nil, fmt.Errorf("memsys: dramGBps = %v", dramGBps)
+	}
+	return &Hierarchy{levels: levels, dramLatency: dramLatency, dramGBps: dramGBps}, nil
+}
+
+// FromCPU builds the host hierarchy from a Table 2 CPU configuration.
+func FromCPU(c config.CPUConfig) *Hierarchy {
+	h, err := New([]Level{
+		{Name: "L1D", Size: c.L1D.SizeBytes, Line: c.L1D.LineBytes, Latency: c.L1D.Latency},
+		{Name: "L2", Size: c.L2.SizeBytes, Line: c.L2.LineBytes, Latency: c.L2.Latency},
+		{Name: "L3", Size: c.L3.SizeBytes, Line: c.L3.LineBytes, Latency: c.L3.Latency},
+	}, c.DRAMLatency, c.DRAMGBps)
+	if err != nil {
+		panic(err) // config.Validate guarantees well-formed presets
+	}
+	return h
+}
+
+// FromGPU builds the device hierarchy from a Table 2 GPU configuration.
+// The GPU shares system DRAM with the CPU in the paper's APU setup, but
+// its unloaded access latency is substantially longer than the host's:
+// requests traverse the GPU's deep memory pipeline before reaching the
+// shared controller.
+func FromGPU(g config.GPUConfig, cpu config.CPUConfig) *Hierarchy {
+	h, err := New([]Level{
+		{Name: "L1D", Size: g.L1D.SizeBytes, Line: g.L1D.LineBytes, Latency: g.L1D.Latency},
+		{Name: "L2", Size: g.L2.SizeBytes, Line: g.L2.LineBytes, Latency: g.L2.Latency},
+	}, 4*cpu.DRAMLatency, cpu.DRAMGBps)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Levels returns the configured cache levels.
+func (h *Hierarchy) Levels() []Level { return h.levels }
+
+// DRAMLatency returns the backing-store access latency.
+func (h *Hierarchy) DRAMLatency() sim.Time { return h.dramLatency }
+
+// ResidenceLevel returns the index of the smallest level that fully holds a
+// working set of the given size, or len(levels) when only DRAM holds it.
+func (h *Hierarchy) ResidenceLevel(workingSet int64) int {
+	for i, l := range h.levels {
+		if workingSet <= l.Size {
+			return i
+		}
+	}
+	return len(h.levels)
+}
+
+// AvgAccessLatency estimates the average latency of one random access into
+// a working set of the given size: accesses hit in the smallest level that
+// holds the set; larger sets degrade smoothly by mixing the two adjacent
+// levels proportionally to the overflow fraction.
+func (h *Hierarchy) AvgAccessLatency(workingSet int64) sim.Time {
+	if workingSet <= 0 {
+		return h.levels[0].Latency
+	}
+	prevLat := h.levels[0].Latency
+	prevSize := int64(0)
+	for _, l := range h.levels {
+		if workingSet <= l.Size {
+			// Fraction resident in this level vs the previous one.
+			span := l.Size - prevSize
+			if span <= 0 || workingSet <= prevSize {
+				return l.Latency
+			}
+			frac := float64(workingSet-prevSize) / float64(span)
+			return prevLat + sim.Time(frac*float64(l.Latency-prevLat))
+		}
+		prevLat = l.Latency
+		prevSize = l.Size
+	}
+	last := h.levels[len(h.levels)-1]
+	// Beyond the last cache: blend toward DRAM, saturating at 4x capacity.
+	over := float64(workingSet-last.Size) / float64(3*last.Size)
+	if over > 1 {
+		over = 1
+	}
+	return last.Latency + sim.Time(over*float64(h.dramLatency-last.Latency))
+}
+
+// StreamTime returns the time to stream n bytes to/from DRAM at the
+// hierarchy's bandwidth (used for bulk, prefetch-friendly phases).
+func (h *Hierarchy) StreamTime(n int64) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return sim.BytesAtGbps(n, h.dramGBps*8) // GB/s -> Gb/s
+}
+
+// LineTransfers returns how many cache lines n bytes span (rounded up),
+// using the first level's line size.
+func (h *Hierarchy) LineTransfers(n int64) int64 {
+	line := h.levels[0].Line
+	if n <= 0 {
+		return 0
+	}
+	return (n + line - 1) / line
+}

@@ -1,0 +1,130 @@
+package memsys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+func testHierarchy(t *testing.T) *Hierarchy {
+	t.Helper()
+	h, err := New([]Level{
+		{Name: "L1", Size: 1 << 10, Line: 64, Latency: 1 * sim.Nanosecond},
+		{Name: "L2", Size: 1 << 15, Line: 64, Latency: 10 * sim.Nanosecond},
+	}, 100*sim.Nanosecond, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := [][]Level{
+		{{Name: "a", Size: 0, Line: 64}},
+		{{Name: "a", Size: 100, Line: 0}},
+		{{Name: "a", Size: 100, Line: 64}, {Name: "b", Size: 100, Line: 64}}, // not larger
+		{{Name: "a", Size: 200, Line: 64}, {Name: "b", Size: 100, Line: 64}}, // shrinking
+	}
+	for i, levels := range bad {
+		if _, err := New(levels, 1, 10); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := New([]Level{{Name: "a", Size: 100, Line: 64}}, 1, 0); err == nil {
+		t.Error("zero bandwidth must fail")
+	}
+}
+
+func TestResidenceLevel(t *testing.T) {
+	h := testHierarchy(t)
+	cases := []struct {
+		ws   int64
+		want int
+	}{
+		{1, 0},
+		{1 << 10, 0},
+		{1<<10 + 1, 1},
+		{1 << 15, 1},
+		{1 << 20, 2}, // DRAM
+	}
+	for _, c := range cases {
+		if got := h.ResidenceLevel(c.ws); got != c.want {
+			t.Errorf("ResidenceLevel(%d) = %d, want %d", c.ws, got, c.want)
+		}
+	}
+}
+
+func TestAvgAccessLatencyEndpoints(t *testing.T) {
+	h := testHierarchy(t)
+	if got := h.AvgAccessLatency(0); got != 1*sim.Nanosecond {
+		t.Errorf("empty working set latency = %v", got)
+	}
+	// Tiny set: close to L1.
+	if got := h.AvgAccessLatency(64); got > 2*sim.Nanosecond {
+		t.Errorf("tiny set latency = %v", got)
+	}
+	// Huge set: approaches DRAM latency.
+	if got := h.AvgAccessLatency(1 << 30); got != 100*sim.Nanosecond {
+		t.Errorf("huge set latency = %v, want DRAM 100ns", got)
+	}
+}
+
+// Property: latency is monotone non-decreasing in working-set size.
+func TestAvgAccessLatencyMonotone(t *testing.T) {
+	h := testHierarchy(t)
+	f := func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return h.AvgAccessLatency(x) <= h.AvgAccessLatency(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamTime(t *testing.T) {
+	h := testHierarchy(t)
+	// 100 GB/s = 800 Gb/s; 800 bytes = 6400 bits -> 8 ns.
+	if got := h.StreamTime(800); got != 8*sim.Nanosecond {
+		t.Errorf("StreamTime(800) = %v", got)
+	}
+	if h.StreamTime(0) != 0 || h.StreamTime(-1) != 0 {
+		t.Error("non-positive stream must be free")
+	}
+}
+
+func TestLineTransfers(t *testing.T) {
+	h := testHierarchy(t)
+	cases := []struct{ n, want int64 }{{0, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2}}
+	for _, c := range cases {
+		if got := h.LineTransfers(c.n); got != c.want {
+			t.Errorf("LineTransfers(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFromConfigConstructors(t *testing.T) {
+	cfg := config.Default()
+	hc := FromCPU(cfg.CPU)
+	if len(hc.Levels()) != 3 {
+		t.Fatalf("CPU levels = %d", len(hc.Levels()))
+	}
+	if hc.Levels()[2].Name != "L3" || hc.Levels()[2].Size != 16<<20 {
+		t.Errorf("CPU L3 = %+v", hc.Levels()[2])
+	}
+	hg := FromGPU(cfg.GPU, cfg.CPU)
+	if len(hg.Levels()) != 2 {
+		t.Fatalf("GPU levels = %d", len(hg.Levels()))
+	}
+	// The GPU shares system DRAM but sees it through its deeper pipeline.
+	if hg.DRAMLatency() <= cfg.CPU.DRAMLatency {
+		t.Error("GPU unloaded DRAM latency should exceed the CPU's")
+	}
+	if hg.DRAMLatency() != 4*cfg.CPU.DRAMLatency {
+		t.Errorf("GPU DRAM latency = %v, want 4x CPU", hg.DRAMLatency())
+	}
+}

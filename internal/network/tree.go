@@ -1,0 +1,235 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// Transport is the interface NICs speak to an interconnect. The star
+// Fabric of Table 2 and the two-level TreeFabric extension both satisfy
+// it, so experiments can swap topologies without touching the NIC model.
+type Transport interface {
+	// Bind installs the delivery handler for a node.
+	Bind(id NodeID, h Handler)
+	// Send injects a message (asynchronous; no loopback).
+	Send(m *Message)
+	// Nodes returns the port count.
+	Nodes() int
+	// UnloadedLatency estimates end-to-end latency on an idle fabric for
+	// the topology's worst-case path.
+	UnloadedLatency(size int64) sim.Time
+	// BytesSent / BytesDelivered / MessagesDelivered report accounting.
+	BytesSent(id NodeID) int64
+	BytesDelivered(id NodeID) int64
+	MessagesDelivered(id NodeID) int64
+	// LastDelivery reports the most recent delivery time.
+	LastDelivery() sim.Time
+}
+
+var (
+	_ Transport = (*Fabric)(nil)
+	_ Transport = (*TreeFabric)(nil)
+)
+
+// stage is one store-and-forward hop: a FIFO whose pump serializes each
+// packet at the stage rate and forwards it after the fixed post-latency.
+type stage struct {
+	q    *sim.Queue[*treePacket]
+	gbps float64
+	post sim.Time
+}
+
+type treePacket struct {
+	msg   *Message
+	bytes int64
+	last  bool
+	// path holds the remaining stages; empty means deliver.
+	path []*stage
+}
+
+// TreeFabric is a two-level fat-tree-style interconnect: nodes attach to
+// leaf switches; leaves connect to one root through uplinks shared by all
+// of a leaf's nodes (oversubscription). Same-leaf traffic takes
+// node → leaf → node; cross-leaf traffic adds the two uplink hops and the
+// root switch. It extends the paper's single-switch star (Table 2) so
+// topology sensitivity can be studied.
+type TreeFabric struct {
+	eng *sim.Engine
+	cfg config.NetworkConfig
+
+	leafSize int
+	nleaves  int
+
+	egress   []*stage // per node: into its leaf
+	ingress  []*stage // per node: leaf to node
+	uplink   []*stage // per leaf: leaf to root
+	downlink []*stage // per leaf: root to leaf
+
+	handlers []Handler
+
+	bytesSent      []int64
+	bytesDelivered []int64
+	msgsDelivered  []int64
+	lastDelivery   sim.Time
+}
+
+// NewTreeFabric builds a tree over n nodes with leafSize nodes per leaf
+// switch. n need not divide evenly; the last leaf may be partial.
+func NewTreeFabric(eng *sim.Engine, cfg config.NetworkConfig, n, leafSize int) *TreeFabric {
+	if n <= 0 || leafSize <= 0 {
+		panic("network: tree fabric needs positive node and leaf sizes")
+	}
+	nleaves := (n + leafSize - 1) / leafSize
+	t := &TreeFabric{
+		eng:            eng,
+		cfg:            cfg,
+		leafSize:       leafSize,
+		nleaves:        nleaves,
+		handlers:       make([]Handler, n),
+		bytesSent:      make([]int64, n),
+		bytesDelivered: make([]int64, n),
+		msgsDelivered:  make([]int64, n),
+	}
+	mk := func(name string, post sim.Time) *stage {
+		s := &stage{q: sim.NewQueue[*treePacket](eng), gbps: cfg.BandwidthGbps, post: post}
+		eng.Go(name, func(p *sim.Proc) { t.pump(p, s) })
+		return s
+	}
+	for i := 0; i < n; i++ {
+		// Node-to-leaf: propagation + leaf switch traversal.
+		t.egress = append(t.egress, mk(fmt.Sprintf("tree.eg.%d", i), cfg.LinkLatency+cfg.SwitchLatency))
+		// Leaf-to-node: propagation only.
+		t.ingress = append(t.ingress, mk(fmt.Sprintf("tree.in.%d", i), cfg.LinkLatency))
+	}
+	for l := 0; l < nleaves; l++ {
+		// Leaf-to-root: propagation + root switch traversal.
+		t.uplink = append(t.uplink, mk(fmt.Sprintf("tree.up.%d", l), cfg.LinkLatency+cfg.SwitchLatency))
+		// Root-to-leaf: propagation + leaf switch traversal.
+		t.downlink = append(t.downlink, mk(fmt.Sprintf("tree.down.%d", l), cfg.LinkLatency+cfg.SwitchLatency))
+	}
+	return t
+}
+
+// leaf returns the leaf switch index of a node.
+func (t *TreeFabric) leaf(id NodeID) int { return int(id) / t.leafSize }
+
+// Nodes implements Transport.
+func (t *TreeFabric) Nodes() int { return len(t.handlers) }
+
+// Leaves returns the leaf-switch count.
+func (t *TreeFabric) Leaves() int { return t.nleaves }
+
+// Bind implements Transport.
+func (t *TreeFabric) Bind(id NodeID, h Handler) { t.handlers[id] = h }
+
+// Send implements Transport.
+func (t *TreeFabric) Send(m *Message) {
+	if int(m.Src) < 0 || int(m.Src) >= len(t.handlers) || int(m.Dst) < 0 || int(m.Dst) >= len(t.handlers) {
+		panic(fmt.Sprintf("network: tree send %d->%d outside fabric of %d nodes", m.Src, m.Dst, len(t.handlers)))
+	}
+	if m.Src == m.Dst {
+		panic("network: fabric does not route loopback traffic")
+	}
+	if m.Size < 0 {
+		panic("network: negative message size")
+	}
+	m.SentAt = t.eng.Now()
+	t.bytesSent[m.Src] += m.Size
+
+	var path []*stage
+	if t.leaf(m.Src) == t.leaf(m.Dst) {
+		path = []*stage{t.egress[m.Src], t.ingress[m.Dst]}
+	} else {
+		path = []*stage{
+			t.egress[m.Src],
+			t.uplink[t.leaf(m.Src)],
+			t.downlink[t.leaf(m.Dst)],
+			t.ingress[m.Dst],
+		}
+	}
+	remaining := m.Size
+	for {
+		chunk := remaining
+		if chunk > t.cfg.MTUBytes {
+			chunk = t.cfg.MTUBytes
+		}
+		remaining -= chunk
+		pkt := &treePacket{msg: m, bytes: chunk, last: remaining == 0, path: path[1:]}
+		path[0].q.Push(pkt)
+		if remaining == 0 {
+			break
+		}
+	}
+}
+
+// pump serializes packets through one stage.
+func (t *TreeFabric) pump(p *sim.Proc, s *stage) {
+	for {
+		pkt := s.q.Pop(p)
+		p.Sleep(sim.BytesAtGbps(pkt.bytes, s.gbps))
+		next := pkt
+		t.eng.After(s.post, func() {
+			if len(next.path) > 0 {
+				ns := next.path[0]
+				next.path = next.path[1:]
+				ns.q.Push(next)
+				return
+			}
+			t.deliver(next)
+		})
+	}
+}
+
+func (t *TreeFabric) deliver(pkt *treePacket) {
+	dst := pkt.msg.Dst
+	t.bytesDelivered[dst] += pkt.bytes
+	if pkt.last {
+		t.msgsDelivered[dst]++
+		t.lastDelivery = t.eng.Now()
+		h := t.handlers[dst]
+		if h == nil {
+			panic(fmt.Sprintf("network: no handler bound for node %d", dst))
+		}
+		h(pkt.msg)
+	}
+}
+
+// UnloadedLatency implements Transport for the worst-case (cross-leaf)
+// path: four serialization stages pipelined plus the fixed latencies.
+func (t *TreeFabric) UnloadedLatency(size int64) sim.Time {
+	ser := func(n int64) sim.Time {
+		var out sim.Time
+		for n > 0 {
+			chunk := n
+			if chunk > t.cfg.MTUBytes {
+				chunk = t.cfg.MTUBytes
+			}
+			out += sim.BytesAtGbps(chunk, t.cfg.BandwidthGbps)
+			n -= chunk
+		}
+		return out
+	}
+	full := ser(size)
+	lastChunk := size % t.cfg.MTUBytes
+	if lastChunk == 0 {
+		lastChunk = min64(size, t.cfg.MTUBytes)
+	}
+	// First stage streams the whole message; the three later stages each
+	// add one more chunk of pipeline fill.
+	fixed := 4*t.cfg.LinkLatency + 3*t.cfg.SwitchLatency
+	return full + 3*sim.BytesAtGbps(lastChunk, t.cfg.BandwidthGbps) + fixed
+}
+
+// BytesSent implements Transport.
+func (t *TreeFabric) BytesSent(id NodeID) int64 { return t.bytesSent[id] }
+
+// BytesDelivered implements Transport.
+func (t *TreeFabric) BytesDelivered(id NodeID) int64 { return t.bytesDelivered[id] }
+
+// MessagesDelivered implements Transport.
+func (t *TreeFabric) MessagesDelivered(id NodeID) int64 { return t.msgsDelivered[id] }
+
+// LastDelivery implements Transport.
+func (t *TreeFabric) LastDelivery() sim.Time { return t.lastDelivery }

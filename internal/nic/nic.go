@@ -1,0 +1,802 @@
+// Package nic models an RDMA network interface in the style the paper
+// assumes: command queues rung by doorbells, DMA engines, one-sided put/get
+// with match-bits-addressed target regions, counting events — plus the
+// paper's contribution, the GPU-TN trigger-list hardware extension (§3).
+//
+// The trigger list holds entries of {network operation, tag, counter,
+// threshold}. Memory-mapped writes of a tag land in a FIFO; the NIC matches
+// each write against the list, increments the entry's counter, and launches
+// the pre-staged operation when the counter reaches the threshold. The
+// relaxed synchronization model (§3.2) lets tag writes arrive before the
+// host registers the operation: the NIC allocates a placeholder entry and,
+// if the counter has already met the threshold by registration time, fires
+// immediately.
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// OpKind enumerates NIC command types.
+type OpKind int
+
+const (
+	// OpPut writes a local buffer into a match-bits-addressed region on
+	// the target node (one-sided).
+	OpPut OpKind = iota
+	// OpGet reads a match-bits-addressed region on the target node into a
+	// local buffer (one-sided).
+	OpGet
+	// OpAtomic applies an arithmetic operation to a remote region
+	// (PtlAtomic); no reply is generated.
+	OpAtomic
+	// OpFetchAtomic applies an arithmetic operation and returns the prior
+	// value to the initiator (PtlFetchAtomic).
+	OpFetchAtomic
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpAtomic:
+		return "atomic"
+	case OpFetchAtomic:
+		return "fetch-atomic"
+	default:
+		return fmt.Sprintf("OpKind(%d)", int(k))
+	}
+}
+
+// AtomicOp enumerates the remote atomic operations (a subset of the
+// Portals 4 atomic op list sufficient for the evaluated workloads).
+type AtomicOp int
+
+const (
+	// AtomicSum adds the operand to the target cell.
+	AtomicSum AtomicOp = iota
+	// AtomicMin stores min(cell, operand).
+	AtomicMin
+	// AtomicMax stores max(cell, operand).
+	AtomicMax
+	// AtomicSwap stores the operand and returns the prior value.
+	AtomicSwap
+)
+
+func (o AtomicOp) String() string {
+	switch o {
+	case AtomicSum:
+		return "sum"
+	case AtomicMin:
+		return "min"
+	case AtomicMax:
+		return "max"
+	case AtomicSwap:
+		return "swap"
+	default:
+		return fmt.Sprintf("AtomicOp(%d)", int(o))
+	}
+}
+
+// Command is a fully staged network operation: everything the NIC needs to
+// execute the transfer without further host involvement.
+type Command struct {
+	Kind      OpKind
+	Target    network.NodeID
+	MatchBits uint64 // addresses the remote region
+	Size      int64  // payload bytes
+	Data      any    // opaque payload forwarded to the target region
+	// Atomic selects the operation of OpAtomic / OpFetchAtomic commands.
+	Atomic AtomicOp
+	// LocalCompletion, when non-nil, is incremented once the local buffer
+	// is reusable (put: after DMA read; get/fetch-atomic: after the reply
+	// lands) — the GPU-visible completion hook of §4.2.4.
+	LocalCompletion *sim.Counter
+	// OnLocalComplete, when non-nil, runs at local completion time.
+	OnLocalComplete func()
+}
+
+// Deferred is a payload resolved at DMA time rather than at command
+// construction time. Real NICs read the send buffer when the operation
+// executes, not when it is posted; pre-posted GDS commands and GPU-TN
+// trigger entries rely on this to transmit values the GPU produced after
+// registration.
+type Deferred func() any
+
+// Delivery describes an inbound operation handed to a target region.
+type Delivery struct {
+	// Kind is the operation that hit the region: OpPut for landings,
+	// OpGet for served reads, OpAtomic/OpFetchAtomic for atomics.
+	Kind      OpKind
+	From      network.NodeID
+	MatchBits uint64
+	Size      int64
+	Data      any
+	At        sim.Time
+}
+
+// Region is a match-bits-exposed landing zone for one-sided operations,
+// analogous to a Portals list entry on a priority list. Regions are
+// searched in exposure order; the first entry whose (MatchBits,
+// IgnoreBits, Src) accepts the inbound operation wins.
+type Region struct {
+	MatchBits uint64
+	// IgnoreBits masks bits out of the match comparison (Portals ME
+	// ignore bits); a region with all bits ignored is a wildcard.
+	IgnoreBits uint64
+	// SrcMatch, when true, restricts the region to messages from Src.
+	SrcMatch bool
+	Src      network.NodeID
+	// UseOnce unlinks the region after its first match (PTL_ME_USE_ONCE).
+	UseOnce bool
+	// Counter, when non-nil, is incremented once per completed delivery —
+	// how PGAS-style target-side notification is built (§4.2.5).
+	Counter *sim.Counter
+	// OnDelivery, when non-nil, observes each delivery after the counter
+	// bump (data landing, poll-flag setting, etc.).
+	OnDelivery func(d Delivery)
+	// ReadBack, when non-nil, serves OpGet requests for this region.
+	ReadBack func(size int64) any
+	// ApplyAtomic, when non-nil, serves OpAtomic/OpFetchAtomic requests:
+	// it applies the operation to the region's storage and returns the
+	// prior value. Atomic operations to regions without it panic.
+	ApplyAtomic func(op AtomicOp, operand any) (prior any)
+}
+
+// accepts reports whether the region matches an inbound operation.
+func (r *Region) accepts(matchBits uint64, src network.NodeID) bool {
+	if (r.MatchBits &^ r.IgnoreBits) != (matchBits &^ r.IgnoreBits) {
+		return false
+	}
+	if r.SrcMatch && r.Src != src {
+		return false
+	}
+	return true
+}
+
+// LookupModel abstracts the trigger-list tag-match hardware (§3.3): the
+// associative CAM the prototype uses, a hash table, or a linked-list walk.
+type LookupModel interface {
+	// MatchLatency returns the cost of locating a tag given the current
+	// list length and the (0-based) position at which the tag was found
+	// (position == listLen means a miss / full scan).
+	MatchLatency(listLen, position int) sim.Time
+	// Name identifies the model in benchmark output.
+	Name() string
+}
+
+// AssociativeLookup is the constant-time CAM match the paper's prototype
+// adopts for ≤16 simultaneously active entries.
+type AssociativeLookup struct{ Latency sim.Time }
+
+// MatchLatency implements LookupModel.
+func (a AssociativeLookup) MatchLatency(listLen, position int) sim.Time { return a.Latency }
+
+// Name implements LookupModel.
+func (a AssociativeLookup) Name() string { return "associative" }
+
+// HashLookup models a hash-table structure: constant probe cost slightly
+// above the CAM, independent of list length.
+type HashLookup struct{ Latency sim.Time }
+
+// MatchLatency implements LookupModel.
+func (h HashLookup) MatchLatency(listLen, position int) sim.Time { return h.Latency }
+
+// Name implements LookupModel.
+func (h HashLookup) Name() string { return "hash" }
+
+// LinkedListLookup models the naive linked-list traversal: cost grows with
+// the position of the matching entry.
+type LinkedListLookup struct{ PerEntry sim.Time }
+
+// MatchLatency implements LookupModel.
+func (l LinkedListLookup) MatchLatency(listLen, position int) sim.Time {
+	return sim.Time(position+1) * l.PerEntry
+}
+
+// Name implements LookupModel.
+func (l LinkedListLookup) Name() string { return "linked-list" }
+
+// DynamicWrite is an extended trigger write carrying optional override
+// fields computed on the GPU (§3.4 "GPU-TN and Dynamic Communication"):
+// instead of merely writing a tag, the kernel can contribute the target
+// node, the transfer size, or the remote match bits. Each present field
+// costs the GPU an additional system-scope store; the last write's
+// overrides win if several arrive for the same entry.
+type DynamicWrite struct {
+	Tag uint64
+
+	HasTarget bool
+	Target    network.NodeID
+
+	HasSize bool
+	Size    int64
+
+	HasMatchBits bool
+	MatchBits    uint64
+}
+
+// Fields reports how many override fields are present (the GPU-side
+// divergence/store cost is proportional to this).
+func (w DynamicWrite) Fields() int {
+	n := 0
+	if w.HasTarget {
+		n++
+	}
+	if w.HasSize {
+		n++
+	}
+	if w.HasMatchBits {
+		n++
+	}
+	return n
+}
+
+// triggerEntry is one row of the trigger list (Figure 5).
+type triggerEntry struct {
+	tag       uint64
+	counter   int64
+	threshold int64
+	op        *Command
+	hasOp     bool
+	fired     bool
+	// overrides accumulates dynamic fields from trigger writes (§3.4).
+	overrides DynamicWrite
+}
+
+// wireMeta travels inside fabric messages.
+type wireMeta struct {
+	kind      OpKind
+	matchBits uint64
+	data      any
+	// get / fetch-atomic support
+	replyMatch uint64
+	reqSize    int64
+	// atomic support
+	atomicOp AtomicOp
+	fetch    bool
+}
+
+// Stats aggregates NIC observability counters.
+type Stats struct {
+	CommandsExecuted  int64
+	TriggerWrites     int64
+	TriggerFires      int64
+	PlaceholdersMade  int64
+	ImmediateFires    int64 // fired at registration time (relaxed sync)
+	DynamicFires      int64 // fires with GPU-provided overrides (§3.4)
+	DeliveredMessages int64
+	DroppedTriggers   int64 // FIFO overflow (bounded-FIFO configs only)
+}
+
+// NIC is one node's network interface.
+type NIC struct {
+	eng    *sim.Engine
+	cfg    config.NICConfig
+	id     network.NodeID
+	fabric network.Transport
+
+	cmdQ     *sim.Queue[*Command]
+	trigFIFO *sim.Queue[DynamicWrite]
+	entries  []*triggerEntry
+	regions  []*Region
+	lookup   LookupModel
+
+	// ioBusLatency is added to doorbell/trigger MMIO paths for the
+	// discrete-GPU ablation; zero in the coherent-APU default.
+	ioBusLatency sim.Time
+
+	// replySeq generates unique reply match bits for outstanding gets.
+	replySeq uint64
+
+	stats Stats
+}
+
+// New creates a NIC bound to a fabric port and starts its internal
+// command and trigger pipelines.
+func New(eng *sim.Engine, cfg config.NICConfig, id network.NodeID, fabric network.Transport) *NIC {
+	n := &NIC{
+		eng:      eng,
+		cfg:      cfg,
+		id:       id,
+		fabric:   fabric,
+		cmdQ:     sim.NewQueue[*Command](eng),
+		trigFIFO: sim.NewQueue[DynamicWrite](eng),
+		lookup:   AssociativeLookup{Latency: cfg.TriggerMatchLatency},
+	}
+	fabric.Bind(id, n.deliver)
+	eng.Go(fmt.Sprintf("nic.%d.cmd", id), n.runCommands)
+	eng.Go(fmt.Sprintf("nic.%d.trig", id), n.runTriggers)
+	return n
+}
+
+// ID returns the NIC's fabric port.
+func (n *NIC) ID() network.NodeID { return n.id }
+
+// Stats returns a snapshot of the NIC's counters.
+func (n *NIC) Stats() Stats { return n.stats }
+
+// SetLookupModel replaces the trigger-list match hardware (ablation hook).
+func (n *NIC) SetLookupModel(m LookupModel) { n.lookup = m }
+
+// SetIOBusLatency configures the extra MMIO hop of a discrete-GPU system.
+func (n *NIC) SetIOBusLatency(d sim.Time) { n.ioBusLatency = d }
+
+// ExposeRegion appends a target-side region to the match list (the
+// Portals priority list). Earlier regions win ties.
+func (n *NIC) ExposeRegion(r *Region) {
+	n.regions = append(n.regions, r)
+}
+
+// matchRegion locates (and, for use-once entries, unlinks) the first
+// region accepting the operation. It returns nil when nothing matches.
+func (n *NIC) matchRegion(matchBits uint64, src network.NodeID) *Region {
+	for i, r := range n.regions {
+		if r.accepts(matchBits, src) {
+			if r.UseOnce {
+				n.regions = append(n.regions[:i], n.regions[i+1:]...)
+			}
+			return r
+		}
+	}
+	return nil
+}
+
+// PostCommand rings the NIC doorbell with a staged command. The caller
+// pays the MMIO doorbell cost; execution proceeds asynchronously on the
+// NIC. This is the path HDN and GDS use to send, and the path GPU-TN's
+// trigger entries use when they fire.
+func (n *NIC) PostCommand(p *sim.Proc, c *Command) {
+	p.Sleep(n.cfg.DoorbellLatency + n.ioBusLatency)
+	n.cmdQ.Push(c)
+}
+
+// PostCommandAsync enqueues a command without a calling process (used by
+// NIC-internal logic such as trigger fires, which already paid their way).
+func (n *NIC) PostCommandAsync(c *Command) {
+	n.cmdQ.Push(c)
+}
+
+// RingDoorbell models an MMIO doorbell write from an agent that should not
+// block on it (e.g. the GPU front-end ringing a GDS network-initiation
+// point): the command lands on the NIC after the doorbell flight time.
+func (n *NIC) RingDoorbell(c *Command) {
+	n.eng.After(n.cfg.DoorbellLatency+n.ioBusLatency, func() { n.cmdQ.Push(c) })
+}
+
+// TriggerWrite is the GPU's memory-mapped store of a tag to the trigger
+// address (§3.1 step 3). The caller (a GPU work-item model) pays its own
+// store cost; the write lands in the NIC's trigger FIFO after the MMIO
+// flight time.
+func (n *NIC) TriggerWrite(tag uint64) {
+	n.TriggerWriteDynamic(DynamicWrite{Tag: tag})
+}
+
+// TriggerWriteDynamic is the §3.4 extension of TriggerWrite: the write
+// additionally carries GPU-computed override fields that the NIC applies
+// to the staged operation when the entry fires.
+func (n *NIC) TriggerWriteDynamic(w DynamicWrite) {
+	n.stats.TriggerWrites++
+	lat := n.cfg.DoorbellLatency + n.ioBusLatency
+	n.eng.After(lat, func() {
+		if n.cfg.TriggerFIFODepth > 0 && n.trigFIFO.Len() >= n.cfg.TriggerFIFODepth {
+			// A bounded FIFO applies backpressure in real hardware; the
+			// model counts the event and drops, and tests assert this
+			// never happens in the evaluated configurations.
+			n.stats.DroppedTriggers++
+			return
+		}
+		n.trigFIFO.Push(w)
+	})
+}
+
+// RegisterTriggered registers a triggered operation (§3.1 step 1): the
+// staged command op will launch once the entry's counter reaches
+// threshold. Under relaxed synchronization the GPU may already have
+// written the tag; if the placeholder's counter satisfies the threshold
+// the operation launches immediately (§3.2).
+func (n *NIC) RegisterTriggered(p *sim.Proc, tag uint64, threshold int64, op *Command) error {
+	if threshold <= 0 {
+		return fmt.Errorf("nic: threshold must be positive, got %d", threshold)
+	}
+	if op == nil {
+		return fmt.Errorf("nic: nil triggered operation")
+	}
+	// Host-side registration cost: a command write to the NIC.
+	p.Sleep(n.cfg.DoorbellLatency + n.cfg.CommandLatency)
+
+	if e := n.findEntry(tag); e != nil {
+		if e.hasOp && !e.fired {
+			return fmt.Errorf("nic: tag %d already has a pending operation", tag)
+		}
+		if e.fired {
+			// Entry was consumed; treat as fresh registration reusing the slot.
+			e.counter, e.fired = 0, false
+			e.overrides = DynamicWrite{}
+		}
+		e.op, e.threshold, e.hasOp = op, threshold, true
+		if e.counter >= e.threshold {
+			n.stats.ImmediateFires++
+			n.fire(e)
+		}
+		return nil
+	}
+	if n.activeEntries() >= n.cfg.MaxTriggerEntries {
+		return fmt.Errorf("nic: trigger list full (%d active entries)", n.cfg.MaxTriggerEntries)
+	}
+	n.entries = append(n.entries, &triggerEntry{tag: tag, threshold: threshold, op: op, hasOp: true})
+	return nil
+}
+
+// TriggerListLen reports the number of allocated trigger entries.
+func (n *NIC) TriggerListLen() int { return len(n.entries) }
+
+func (n *NIC) activeEntries() int {
+	c := 0
+	for _, e := range n.entries {
+		if !e.fired {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *NIC) findEntry(tag uint64) *triggerEntry {
+	for _, e := range n.entries {
+		if e.tag == tag {
+			return e
+		}
+	}
+	return nil
+}
+
+// runTriggers is the trigger-list pipeline: pop tag writes from the FIFO,
+// match, count, and fire (Figure 4 steps 3-4).
+func (n *NIC) runTriggers(p *sim.Proc) {
+	for {
+		w := n.trigFIFO.Pop(p)
+		pos := len(n.entries)
+		for i, e := range n.entries {
+			if e.tag == w.Tag {
+				pos = i
+				break
+			}
+		}
+		p.Sleep(n.lookup.MatchLatency(len(n.entries), pos))
+		e := n.findEntry(w.Tag)
+		if e == nil {
+			// Relaxed synchronization: allocate a placeholder (§3.2).
+			if n.activeEntries() >= n.cfg.MaxTriggerEntries {
+				n.stats.DroppedTriggers++
+				continue
+			}
+			e = &triggerEntry{tag: w.Tag, counter: 1}
+			n.entries = append(n.entries, e)
+			n.stats.PlaceholdersMade++
+			e.mergeOverrides(w)
+			continue
+		}
+		e.counter++
+		e.mergeOverrides(w)
+		if e.hasOp && !e.fired && e.counter >= e.threshold {
+			n.fire(e)
+		}
+	}
+}
+
+// mergeOverrides folds a dynamic write's fields into the entry
+// (last-writer-wins per field, §3.4).
+func (e *triggerEntry) mergeOverrides(w DynamicWrite) {
+	if w.HasTarget {
+		e.overrides.HasTarget, e.overrides.Target = true, w.Target
+	}
+	if w.HasSize {
+		e.overrides.HasSize, e.overrides.Size = true, w.Size
+	}
+	if w.HasMatchBits {
+		e.overrides.HasMatchBits, e.overrides.MatchBits = true, w.MatchBits
+	}
+}
+
+// fire launches a satisfied trigger entry's operation, applying any
+// GPU-provided dynamic overrides to the staged command.
+func (n *NIC) fire(e *triggerEntry) {
+	e.fired = true
+	n.stats.TriggerFires++
+	op := e.op
+	if e.overrides.Fields() > 0 {
+		dyn := *op // the NIC patches a copy of the staged descriptor
+		if e.overrides.HasTarget {
+			dyn.Target = e.overrides.Target
+		}
+		if e.overrides.HasSize {
+			dyn.Size = e.overrides.Size
+		}
+		if e.overrides.HasMatchBits {
+			dyn.MatchBits = e.overrides.MatchBits
+		}
+		n.stats.DynamicFires++
+		op = &dyn
+	}
+	n.cmdQ.Push(op)
+}
+
+// runCommands executes staged commands: parse, DMA the payload, inject
+// into the fabric, and signal local completion.
+func (n *NIC) runCommands(p *sim.Proc) {
+	for {
+		c := n.cmdQ.Pop(p)
+		p.Sleep(n.cfg.CommandLatency)
+		switch c.Kind {
+		case OpPut:
+			n.execPut(p, c)
+		case OpGet:
+			n.execGet(p, c)
+		case OpAtomic, OpFetchAtomic:
+			n.execAtomic(p, c)
+		default:
+			panic(fmt.Sprintf("nic: unknown op kind %v", c.Kind))
+		}
+		n.stats.CommandsExecuted++
+	}
+}
+
+func (n *NIC) execPut(p *sim.Proc, c *Command) {
+	// DMA-read the send buffer from memory.
+	p.Sleep(n.cfg.DMAStartup + sim.BytesAtGbps(c.Size, n.cfg.DMAGBps*8))
+	data := c.Data
+	if f, ok := data.(Deferred); ok {
+		data = f() // buffer contents are read at DMA time
+	}
+	n.fabric.Send(&network.Message{
+		Src:  n.id,
+		Dst:  c.Target,
+		Size: c.Size,
+		Kind: "put",
+		Payload: &wireMeta{
+			kind:      OpPut,
+			matchBits: c.MatchBits,
+			data:      data,
+		},
+	})
+	// Local completion: buffer is reusable once the DMA read finished.
+	n.complete(c)
+}
+
+func (n *NIC) execGet(p *sim.Proc, c *Command) {
+	// A get sends a small request; the reply carries the data. The reply
+	// is routed back to a NIC-internal region with a unique key, so
+	// concurrent gets against the same remote match bits cannot collide.
+	n.replySeq++
+	replyMatch := 0x4752455400000000 | n.replySeq
+	done := c
+	n.ExposeRegion(&Region{
+		MatchBits: replyMatch,
+		UseOnce:   true,
+		OnDelivery: func(d Delivery) {
+			done.Data = d.Data
+			n.complete(done)
+		},
+	})
+	n.fabric.Send(&network.Message{
+		Src:  n.id,
+		Dst:  c.Target,
+		Size: 32, // request header only
+		Kind: "get_req",
+		Payload: &wireMeta{
+			kind:       OpGet,
+			matchBits:  c.MatchBits,
+			replyMatch: replyMatch,
+			reqSize:    c.Size,
+		},
+	})
+}
+
+func (n *NIC) complete(c *Command) {
+	n.eng.After(n.cfg.CompletionWriteLatency, func() {
+		if c.LocalCompletion != nil {
+			c.LocalCompletion.Add(1)
+		}
+		if c.OnLocalComplete != nil {
+			c.OnLocalComplete()
+		}
+	})
+}
+
+// deliver is the fabric handler: an inbound message has fully arrived.
+func (n *NIC) deliver(m *network.Message) {
+	meta, ok := m.Payload.(*wireMeta)
+	if !ok {
+		panic(fmt.Sprintf("nic %d: foreign payload %T", n.id, m.Payload))
+	}
+	switch m.Kind {
+	case "put":
+		n.deliverPut(m, meta)
+	case "get_req":
+		n.serveGet(m, meta)
+	case "atomic":
+		n.serveAtomic(m, meta)
+	default:
+		panic(fmt.Sprintf("nic %d: unknown message kind %q", n.id, m.Kind))
+	}
+}
+
+func (n *NIC) deliverPut(m *network.Message, meta *wireMeta) {
+	r := n.matchRegion(meta.matchBits, m.Src)
+	if r == nil {
+		panic(fmt.Sprintf("nic %d: put to unmatched match bits %#x from %d", n.id, meta.matchBits, m.Src))
+	}
+	// DMA-write into target memory, then raise target-side notification.
+	dmaDone := n.cfg.DMAStartup + sim.BytesAtGbps(m.Size, n.cfg.DMAGBps*8)
+	src, size, data := m.Src, m.Size, meta.data
+	n.eng.After(dmaDone, func() {
+		n.stats.DeliveredMessages++
+		if r.Counter != nil {
+			r.Counter.Add(1)
+		}
+		if r.OnDelivery != nil {
+			r.OnDelivery(Delivery{Kind: OpPut, From: src, MatchBits: meta.matchBits, Size: size, Data: data, At: n.eng.Now()})
+		}
+	})
+}
+
+func (n *NIC) serveGet(m *network.Message, meta *wireMeta) {
+	r := n.matchRegion(meta.matchBits, m.Src)
+	if r == nil {
+		panic(fmt.Sprintf("nic %d: get from unmatched match bits %#x", n.id, meta.matchBits))
+	}
+	var data any
+	if r.ReadBack != nil {
+		data = r.ReadBack(meta.reqSize)
+	}
+	// DMA-read the region, then send the reply.
+	dma := n.cfg.DMAStartup + sim.BytesAtGbps(meta.reqSize, n.cfg.DMAGBps*8)
+	src := m.Src
+	n.eng.After(dma, func() {
+		n.stats.DeliveredMessages++
+		if r.Counter != nil {
+			r.Counter.Add(1)
+		}
+		if r.OnDelivery != nil {
+			r.OnDelivery(Delivery{Kind: OpGet, From: src, MatchBits: meta.matchBits, Size: meta.reqSize, Data: data, At: n.eng.Now()})
+		}
+		n.fabric.Send(&network.Message{
+			Src:  n.id,
+			Dst:  src,
+			Size: meta.reqSize,
+			Kind: "put",
+			Payload: &wireMeta{
+				kind:      OpPut,
+				matchBits: meta.replyMatch,
+				data:      data,
+			},
+		})
+	})
+}
+
+// execAtomic issues an OpAtomic/OpFetchAtomic: a small wire message
+// carrying the operand. Fetch variants expose a use-once reply region
+// exactly like gets.
+func (n *NIC) execAtomic(p *sim.Proc, c *Command) {
+	p.Sleep(n.cfg.DMAStartup + sim.BytesAtGbps(c.Size, n.cfg.DMAGBps*8))
+	operand := c.Data
+	if f, ok := operand.(Deferred); ok {
+		operand = f()
+	}
+	meta := &wireMeta{
+		kind:      c.Kind,
+		matchBits: c.MatchBits,
+		data:      operand,
+		atomicOp:  c.Atomic,
+		fetch:     c.Kind == OpFetchAtomic,
+		reqSize:   c.Size,
+	}
+	if meta.fetch {
+		n.replySeq++
+		meta.replyMatch = 0x4641455400000000 | n.replySeq
+		done := c
+		n.ExposeRegion(&Region{
+			MatchBits: meta.replyMatch,
+			UseOnce:   true,
+			OnDelivery: func(d Delivery) {
+				done.Data = d.Data
+				n.complete(done)
+			},
+		})
+	}
+	n.fabric.Send(&network.Message{
+		Src: n.id, Dst: c.Target, Size: c.Size, Kind: "atomic", Payload: meta,
+	})
+	if !meta.fetch {
+		// Plain atomics complete locally once the operand is on the wire.
+		n.complete(c)
+	}
+}
+
+// serveAtomic applies an inbound atomic to the matched region and, for
+// fetch variants, replies with the prior value.
+func (n *NIC) serveAtomic(m *network.Message, meta *wireMeta) {
+	r := n.matchRegion(meta.matchBits, m.Src)
+	if r == nil {
+		panic(fmt.Sprintf("nic %d: atomic to unmatched match bits %#x", n.id, meta.matchBits))
+	}
+	if r.ApplyAtomic == nil {
+		panic(fmt.Sprintf("nic %d: atomic to region %#x without ApplyAtomic", n.id, r.MatchBits))
+	}
+	dma := n.cfg.DMAStartup + sim.BytesAtGbps(m.Size, n.cfg.DMAGBps*8)
+	src := m.Src
+	n.eng.After(dma, func() {
+		n.stats.DeliveredMessages++
+		prior := r.ApplyAtomic(meta.atomicOp, meta.data)
+		if r.Counter != nil {
+			r.Counter.Add(1)
+		}
+		if r.OnDelivery != nil {
+			r.OnDelivery(Delivery{Kind: meta.kind, From: src, MatchBits: meta.matchBits, Size: m.Size, Data: meta.data, At: n.eng.Now()})
+		}
+		if meta.fetch {
+			n.fabric.Send(&network.Message{
+				Src: n.id, Dst: src, Size: meta.reqSize, Kind: "put",
+				Payload: &wireMeta{kind: OpPut, matchBits: meta.replyMatch, data: prior},
+			})
+		}
+	})
+}
+
+// ApplyAtomicInt64 is a ready-made ApplyAtomic implementation over an
+// int64 cell.
+func ApplyAtomicInt64(cell *int64) func(op AtomicOp, operand any) any {
+	return func(op AtomicOp, operand any) any {
+		prior := *cell
+		v := operand.(int64)
+		switch op {
+		case AtomicSum:
+			*cell += v
+		case AtomicMin:
+			if v < *cell {
+				*cell = v
+			}
+		case AtomicMax:
+			if v > *cell {
+				*cell = v
+			}
+		case AtomicSwap:
+			*cell = v
+		default:
+			panic(fmt.Sprintf("nic: unsupported atomic op %v", op))
+		}
+		return prior
+	}
+}
+
+// ApplyAtomicFloat64 is a ready-made ApplyAtomic implementation over a
+// float64 cell.
+func ApplyAtomicFloat64(cell *float64) func(op AtomicOp, operand any) any {
+	return func(op AtomicOp, operand any) any {
+		prior := *cell
+		v := operand.(float64)
+		switch op {
+		case AtomicSum:
+			*cell += v
+		case AtomicMin:
+			if v < *cell {
+				*cell = v
+			}
+		case AtomicMax:
+			if v > *cell {
+				*cell = v
+			}
+		case AtomicSwap:
+			*cell = v
+		default:
+			panic(fmt.Sprintf("nic: unsupported atomic op %v", op))
+		}
+		return prior
+	}
+}

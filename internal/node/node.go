@@ -1,0 +1,125 @@
+// Package node composes the simulated subsystems — host CPU, GPU, RDMA NIC
+// with GPU-TN trigger hardware, and the Portals-style runtime — into nodes,
+// and wires nodes into a cluster over the star-topology fabric.
+package node
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/gpu"
+	"repro/internal/memsys"
+	"repro/internal/network"
+	"repro/internal/nic"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// Node is one compute node: a coherent APU (CPU+GPU sharing system memory,
+// §5.1) attached to an RDMA NIC.
+type Node struct {
+	Index int
+	Eng   *sim.Engine
+	Cfg   config.SystemConfig
+
+	CPU *cpu.CPU
+	GPU *gpu.GPU
+	NIC *nic.NIC
+	Ptl *portals.Runtime
+
+	HostMem *memsys.Hierarchy
+	GPUMem  *memsys.Hierarchy
+}
+
+// Cluster is a set of nodes on one fabric.
+type Cluster struct {
+	Eng    *sim.Engine
+	Cfg    config.SystemConfig
+	Fabric network.Transport
+	Nodes  []*Node
+}
+
+// NewCluster builds an n-node cluster from the configuration. The
+// configuration is validated; experiment drivers pass mutated presets.
+// The topology is selected by cfg.Network.Topology: the Table 2 star by
+// default, or a two-level tree with cfg.Network.TreeLeafSize nodes per
+// leaf switch.
+func NewCluster(cfg config.SystemConfig, n int) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("node: %v", err))
+	}
+	if n < 1 {
+		panic("node: cluster needs at least one node")
+	}
+	eng := sim.NewEngine()
+	var fab network.Transport
+	switch cfg.Network.Topology {
+	case config.TopologyStar, "":
+		fab = network.NewFabric(eng, cfg.Network, n)
+	case config.TopologyTree:
+		fab = network.NewTreeFabric(eng, cfg.Network, n, cfg.Network.TreeLeafSize)
+	default:
+		panic(fmt.Sprintf("node: unknown topology %q", cfg.Network.Topology))
+	}
+	c := &Cluster{Eng: eng, Cfg: cfg, Fabric: fab}
+	for i := 0; i < n; i++ {
+		hostMem := memsys.FromCPU(cfg.CPU)
+		gpuMem := memsys.FromGPU(cfg.GPU, cfg.CPU)
+		nc := nic.New(eng, cfg.NIC, network.NodeID(i), fab)
+		if cfg.DiscreteGPU {
+			nc.SetIOBusLatency(cfg.IOBusLatency)
+		}
+		nd := &Node{
+			Index:   i,
+			Eng:     eng,
+			Cfg:     cfg,
+			CPU:     cpu.New(eng, cfg.CPU, hostMem),
+			GPU:     gpu.New(eng, cfg.GPU, gpuMem),
+			NIC:     nc,
+			Ptl:     portals.Init(eng, nc, i, n),
+			HostMem: hostMem,
+			GPUMem:  gpuMem,
+		}
+		c.Nodes = append(c.Nodes, nd)
+	}
+	return c
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.Nodes) }
+
+// Run drives the simulation until the event queue drains.
+func (c *Cluster) Run() { c.Eng.Run() }
+
+// RunUntil drives the simulation to the deadline.
+func (c *Cluster) RunUntil(t sim.Time) { c.Eng.RunUntil(t) }
+
+// GoEach spawns one host process per node (rank order), the common shape
+// of every experiment driver.
+func (c *Cluster) GoEach(name string, fn func(p *sim.Proc, nd *Node)) {
+	for _, nd := range c.Nodes {
+		nd := nd
+		c.Eng.Go(fmt.Sprintf("%s.%d", name, nd.Index), func(p *sim.Proc) { fn(p, nd) })
+	}
+}
+
+// StatsReport renders a per-node dump of the observability counters
+// (gem5-style end-of-run statistics): NIC command/trigger activity, GPU
+// dispatches, and fabric byte counts.
+func (c *Cluster) StatsReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster statistics @ %v\n", c.Eng.Now())
+	for _, nd := range c.Nodes {
+		ns := nd.NIC.Stats()
+		fmt.Fprintf(&b, "node %2d: kernels=%d nic{cmds=%d trigW=%d fires=%d dyn=%d placeholders=%d immediate=%d dropped=%d} net{sent=%dB recv=%dB msgs=%d}\n",
+			nd.Index, nd.GPU.KernelsLaunched(),
+			ns.CommandsExecuted, ns.TriggerWrites, ns.TriggerFires, ns.DynamicFires,
+			ns.PlaceholdersMade, ns.ImmediateFires, ns.DroppedTriggers,
+			c.Fabric.BytesSent(network.NodeID(nd.Index)),
+			c.Fabric.BytesDelivered(network.NodeID(nd.Index)),
+			c.Fabric.MessagesDelivered(network.NodeID(nd.Index)))
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package portals
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// Atomic issues a one-sided atomic operation against a remote atomic cell
+// (PtlAtomic). operand is an int64 or float64 matching the cell's type;
+// size models the wire payload (8 bytes for a scalar).
+func (r *Runtime) Atomic(p *sim.Proc, op nic.AtomicOp, operand any, size int64, target int, matchBits uint64, ct *CT) {
+	c := r.buildAtomic(nic.OpAtomic, op, operand, size, target, matchBits, ct)
+	r.nic.PostCommand(p, c)
+}
+
+// FetchAtomic issues a fetching atomic (PtlFetchAtomic): the prior value
+// of the remote cell is delivered to onPrior at local completion.
+func (r *Runtime) FetchAtomic(p *sim.Proc, op nic.AtomicOp, operand any, size int64, target int, matchBits uint64, ct *CT, onPrior func(any)) {
+	c := r.buildAtomic(nic.OpFetchAtomic, op, operand, size, target, matchBits, ct)
+	if onPrior != nil {
+		cc := c
+		c.OnLocalComplete = func() { onPrior(cc.Data) }
+	}
+	r.nic.PostCommand(p, c)
+}
+
+func (r *Runtime) buildAtomic(kind nic.OpKind, op nic.AtomicOp, operand any, size int64, target int, matchBits uint64, ct *CT) *nic.Command {
+	if target < 0 || target >= r.size || target == r.rank {
+		panic(fmt.Sprintf("portals: invalid atomic target %d from rank %d", target, r.rank))
+	}
+	if size <= 0 {
+		panic("portals: atomic size must be positive")
+	}
+	c := &nic.Command{
+		Kind:      kind,
+		Target:    network.NodeID(target),
+		MatchBits: matchBits,
+		Size:      size,
+		Data:      operand,
+		Atomic:    op,
+	}
+	if ct != nil {
+		c.LocalCompletion = ct.Raw()
+	}
+	return c
+}
+
+// TriggeredGet stages a get that launches when ct reaches threshold
+// (PtlTriggeredGet).
+func (r *Runtime) TriggeredGet(p *sim.Proc, md *MD, size int64, target int, matchBits uint64, ct *CT, threshold int64, onData func(any)) {
+	if target < 0 || target >= r.size || target == r.rank {
+		panic(fmt.Sprintf("portals: invalid triggered-get target %d", target))
+	}
+	c := &nic.Command{
+		Kind:      nic.OpGet,
+		Target:    network.NodeID(target),
+		MatchBits: matchBits,
+		Size:      size,
+	}
+	if md.CT != nil {
+		c.LocalCompletion = md.CT.Raw()
+	}
+	if onData != nil {
+		cc := c
+		c.OnLocalComplete = func() { onData(cc.Data) }
+	}
+	p.Sleep(50 * sim.Nanosecond)
+	n := r.nic
+	r.eng.Go(fmt.Sprintf("ptl.trigget.%d", r.rank), func(tp *sim.Proc) {
+		ct.Wait(tp, threshold)
+		n.PostCommandAsync(c)
+	})
+}
+
+// TriggeredAtomic stages an atomic that launches when ct reaches
+// threshold (PtlTriggeredAtomic).
+func (r *Runtime) TriggeredAtomic(p *sim.Proc, op nic.AtomicOp, operand any, size int64, target int, matchBits uint64, ct *CT, threshold int64) {
+	c := r.buildAtomic(nic.OpAtomic, op, operand, size, target, matchBits, nil)
+	p.Sleep(50 * sim.Nanosecond)
+	n := r.nic
+	r.eng.Go(fmt.Sprintf("ptl.trigatomic.%d", r.rank), func(tp *sim.Proc) {
+		ct.Wait(tp, threshold)
+		n.PostCommandAsync(c)
+	})
+}
+
+// TriggeredCTInc increments a counting event when another reaches a
+// threshold (PtlTriggeredCTInc) — the chaining primitive collective
+// offload schedules are built from.
+func (r *Runtime) TriggeredCTInc(p *sim.Proc, inc *CT, by int64, ct *CT, threshold int64) {
+	if by <= 0 {
+		panic("portals: TriggeredCTInc increment must be positive")
+	}
+	p.Sleep(50 * sim.Nanosecond)
+	r.eng.Go(fmt.Sprintf("ptl.trigctinc.%d", r.rank), func(tp *sim.Proc) {
+		ct.Wait(tp, threshold)
+		inc.Inc(by)
+	})
+}

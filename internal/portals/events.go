@@ -1,0 +1,191 @@
+package portals
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// EventKind enumerates full-event types, mirroring the Portals 4 event
+// list relevant to this model.
+type EventKind int
+
+const (
+	// EventSend: a locally initiated operation's send buffer is reusable.
+	EventSend EventKind = iota
+	// EventPut: a put landed in a local match entry.
+	EventPut
+	// EventGet: a local match entry served a remote get.
+	EventGet
+	// EventAtomic: a local match entry served a remote atomic.
+	EventAtomic
+	// EventReply: a get/fetch-atomic reply arrived for a local MD.
+	EventReply
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventSend:
+		return "SEND"
+	case EventPut:
+		return "PUT"
+	case EventGet:
+		return "GET"
+	case EventAtomic:
+		return "ATOMIC"
+	case EventReply:
+		return "REPLY"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one full event (PtlEQWait result).
+type Event struct {
+	Kind      EventKind
+	Initiator network.NodeID
+	MatchBits uint64
+	Size      int64
+	Data      any
+	At        sim.Time
+}
+
+// EQ is an event queue (PtlEQAlloc). Full events carry richer information
+// than counting events at higher bookkeeping cost — the trade-off Portals
+// exposes and GPU-TN's §4.2.4 completion flags deliberately avoid on the
+// GPU side.
+type EQ struct {
+	q        *sim.Queue[Event]
+	capacity int
+	dropped  int64
+}
+
+// EQAlloc allocates an event queue; capacity bounds buffered events
+// (0 = unbounded). Overflow drops events and counts them, mirroring
+// PTL_EQ_DROPPED semantics.
+func (r *Runtime) EQAlloc(capacity int) *EQ {
+	return &EQ{q: sim.NewQueue[Event](r.eng), capacity: capacity}
+}
+
+// post appends an event.
+func (e *EQ) post(ev Event) {
+	if e == nil {
+		return
+	}
+	if e.capacity > 0 && e.q.Len() >= e.capacity {
+		e.dropped++
+		return
+	}
+	e.q.Push(ev)
+}
+
+// Wait parks p until an event is available and returns it (PtlEQWait).
+func (e *EQ) Wait(p *sim.Proc) Event { return e.q.Pop(p) }
+
+// Poll returns an event without blocking (PtlEQGet).
+func (e *EQ) Poll() (Event, bool) { return e.q.TryPop() }
+
+// Pending reports buffered events.
+func (e *EQ) Pending() int { return e.q.Len() }
+
+// Dropped reports events lost to overflow.
+func (e *EQ) Dropped() int64 { return e.dropped }
+
+// MEOptions carries the extended match-entry semantics of Portals 4.
+type MEOptions struct {
+	// IgnoreBits masks bits out of match comparison.
+	IgnoreBits uint64
+	// SrcMatch restricts the entry to messages from Src.
+	SrcMatch bool
+	Src      int
+	// UseOnce unlinks the entry after one match.
+	UseOnce bool
+	// EQ, when non-nil, receives a full event per delivery.
+	EQ *EQ
+}
+
+// MEAppendEx exposes a match entry with full Portals options. The basic
+// MEAppend remains the common path for the paper's workloads.
+func (r *Runtime) MEAppendEx(me *ME, opts MEOptions) {
+	region := &nic.Region{
+		MatchBits:  me.MatchBits,
+		IgnoreBits: opts.IgnoreBits,
+		SrcMatch:   opts.SrcMatch,
+		Src:        network.NodeID(opts.Src),
+		UseOnce:    opts.UseOnce,
+		ReadBack:   me.ReadBack,
+	}
+	if me.CT != nil {
+		region.Counter = me.CT.Raw()
+	}
+	user := me.OnDelivery
+	eq := opts.EQ
+	region.OnDelivery = func(d nic.Delivery) {
+		if user != nil {
+			user(d)
+		}
+		kind := EventPut
+		switch d.Kind {
+		case nic.OpGet:
+			kind = EventGet
+		case nic.OpAtomic, nic.OpFetchAtomic:
+			kind = EventAtomic
+		}
+		eq.post(Event{
+			Kind: kind, Initiator: d.From, MatchBits: d.MatchBits,
+			Size: d.Size, Data: d.Data, At: d.At,
+		})
+	}
+	r.nic.ExposeRegion(region)
+}
+
+// AtomicCell is a host-memory cell served to remote atomics. Alloc with
+// NewAtomicCellInt64/Float64 and expose via MEAppendAtomic.
+type AtomicCell struct {
+	apply func(op nic.AtomicOp, operand any) any
+	read  func() any
+}
+
+// NewAtomicCellInt64 allocates an int64 atomic cell.
+func NewAtomicCellInt64(initial int64) *AtomicCell {
+	cell := initial
+	return &AtomicCell{
+		apply: nic.ApplyAtomicInt64(&cell),
+		read:  func() any { return cell },
+	}
+}
+
+// NewAtomicCellFloat64 allocates a float64 atomic cell.
+func NewAtomicCellFloat64(initial float64) *AtomicCell {
+	cell := initial
+	return &AtomicCell{
+		apply: nic.ApplyAtomicFloat64(&cell),
+		read:  func() any { return cell },
+	}
+}
+
+// Value returns the cell's current value.
+func (c *AtomicCell) Value() any { return c.read() }
+
+// MEAppendAtomic exposes an atomic cell at the given match bits; the
+// optional CT counts applied operations and the optional EQ receives
+// EventAtomic events.
+func (r *Runtime) MEAppendAtomic(matchBits uint64, cell *AtomicCell, ct *CT, eq *EQ) {
+	region := &nic.Region{
+		MatchBits:   matchBits,
+		ApplyAtomic: cell.apply,
+		ReadBack:    func(size int64) any { return cell.read() },
+	}
+	if ct != nil {
+		region.Counter = ct.Raw()
+	}
+	region.OnDelivery = func(d nic.Delivery) {
+		eq.post(Event{
+			Kind: EventAtomic, Initiator: d.From, MatchBits: d.MatchBits,
+			Size: d.Size, Data: d.Data, At: d.At,
+		})
+	}
+	r.nic.ExposeRegion(region)
+}

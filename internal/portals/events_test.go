@@ -1,0 +1,317 @@
+package portals
+
+import (
+	"testing"
+
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+func TestEventKindStrings(t *testing.T) {
+	want := map[EventKind]string{
+		EventSend: "SEND", EventPut: "PUT", EventGet: "GET",
+		EventAtomic: "ATOMIC", EventReply: "REPLY", EventKind(9): "EventKind(9)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestEQDeliversFullEvents(t *testing.T) {
+	w := newWorld(t, 2)
+	r0, r1 := w.rts[0], w.rts[1]
+	eq := r1.EQAlloc(0)
+	r1.MEAppendEx(&ME{MatchBits: 0xE0, Length: 1 << 16}, MEOptions{EQ: eq})
+	w.eng.Go("send", func(p *sim.Proc) {
+		md := r0.MDBind("b", 256, "payload", nil)
+		r0.Put(p, md, 256, 1, 0xE0)
+	})
+	var ev Event
+	w.eng.Go("recv", func(p *sim.Proc) {
+		ev = eq.Wait(p)
+	})
+	w.eng.Run()
+	if ev.Kind != EventPut || ev.Initiator != 0 || ev.Size != 256 || ev.Data != "payload" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.At <= 0 {
+		t.Fatal("event not timestamped")
+	}
+}
+
+func TestEQOverflowDrops(t *testing.T) {
+	w := newWorld(t, 2)
+	r0, r1 := w.rts[0], w.rts[1]
+	eq := r1.EQAlloc(2)
+	r1.MEAppendEx(&ME{MatchBits: 0xE0, Length: 1 << 16}, MEOptions{EQ: eq})
+	w.eng.Go("send", func(p *sim.Proc) {
+		md := r0.MDBind("b", 8, nil, nil)
+		for i := 0; i < 5; i++ {
+			r0.Put(p, md, 8, 1, 0xE0)
+		}
+	})
+	w.eng.Run()
+	if eq.Pending() != 2 {
+		t.Fatalf("pending = %d, want capacity 2", eq.Pending())
+	}
+	if eq.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", eq.Dropped())
+	}
+	if _, ok := eq.Poll(); !ok {
+		t.Fatal("Poll should return a buffered event")
+	}
+}
+
+func TestMEUseOnce(t *testing.T) {
+	w := newWorld(t, 2)
+	r0, r1 := w.rts[0], w.rts[1]
+	onceCT := r1.CTAlloc()
+	fallbackCT := r1.CTAlloc()
+	r1.MEAppendEx(&ME{MatchBits: 0xE1, Length: 64, CT: onceCT}, MEOptions{UseOnce: true})
+	r1.MEAppendEx(&ME{MatchBits: 0xE1, Length: 64, CT: fallbackCT}, MEOptions{})
+	w.eng.Go("send", func(p *sim.Proc) {
+		md := r0.MDBind("b", 8, nil, nil)
+		r0.Put(p, md, 8, 1, 0xE1)
+		r0.Put(p, md, 8, 1, 0xE1)
+		r0.Put(p, md, 8, 1, 0xE1)
+	})
+	w.eng.Run()
+	if onceCT.Value() != 1 {
+		t.Fatalf("use-once entry matched %d times", onceCT.Value())
+	}
+	if fallbackCT.Value() != 2 {
+		t.Fatalf("fallback matched %d times, want 2", fallbackCT.Value())
+	}
+}
+
+func TestMEIgnoreBitsWildcard(t *testing.T) {
+	w := newWorld(t, 2)
+	r0, r1 := w.rts[0], w.rts[1]
+	ct := r1.CTAlloc()
+	// Match any low byte under prefix 0xAB00.
+	r1.MEAppendEx(&ME{MatchBits: 0xAB00, Length: 64, CT: ct}, MEOptions{IgnoreBits: 0xFF})
+	w.eng.Go("send", func(p *sim.Proc) {
+		md := r0.MDBind("b", 8, nil, nil)
+		r0.Put(p, md, 8, 1, 0xAB07)
+		r0.Put(p, md, 8, 1, 0xAB99)
+	})
+	w.eng.Run()
+	if ct.Value() != 2 {
+		t.Fatalf("wildcard matched %d, want 2", ct.Value())
+	}
+}
+
+func TestMESrcMatch(t *testing.T) {
+	w := newWorld(t, 3)
+	r2 := w.rts[2]
+	fromZero := r2.CTAlloc()
+	fromAny := r2.CTAlloc()
+	r2.MEAppendEx(&ME{MatchBits: 0xE2, Length: 64, CT: fromZero}, MEOptions{SrcMatch: true, Src: 0})
+	r2.MEAppendEx(&ME{MatchBits: 0xE2, Length: 64, CT: fromAny}, MEOptions{})
+	for _, src := range []int{0, 1} {
+		src := src
+		w.eng.Go("send", func(p *sim.Proc) {
+			md := w.rts[src].MDBind("b", 8, nil, nil)
+			w.rts[src].Put(p, md, 8, 2, 0xE2)
+		})
+	}
+	w.eng.Run()
+	if fromZero.Value() != 1 {
+		t.Fatalf("src-matched entry got %d", fromZero.Value())
+	}
+	if fromAny.Value() != 1 {
+		t.Fatalf("fallback entry got %d", fromAny.Value())
+	}
+}
+
+func TestAtomicSumAndFetch(t *testing.T) {
+	w := newWorld(t, 3)
+	r2 := w.rts[2]
+	cell := NewAtomicCellInt64(10)
+	appliedCT := r2.CTAlloc()
+	eq := r2.EQAlloc(0)
+	r2.MEAppendAtomic(0xAC, cell, appliedCT, eq)
+
+	var prior any
+	w.eng.Go("h0", func(p *sim.Proc) {
+		ct := w.rts[0].CTAlloc()
+		w.rts[0].Atomic(p, nic.AtomicSum, int64(5), 8, 2, 0xAC, ct)
+		ct.Wait(p, 1)
+	})
+	w.eng.Go("h1", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond) // after h0's sum
+		ct := w.rts[1].CTAlloc()
+		w.rts[1].FetchAtomic(p, nic.AtomicSwap, int64(100), 8, 2, 0xAC, ct, func(v any) { prior = v })
+		ct.Wait(p, 1)
+	})
+	w.eng.Run()
+	if cell.Value() != int64(100) {
+		t.Fatalf("cell = %v, want 100 after swap", cell.Value())
+	}
+	if prior != int64(15) {
+		t.Fatalf("prior = %v, want 15 (10+5)", prior)
+	}
+	if appliedCT.Value() != 2 {
+		t.Fatalf("applied = %d", appliedCT.Value())
+	}
+	ev, ok := eq.Poll()
+	if !ok || ev.Kind != EventAtomic {
+		t.Fatalf("expected ATOMIC event, got %+v ok=%v", ev, ok)
+	}
+}
+
+func TestAtomicMinMaxFloat(t *testing.T) {
+	w := newWorld(t, 2)
+	cell := NewAtomicCellFloat64(5.0)
+	w.rts[1].MEAppendAtomic(0xAD, cell, nil, nil)
+	w.eng.Go("h0", func(p *sim.Proc) {
+		ct := w.rts[0].CTAlloc()
+		w.rts[0].Atomic(p, nic.AtomicMin, 3.0, 8, 1, 0xAD, ct)
+		ct.Wait(p, 1)
+		w.rts[0].Atomic(p, nic.AtomicMin, 7.0, 8, 1, 0xAD, ct) // no-op
+		ct.Wait(p, 2)
+		w.rts[0].Atomic(p, nic.AtomicMax, 9.0, 8, 1, 0xAD, ct)
+		ct.Wait(p, 3)
+	})
+	w.eng.Run()
+	if cell.Value() != 9.0 {
+		t.Fatalf("cell = %v, want 9 (min(5,3)=3, min(3,7)=3, max(3,9)=9)", cell.Value())
+	}
+}
+
+func TestAtomicValidation(t *testing.T) {
+	w := newWorld(t, 2)
+	w.eng.Go("h", func(p *sim.Proc) {
+		for name, f := range map[string]func(){
+			"self target": func() { w.rts[0].Atomic(p, nic.AtomicSum, int64(1), 8, 0, 1, nil) },
+			"zero size":   func() { w.rts[0].Atomic(p, nic.AtomicSum, int64(1), 0, 1, 1, nil) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: expected panic", name)
+					}
+				}()
+				f()
+			}()
+		}
+	})
+	w.eng.Run()
+}
+
+func TestTriggeredGet(t *testing.T) {
+	w := newWorld(t, 2)
+	r0, r1 := w.rts[0], w.rts[1]
+	r1.MEAppend(&ME{MatchBits: 0xE5, Length: 1 << 16, ReadBack: func(size int64) any { return "served" }})
+	gate := r0.CTAlloc()
+	var got any
+	var gotAt sim.Time
+	w.eng.Go("h0", func(p *sim.Proc) {
+		md := r0.MDBind("dst", 1<<16, nil, nil)
+		r0.TriggeredGet(p, md, 64, 1, 0xE5, gate, 1, func(v any) { got = v; gotAt = w.eng.Now() })
+		p.Sleep(10 * sim.Microsecond)
+		gate.Inc(1) // fire
+	})
+	w.eng.Run()
+	if got != "served" {
+		t.Fatalf("got = %v", got)
+	}
+	if gotAt < 10*sim.Microsecond {
+		t.Fatalf("triggered get fired before its threshold: %v", gotAt)
+	}
+}
+
+func TestTriggeredAtomicChain(t *testing.T) {
+	// Recv -> triggered atomic: the offload pattern for reduction trees.
+	w := newWorld(t, 3)
+	r1 := w.rts[1]
+	cell := NewAtomicCellInt64(0)
+	w.rts[2].MEAppendAtomic(0xE6, cell, nil, nil)
+	inCT := r1.CTAlloc()
+	r1.MEAppend(&ME{MatchBits: 0xE7, Length: 64, CT: inCT})
+	w.eng.Go("h1", func(p *sim.Proc) {
+		// When a message arrives, atomically add 7 to node 2's cell.
+		r1.TriggeredAtomic(p, nic.AtomicSum, int64(7), 8, 2, 0xE6, inCT, 1)
+	})
+	w.eng.Go("h0", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		md := w.rts[0].MDBind("b", 8, nil, nil)
+		w.rts[0].Put(p, md, 8, 1, 0xE7)
+	})
+	w.eng.Run()
+	if cell.Value() != int64(7) {
+		t.Fatalf("cell = %v", cell.Value())
+	}
+}
+
+func TestTriggeredCTInc(t *testing.T) {
+	w := newWorld(t, 2)
+	r0 := w.rts[0]
+	a, b := r0.CTAlloc(), r0.CTAlloc()
+	w.eng.Go("h", func(p *sim.Proc) {
+		r0.TriggeredCTInc(p, b, 3, a, 2)
+		p.Sleep(sim.Microsecond)
+		a.Inc(1)
+		if b.Value() != 0 {
+			t.Error("fired early")
+		}
+		p.Sleep(sim.Microsecond)
+		a.Inc(1)
+		b.Wait(p, 3)
+	})
+	w.eng.Run()
+	if b.Value() != 3 {
+		t.Fatalf("b = %d", b.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive increment accepted")
+		}
+	}()
+	w2 := newWorld(t, 2)
+	w2.eng.Go("h", func(p *sim.Proc) { w2.rts[0].TriggeredCTInc(p, b, 0, a, 1) })
+	w2.eng.Run()
+}
+
+func TestMDSendAndReplyEvents(t *testing.T) {
+	w := newWorld(t, 2)
+	r0, r1 := w.rts[0], w.rts[1]
+	r1.MEAppend(&ME{MatchBits: 0xE8, Length: 1 << 16,
+		ReadBack: func(size int64) any { return "data" }})
+	eq := r0.EQAlloc(0)
+	w.eng.Go("h0", func(p *sim.Proc) {
+		md := r0.MDBind("b", 256, "payload", nil)
+		md.EQ = eq
+		r0.Put(p, md, 256, 1, 0xE8)
+		ev := eq.Wait(p)
+		if ev.Kind != EventSend || ev.Size != 256 {
+			t.Errorf("send event = %+v", ev)
+		}
+		r0.Get(p, md, 64, 1, 0xE8, nil)
+		ev = eq.Wait(p)
+		if ev.Kind != EventReply || ev.Data != "data" {
+			t.Errorf("reply event = %+v", ev)
+		}
+	})
+	w.eng.Run()
+}
+
+func TestMEGetEvent(t *testing.T) {
+	w := newWorld(t, 2)
+	r0, r1 := w.rts[0], w.rts[1]
+	eq := r1.EQAlloc(0)
+	r1.MEAppendEx(&ME{MatchBits: 0xE9, Length: 64,
+		ReadBack: func(size int64) any { return size }}, MEOptions{EQ: eq})
+	w.eng.Go("h0", func(p *sim.Proc) {
+		md := r0.MDBind("b", 64, nil, nil)
+		r0.Get(p, md, 48, 1, 0xE9, nil)
+	})
+	var ev Event
+	w.eng.Go("h1", func(p *sim.Proc) { ev = eq.Wait(p) })
+	w.eng.Run()
+	if ev.Kind != EventGet || ev.Size != 48 {
+		t.Fatalf("get event = %+v", ev)
+	}
+}

@@ -1,0 +1,284 @@
+// Package shmem implements an OpenSHMEM-flavored PGAS layer over the
+// one-sided substrate: a symmetric heap of named cells addressable on
+// every rank, put/get, atomics, wait-until polling, fence/quiet ordering,
+// and a barrier — the programming style §2.2 and §4.2.5 describe as the
+// natural fit for GPUs, and the interface family (CUDA-aware OpenSHMEM,
+// NVSHMEM) the paper positions GPU-TN against.
+//
+// Symmetric variables are allocated collectively (same name on every
+// rank) and addressed remotely by name, exactly like OpenSHMEM symmetric
+// heap objects.
+package shmem
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/nic"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// World is the collective handle: one PE (processing element) per node.
+type World struct {
+	pes []*PE
+}
+
+// PE is one rank's SHMEM context.
+type PE struct {
+	nd    *node.Node
+	world *World
+	vars  map[string]*symVar
+	// pending counts outstanding local completions for Quiet.
+	issued    int64
+	completed *portals.CT
+
+	barrier *barrierState
+}
+
+// symVar is one symmetric variable's local instance.
+type symVar struct {
+	name  string
+	size  int64
+	value any
+	// arrived counts remote puts/atomics into this instance.
+	arrived *portals.CT
+	changed *sim.Signal
+	cell    *portals.AtomicCell
+}
+
+// New creates a SHMEM world over a cluster.
+func New(c *node.Cluster) *World {
+	w := &World{}
+	for _, nd := range c.Nodes {
+		pe := &PE{
+			nd:        nd,
+			world:     w,
+			vars:      map[string]*symVar{},
+			completed: nd.Ptl.CTAlloc(),
+		}
+		w.pes = append(w.pes, pe)
+	}
+	for _, pe := range w.pes {
+		pe.barrier = newBarrierState(pe)
+	}
+	return w
+}
+
+// PE returns rank i's context.
+func (w *World) PE(i int) *PE { return w.pes[i] }
+
+// NPEs returns the world size.
+func (w *World) NPEs() int { return len(w.pes) }
+
+// Rank returns this PE's rank (shmem_my_pe).
+func (pe *PE) Rank() int { return pe.nd.Ptl.Rank() }
+
+// matchBitsFor derives a stable region address from a variable name.
+func matchBitsFor(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return 0x5348_0000_0000_0000 | (h.Sum64() >> 16)
+}
+
+// AllocSymmetric collectively allocates a named symmetric variable of the
+// given size with an initial value on every PE (shmem_malloc). It must be
+// called once per name, before any communication targeting it.
+func (w *World) AllocSymmetric(name string, size int64, initial any) {
+	mb := matchBitsFor(name)
+	for _, pe := range w.pes {
+		if _, dup := pe.vars[name]; dup {
+			panic(fmt.Sprintf("shmem: symmetric variable %q already allocated", name))
+		}
+		v := &symVar{
+			name:    name,
+			size:    size,
+			value:   initial,
+			arrived: pe.nd.Ptl.CTAlloc(),
+			changed: sim.NewSignal(pe.nd.Eng),
+		}
+		pe.vars[name] = v
+		vv := v
+		pe.nd.Ptl.MEAppend(&portals.ME{
+			MatchBits: mb,
+			Length:    size,
+			CT:        vv.arrived,
+			OnDelivery: func(d nic.Delivery) {
+				vv.value = d.Data
+				vv.changed.Broadcast()
+			},
+			ReadBack: func(int64) any { return vv.value },
+		})
+	}
+}
+
+// AllocSymmetricInt64 allocates a symmetric int64 supporting remote
+// atomics (shmem_long_atomic_*).
+func (w *World) AllocSymmetricInt64(name string, initial int64) {
+	mb := matchBitsFor(name)
+	for _, pe := range w.pes {
+		if _, dup := pe.vars[name]; dup {
+			panic(fmt.Sprintf("shmem: symmetric variable %q already allocated", name))
+		}
+		cell := portals.NewAtomicCellInt64(initial)
+		v := &symVar{
+			name:    name,
+			size:    8,
+			arrived: pe.nd.Ptl.CTAlloc(),
+			changed: sim.NewSignal(pe.nd.Eng),
+			cell:    cell,
+		}
+		pe.vars[name] = v
+		pe.nd.Ptl.MEAppendAtomic(mb, cell, v.arrived, nil)
+	}
+}
+
+func (pe *PE) lookup(name string) *symVar {
+	v := pe.vars[name]
+	if v == nil {
+		panic(fmt.Sprintf("shmem: unknown symmetric variable %q on PE %d", name, pe.Rank()))
+	}
+	return v
+}
+
+// Local returns this PE's instance of a symmetric variable.
+func (pe *PE) Local(name string) any {
+	v := pe.lookup(name)
+	if v.cell != nil {
+		return v.cell.Value()
+	}
+	return v.value
+}
+
+// SetLocal stores into this PE's instance directly (local store).
+func (pe *PE) SetLocal(name string, value any) {
+	v := pe.lookup(name)
+	if v.cell != nil {
+		panic("shmem: SetLocal on an atomic variable")
+	}
+	v.value = value
+	v.changed.Broadcast()
+}
+
+// Put writes value into the target PE's instance of the variable
+// (shmem_put). Asynchronous; order with Fence/Quiet.
+func (pe *PE) Put(p *sim.Proc, name string, value any, target int) {
+	v := pe.lookup(name)
+	if target == pe.Rank() {
+		pe.SetLocal(name, value)
+		return
+	}
+	md := pe.nd.Ptl.MDBind("shmem."+name, v.size, value, pe.completed)
+	pe.issued++
+	pe.nd.Ptl.Put(p, md, v.size, target, matchBitsFor(name))
+}
+
+// Get fetches the target PE's instance (shmem_get). Blocking.
+func (pe *PE) Get(p *sim.Proc, name string, target int) any {
+	v := pe.lookup(name)
+	if target == pe.Rank() {
+		return pe.Local(name)
+	}
+	done := pe.nd.Ptl.CTAlloc()
+	md := pe.nd.Ptl.MDBind("shmem.get."+name, v.size, nil, done)
+	var out any
+	pe.nd.Ptl.Get(p, md, v.size, target, matchBitsFor(name), func(data any) { out = data })
+	done.Wait(p, 1)
+	return out
+}
+
+// AtomicAdd atomically adds to the target's int64 instance
+// (shmem_long_atomic_add). Blocking until locally complete.
+func (pe *PE) AtomicAdd(p *sim.Proc, name string, delta int64, target int) {
+	v := pe.lookup(name)
+	if v.cell == nil && target != pe.Rank() {
+		panic(fmt.Sprintf("shmem: %q is not an atomic variable", name))
+	}
+	done := pe.nd.Ptl.CTAlloc()
+	pe.nd.Ptl.Atomic(p, nic.AtomicSum, delta, 8, target, matchBitsFor(name), done)
+	done.Wait(p, 1)
+}
+
+// FetchAdd atomically adds and returns the prior value
+// (shmem_long_atomic_fetch_add).
+func (pe *PE) FetchAdd(p *sim.Proc, name string, delta int64, target int) int64 {
+	done := pe.nd.Ptl.CTAlloc()
+	var prior int64
+	pe.nd.Ptl.FetchAtomic(p, nic.AtomicSum, delta, 8, target, matchBitsFor(name), done,
+		func(v any) { prior = v.(int64) })
+	done.Wait(p, 1)
+	return prior
+}
+
+// WaitUntil parks p until pred(local value) holds for this PE's instance
+// (shmem_wait_until) — the polling-on-variables notification §4.2.5
+// describes for PGAS languages.
+func (pe *PE) WaitUntil(p *sim.Proc, name string, pred func(any) bool) {
+	v := pe.lookup(name)
+	for {
+		cur := v.value
+		if v.cell != nil {
+			cur = v.cell.Value()
+		}
+		if pred(cur) {
+			return
+		}
+		if v.cell != nil {
+			// Atomic variables have no change signal; poll the arrival CT.
+			v.arrived.Wait(p, v.arrived.Value()+1)
+			continue
+		}
+		v.changed.Wait(p)
+	}
+}
+
+// Quiet parks p until every Put issued by this PE has locally completed
+// (shmem_quiet).
+func (pe *PE) Quiet(p *sim.Proc) {
+	pe.completed.Wait(p, pe.issued)
+}
+
+// Fence orders puts to each destination; on this in-order substrate it is
+// equivalent to a no-op, retained for API fidelity (shmem_fence).
+func (pe *PE) Fence(p *sim.Proc) {}
+
+// --- barrier ---
+
+type barrierState struct {
+	group int // barriers completed
+}
+
+func newBarrierState(pe *PE) *barrierState { return &barrierState{} }
+
+// BarrierAll synchronizes all PEs (shmem_barrier_all), built on an
+// atomic-counter rendezvous at PE 0 plus a broadcast flag — the "more
+// complex semantics built out of these primitives" of §4.2.5.
+func (w *World) BarrierAll(p *sim.Proc, pe *PE) {
+	n := len(w.pes)
+	pe.barrier.group++
+	gen := pe.barrier.group
+	counterName := "_shmem_barrier_count"
+	flagName := "_shmem_barrier_flag"
+	if pe.Rank() == 0 {
+		// PE 0 waits for everyone, then releases.
+		pe.WaitUntil(p, counterName, func(v any) bool { return v.(int64) >= int64(gen*(n-1)) })
+		for t := 1; t < n; t++ {
+			pe.Put(p, flagName, int64(gen), t)
+		}
+		pe.Quiet(p)
+		return
+	}
+	pe.AtomicAdd(p, counterName, 1, 0)
+	pe.WaitUntil(p, flagName, func(v any) bool {
+		x, ok := v.(int64)
+		return ok && x >= int64(gen)
+	})
+}
+
+// SetupBarrier allocates the symmetric state BarrierAll uses. Call once
+// after New, before any barrier.
+func (w *World) SetupBarrier() {
+	w.AllocSymmetricInt64("_shmem_barrier_count", 0)
+	w.AllocSymmetric("_shmem_barrier_flag", 8, int64(0))
+}

@@ -1,0 +1,211 @@
+package shmem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func newWorld(t testing.TB, n int) (*node.Cluster, *World) {
+	t.Helper()
+	c := node.NewCluster(config.Default(), n)
+	return c, New(c)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, w := newWorld(t, 2)
+	w.AllocSymmetric("x", 64, "initial")
+	c.Eng.Go("pe0", func(p *sim.Proc) {
+		pe := w.PE(0)
+		pe.Put(p, "x", "from-pe0", 1)
+		pe.Quiet(p)
+		if got := pe.Get(p, "x", 1); got != "from-pe0" {
+			t.Errorf("Get = %v", got)
+		}
+	})
+	c.Run()
+	if w.PE(1).Local("x") != "from-pe0" {
+		t.Fatalf("remote instance = %v", w.PE(1).Local("x"))
+	}
+	if w.PE(0).Local("x") != "initial" {
+		t.Fatal("local instance should be untouched")
+	}
+}
+
+func TestLocalPutShortCircuits(t *testing.T) {
+	c, w := newWorld(t, 2)
+	w.AllocSymmetric("x", 8, int64(0))
+	c.Eng.Go("pe0", func(p *sim.Proc) {
+		pe := w.PE(0)
+		pe.Put(p, "x", int64(7), 0)
+		if pe.Local("x") != int64(7) {
+			t.Error("local put not applied")
+		}
+		if pe.Get(p, "x", 0) != int64(7) {
+			t.Error("local get wrong")
+		}
+	})
+	c.Run()
+}
+
+func TestWaitUntilNotification(t *testing.T) {
+	// The §4.2.5 PGAS pattern: poll a symmetric flag set by a remote put.
+	c, w := newWorld(t, 2)
+	w.AllocSymmetric("flag", 8, int64(0))
+	var sawAt sim.Time
+	c.Eng.Go("consumer", func(p *sim.Proc) {
+		pe := w.PE(1)
+		pe.WaitUntil(p, "flag", func(v any) bool { return v.(int64) == 42 })
+		sawAt = p.Now()
+	})
+	c.Eng.Go("producer", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		w.PE(0).Put(p, "flag", int64(42), 1)
+	})
+	c.Run()
+	if sawAt < 5*sim.Microsecond {
+		t.Fatalf("woke at %v before the put", sawAt)
+	}
+}
+
+func TestAtomicAddAndFetchAdd(t *testing.T) {
+	c, w := newWorld(t, 4)
+	w.AllocSymmetricInt64("ctr", 100)
+	var priors []int64
+	done := sim.NewCounter(c.Eng)
+	for i := 1; i < 4; i++ {
+		i := i
+		c.Eng.Go(fmt.Sprintf("pe%d", i), func(p *sim.Proc) {
+			prior := w.PE(i).FetchAdd(p, "ctr", 10, 0)
+			priors = append(priors, prior)
+			done.Add(1)
+		})
+	}
+	c.Run()
+	if got := w.PE(0).Local("ctr"); got != int64(130) {
+		t.Fatalf("counter = %v, want 130", got)
+	}
+	// Priors must be distinct values from {100, 110, 120}.
+	seen := map[int64]bool{}
+	for _, pv := range priors {
+		if pv != 100 && pv != 110 && pv != 120 {
+			t.Fatalf("unexpected prior %d", pv)
+		}
+		if seen[pv] {
+			t.Fatalf("duplicate prior %d — atomicity violated", pv)
+		}
+		seen[pv] = true
+	}
+}
+
+func TestQuietWaitsForAllPuts(t *testing.T) {
+	c, w := newWorld(t, 2)
+	w.AllocSymmetric("x", 4096, nil)
+	var quietAt sim.Time
+	c.Eng.Go("pe0", func(p *sim.Proc) {
+		pe := w.PE(0)
+		for i := 0; i < 5; i++ {
+			pe.Put(p, "x", i, 1)
+		}
+		pe.Quiet(p)
+		quietAt = p.Now()
+	})
+	c.Run()
+	if quietAt == 0 {
+		t.Fatal("quiet never returned")
+	}
+	if w.PE(1).Local("x") != 4 {
+		t.Fatalf("final value = %v", w.PE(1).Local("x"))
+	}
+}
+
+func TestBarrierAll(t *testing.T) {
+	const n = 5
+	c, w := newWorld(t, n)
+	w.SetupBarrier()
+	enter := make([]sim.Time, n)
+	exit := make([]sim.Time, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Eng.Go(fmt.Sprintf("pe%d", i), func(p *sim.Proc) {
+			p.Sleep(sim.Time(i) * 4 * sim.Microsecond)
+			enter[i] = p.Now()
+			w.BarrierAll(p, w.PE(i))
+			exit[i] = p.Now()
+		})
+	}
+	c.Run()
+	var lastEnter sim.Time
+	for _, e := range enter {
+		if e > lastEnter {
+			lastEnter = e
+		}
+	}
+	for i, x := range exit {
+		if x < lastEnter {
+			t.Fatalf("PE %d exited at %v before last entry %v", i, x, lastEnter)
+		}
+	}
+}
+
+func TestBarrierAllReusable(t *testing.T) {
+	const n, episodes = 3, 3
+	c, w := newWorld(t, n)
+	w.SetupBarrier()
+	counts := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.Eng.Go(fmt.Sprintf("pe%d", i), func(p *sim.Proc) {
+			for e := 0; e < episodes; e++ {
+				p.Sleep(sim.Time(i+1) * sim.Microsecond)
+				w.BarrierAll(p, w.PE(i))
+				counts[i]++
+			}
+		})
+	}
+	c.Run()
+	for i, cnt := range counts {
+		if cnt != episodes {
+			t.Fatalf("PE %d completed %d barriers", i, cnt)
+		}
+	}
+}
+
+func TestAllocValidation(t *testing.T) {
+	_, w := newWorld(t, 2)
+	w.AllocSymmetric("dup", 8, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate alloc accepted")
+		}
+	}()
+	w.AllocSymmetric("dup", 8, nil)
+}
+
+func TestUnknownVariablePanics(t *testing.T) {
+	c, w := newWorld(t, 2)
+	c.Eng.Go("pe0", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown variable accepted")
+			}
+		}()
+		w.PE(0).Put(p, "nope", 1, 1)
+	})
+	c.Run()
+}
+
+func TestNPEsAndRank(t *testing.T) {
+	_, w := newWorld(t, 3)
+	if w.NPEs() != 3 {
+		t.Fatalf("NPEs = %d", w.NPEs())
+	}
+	for i := 0; i < 3; i++ {
+		if w.PE(i).Rank() != i {
+			t.Fatalf("PE(%d).Rank() = %d", i, w.PE(i).Rank())
+		}
+	}
+}

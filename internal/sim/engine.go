@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. The zero Event is invalid.
+type Event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// index into the heap, -1 when not queued.
+	index int
+	// cancelled events stay in the heap but are skipped when popped.
+	cancelled bool
+}
+
+// At reports the time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or been cancelled is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event simulator. It is not safe for
+// concurrent use; all model code runs on the engine's goroutine (process
+// goroutines are strictly hand-off scheduled, so at most one piece of model
+// code executes at any instant).
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// process bookkeeping
+	parked  chan procYield
+	nprocs  int
+	stopped bool
+
+	// Trace, when non-nil, receives a line per executed event. Used by
+	// determinism tests.
+	Trace func(t Time, label string)
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{parked: make(chan procYield)}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events in the queue, including cancelled
+// ones that have not yet been popped.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics:
+// causality violations are always model bugs.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	return e.schedule(at, "", fn)
+}
+
+// After runs fn after delay d from the current time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.schedule(e.now+d, "", fn)
+}
+
+// ScheduleNamed is Schedule with a label surfaced to Trace.
+func (e *Engine) ScheduleNamed(at Time, label string, fn func()) *Event {
+	return e.schedule(at, label, fn)
+}
+
+func (e *Engine) schedule(at Time, label string, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event function")
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, index: -1}
+	if e.Trace != nil && label != "" {
+		inner := fn
+		lbl := label
+		ev.fn = func() {
+			e.Trace(e.now, lbl)
+			inner()
+		}
+	} else {
+		ev.fn = fn
+	}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// step executes the next event. It reports false when the queue is empty.
+func (e *Engine) step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, leaving later events
+// queued, and advances the clock to deadline if the simulation outlived it.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		// Peek.
+		next := e.events[0]
+		if next.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }

@@ -1,0 +1,46 @@
+package sim
+
+import "testing"
+
+// FuzzBytesAtGbps checks serialization-time invariants: non-negative,
+// monotone in byte count, and never undershooting the exact rate.
+func FuzzBytesAtGbps(f *testing.F) {
+	f.Add(int64(64), 100.0)
+	f.Add(int64(0), 100.0)
+	f.Add(int64(1), 3.0)
+	f.Add(int64(1<<20), 400.0)
+	f.Fuzz(func(t *testing.T, n int64, gbps float64) {
+		if gbps <= 0 || gbps > 1e6 || n > 1<<40 {
+			return
+		}
+		got := BytesAtGbps(n, gbps)
+		if got < 0 {
+			t.Fatalf("negative serialization time %v", got)
+		}
+		if n <= 0 && got != 0 {
+			t.Fatalf("non-positive bytes gave %v", got)
+		}
+		if n > 0 {
+			exact := 8000 * float64(n) / gbps
+			if float64(got) < exact-1 {
+				t.Fatalf("undershoot: %v < %v", got, exact)
+			}
+			if n > 1 && BytesAtGbps(n-1, gbps) > got {
+				t.Fatalf("not monotone at n=%d", n)
+			}
+		}
+	})
+}
+
+// FuzzTimeString checks the formatter never panics and always returns
+// something non-empty for any time value.
+func FuzzTimeString(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(-1500))
+	f.Add(int64(1 << 62))
+	f.Fuzz(func(t *testing.T, v int64) {
+		if s := Time(v).String(); s == "" {
+			t.Fatal("empty formatting")
+		}
+	})
+}

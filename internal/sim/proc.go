@@ -1,0 +1,109 @@
+package sim
+
+import "fmt"
+
+// procYield is the message a process goroutine sends back to the engine
+// when it parks (blocks) or terminates.
+type procYield struct {
+	p        *Proc
+	done     bool
+	panicked any
+}
+
+// Proc is a simulated process: a goroutine whose execution is strictly
+// interleaved with the event loop. At most one process (or event callback)
+// runs at a time, so model code needs no locking and behaves
+// deterministically.
+//
+// A process blocks by calling one of the park-based primitives (Sleep,
+// Signal.Wait, Queue.Pop, ...). While parked it consumes no simulated time
+// beyond what the wakeup condition implies.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	dead   bool
+}
+
+// Name returns the label given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulation time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Go spawns a process. fn starts executing at the current simulation time,
+// after already-queued events at this time have run.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.nprocs++
+	go func() {
+		<-p.resume // wait for the first dispatch
+		var panicked any
+		func() {
+			defer func() { panicked = recover() }()
+			fn(p)
+		}()
+		p.dead = true
+		e.parked <- procYield{p: p, done: true, panicked: panicked}
+	}()
+	e.ScheduleNamed(e.now, "start:"+name, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch resumes p and blocks the engine until p parks or terminates.
+// It must only be called from the event loop (an event callback).
+func (e *Engine) dispatch(p *Proc) {
+	if p.dead {
+		return
+	}
+	p.resume <- struct{}{}
+	y := <-e.parked
+	if y.done {
+		e.nprocs--
+	}
+	if y.panicked != nil {
+		panic(fmt.Sprintf("sim: process %q panicked: %v", y.p.name, y.panicked))
+	}
+}
+
+// park suspends the calling process until the next dispatch.
+func (p *Proc) park() {
+	p.eng.parked <- procYield{p: p}
+	<-p.resume
+}
+
+// wake schedules a dispatch of p at the engine's current time. It is the
+// building block used by all synchronization primitives.
+func (p *Proc) wake(label string) {
+	e := p.eng
+	e.ScheduleNamed(e.now, label, func() { e.dispatch(p) })
+}
+
+// Sleep suspends the process for duration d of simulated time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		// Still yield, so that a zero-length sleep is a scheduling point.
+		p.wake("sleep0:" + p.name)
+		p.park()
+		return
+	}
+	e := p.eng
+	e.ScheduleNamed(e.now+d, "wake:"+p.name, func() { e.dispatch(p) })
+	p.park()
+}
+
+// SleepUntil suspends the process until absolute time t. If t is in the
+// past it panics.
+func (p *Proc) SleepUntil(t Time) {
+	p.Sleep(t - p.eng.Now())
+}
+
+// Yield reschedules the process at the current time, letting other
+// same-time events run first.
+func (p *Proc) Yield() { p.Sleep(0) }

@@ -1,0 +1,104 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine advances virtual time by executing events in (time, insertion
+// order). On top of the raw event queue it offers a process abstraction
+// (Proc) with cooperative, single-threaded scheduling, plus the usual DES
+// synchronization toolkit: signals, counters, FIFO queues, and resources.
+//
+// All simulated time is kept in integer picoseconds so that bandwidth
+// computations (e.g. 64 B at 100 Gb/s = 5.12 ns) stay exact and runs are
+// bit-for-bit reproducible.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, measured in picoseconds from the start
+// of the simulation. Durations use the same type; the arithmetic is ordinary
+// integer arithmetic.
+type Time int64
+
+// Common duration units, expressed in picoseconds.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000 * Picosecond
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable simulation time. It is used as an
+// "infinitely far in the future" sentinel.
+const MaxTime Time = 1<<63 - 1
+
+// Nanoseconds converts a floating-point nanosecond count to a Time,
+// rounding to the nearest picosecond.
+func Nanoseconds(ns float64) Time {
+	if ns < 0 {
+		return -Nanoseconds(-ns)
+	}
+	return Time(ns*1000 + 0.5)
+}
+
+// Microseconds converts a floating-point microsecond count to a Time.
+func Microseconds(us float64) Time { return Nanoseconds(us * 1000) }
+
+// Ns reports t as floating-point nanoseconds.
+func (t Time) Ns() float64 { return float64(t) / 1000 }
+
+// Us reports t as floating-point microseconds.
+func (t Time) Us() float64 { return float64(t) / 1e6 }
+
+// Ms reports t as floating-point milliseconds.
+func (t Time) Ms() float64 { return float64(t) / 1e9 }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e12 }
+
+// Duration converts t to a time.Duration, saturating on overflow.
+// Useful only for reporting; the simulator never consults wall-clock time.
+func (t Time) Duration() time.Duration {
+	const maxNs = int64(1<<63-1) / 1
+	ns := int64(t) / 1000
+	_ = maxNs
+	return time.Duration(ns) * time.Nanosecond
+}
+
+// String renders the time with an auto-selected unit, e.g. "3.2us".
+func (t Time) String() string {
+	switch {
+	case t == MaxTime:
+		return "+inf"
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.3gns", t.Ns())
+	case t < Millisecond:
+		return fmt.Sprintf("%.4gus", t.Us())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", t.Ms())
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// BytesAtGbps returns the serialization time of n bytes on a link of the
+// given rate in gigabits per second. The result is exact for integral
+// picosecond boundaries and rounds up otherwise (a byte is not on the wire
+// until all of it is).
+func BytesAtGbps(n int64, gbps float64) Time {
+	if n <= 0 || gbps <= 0 {
+		return 0
+	}
+	// n bytes = 8n bits; at gbps Gb/s the time is 8n/gbps ns = 8000n/gbps ps.
+	ps := 8000 * float64(n) / gbps
+	t := Time(ps)
+	if float64(t) < ps {
+		t++
+	}
+	return t
+}

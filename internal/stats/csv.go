@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// WriteSeriesCSV emits a set of series as CSV with one row per distinct X
+// (ascending) and one column per series; missing points are empty cells.
+func WriteSeriesCSV(w io.Writer, xlabel string, series []*Series) error {
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	cw := csv.NewWriter(w)
+	header := []string{xlabel}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, x := range sorted {
+		row := []string{trimFloat(x)}
+		for _, s := range series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, formatCell(y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableCSV emits a Table as CSV (headers then rows).
+func WriteTableCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if len(t.Headers) > 0 {
+		if err := cw.Write(t.Headers); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatCell(y float64) string {
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return ""
+	}
+	return fmt.Sprintf("%g", y)
+}

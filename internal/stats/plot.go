@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotOptions configures an ASCII line plot.
+type PlotOptions struct {
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 16)
+	LogX   bool
+	Title  string
+	XLabel string
+}
+
+// markers assigns each series a distinct glyph.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders series as an ASCII line chart with a left Y axis and a
+// bottom X axis. Intended for terminal reproduction reports; CSV export
+// exists for real plotting.
+func Plot(series []*Series, opts PlotOptions) string {
+	if opts.Width <= 0 {
+		opts.Width = 60
+	}
+	if opts.Height <= 0 {
+		opts.Height = 16
+	}
+	var xmin, xmax, ymin, ymax float64
+	first := true
+	for _, s := range series {
+		for _, p := range s.Points {
+			x := p.X
+			if opts.LogX {
+				if x <= 0 {
+					continue
+				}
+				x = math.Log2(x)
+			}
+			if first {
+				xmin, xmax, ymin, ymax = x, x, p.Y, p.Y
+				first = false
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if first {
+		return "(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom.
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, opts.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	plotPoint := func(x, y float64, m byte) {
+		if opts.LogX {
+			if x <= 0 {
+				return
+			}
+			x = math.Log2(x)
+		}
+		col := int((x - xmin) / (xmax - xmin) * float64(opts.Width-1))
+		row := opts.Height - 1 - int((y-ymin)/(ymax-ymin)*float64(opts.Height-1))
+		if row < 0 || row >= opts.Height || col < 0 || col >= opts.Width {
+			return
+		}
+		grid[row][col] = m
+	}
+	for i, s := range series {
+		m := markers[i%len(markers)]
+		for _, p := range s.Points {
+			plotPoint(p.X, p.Y, m)
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	for i, row := range grid {
+		yv := ymax - (ymax-ymin)*float64(i)/float64(opts.Height-1)
+		fmt.Fprintf(&b, "%8.3g |%s|\n", yv, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s+\n", "", strings.Repeat("-", opts.Width))
+	lo, hi := xmin, xmax
+	if opts.LogX {
+		lo, hi = math.Exp2(xmin), math.Exp2(xmax)
+	}
+	fmt.Fprintf(&b, "%8s  %-*.4g%*.4g  (%s%s)\n", "",
+		opts.Width/2, lo, opts.Width-opts.Width/2, hi, opts.XLabel, logSuffix(opts.LogX))
+	for i, s := range series {
+		fmt.Fprintf(&b, "%8s  %c %s\n", "", markers[i%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func logSuffix(logX bool) string {
+	if logX {
+		return ", log x"
+	}
+	return ""
+}
+
+// HBarSegment is one labeled piece of a horizontal stacked bar.
+type HBarSegment struct {
+	Label string
+	Value float64
+}
+
+// HBar is one stacked bar.
+type HBar struct {
+	Name     string
+	Segments []HBarSegment
+}
+
+// RenderHBars renders stacked horizontal bars scaled to a common width —
+// the terminal analogue of the paper's Figure 8.
+func RenderHBars(bars []HBar, width int, unit string) string {
+	if width <= 0 {
+		width = 60
+	}
+	var maxTotal float64
+	for _, b := range bars {
+		total := 0.0
+		for _, s := range b.Segments {
+			total += s.Value
+		}
+		if total > maxTotal {
+			maxTotal = total
+		}
+	}
+	if maxTotal == 0 {
+		return "(no data)\n"
+	}
+	glyphs := []byte{'#', '=', '.', '%', '~', ':'}
+	var b strings.Builder
+	for _, bar := range bars {
+		fmt.Fprintf(&b, "%-10s |", bar.Name)
+		total := 0.0
+		for i, seg := range bar.Segments {
+			cols := int(seg.Value / maxTotal * float64(width))
+			b.Write([]byte(strings.Repeat(string(glyphs[i%len(glyphs)]), cols)))
+			total += seg.Value
+		}
+		fmt.Fprintf(&b, " %.2f%s\n", total, unit)
+	}
+	// Legend built from the first bar with the most segments.
+	var legend []HBarSegment
+	for _, bar := range bars {
+		if len(bar.Segments) > len(legend) {
+			legend = bar.Segments
+		}
+	}
+	b.WriteString(strings.Repeat(" ", 11))
+	for i, seg := range legend {
+		fmt.Fprintf(&b, "%c=%s  ", glyphs[i%len(glyphs)], seg.Label)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,253 @@
+// Package jacobi implements the paper's 2D Jacobi relaxation benchmark
+// (§5.3): an iterative 5-point stencil over a 2D-decomposed grid with halo
+// exchange between neighbouring nodes, implemented on all four evaluated
+// backends. The numerical result is backend-independent (only timing
+// differs), which the tests verify against a serial reference solver.
+package jacobi
+
+import "fmt"
+
+// Dir identifies a halo edge from the receiver's perspective.
+type Dir int
+
+const (
+	// North is the receiver's top halo row (row 0).
+	North Dir = iota
+	// South is the receiver's bottom halo row (row N+1).
+	South
+	// West is the receiver's left halo column (col 0).
+	West
+	// East is the receiver's right halo column (col N+1).
+	East
+	numDirs
+)
+
+func (d Dir) String() string {
+	switch d {
+	case North:
+		return "north"
+	case South:
+		return "south"
+	case West:
+		return "west"
+	case East:
+		return "east"
+	default:
+		return fmt.Sprintf("Dir(%d)", int(d))
+	}
+}
+
+// Opposite returns the sender-side edge matching a receiver-side halo.
+func (d Dir) Opposite() Dir {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case West:
+		return East
+	case East:
+		return West
+	}
+	panic("jacobi: bad dir")
+}
+
+// Grid is one node's local (N+2)x(N+2) block: N×N interior plus a halo
+// ring. Row i, column j, row-major.
+type Grid struct {
+	N    int
+	vals []float32
+}
+
+// NewGrid allocates a zeroed grid.
+func NewGrid(n int) *Grid {
+	return &Grid{N: n, vals: make([]float32, (n+2)*(n+2))}
+}
+
+// At returns the value at (i, j) including halo indices 0 and N+1.
+func (g *Grid) At(i, j int) float32 { return g.vals[i*(g.N+2)+j] }
+
+// Set stores the value at (i, j).
+func (g *Grid) Set(i, j int, v float32) { g.vals[i*(g.N+2)+j] = v }
+
+// InteriorEdge extracts the interior row/column adjacent to the given
+// receiver-side direction's halo on the *neighbour* — i.e. the data this
+// node must send so the neighbour can fill that halo. For the neighbour's
+// South halo we send our own top interior row, etc. Expressed locally:
+// the edge returned is this node's interior edge on side d.Opposite()...
+// Concretely: SendEdge(South) returns our bottom interior row (i = N).
+func (g *Grid) SendEdge(side Dir) []float32 {
+	out := make([]float32, g.N)
+	switch side {
+	case North:
+		for j := 1; j <= g.N; j++ {
+			out[j-1] = g.At(1, j)
+		}
+	case South:
+		for j := 1; j <= g.N; j++ {
+			out[j-1] = g.At(g.N, j)
+		}
+	case West:
+		for i := 1; i <= g.N; i++ {
+			out[i-1] = g.At(i, 1)
+		}
+	case East:
+		for i := 1; i <= g.N; i++ {
+			out[i-1] = g.At(i, g.N)
+		}
+	default:
+		panic("jacobi: bad edge")
+	}
+	return out
+}
+
+// SetHalo writes a received edge into the halo ring on side d.
+func (g *Grid) SetHalo(d Dir, vals []float32) {
+	if len(vals) != g.N {
+		panic(fmt.Sprintf("jacobi: halo length %d for N=%d", len(vals), g.N))
+	}
+	switch d {
+	case North:
+		for j := 1; j <= g.N; j++ {
+			g.Set(0, j, vals[j-1])
+		}
+	case South:
+		for j := 1; j <= g.N; j++ {
+			g.Set(g.N+1, j, vals[j-1])
+		}
+	case West:
+		for i := 1; i <= g.N; i++ {
+			g.Set(i, 0, vals[i-1])
+		}
+	case East:
+		for i := 1; i <= g.N; i++ {
+			g.Set(i, g.N+1, vals[i-1])
+		}
+	default:
+		panic("jacobi: bad halo")
+	}
+}
+
+// Relax computes one Jacobi iteration into dst: every interior point
+// becomes the average of its four neighbours in src.
+func Relax(dst, src *Grid) {
+	if dst.N != src.N {
+		panic("jacobi: grid size mismatch")
+	}
+	n := src.N
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			dst.Set(i, j, 0.25*(src.At(i-1, j)+src.At(i+1, j)+src.At(i, j-1)+src.At(i, j+1)))
+		}
+	}
+}
+
+// Decomp describes the 2D node decomposition: PX×PY nodes, each owning an
+// N×N interior block of the (PX·N)×(PY·N) global domain with a zero
+// boundary condition.
+type Decomp struct {
+	N, PX, PY int
+}
+
+// Validate checks the decomposition.
+func (d Decomp) Validate() error {
+	if d.N <= 0 || d.PX <= 0 || d.PY <= 0 {
+		return fmt.Errorf("jacobi: invalid decomposition %+v", d)
+	}
+	if d.PX*d.PY < 2 {
+		return fmt.Errorf("jacobi: decomposition must span >= 2 nodes")
+	}
+	return nil
+}
+
+// Nodes returns the node count.
+func (d Decomp) Nodes() int { return d.PX * d.PY }
+
+// Coords returns a rank's (x, y) position in the node grid.
+func (d Decomp) Coords(rank int) (x, y int) { return rank % d.PX, rank / d.PX }
+
+// RankAt returns the rank at (x, y), or -1 when outside the node grid.
+func (d Decomp) RankAt(x, y int) int {
+	if x < 0 || x >= d.PX || y < 0 || y >= d.PY {
+		return -1
+	}
+	return y*d.PX + x
+}
+
+// Neighbors returns, for a rank, the map from the *neighbour-side* halo
+// direction to the neighbour's rank: entry [South] = rank of the node
+// whose South halo we fill (our northern neighbour), etc.
+func (d Decomp) Neighbors(rank int) map[Dir]int {
+	x, y := d.Coords(rank)
+	out := map[Dir]int{}
+	if r := d.RankAt(x, y-1); r >= 0 {
+		out[South] = r // our north neighbour receives into its south halo
+	}
+	if r := d.RankAt(x, y+1); r >= 0 {
+		out[North] = r
+	}
+	if r := d.RankAt(x-1, y); r >= 0 {
+		out[East] = r
+	}
+	if r := d.RankAt(x+1, y); r >= 0 {
+		out[West] = r
+	}
+	return out
+}
+
+// InitGrid fills a rank's interior with a deterministic pattern derived
+// from global coordinates, so decomposed and global solutions align.
+func (d Decomp) InitGrid(rank int) *Grid {
+	g := NewGrid(d.N)
+	x, y := d.Coords(rank)
+	for i := 1; i <= d.N; i++ {
+		for j := 1; j <= d.N; j++ {
+			gi := y*d.N + i // 1-based global row
+			gj := x*d.N + j
+			g.Set(i, j, initValue(gi, gj))
+		}
+	}
+	return g
+}
+
+func initValue(gi, gj int) float32 {
+	return float32((gi*31+gj*17)%97) / 97
+}
+
+// Reference solves iters iterations of the full global problem serially
+// and returns each rank's expected interior as a grid (halos populated
+// with the neighbouring values, zero at the domain boundary).
+func (d Decomp) Reference(iters int) []*Grid {
+	gx, gy := d.PX*d.N, d.PY*d.N
+	cur := make([][]float32, gy+2)
+	next := make([][]float32, gy+2)
+	for i := range cur {
+		cur[i] = make([]float32, gx+2)
+		next[i] = make([]float32, gx+2)
+	}
+	for i := 1; i <= gy; i++ {
+		for j := 1; j <= gx; j++ {
+			cur[i][j] = initValue(i, j)
+		}
+	}
+	for it := 0; it < iters; it++ {
+		for i := 1; i <= gy; i++ {
+			for j := 1; j <= gx; j++ {
+				next[i][j] = 0.25 * (cur[i-1][j] + cur[i+1][j] + cur[i][j-1] + cur[i][j+1])
+			}
+		}
+		cur, next = next, cur
+	}
+	grids := make([]*Grid, d.Nodes())
+	for r := range grids {
+		g := NewGrid(d.N)
+		x, y := d.Coords(r)
+		for i := 0; i <= d.N+1; i++ {
+			for j := 0; j <= d.N+1; j++ {
+				g.Set(i, j, cur[y*d.N+i][x*d.N+j])
+			}
+		}
+		grids[r] = g
+	}
+	return grids
+}

@@ -1,0 +1,310 @@
+package jacobi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/backends"
+	"repro/internal/config"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func TestDirOppositeAndString(t *testing.T) {
+	pairs := map[Dir]Dir{North: South, South: North, East: West, West: East}
+	for d, o := range pairs {
+		if d.Opposite() != o {
+			t.Errorf("%v.Opposite() = %v", d, d.Opposite())
+		}
+	}
+	if North.String() != "north" || Dir(9).String() != "Dir(9)" {
+		t.Error("Dir strings wrong")
+	}
+}
+
+func TestGridEdgeExtraction(t *testing.T) {
+	g := NewGrid(3)
+	v := float32(0)
+	for i := 1; i <= 3; i++ {
+		for j := 1; j <= 3; j++ {
+			g.Set(i, j, v)
+			v++
+		}
+	}
+	// interior rows: (0 1 2) (3 4 5) (6 7 8)
+	check := func(d Dir, want []float32) {
+		got := g.SendEdge(d)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("SendEdge(%v) = %v, want %v", d, got, want)
+				return
+			}
+		}
+	}
+	check(North, []float32{0, 1, 2})
+	check(South, []float32{6, 7, 8})
+	check(West, []float32{0, 3, 6})
+	check(East, []float32{2, 5, 8})
+}
+
+func TestGridSetHaloRoundTrip(t *testing.T) {
+	g := NewGrid(3)
+	g.SetHalo(North, []float32{1, 2, 3})
+	g.SetHalo(East, []float32{4, 5, 6})
+	if g.At(0, 1) != 1 || g.At(0, 3) != 3 {
+		t.Error("north halo wrong")
+	}
+	if g.At(1, 4) != 4 || g.At(3, 4) != 6 {
+		t.Error("east halo wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("short halo accepted")
+		}
+	}()
+	g.SetHalo(South, []float32{1})
+}
+
+func TestRelaxAveragesNeighbors(t *testing.T) {
+	src := NewGrid(1)
+	src.Set(0, 1, 4)
+	src.Set(2, 1, 8)
+	src.Set(1, 0, 12)
+	src.Set(1, 2, 16)
+	dst := NewGrid(1)
+	Relax(dst, src)
+	if dst.At(1, 1) != 10 {
+		t.Fatalf("relax = %v, want 10", dst.At(1, 1))
+	}
+}
+
+func TestDecompNeighbors(t *testing.T) {
+	d := Decomp{N: 4, PX: 2, PY: 2}
+	// rank 0 at (0,0): neighbours east (rank 1) and south (rank 2).
+	n0 := d.Neighbors(0)
+	if len(n0) != 2 {
+		t.Fatalf("rank0 nbrs = %v", n0)
+	}
+	if n0[West] != 1 { // rank 1 receives into its west halo
+		t.Errorf("rank0 -> east neighbour mapping wrong: %v", n0)
+	}
+	if n0[North] != 2 { // rank 2 (below) receives into its north halo
+		t.Errorf("rank0 -> south neighbour mapping wrong: %v", n0)
+	}
+	// 3x3 interior rank has 4 neighbours.
+	d33 := Decomp{N: 2, PX: 3, PY: 3}
+	if len(d33.Neighbors(4)) != 4 {
+		t.Errorf("3x3 center nbrs = %v", d33.Neighbors(4))
+	}
+}
+
+func TestDecompValidate(t *testing.T) {
+	if (Decomp{N: 0, PX: 2, PY: 1}).Validate() == nil {
+		t.Error("N=0 accepted")
+	}
+	if (Decomp{N: 4, PX: 1, PY: 1}).Validate() == nil {
+		t.Error("single node accepted")
+	}
+	if (Decomp{N: 4, PX: 2, PY: 2}).Validate() != nil {
+		t.Error("valid decomposition rejected")
+	}
+}
+
+// Property: neighbour relationships are symmetric — if I send into your
+// halo d, you send into my halo d.Opposite().
+func TestNeighborSymmetry(t *testing.T) {
+	f := func(pxRaw, pyRaw uint8) bool {
+		px := int(pxRaw%4) + 1
+		py := int(pyRaw%4) + 1
+		if px*py < 2 {
+			px = 2
+		}
+		d := Decomp{N: 2, PX: px, PY: py}
+		for r := 0; r < d.Nodes(); r++ {
+			for dir, peer := range d.Neighbors(r) {
+				back := d.Neighbors(peer)
+				if back[dir.Opposite()] != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func gridsEqualInterior(t *testing.T, got, want *Grid, rank int) {
+	t.Helper()
+	for i := 1; i <= got.N; i++ {
+		for j := 1; j <= got.N; j++ {
+			if math.Abs(float64(got.At(i, j)-want.At(i, j))) > 1e-5 {
+				t.Fatalf("rank %d (%d,%d): got %v want %v", rank, i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestJacobiCorrectnessAllBackends(t *testing.T) {
+	const n, px, py, iters = 8, 2, 2, 3
+	dec := Decomp{N: n, PX: px, PY: py}
+	want := dec.Reference(iters)
+	for _, kind := range backends.All() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			c := node.NewCluster(config.Default(), px*py)
+			res, err := Run(c, Params{Kind: kind, N: n, PX: px, PY: py, Iters: iters, WithData: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < px*py; r++ {
+				gridsEqualInterior(t, res.Grids[r], want[r], r)
+			}
+		})
+	}
+}
+
+func TestJacobiCorrectness3x3(t *testing.T) {
+	// Interior node with 4 neighbours exercises the full halo plumbing.
+	const n, px, py, iters = 4, 3, 3, 2
+	dec := Decomp{N: n, PX: px, PY: py}
+	want := dec.Reference(iters)
+	c := node.NewCluster(config.Default(), px*py)
+	res, err := Run(c, Params{Kind: backends.GPUTN, N: n, PX: px, PY: py, Iters: iters, WithData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < px*py; r++ {
+		gridsEqualInterior(t, res.Grids[r], want[r], r)
+	}
+}
+
+func TestJacobiValidation(t *testing.T) {
+	c := node.NewCluster(config.Default(), 4)
+	if _, err := Run(c, Params{Kind: backends.CPU, N: 8, PX: 2, PY: 2, Iters: 0}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := Run(c, Params{Kind: backends.CPU, N: 8, PX: 3, PY: 2, Iters: 1}); err == nil {
+		t.Error("cluster size mismatch accepted")
+	}
+	if _, err := Run(c, Params{Kind: backends.CPU, N: 0, PX: 2, PY: 2, Iters: 1}); err == nil {
+		t.Error("invalid decomposition accepted")
+	}
+}
+
+func TestJacobiTimingShape(t *testing.T) {
+	// Figure 9's qualitative claims at a medium grid: GPU-TN beats GDS
+	// beats HDN; and at a tiny grid the CPU beats HDN (kernel overheads
+	// dominate) while at a large grid it does not.
+	// Steady-state comparison over several iterations, as in Figure 9:
+	// GPU-TN's persistent kernel pays launch/teardown once, the others
+	// pay it every iteration.
+	run := func(kind backends.Kind, n int) float64 {
+		c := node.NewCluster(config.Default(), 4)
+		res, err := Run(c, Params{Kind: kind, N: n, PX: 2, PY: 2, Iters: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration.Us()
+	}
+	const mid = 128
+	hdn, gds, tn := run(backends.HDN, mid), run(backends.GDS, mid), run(backends.GPUTN, mid)
+	if !(tn < gds && gds < hdn) {
+		t.Errorf("mid-size ordering violated: TN=%.2f GDS=%.2f HDN=%.2f", tn, gds, hdn)
+	}
+	if cpu := run(backends.CPU, 16); cpu >= run(backends.HDN, 16) {
+		t.Errorf("CPU should beat HDN at N=16 (kernel overhead dominates)")
+	}
+	if cpu := run(backends.CPU, 1024); cpu <= run(backends.HDN, 1024) {
+		t.Errorf("CPU should lose to HDN at N=1024 (GPU compute wins)")
+	}
+}
+
+func TestJacobiMultiIterationNoTriggerLeak(t *testing.T) {
+	const iters = 10
+	c := node.NewCluster(config.Default(), 4)
+	_, err := Run(c, Params{Kind: backends.GPUTN, N: 32, PX: 2, PY: 2, Iters: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range c.Nodes {
+		st := nd.NIC.Stats()
+		if st.DroppedTriggers != 0 {
+			t.Fatalf("node %d dropped triggers", nd.Index)
+		}
+		wantFires := int64(iters * 2) // 2 neighbours per node in 2x2
+		if st.TriggerFires != wantFires {
+			t.Fatalf("node %d fires = %d, want %d", nd.Index, st.TriggerFires, wantFires)
+		}
+	}
+}
+
+func TestOverlapNumericsMatchReference(t *testing.T) {
+	const n, px, py, iters = 8, 2, 2, 3
+	dec := Decomp{N: n, PX: px, PY: py}
+	want := dec.Reference(iters)
+	c := node.NewCluster(config.Default(), px*py)
+	res, err := Run(c, Params{Kind: backends.GPUTN, N: n, PX: px, PY: py, Iters: iters, WithData: true, Overlap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < px*py; r++ {
+		gridsEqualInterior(t, res.Grids[r], want[r], r)
+	}
+}
+
+func TestOverlapValidation(t *testing.T) {
+	c := node.NewCluster(config.Default(), 4)
+	if _, err := Run(c, Params{Kind: backends.HDN, N: 8, PX: 2, PY: 2, Iters: 1, Overlap: true}); err == nil {
+		t.Error("overlap on HDN accepted")
+	}
+	c2 := node.NewCluster(config.Default(), 4)
+	if _, err := Run(c2, Params{Kind: backends.GPUTN, N: 2, PX: 2, PY: 2, Iters: 1, Overlap: true}); err == nil {
+		t.Error("overlap with N<3 accepted")
+	}
+}
+
+func TestOverlapBeatsPlainWhenCommBound(t *testing.T) {
+	// At a size where halo latency is comparable to compute, overlapping
+	// the interior relax with the wire must win.
+	run := func(overlap bool) sim.Time {
+		c := node.NewCluster(config.Default(), 4)
+		res, err := Run(c, Params{Kind: backends.GPUTN, N: 64, PX: 2, PY: 2, Iters: 8, Overlap: overlap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration
+	}
+	plain, overlapped := run(false), run(true)
+	if overlapped >= plain {
+		t.Fatalf("overlap (%v) should beat plain (%v)", overlapped, plain)
+	}
+}
+
+func TestRelaxSplitEqualsRelax(t *testing.T) {
+	const n = 6
+	src := NewGrid(n)
+	v := float32(1)
+	for i := 0; i <= n+1; i++ {
+		for j := 0; j <= n+1; j++ {
+			src.Set(i, j, v)
+			v = v*1.3 + 0.7
+			if v > 100 {
+				v -= 100
+			}
+		}
+	}
+	whole, split := NewGrid(n), NewGrid(n)
+	Relax(whole, src)
+	RelaxInterior(split, src)
+	RelaxBoundary(split, src)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			if whole.At(i, j) != split.At(i, j) {
+				t.Fatalf("(%d,%d): whole %v vs split %v", i, j, whole.At(i, j), split.At(i, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package mlearn
+
+import (
+	"fmt"
+
+	"repro/internal/backends"
+	"repro/internal/collective"
+	"repro/internal/config"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// TrainingRun simulates a synchronous-SGD training segment end to end in
+// one continuous simulation: every rank alternates minibatch compute (the
+// trace's per-call compute time, identical across backends) with a
+// gradient Allreduce executed by the chosen backend. Because synchronous
+// training has no compute/communication overlap (§5.4.2), the measured
+// speedups should agree with the closed-form projection — TrainingRun is
+// the in-sim cross-validation of Figure 11's methodology.
+func TrainingRun(cfg config.SystemConfig, nodes int, kind backends.Kind, trace []ReductionCall, payload int64) (sim.Time, error) {
+	if len(trace) == 0 {
+		return 0, fmt.Errorf("mlearn: empty trace")
+	}
+	c := node.NewCluster(cfg, nodes)
+	eps, err := collective.PrepareEpisodes(c, kind, payload, len(trace))
+	if err != nil {
+		return 0, err
+	}
+	done := make([]sim.Time, nodes)
+	for r := 0; r < nodes; r++ {
+		r := r
+		c.Eng.Go(fmt.Sprintf("train.%s.%d", kind, r), func(p *sim.Proc) {
+			for e, call := range trace {
+				p.Sleep(call.ComputeBefore)
+				eps.RunEpisode(p, e, r)
+			}
+			done[r] = p.Now()
+		})
+	}
+	c.Run()
+	var total sim.Time
+	for r, t := range done {
+		if t == 0 {
+			return 0, fmt.Errorf("mlearn: rank %d never finished training", r)
+		}
+		if t > total {
+			total = t
+		}
+	}
+	return total, nil
+}
+
+// TrainingSpeedups runs the same trace on every backend and reports each
+// backend's measured speedup relative to HDN.
+func TrainingSpeedups(cfg config.SystemConfig, nodes int, trace []ReductionCall, payload int64) (map[backends.Kind]float64, error) {
+	times := map[backends.Kind]sim.Time{}
+	for _, kind := range backends.All() {
+		t, err := TrainingRun(cfg, nodes, kind, trace, payload)
+		if err != nil {
+			return nil, fmt.Errorf("mlearn: training on %s: %w", kind, err)
+		}
+		times[kind] = t
+	}
+	out := map[backends.Kind]float64{}
+	for kind, t := range times {
+		out[kind] = float64(times[backends.HDN]) / float64(t)
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package mlearn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+func TestTrainingRunCompletes(t *testing.T) {
+	cfg := config.Default()
+	w := Workload{PctBlocked: 0.4, AvgMsgBytes: 64 << 10}
+	trace := GenerateTrace(w, 5, 50*sim.Microsecond, 3)
+	dur, err := TrainingRun(cfg, 4, backends.GPUTN, trace, w.AvgMsgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must at least cover the compute portion.
+	var compute sim.Time
+	for _, c := range trace {
+		compute += c.ComputeBefore
+	}
+	if dur <= compute {
+		t.Fatalf("duration %v <= pure compute %v", dur, compute)
+	}
+}
+
+func TestTrainingRunEmptyTrace(t *testing.T) {
+	if _, err := TrainingRun(config.Default(), 2, backends.CPU, nil, 1024); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestTrainingSpeedupsOrdering(t *testing.T) {
+	cfg := config.Default()
+	w := Table3()[1] // AN4 LSTM
+	// Modest trace so the in-sim run stays fast; per-call HDN time comes
+	// from a one-shot measurement at this size and node count.
+	times, err := AllreduceTimes(cfg, 4, w.AvgMsgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(w, 8, times[backends.HDN], 7)
+	sp, err := TrainingSpeedups(cfg, 4, trace, w.AvgMsgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[backends.HDN] != 1 {
+		t.Fatalf("HDN baseline = %v", sp[backends.HDN])
+	}
+	if !(sp[backends.GPUTN] >= sp[backends.GDS] && sp[backends.GDS] >= 1) {
+		t.Fatalf("ordering violated: %v", sp)
+	}
+}
+
+// The headline cross-validation: with no compute/communication overlap,
+// the in-sim training measurement must agree with the paper's closed-form
+// projection.
+func TestTrainingAgreesWithProjection(t *testing.T) {
+	cfg := config.Default()
+	const nodes = 4
+	w := Workload{PctBlocked: 0.5, AvgMsgBytes: 256 << 10}
+	times, err := AllreduceTimes(cfg, nodes, w.AvgMsgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := Project(w, times)
+	trace := GenerateTrace(w, 10, times[backends.HDN], 21)
+	measured, err := TrainingSpeedups(cfg, nodes, trace, w.AvgMsgBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []backends.Kind{backends.GDS, backends.GPUTN, backends.CPU} {
+		if math.Abs(measured[kind]-closed[kind]) > 0.06 {
+			t.Errorf("%s: measured %.4f vs projected %.4f", kind, measured[kind], closed[kind])
+		}
+	}
+}
