@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check chaos build test vet
+
+## check: the full gate — vet, build, and the whole suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+## chaos: the fault-injection chaos suite (fixed seeds 1-5): exact collectives
+## under drop/corrupt/jitter/stall, deterministic traces, flap healing, dead-node
+## timeouts, plus the NIC reliability and trigger-fault property tests.
+chaos:
+	$(GO) test -race -v -run 'TestChaos|TestReliable|TestAllreduceTimeout|TestAllreduceRingHeal|TestBroadcastHeal|TestBroadcastTimeout|TestRelaxedSyncRace|TestTriggerWriteLoss' ./internal/collective/ ./internal/nic/
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...

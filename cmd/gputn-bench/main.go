@@ -4,9 +4,14 @@
 //
 //	gputn-bench -exp all
 //	gputn-bench -exp fig10
+//	gputn-bench -exp faults -fault-drop 0.05 -reliable
 //
 // Experiments: fig1, fig8, fig9, fig10, fig11, table1, table2, table3,
-// ablations, all.
+// ablations, faults, all.
+//
+// The -fault-* flag group arms the deterministic fault injector for every
+// experiment in the run; with all of them zero (the default) the fabric is
+// lossless and results are bit-for-bit the fault-free numbers.
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/config"
+	"repro/internal/fault"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -40,11 +47,46 @@ func writeCSV(dir, name, xlabel string, series []*stats.Series) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|all")
+	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|all")
 	csvDir := flag.String("csv", "", "also write figure data as CSV into this directory")
+
+	faultSeed := flag.Int64("fault-seed", 42, "fault injector RNG seed")
+	faultDrop := flag.Float64("fault-drop", 0, "per-packet drop probability [0,1]")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "per-packet corruption probability [0,1]")
+	flapNode := flag.Int("fault-flap-node", 0, "node whose links flap during the flap window")
+	flapStartUS := flag.Float64("fault-flap-start-us", 0, "flap window start (us)")
+	flapEndUS := flag.Float64("fault-flap-end-us", 0, "flap window end (us); 0 disables flapping")
+	reliable := flag.Bool("reliable", false, "enable the NIC reliable-delivery layer (seq/ack/retransmit)")
 	flag.Parse()
 
 	cfg := config.Default()
+	cfg.Faults = config.FaultConfig{
+		Seed:        *faultSeed,
+		DropProb:    *faultDrop,
+		CorruptProb: *faultCorrupt,
+		FlapNode:    *flapNode,
+		FlapStart:   sim.Time(*flapStartUS * float64(sim.Microsecond)),
+		FlapEnd:     sim.Time(*flapEndUS * float64(sim.Microsecond)),
+	}
+	if *reliable {
+		cfg.NIC.Reliability = config.DefaultReliability()
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "gputn-bench:", err)
+		os.Exit(2)
+	}
+	if cfg.Faults.Enabled() && !*reliable {
+		fmt.Fprintln(os.Stderr, "warning: faults armed without -reliable; lossy runs may lose messages and hang or skew results")
+	}
+	// Run header: every invocation states its fault schedule up front so
+	// saved outputs are self-describing.
+	fmt.Println(fault.NewInjector(cfg.Faults).Summary())
+	if *reliable {
+		r := cfg.NIC.Reliability
+		fmt.Printf("reliability: window=%d rtoBase=%v rtoPerKB=%v maxBackoff=%v budget=%d\n",
+			r.WindowSize, r.RTOBase, r.RTOPerKB, r.MaxBackoff, r.RetryBudget)
+	}
+	fmt.Println()
 	runners := map[string]func(){
 		"fig1": func() {
 			series := bench.Figure1(cfg)
@@ -85,8 +127,13 @@ func main() {
 		"table2":    func() { fmt.Println(bench.RenderTable2(cfg)) },
 		"table3":    func() { fmt.Println(bench.RenderTable3()) },
 		"ablations": func() { fmt.Println(bench.RenderAblations(cfg)) },
+		"faults": func() {
+			// The fault-tolerance sweep arms its own injector per drop
+			// rate; the -fault-* flags select the baseline configuration.
+			fmt.Println(bench.RenderFaultTolerance(cfg))
+		},
 	}
-	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations"}
+	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults"}
 
 	if *exp == "all" {
 		for _, name := range order {

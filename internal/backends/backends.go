@@ -105,6 +105,17 @@ func HostRecvWait(p *sim.Proc, nd *node.Node, ct *portals.CT, n int64) {
 	nd.CPU.RecvProcessing(p)
 }
 
+// HostRecvWaitTimeout is HostRecvWait with a deadline: the wait aborts with
+// an error wrapping portals.ErrTimeout if the n-th delivery does not land
+// within timeout. A non-positive timeout waits forever.
+func HostRecvWaitTimeout(p *sim.Proc, nd *node.Node, ct *portals.CT, n int64, timeout sim.Time) error {
+	if err := ct.WaitTimeout(p, n, timeout); err != nil {
+		return err
+	}
+	nd.CPU.RecvProcessing(p)
+	return nil
+}
+
 // PrePost stages a put command for GDS-style use: the host performs the
 // runtime work up front and returns a doorbell closure for the GPU
 // front-end to ring at a kernel boundary (stream network-initiation point).

@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/backends"
@@ -43,7 +44,35 @@ type Config struct {
 	// reduction with the network transfer. Ignored values 0 and 1 select
 	// the kernel-granularity implementation.
 	Pipeline int
+
+	// Timeout, when > 0, bounds every per-round receive wait: a rank whose
+	// ring predecessor stops sending aborts with a NeighborFailedError
+	// instead of hanging. Zero keeps the fault-free blocking waits.
+	// Unsupported on the GDS backend (stream waits cannot be interrupted).
+	Timeout sim.Time
+	// DeadNodes lists fail-stop ranks: their host never runs the collective
+	// (the NIC stays responsive and sinks stray traffic). Requires either
+	// HealRing or a Timeout so the survivors terminate.
+	DeadNodes []int
+	// HealRing, with DeadNodes, re-forms the ring over the surviving ranks
+	// so the collective completes exactly over their contributions.
+	HealRing bool
 }
+
+// NeighborFailedError reports that a rank gave up waiting on its ring
+// predecessor — the graceful-degradation signal replacing a hang.
+type NeighborFailedError struct {
+	Rank     int // the rank that observed the failure
+	Neighbor int // the predecessor it was waiting on
+	Step     int // the schedule step that timed out
+	Err      error
+}
+
+func (e *NeighborFailedError) Error() string {
+	return fmt.Sprintf("collective: rank %d: neighbor %d failed at step %d: %v", e.Rank, e.Neighbor, e.Step, e.Err)
+}
+
+func (e *NeighborFailedError) Unwrap() error { return e.Err }
 
 // Result reports one Allreduce run.
 type Result struct {
@@ -79,6 +108,14 @@ type rankState struct {
 	// episodic drivers (training loops) give each episode its own values.
 	mb      uint64
 	tagBase uint64
+
+	// ring, when non-nil, is the healed ring: the alive ranks in index
+	// order. pos is this rank's position in it. nil means the identity
+	// ring over all nranks (the fault-free fast path).
+	ring []int
+	pos  int
+	// timeout bounds each receive wait (0 = wait forever).
+	timeout sim.Time
 }
 
 // Run executes one Allreduce on the cluster and drives the simulation to
@@ -100,11 +137,62 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 	if cfg.Pipeline > 1 && cfg.Kind != backends.GPUTN {
 		return Result{}, fmt.Errorf("collective: pipelining requires the GPU-TN backend")
 	}
+	if cfg.Timeout > 0 && cfg.Kind == backends.GDS {
+		return Result{}, fmt.Errorf("collective: GDS stream waits cannot time out; use HDN or GPU-TN for timeout runs")
+	}
+	dead := make(map[int]bool, len(cfg.DeadNodes))
+	for _, d := range cfg.DeadNodes {
+		if d < 0 || d >= n {
+			return Result{}, fmt.Errorf("collective: dead node %d outside cluster of %d", d, n)
+		}
+		if dead[d] {
+			return Result{}, fmt.Errorf("collective: dead node %d listed twice", d)
+		}
+		dead[d] = true
+	}
+	var alive []int
+	for i := 0; i < n; i++ {
+		if !dead[i] {
+			alive = append(alive, i)
+		}
+	}
+	if len(cfg.DeadNodes) > 0 {
+		if cfg.Pipeline > 1 {
+			return Result{}, fmt.Errorf("collective: pipelined runs do not support dead nodes")
+		}
+		if !cfg.HealRing && cfg.Timeout == 0 {
+			return Result{}, fmt.Errorf("collective: dead nodes need HealRing or a Timeout, or the survivors hang")
+		}
+		if len(alive) < 2 {
+			return Result{}, fmt.Errorf("collective: only %d ranks alive, ring needs >= 2", len(alive))
+		}
+	}
+	// heal selects the ring membership the survivors compute over: the
+	// alive ranks when healing, the full (doomed) ring otherwise.
+	heal := cfg.HealRing && len(cfg.DeadNodes) > 0
+	ringSize := n
+	if heal {
+		ringSize = len(alive)
+	}
+	if cfg.TotalBytes < int64(ringSize)*elemBytes {
+		return Result{}, fmt.Errorf("collective: payload %dB too small for %d chunks", cfg.TotalBytes, ringSize)
+	}
 	nelems := int(cfg.TotalBytes / elemBytes)
 
 	states := make([]*rankState, n)
+	pos := 0
 	for i := 0; i < n; i++ {
-		rounds, err := RingSchedule(i, n)
+		if dead[i] {
+			// Fail-stop host, responsive NIC: stray traffic from ranks that
+			// have not yet noticed the failure is sunk, not paniced on.
+			c.Nodes[i].NIC.ExposeRegion(&nic.Region{IgnoreBits: ^uint64(0)})
+			continue
+		}
+		schedRank, schedN := i, n
+		if heal {
+			schedRank, schedN = pos, ringSize
+		}
+		rounds, err := RingSchedule(schedRank, schedN)
 		if err != nil {
 			return Result{}, err
 		}
@@ -113,11 +201,16 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 			rounds:  rounds,
 			recvCT:  c.Nodes[i].Ptl.CTAlloc(),
 			nelems:  nelems,
-			nranks:  n,
-			chunk:   cfg.TotalBytes / int64(n),
+			nranks:  schedN,
+			chunk:   cfg.TotalBytes / int64(schedN),
 			mb:      allreduceMatchBits,
 			tagBase: 0,
+			timeout: cfg.Timeout,
 		}
+		if heal {
+			st.ring, st.pos = alive, pos
+		}
+		pos++
 		if cfg.Data != nil {
 			if len(cfg.Data[i]) != nelems {
 				return Result{}, fmt.Errorf("collective: rank %d vector has %d elems, want %d", i, len(cfg.Data[i]), nelems)
@@ -131,6 +224,9 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 	// arrival through recvCT.
 	for i := 0; i < n; i++ {
 		st := states[i]
+		if st == nil {
+			continue
+		}
 		ways := cfg.Pipeline
 		st.nd.Ptl.MEAppend(&portals.ME{
 			MatchBits: st.mb,
@@ -162,32 +258,47 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 	}
 
 	res := Result{PerRank: make([]sim.Time, n)}
+	errs := make([]error, n)
 	for i := 0; i < n; i++ {
 		i := i
 		st := states[i]
+		if st == nil {
+			continue
+		}
 		run := func(p *sim.Proc) {
+			var err error
 			switch cfg.Kind {
 			case backends.CPU:
-				runCPURank(p, st)
+				err = runCPURank(p, st)
 			case backends.HDN:
-				runHDNRank(p, st)
+				err = runHDNRank(p, st)
 			case backends.GDS:
-				runGDSRank(p, st)
+				err = runGDSRank(p, st)
 			case backends.GPUTN:
 				if cfg.Pipeline > 1 {
 					runGPUTNPipelined(p, st, cfg.Pipeline)
 				} else {
-					runGPUTNRank(p, st)
+					err = runGPUTNRank(p, st)
 				}
 			default:
 				panic(fmt.Sprintf("collective: unknown backend %v", cfg.Kind))
+			}
+			if err != nil {
+				errs[i] = err
+				return
 			}
 			res.PerRank[i] = p.Now()
 		}
 		c.Eng.Go(fmt.Sprintf("allreduce.%s.%d", cfg.Kind, i), run)
 	}
 	c.Run()
-	for _, t := range res.PerRank {
+	if err := errors.Join(errs...); err != nil {
+		return res, err
+	}
+	for i, t := range res.PerRank {
+		if states[i] == nil {
+			continue // dead ranks do not participate
+		}
 		if t == 0 {
 			return Result{}, fmt.Errorf("collective: a rank never completed (deadlock?)")
 		}
@@ -197,6 +308,10 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 	}
 	if cfg.Data != nil {
 		for _, st := range states {
+			if st == nil {
+				res.Output = append(res.Output, nil)
+				continue
+			}
 			res.Output = append(res.Output, st.vec)
 		}
 	}
@@ -204,7 +319,26 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 }
 
 // right returns the ring successor.
-func (st *rankState) right() int { return (st.nd.Index + 1) % st.nranks }
+func (st *rankState) right() int {
+	if st.ring != nil {
+		return st.ring[(st.pos+1)%len(st.ring)]
+	}
+	return (st.nd.Index + 1) % st.nranks
+}
+
+// left returns the ring predecessor (the rank blamed on a receive timeout).
+func (st *rankState) left() int {
+	if st.ring != nil {
+		m := len(st.ring)
+		return st.ring[(st.pos-1+m)%m]
+	}
+	return (st.nd.Index - 1 + st.nranks) % st.nranks
+}
+
+// neighborFailed wraps a timed-out receive into the typed error.
+func (st *rankState) neighborFailed(step int, err error) error {
+	return &NeighborFailedError{Rank: st.nd.Index, Neighbor: st.left(), Step: step, Err: err}
+}
 
 // sendPayload builds the deferred wire payload for one round: the chunk
 // contents are captured at NIC DMA time, after the producing reduction.
@@ -303,36 +437,43 @@ func (st *rankState) gpuReducePerWGTime() sim.Time {
 }
 
 // runCPURank: everything on the host (the paper's non-GPU baseline).
-func runCPURank(p *sim.Proc, st *rankState) {
+func runCPURank(p *sim.Proc, st *rankState) error {
 	md := st.nd.Ptl.MDBind("allreduce", st.chunk, nil, nil)
 	for _, r := range st.rounds {
 		md.Data = st.sendPayload(r)
 		backends.HostSend(p, st.nd, md, st.chunk, st.right(), st.mb)
-		backends.HostRecvWait(p, st.nd, st.recvCT, int64(r.Step)+1)
+		if err := backends.HostRecvWaitTimeout(p, st.nd, st.recvCT, int64(r.Step)+1, st.timeout); err != nil {
+			return st.neighborFailed(r.Step, err)
+		}
 		if r.Reduce {
 			p.Sleep(st.cpuReduceTime())
 		}
 	}
+	return nil
 }
 
 // runHDNRank: two-sided host messaging on kernel boundaries; each
 // reduction is a separate GPU kernel (launch/teardown per round).
-func runHDNRank(p *sim.Proc, st *rankState) {
+func runHDNRank(p *sim.Proc, st *rankState) error {
 	md := st.nd.Ptl.MDBind("allreduce", st.chunk, nil, nil)
 	for _, r := range st.rounds {
 		md.Data = st.sendPayload(r)
 		backends.HostSend(p, st.nd, md, st.chunk, st.right(), st.mb)
-		backends.HostRecvWait(p, st.nd, st.recvCT, int64(r.Step)+1)
+		if err := backends.HostRecvWaitTimeout(p, st.nd, st.recvCT, int64(r.Step)+1, st.timeout); err != nil {
+			return st.neighborFailed(r.Step, err)
+		}
 		if r.Reduce {
 			st.nd.GPU.LaunchSync(p, st.gpuReduceKernel(fmt.Sprintf("hdn.reduce.%d", r.Step)))
 		}
 	}
+	return nil
 }
 
 // runGDSRank: the host pre-posts every send; the GPU front-end executes a
 // stream of [doorbell, wait, reduce-kernel] triples without host
-// involvement, but still pays kernel boundaries between rounds.
-func runGDSRank(p *sim.Proc, st *rankState) {
+// involvement, but still pays kernel boundaries between rounds. Stream
+// waits are uninterruptible, so GDS runs reject Timeout at validation.
+func runGDSRank(p *sim.Proc, st *rankState) error {
 	stream := st.nd.GPU.NewStream(fmt.Sprintf("gds.%d", st.nd.Index))
 	for _, r := range st.rounds {
 		md := st.nd.Ptl.MDBind(fmt.Sprintf("gds.%d", r.Step), st.chunk, st.sendPayload(r), nil)
@@ -344,6 +485,7 @@ func runGDSRank(p *sim.Proc, st *rankState) {
 		}
 	}
 	stream.Sync(p)
+	return nil
 }
 
 // runGPUTNRank: the paper's approach — the entire collective runs inside
@@ -352,22 +494,33 @@ func runGDSRank(p *sim.Proc, st *rankState) {
 // NIC's associative lookup, and the kernel triggers each round's send with
 // a single tag store, polls for the neighbour's chunk, and reduces in
 // place (§5.4.1).
-func runGPUTNRank(p *sim.Proc, st *rankState) {
+func runGPUTNRank(p *sim.Proc, st *rankState) error {
 	host := core.NewHost(st.nd.Eng, st.nd.Ptl, st.nd.GPU)
 	comp := host.NewCompletion()
 	trig := host.GetTriggerAddr()
 	total := len(st.rounds)
 	perWG := st.gpuReducePerWGTime()
 	rounds := st.rounds
+	failedStep := -1
 
-	// Persistent kernel: all rounds inside one kernel dispatch.
+	// Persistent kernel: all rounds inside one kernel dispatch. With a
+	// timeout armed, a work-group that gives up on a round records the
+	// step and exits; its siblings observe the sticky flag and follow.
 	kern := &gpu.Kernel{
 		Name:       fmt.Sprintf("gputn.allreduce.%d", st.nd.Index),
 		WorkGroups: reduceWGs,
 		Body: func(wg *gpu.WGCtx) {
 			for _, r := range rounds {
+				if failedStep >= 0 && failedStep <= r.Step {
+					return
+				}
 				core.TriggerKernel(wg, trig, st.tagBase+uint64(r.Step))
-				wg.PollUntil(st.recvCT.Raw(), int64(r.Step)+1)
+				if !wg.PollUntilFor(st.recvCT.Raw(), int64(r.Step)+1, st.timeout) {
+					if failedStep < 0 || r.Step < failedStep {
+						failedStep = r.Step
+					}
+					return
+				}
 				if r.Reduce {
 					wg.Compute(perWG)
 				}
@@ -378,7 +531,9 @@ func runGPUTNRank(p *sim.Proc, st *rankState) {
 
 	// Host side: windowed registration keyed on local completions; the
 	// host stays off the critical path (relaxed synchronization lets the
-	// GPU trigger tags before their registration lands).
+	// GPU trigger tags before their registration lands). With a timeout
+	// armed, the host also gives up if completions stop flowing (the
+	// aborted kernel will never trigger the remaining puts).
 	register := func(step int) {
 		r := rounds[step]
 		md := st.nd.Ptl.MDBind(fmt.Sprintf("tn.%d", step), st.chunk, st.sendPayload(r), comp.CT)
@@ -394,8 +549,18 @@ func runGPUTNRank(p *sim.Proc, st *rankState) {
 		register(s)
 	}
 	for s := window; s < total; s++ {
-		comp.WaitHost(p, int64(s-window)+1)
+		if st.timeout > 0 {
+			if err := comp.CT.WaitTimeout(p, int64(s-window)+1, st.timeout); err != nil {
+				break
+			}
+		} else {
+			comp.WaitHost(p, int64(s-window)+1)
+		}
 		register(s)
 	}
 	kern.Wait(p)
+	if failedStep >= 0 {
+		return st.neighborFailed(failedStep, portals.ErrTimeout)
+	}
+	return nil
 }

@@ -1,0 +1,338 @@
+package collective
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/config"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// chaosSeeds are the fixed fault schedules of the chaos suite (also run by
+// `make chaos`); determinism makes each one a regression test, not a dice
+// roll.
+var chaosSeeds = []int64{1, 2, 3, 4, 5}
+
+// chaosFaults is a mixed fault schedule: loss, corruption, jitter on the
+// fabric plus stalls in the NIC command pipeline.
+func chaosFaults(seed int64) config.FaultConfig {
+	return config.FaultConfig{
+		Seed:         seed,
+		DropProb:     0.05,
+		CorruptProb:  0.02,
+		DelayJitter:  500 * sim.Nanosecond,
+		CmdStallProb: 0.05,
+		CmdStallTime: 1 * sim.Microsecond,
+	}
+}
+
+func chaosCluster(t *testing.T, n int, seed int64) *node.Cluster {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Faults = chaosFaults(seed)
+	cfg.NIC.Reliability = config.DefaultReliability()
+	return node.NewCluster(cfg, n)
+}
+
+// The §7 headline invariant: on every backend, under every fixed fault
+// schedule, a lossy-fabric Allreduce produces the exact element-wise sum —
+// the reliability layer hides loss, corruption, reordering, and stalls
+// completely.
+func TestChaosAllreduceExactUnderFaults(t *testing.T) {
+	const n, nelems = 4, 256
+	for _, kind := range backends.All() {
+		for _, seed := range chaosSeeds {
+			data, want := makeInputs(n, nelems, seed)
+			c := chaosCluster(t, n, seed)
+			res, err := Run(c, Config{Kind: kind, TotalBytes: nelems * elemBytes, Data: data})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", kind, seed, err)
+			}
+			for r := 0; r < n; r++ {
+				for i := range want {
+					if res.Output[r][i] != want[i] {
+						t.Fatalf("%s seed=%d rank %d elem %d: got %v want %v",
+							kind, seed, r, i, res.Output[r][i], want[i])
+					}
+				}
+			}
+			if c.Fabric.MessagesLost() == 0 {
+				t.Fatalf("%s seed=%d: schedule injected no loss (vacuous run)", kind, seed)
+			}
+		}
+	}
+}
+
+// Same seed, same run: the full event trace must replay — completion time,
+// recovery counters, and injected-fault counters all bit-identical.
+func TestChaosDeterministicTrace(t *testing.T) {
+	run := func() (sim.Time, int64, int64) {
+		const n, nelems = 4, 256
+		data, _ := makeInputs(n, nelems, 7)
+		c := chaosCluster(t, n, 7)
+		res, err := Run(c, Config{Kind: backends.GPUTN, TotalBytes: nelems * elemBytes, Data: data})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var retx int64
+		for _, nd := range c.Nodes {
+			retx += nd.NIC.Stats().Retransmits
+		}
+		return res.Duration, retx, c.Injector.Stats().PacketsDropped
+	}
+	d1, r1, p1 := run()
+	d2, r2, p2 := run()
+	if d1 != d2 || r1 != r2 || p1 != p2 {
+		t.Fatalf("same seed diverged: dur %v/%v retx %d/%d drops %d/%d", d1, d2, r1, r2, p1, p2)
+	}
+}
+
+// A link flap (total loss window on one node) must also be absorbed: the
+// retransmit timers outlive the window and the sum stays exact.
+func TestChaosAllreduceSurvivesLinkFlap(t *testing.T) {
+	const n, nelems = 4, 256
+	cfg := config.Default()
+	cfg.Faults = config.FaultConfig{
+		FlapNode:  1,
+		FlapStart: 5 * sim.Microsecond,
+		FlapEnd:   60 * sim.Microsecond,
+	}
+	cfg.NIC.Reliability = config.DefaultReliability()
+	data, want := makeInputs(n, nelems, 3)
+	c := node.NewCluster(cfg, n)
+	res, err := Run(c, Config{Kind: backends.HDN, TotalBytes: nelems * elemBytes, Data: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n; r++ {
+		for i := range want {
+			if res.Output[r][i] != want[i] {
+				t.Fatalf("rank %d elem %d: got %v want %v", r, i, res.Output[r][i], want[i])
+			}
+		}
+	}
+	if c.Injector.Stats().FlapDrops == 0 {
+		t.Fatal("flap window never fired")
+	}
+}
+
+// A fail-stop rank with a Timeout armed: the survivors terminate with a
+// typed NeighborFailedError naming the dead predecessor instead of hanging.
+func TestAllreduceTimeoutSurfacesNeighborFailure(t *testing.T) {
+	for _, kind := range []backends.Kind{backends.CPU, backends.HDN, backends.GPUTN} {
+		c := node.NewCluster(config.Default(), 4)
+		_, err := Run(c, Config{
+			Kind: kind, TotalBytes: 1024,
+			DeadNodes: []int{2}, Timeout: 100 * sim.Microsecond,
+		})
+		if err == nil {
+			t.Fatalf("%s: dead node produced no error", kind)
+		}
+		var nf *NeighborFailedError
+		if !errors.As(err, &nf) {
+			t.Fatalf("%s: error %v is not a NeighborFailedError", kind, err)
+		}
+		if !errors.Is(err, portals.ErrTimeout) {
+			t.Fatalf("%s: error %v does not wrap ErrTimeout", kind, err)
+		}
+		// The dead rank's ring successor blames it directly.
+		if !strings.Contains(err.Error(), "neighbor 2 failed") {
+			t.Fatalf("%s: no rank blamed the dead node: %v", kind, err)
+		}
+	}
+}
+
+func TestAllreduceRejectsTimeoutOnGDS(t *testing.T) {
+	c := node.NewCluster(config.Default(), 2)
+	if _, err := Run(c, Config{Kind: backends.GDS, TotalBytes: 1024, Timeout: sim.Microsecond}); err == nil {
+		t.Fatal("GDS timeout accepted")
+	}
+}
+
+func TestAllreduceDeadNodesValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Kind: backends.CPU, TotalBytes: 1024, DeadNodes: []int{9}, HealRing: true},
+		{Kind: backends.CPU, TotalBytes: 1024, DeadNodes: []int{1, 1}, HealRing: true},
+		{Kind: backends.CPU, TotalBytes: 1024, DeadNodes: []int{1}}, // no heal, no timeout
+		{Kind: backends.CPU, TotalBytes: 1024, DeadNodes: []int{1, 2, 3}, HealRing: true}, // <2 alive
+	} {
+		c := node.NewCluster(config.Default(), 4)
+		if _, err := Run(c, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// Ring heal: the survivors re-form the ring and compute the exact sum of
+// their own contributions; the dead rank's vector is excluded and its
+// Output slot is nil.
+func TestAllreduceRingHealExactOverSurvivors(t *testing.T) {
+	const n, nelems = 5, 256
+	const deadRank = 1
+	for _, kind := range []backends.Kind{backends.CPU, backends.HDN, backends.GPUTN} {
+		data, _ := makeInputs(n, nelems, 11)
+		want := make([]float32, nelems)
+		for r := 0; r < n; r++ {
+			if r == deadRank {
+				continue
+			}
+			for i := range want {
+				want[i] += data[r][i]
+			}
+		}
+		c := node.NewCluster(config.Default(), n)
+		res, err := Run(c, Config{
+			Kind: kind, TotalBytes: nelems * elemBytes, Data: data,
+			DeadNodes: []int{deadRank}, HealRing: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Output[deadRank] != nil {
+			t.Fatalf("%s: dead rank produced output", kind)
+		}
+		for r := 0; r < n; r++ {
+			if r == deadRank {
+				continue
+			}
+			for i := range want {
+				if res.Output[r][i] != want[i] {
+					t.Fatalf("%s rank %d elem %d: got %v want %v", kind, r, i, res.Output[r][i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// Ring heal on a lossy fabric: both recovery layers compose — the NIC hides
+// packet loss while the collective routes around the dead rank.
+func TestAllreduceRingHealUnderLoss(t *testing.T) {
+	const n, nelems = 4, 256
+	const deadRank = 3
+	data, _ := makeInputs(n, nelems, 13)
+	want := make([]float32, nelems)
+	for r := 0; r < n-1; r++ {
+		for i := range want {
+			want[i] += data[r][i]
+		}
+	}
+	cfg := config.Default()
+	cfg.Faults = config.FaultConfig{Seed: 13, DropProb: 0.05}
+	cfg.NIC.Reliability = config.DefaultReliability()
+	c := node.NewCluster(cfg, n)
+	res, err := Run(c, Config{
+		Kind: backends.GPUTN, TotalBytes: nelems * elemBytes, Data: data,
+		DeadNodes: []int{deadRank}, HealRing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < n-1; r++ {
+		for i := range want {
+			if res.Output[r][i] != want[i] {
+				t.Fatalf("rank %d elem %d: got %v want %v", r, i, res.Output[r][i], want[i])
+			}
+		}
+	}
+}
+
+// Broadcast chain heal: survivors forward around the dead rank and all
+// receive the root's exact vector.
+func TestBroadcastHealChain(t *testing.T) {
+	const n, nelems = 5, 256
+	const deadRank = 2
+	data := make([]float32, nelems)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	for _, kind := range []backends.Kind{backends.CPU, backends.HDN, backends.GPUTN} {
+		c := node.NewCluster(config.Default(), n)
+		res, err := RunBroadcast(c, BcastConfig{
+			Kind: kind, Root: 0, TotalBytes: nelems * elemBytes, Segments: 4, Data: data,
+			DeadNodes: []int{deadRank}, HealChain: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Received[deadRank] != nil {
+			t.Fatalf("%s: dead rank received data", kind)
+		}
+		for r := 0; r < n; r++ {
+			if r == deadRank {
+				continue
+			}
+			for i := range data {
+				if res.Received[r][i] != data[i] {
+					t.Fatalf("%s rank %d elem %d: got %v want %v", kind, r, i, res.Received[r][i], data[i])
+				}
+			}
+		}
+	}
+}
+
+// Broadcast with a dead forwarder and no heal: downstream ranks time out
+// blaming their chain predecessor.
+func TestBroadcastTimeoutSurfacesNeighborFailure(t *testing.T) {
+	for _, kind := range []backends.Kind{backends.HDN, backends.GPUTN} {
+		c := node.NewCluster(config.Default(), 4)
+		_, err := RunBroadcast(c, BcastConfig{
+			Kind: kind, Root: 0, TotalBytes: 1024, Segments: 2,
+			DeadNodes: []int{1}, Timeout: 100 * sim.Microsecond,
+		})
+		if err == nil {
+			t.Fatalf("%s: dead forwarder produced no error", kind)
+		}
+		var nf *NeighborFailedError
+		if !errors.As(err, &nf) {
+			t.Fatalf("%s: error %v is not a NeighborFailedError", kind, err)
+		}
+		if !strings.Contains(err.Error(), "neighbor 1 failed") {
+			t.Fatalf("%s: nobody blamed the dead forwarder: %v", kind, err)
+		}
+	}
+}
+
+func TestBroadcastDeadValidation(t *testing.T) {
+	for _, cfg := range []BcastConfig{
+		{Kind: backends.CPU, Root: 0, TotalBytes: 1024, Segments: 1, DeadNodes: []int{0}, HealChain: true},
+		{Kind: backends.CPU, Root: 0, TotalBytes: 1024, Segments: 1, DeadNodes: []int{1}},
+		{Kind: backends.GDS, Root: 0, TotalBytes: 1024, Segments: 1, Timeout: sim.Microsecond},
+	} {
+		c := node.NewCluster(config.Default(), 4)
+		if _, err := RunBroadcast(c, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// Broadcast under chaos faults: exact delivery on every backend and seed.
+func TestChaosBroadcastExactUnderFaults(t *testing.T) {
+	const n, nelems = 4, 256
+	data := make([]float32, nelems)
+	for i := range data {
+		data[i] = float32(i % 97)
+	}
+	for _, kind := range backends.All() {
+		for _, seed := range chaosSeeds {
+			c := chaosCluster(t, n, seed)
+			res, err := RunBroadcast(c, BcastConfig{
+				Kind: kind, Root: 0, TotalBytes: nelems * elemBytes, Segments: 4, Data: data,
+			})
+			if err != nil {
+				t.Fatalf("%s seed=%d: %v", kind, seed, err)
+			}
+			for r := 0; r < n; r++ {
+				for i := range data {
+					if res.Received[r][i] != data[i] {
+						t.Fatalf("%s seed=%d rank %d elem %d: got %v want %v",
+							kind, seed, r, i, res.Received[r][i], data[i])
+					}
+				}
+			}
+		}
+	}
+}

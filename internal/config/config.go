@@ -53,6 +53,84 @@ type GPUConfig struct {
 	BarrierWorkGroup  sim.Time // hardware work-group barrier
 }
 
+// ReliabilityConfig describes the NIC's reliable-delivery layer: per-
+// (src,dst) sequence numbers, cumulative ACK / NACK, and a sliding
+// retransmit window with exponential backoff. Disabled by default so the
+// Table 2 lossless configuration reproduces the paper's numbers
+// bit-for-bit; fault-injection runs enable it to recover from loss without
+// host involvement.
+type ReliabilityConfig struct {
+	Enabled bool
+	// WindowSize bounds unacknowledged messages per (src,dst) channel;
+	// further sends queue on the NIC.
+	WindowSize int
+	// RTOBase is the fixed part of the retransmission timeout.
+	RTOBase sim.Time
+	// RTOPerKB scales the timeout with message size (serialization slack).
+	RTOPerKB sim.Time
+	// MaxBackoff caps the exponentially backed-off timeout (0 = uncapped).
+	MaxBackoff sim.Time
+	// RetryBudget is the maximum transmission attempts per message; when
+	// exhausted the peer is declared dead and its channel drained.
+	RetryBudget int
+}
+
+// DefaultReliability returns the reliable-delivery parameters used by the
+// fault-tolerance experiments: a 32-message window, a 30 us + 400 ns/KB
+// timeout doubling per attempt up to 500 us, and 64 attempts per message.
+// The budget must absorb whole-frame loss: a 64 KB frame spans ~16 MTU
+// packets, so at 10% per-packet drop an attempt survives only ~18% of the
+// time and double-digit attempt counts are routine.
+func DefaultReliability() ReliabilityConfig {
+	return ReliabilityConfig{
+		Enabled:     true,
+		WindowSize:  32,
+		RTOBase:     30 * sim.Microsecond,
+		RTOPerKB:    400 * sim.Nanosecond,
+		MaxBackoff:  500 * sim.Microsecond,
+		RetryBudget: 64,
+	}
+}
+
+// FaultConfig configures the deterministic fault-injection layer
+// (internal/fault). The zero value injects nothing and costs nothing; any
+// non-zero field arms the injector, which is seeded by Seed so the same
+// configuration reproduces the same fault schedule and event trace.
+type FaultConfig struct {
+	// Seed seeds the injector's RNG.
+	Seed int64
+	// DropProb is the per-packet drop probability on the fabric.
+	DropProb float64
+	// CorruptProb is the per-packet corruption probability; a corrupted
+	// packet marks its whole message corrupt (checksum failure at the
+	// receiving NIC).
+	CorruptProb float64
+	// DelayJitter adds a uniform random [0, DelayJitter] flight delay per
+	// packet.
+	DelayJitter sim.Time
+	// FlapNode's links drop every packet during [FlapStart, FlapEnd).
+	// The window is armed only when FlapEnd > FlapStart.
+	FlapNode  int
+	FlapStart sim.Time
+	FlapEnd   sim.Time
+	// CmdStallProb stalls the NIC command pipeline for CmdStallTime before
+	// parsing a command, with the given probability.
+	CmdStallProb float64
+	CmdStallTime sim.Time
+	// TrigDropProb loses a GPU trigger write on the MMIO path with the
+	// given probability; TrigDelayJitter adds uniform random flight delay.
+	TrigDropProb    float64
+	TrigDelayJitter sim.Time
+}
+
+// Enabled reports whether any fault is armed.
+func (f FaultConfig) Enabled() bool {
+	return f.DropProb > 0 || f.CorruptProb > 0 || f.DelayJitter > 0 ||
+		f.FlapEnd > f.FlapStart ||
+		(f.CmdStallProb > 0 && f.CmdStallTime > 0) ||
+		f.TrigDropProb > 0 || f.TrigDelayJitter > 0
+}
+
 // NICConfig describes the RDMA NIC and the GPU-TN trigger hardware.
 type NICConfig struct {
 	// DoorbellLatency is the MMIO write cost from an agent to the NIC.
@@ -74,6 +152,8 @@ type NICConfig struct {
 	// CompletionWriteLatency is the cost of the NIC writing a local
 	// completion flag (§4.2.4) into host/GPU-visible memory.
 	CompletionWriteLatency sim.Time
+	// Reliability configures the NIC-level reliable-delivery layer.
+	Reliability ReliabilityConfig
 }
 
 // Topology names for NetworkConfig.Topology.
@@ -108,6 +188,9 @@ type SystemConfig struct {
 	// CPU/GPU/NIC interactions instead of the coherent-APU default (§5.1).
 	DiscreteGPU  bool
 	IOBusLatency sim.Time
+	// Faults arms the deterministic fault-injection layer; the zero value
+	// is fault-free and pay-for-use.
+	Faults FaultConfig
 }
 
 // Default returns the Table 2 configuration used for all headline results.
@@ -189,6 +272,58 @@ func (c *SystemConfig) Validate() error {
 		return fmt.Errorf("config: NIC.MaxTriggerEntries = %d", c.NIC.MaxTriggerEntries)
 	case c.DiscreteGPU && c.IOBusLatency <= 0:
 		return fmt.Errorf("config: DiscreteGPU requires IOBusLatency > 0")
+	}
+	if err := c.NIC.Reliability.validate(); err != nil {
+		return err
+	}
+	return c.Faults.validate()
+}
+
+func (r ReliabilityConfig) validate() error {
+	if !r.Enabled {
+		return nil
+	}
+	switch {
+	case r.WindowSize <= 0:
+		return fmt.Errorf("config: Reliability.WindowSize = %d", r.WindowSize)
+	case r.RTOBase <= 0:
+		return fmt.Errorf("config: Reliability.RTOBase = %v", r.RTOBase)
+	case r.RTOPerKB < 0:
+		return fmt.Errorf("config: Reliability.RTOPerKB = %v", r.RTOPerKB)
+	case r.RetryBudget <= 0:
+		return fmt.Errorf("config: Reliability.RetryBudget = %d", r.RetryBudget)
+	}
+	return nil
+}
+
+func (f FaultConfig) validate() error {
+	prob := func(name string, p float64) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("config: Faults.%s = %v outside [0, 1]", name, p)
+		}
+		return nil
+	}
+	if err := prob("DropProb", f.DropProb); err != nil {
+		return err
+	}
+	if err := prob("CorruptProb", f.CorruptProb); err != nil {
+		return err
+	}
+	if err := prob("CmdStallProb", f.CmdStallProb); err != nil {
+		return err
+	}
+	if err := prob("TrigDropProb", f.TrigDropProb); err != nil {
+		return err
+	}
+	switch {
+	case f.DelayJitter < 0:
+		return fmt.Errorf("config: Faults.DelayJitter = %v", f.DelayJitter)
+	case f.TrigDelayJitter < 0:
+		return fmt.Errorf("config: Faults.TrigDelayJitter = %v", f.TrigDelayJitter)
+	case f.CmdStallTime < 0:
+		return fmt.Errorf("config: Faults.CmdStallTime = %v", f.CmdStallTime)
+	case f.FlapEnd > f.FlapStart && f.FlapNode < 0:
+		return fmt.Errorf("config: Faults.FlapNode = %d", f.FlapNode)
 	}
 	return nil
 }

@@ -47,6 +47,16 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		func(c *SystemConfig) { c.Network.MTUBytes = 0 },
 		func(c *SystemConfig) { c.NIC.MaxTriggerEntries = 0 },
 		func(c *SystemConfig) { c.DiscreteGPU = true; c.IOBusLatency = 0 },
+		func(c *SystemConfig) { c.NIC.Reliability = DefaultReliability(); c.NIC.Reliability.WindowSize = 0 },
+		func(c *SystemConfig) { c.NIC.Reliability = DefaultReliability(); c.NIC.Reliability.RTOBase = 0 },
+		func(c *SystemConfig) { c.NIC.Reliability = DefaultReliability(); c.NIC.Reliability.RTOPerKB = -1 },
+		func(c *SystemConfig) { c.NIC.Reliability = DefaultReliability(); c.NIC.Reliability.RetryBudget = 0 },
+		func(c *SystemConfig) { c.Faults.DropProb = 1.5 },
+		func(c *SystemConfig) { c.Faults.CorruptProb = -0.1 },
+		func(c *SystemConfig) { c.Faults.TrigDropProb = 2 },
+		func(c *SystemConfig) { c.Faults.DelayJitter = -1 },
+		func(c *SystemConfig) { c.Faults.CmdStallProb = 0.5; c.Faults.CmdStallTime = -1 },
+		func(c *SystemConfig) { c.Faults.FlapNode = -1; c.Faults.FlapStart = 1; c.Faults.FlapEnd = 2 },
 	}
 	for i, m := range mutations {
 		c := Default()
@@ -54,6 +64,44 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("mutation %d not caught", i)
 		}
+	}
+}
+
+func TestFaultConfigEnabled(t *testing.T) {
+	if (FaultConfig{}).Enabled() {
+		t.Error("zero config enabled")
+	}
+	if (FaultConfig{Seed: 42}).Enabled() {
+		t.Error("seed alone arms nothing")
+	}
+	armed := []FaultConfig{
+		{DropProb: 0.01},
+		{CorruptProb: 0.01},
+		{DelayJitter: 1},
+		{FlapStart: 1, FlapEnd: 2},
+		{CmdStallProb: 0.5, CmdStallTime: 1},
+		{TrigDropProb: 0.5},
+		{TrigDelayJitter: 1},
+	}
+	for i, f := range armed {
+		if !f.Enabled() {
+			t.Errorf("config %d should be armed: %+v", i, f)
+		}
+	}
+}
+
+func TestDefaultReliabilityValidAndOffByDefault(t *testing.T) {
+	if Default().NIC.Reliability.Enabled {
+		t.Fatal("reliability must be off in the Table 2 default (pay-for-use)")
+	}
+	if Default().Faults.Enabled() {
+		t.Fatal("faults must be off in the Table 2 default")
+	}
+	c := Default()
+	c.NIC.Reliability = DefaultReliability()
+	c.Faults = FaultConfig{Seed: 1, DropProb: 0.05}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default lossy preset invalid: %v", err)
 	}
 }
 

@@ -1,0 +1,165 @@
+// Package fault is the deterministic fault-injection subsystem: a single
+// seeded Injector threaded through the fabric and the NICs that decides,
+// per packet / trigger write / command, whether to drop, corrupt, delay,
+// or stall. Because all model code runs hand-off scheduled on the
+// simulation engine, the injector's RNG is consumed in a deterministic
+// order: the same seed and configuration always reproduce the same fault
+// schedule and therefore the same event trace.
+//
+// The zero-valued config disables every fault, and a nil *Injector is a
+// valid no-op receiver, so the hot paths stay byte-identical to the
+// fault-free model when injection is off (pay-for-use).
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// PacketFate is the injector's verdict for one packet at its egress point.
+type PacketFate struct {
+	// Drop discards the packet; the owning message is lost.
+	Drop bool
+	// Corrupt flags the message as corrupted; receivers without a
+	// reliability layer discard it, receivers with one NACK it.
+	Corrupt bool
+	// Delay is extra flight time added to the packet (jitter).
+	Delay sim.Time
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	PacketsDropped   int64
+	FlapDrops        int64 // subset of PacketsDropped due to link flaps
+	PacketsCorrupted int64
+	PacketsDelayed   int64
+	TriggerDrops     int64
+	TriggerDelays    int64
+	CommandStalls    int64
+}
+
+// Injector makes all fault decisions for one cluster. Its methods are
+// nil-safe: a nil receiver returns the zero (fault-free) verdict, so model
+// code calls them unconditionally.
+type Injector struct {
+	cfg   config.FaultConfig
+	rng   *rand.Rand
+	stats Stats
+}
+
+// NewInjector builds an injector for an enabled fault configuration. It
+// returns nil when the configuration injects nothing, which keeps the
+// fault-free hot paths allocation- and event-free.
+func NewInjector(cfg config.FaultConfig) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}
+
+// Config returns the injector's configuration (zero for nil).
+func (in *Injector) Config() config.FaultConfig {
+	if in == nil {
+		return config.FaultConfig{}
+	}
+	return in.cfg
+}
+
+// Packet decides the fate of one packet from src to dst at simulated time
+// now. Flap windows are checked first (no randomness), then drop,
+// corruption, and jitter draws in a fixed order.
+func (in *Injector) Packet(now sim.Time, src, dst int) PacketFate {
+	if in == nil {
+		return PacketFate{}
+	}
+	c := &in.cfg
+	if c.FlapEnd > c.FlapStart && now >= c.FlapStart && now < c.FlapEnd &&
+		(src == c.FlapNode || dst == c.FlapNode) {
+		in.stats.PacketsDropped++
+		in.stats.FlapDrops++
+		return PacketFate{Drop: true}
+	}
+	var f PacketFate
+	if c.DropProb > 0 && in.rng.Float64() < c.DropProb {
+		in.stats.PacketsDropped++
+		f.Drop = true
+		return f
+	}
+	if c.CorruptProb > 0 && in.rng.Float64() < c.CorruptProb {
+		in.stats.PacketsCorrupted++
+		f.Corrupt = true
+	}
+	if c.DelayJitter > 0 {
+		f.Delay = sim.Time(in.rng.Int63n(int64(c.DelayJitter) + 1))
+		if f.Delay > 0 {
+			in.stats.PacketsDelayed++
+		}
+	}
+	return f
+}
+
+// TriggerFault decides whether a GPU trigger write to the given node's NIC
+// is lost on the MMIO path, and how much extra flight delay it suffers.
+func (in *Injector) TriggerFault(node int) (drop bool, delay sim.Time) {
+	if in == nil {
+		return false, 0
+	}
+	c := &in.cfg
+	if c.TrigDropProb > 0 && in.rng.Float64() < c.TrigDropProb {
+		in.stats.TriggerDrops++
+		return true, 0
+	}
+	if c.TrigDelayJitter > 0 {
+		delay = sim.Time(in.rng.Int63n(int64(c.TrigDelayJitter) + 1))
+		if delay > 0 {
+			in.stats.TriggerDelays++
+		}
+	}
+	return false, delay
+}
+
+// CommandStall returns a stall duration for the given node's NIC command
+// pipeline before it parses its next command (0 = no stall).
+func (in *Injector) CommandStall(node int) sim.Time {
+	if in == nil {
+		return 0
+	}
+	c := &in.cfg
+	if c.CmdStallProb > 0 && c.CmdStallTime > 0 && in.rng.Float64() < c.CmdStallProb {
+		in.stats.CommandStalls++
+		return c.CmdStallTime
+	}
+	return 0
+}
+
+// Summary renders a one-line human-readable description of the active
+// fault schedule (used by run headers).
+func (in *Injector) Summary() string {
+	if in == nil {
+		return "faults: none"
+	}
+	c := &in.cfg
+	s := fmt.Sprintf("faults: seed=%d drop=%.2f%% corrupt=%.2f%% jitter=%v",
+		c.Seed, 100*c.DropProb, 100*c.CorruptProb, c.DelayJitter)
+	if c.FlapEnd > c.FlapStart {
+		s += fmt.Sprintf(" flap[node %d %v..%v]", c.FlapNode, c.FlapStart, c.FlapEnd)
+	}
+	if c.CmdStallProb > 0 {
+		s += fmt.Sprintf(" cmd-stall=%.2f%%x%v", 100*c.CmdStallProb, c.CmdStallTime)
+	}
+	if c.TrigDropProb > 0 || c.TrigDelayJitter > 0 {
+		s += fmt.Sprintf(" trig[drop=%.2f%% jitter=%v]", 100*c.TrigDropProb, c.TrigDelayJitter)
+	}
+	return s
+}

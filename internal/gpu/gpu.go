@@ -76,6 +76,17 @@ func (w *WGCtx) AtomicStoreSystem(effect func()) {
 // modeling a spin on a memory flag updated by the NIC or a peer (§4.2.5).
 func (w *WGCtx) PollUntil(c *sim.Counter, target int64) { c.WaitGE(w.p, target) }
 
+// PollUntilFor is PollUntil with a deadline: it reports whether the target
+// was reached before timeout elapsed. A non-positive timeout waits forever
+// (and reports true), so fault-free code paths stay unchanged.
+func (w *WGCtx) PollUntilFor(c *sim.Counter, target int64, timeout sim.Time) bool {
+	if timeout <= 0 {
+		c.WaitGE(w.p, target)
+		return true
+	}
+	return c.WaitGEUntil(w.p, target, w.p.Now()+timeout)
+}
+
 // GPU is one node's GPU device.
 type GPU struct {
 	eng *sim.Engine

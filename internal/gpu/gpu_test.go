@@ -194,6 +194,41 @@ func TestPollUntil(t *testing.T) {
 	}
 }
 
+func TestPollUntilForTimesOutAndRecovers(t *testing.T) {
+	eng, g := newGPU(t)
+	flag := sim.NewCounter(eng)
+	var timedOut, satisfied, forever bool
+	eng.Go("host", func(p *sim.Proc) {
+		g.LaunchSync(p, &Kernel{
+			Name: "poller", WorkGroups: 1,
+			Body: func(wg *WGCtx) {
+				// Deadline expires with the flag untouched.
+				timedOut = !wg.PollUntilFor(flag, 1, 2*sim.Microsecond)
+				// The flag lands before the second deadline.
+				satisfied = wg.PollUntilFor(flag, 1, 100*sim.Microsecond)
+				// Zero timeout = block without a deadline.
+				forever = wg.PollUntilFor(flag, 2, 0)
+			},
+		})
+	})
+	eng.Go("nic", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		flag.Add(1)
+		p.Sleep(10 * sim.Microsecond)
+		flag.Add(1)
+	})
+	eng.Run()
+	if !timedOut {
+		t.Fatal("first poll should have timed out")
+	}
+	if !satisfied {
+		t.Fatal("second poll should have succeeded")
+	}
+	if !forever {
+		t.Fatal("zero-timeout poll should have blocked until satisfied")
+	}
+}
+
 func TestOnComplete(t *testing.T) {
 	eng, g := newGPU(t)
 	var completeAt sim.Time

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -29,6 +30,14 @@ type Message struct {
 
 	// SentAt is stamped by the fabric when the message is injected.
 	SentAt sim.Time
+
+	// Corrupted is set by the fault injector when any packet of the
+	// message was corrupted in flight; the receiving NIC's checksum
+	// detects it (and NACKs it when reliable delivery is on).
+	Corrupted bool
+	// damaged marks a message with at least one dropped packet; the
+	// fabric suppresses its delivery.
+	damaged bool
 }
 
 // Handler receives a complete message at its destination, at the simulated
@@ -46,6 +55,7 @@ type packet struct {
 type Fabric struct {
 	eng *sim.Engine
 	cfg config.NetworkConfig
+	inj *fault.Injector
 
 	egress   []*sim.Queue[*packet] // per-source injection FIFO
 	ingress  []*sim.Queue[*packet] // per-destination switch output FIFO
@@ -54,6 +64,9 @@ type Fabric struct {
 	bytesSent      []int64
 	bytesDelivered []int64
 	msgsDelivered  []int64
+	pktsDropped    int64
+	msgsLost       int64
+	msgsCorrupted  int64
 	firstSend      sim.Time
 	lastDelivery   sim.Time
 	anyTraffic     bool
@@ -93,6 +106,10 @@ func (f *Fabric) Bind(id NodeID, h Handler) {
 	f.handlers[id] = h
 }
 
+// SetInjector installs the fault injector. A nil injector (the default)
+// keeps the fabric lossless.
+func (f *Fabric) SetInjector(in *fault.Injector) { f.inj = in }
+
 // Send injects a message. It is asynchronous: the call returns immediately
 // and delivery happens via the destination handler. Sending to self is
 // rejected — loopback is the NIC model's job, not the fabric's.
@@ -105,6 +122,9 @@ func (f *Fabric) Send(m *Message) {
 	}
 	if m.Size < 0 {
 		panic("network: negative message size")
+	}
+	if f.handlers[m.Dst] == nil {
+		panic(fmt.Sprintf("network: send %d->%d but no handler is bound for node %d (call Bind before sending)", m.Src, m.Dst, m.Dst))
 	}
 	m.SentAt = f.eng.Now()
 	if !f.anyTraffic || m.SentAt < f.firstSend {
@@ -133,11 +153,31 @@ func (f *Fabric) pumpEgress(p *sim.Proc, port int) {
 	for {
 		pkt := f.egress[port].Pop(p)
 		p.Sleep(sim.BytesAtGbps(pkt.bytes, f.cfg.BandwidthGbps))
+		// Fault-injection point: the packet has consumed its serialization
+		// time on the source port (a dropped packet still wasted that
+		// bandwidth) and is about to enter the switch.
+		flight := f.cfg.LinkLatency + f.cfg.SwitchLatency
+		if f.inj != nil {
+			fate := f.inj.Packet(f.eng.Now(), int(pkt.msg.Src), int(pkt.msg.Dst))
+			if fate.Drop {
+				f.pktsDropped++
+				if !pkt.msg.damaged {
+					pkt.msg.damaged = true
+					f.msgsLost++
+				}
+				continue
+			}
+			if fate.Corrupt && !pkt.msg.Corrupted {
+				pkt.msg.Corrupted = true
+				f.msgsCorrupted++
+			}
+			flight += fate.Delay
+		}
 		// Propagation to the switch plus switch traversal, then enqueue on
 		// the destination port. Flight time is pure delay (pipelined), so
 		// model it with a scheduled event rather than blocking the port.
 		dst := int(pkt.msg.Dst)
-		f.eng.After(f.cfg.LinkLatency+f.cfg.SwitchLatency, func() {
+		f.eng.After(flight, func() {
 			f.ingress[dst].Push(pkt)
 		})
 	}
@@ -153,6 +193,11 @@ func (f *Fabric) pumpIngress(p *sim.Proc, port int) {
 		f.eng.After(f.cfg.LinkLatency, func() {
 			f.bytesDelivered[port] += pktDone.bytes
 			if pktDone.last {
+				if pktDone.msg.damaged {
+					// At least one packet of the message was dropped:
+					// the message never completes at the receiver.
+					return
+				}
 				f.msgsDelivered[port]++
 				f.lastDelivery = f.eng.Now()
 				h := f.handlers[port]
@@ -210,3 +255,13 @@ func (f *Fabric) MessagesDelivered(id NodeID) int64 { return f.msgsDelivered[id]
 
 // LastDelivery returns the time of the most recent message delivery.
 func (f *Fabric) LastDelivery() sim.Time { return f.lastDelivery }
+
+// PacketsDropped returns the number of packets the fault injector dropped.
+func (f *Fabric) PacketsDropped() int64 { return f.pktsDropped }
+
+// MessagesLost returns the number of messages that lost at least one packet
+// and were therefore never delivered.
+func (f *Fabric) MessagesLost() int64 { return f.msgsLost }
+
+// MessagesCorrupted returns the number of messages flagged corrupt in flight.
+func (f *Fabric) MessagesCorrupted() int64 { return f.msgsCorrupted }

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -156,8 +157,15 @@ func TestUnboundHandlerPanics(t *testing.T) {
 	f := NewFabric(e, netCfg(), 2)
 	e.Go("send", func(p *sim.Proc) { f.Send(&Message{Src: 0, Dst: 1, Size: 8}) })
 	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for unbound handler")
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for unbound handler")
+		}
+		// The failure must be immediate and name the unbound node, not
+		// surface later as a mystery at delivery time.
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "node 1") || !strings.Contains(msg, "Bind") {
+			t.Fatalf("panic %q does not name the unbound node", msg)
 		}
 	}()
 	e.Run()

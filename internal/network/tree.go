@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -26,6 +27,13 @@ type Transport interface {
 	MessagesDelivered(id NodeID) int64
 	// LastDelivery reports the most recent delivery time.
 	LastDelivery() sim.Time
+	// SetInjector installs a fault injector (nil = lossless).
+	SetInjector(in *fault.Injector)
+	// PacketsDropped / MessagesLost / MessagesCorrupted report injected
+	// fault accounting; all zero on a lossless fabric.
+	PacketsDropped() int64
+	MessagesLost() int64
+	MessagesCorrupted() int64
 }
 
 var (
@@ -39,6 +47,9 @@ type stage struct {
 	q    *sim.Queue[*treePacket]
 	gbps float64
 	post sim.Time
+	// faultPoint marks the injection stage (the node-to-leaf egress hop);
+	// fault verdicts are drawn exactly once per packet, there.
+	faultPoint bool
 }
 
 type treePacket struct {
@@ -58,6 +69,7 @@ type treePacket struct {
 type TreeFabric struct {
 	eng *sim.Engine
 	cfg config.NetworkConfig
+	inj *fault.Injector
 
 	leafSize int
 	nleaves  int
@@ -72,6 +84,9 @@ type TreeFabric struct {
 	bytesSent      []int64
 	bytesDelivered []int64
 	msgsDelivered  []int64
+	pktsDropped    int64
+	msgsLost       int64
+	msgsCorrupted  int64
 	lastDelivery   sim.Time
 }
 
@@ -98,8 +113,11 @@ func NewTreeFabric(eng *sim.Engine, cfg config.NetworkConfig, n, leafSize int) *
 		return s
 	}
 	for i := 0; i < n; i++ {
-		// Node-to-leaf: propagation + leaf switch traversal.
-		t.egress = append(t.egress, mk(fmt.Sprintf("tree.eg.%d", i), cfg.LinkLatency+cfg.SwitchLatency))
+		// Node-to-leaf: propagation + leaf switch traversal. This is the
+		// fault-injection stage for tree topologies.
+		eg := mk(fmt.Sprintf("tree.eg.%d", i), cfg.LinkLatency+cfg.SwitchLatency)
+		eg.faultPoint = true
+		t.egress = append(t.egress, eg)
 		// Leaf-to-node: propagation only.
 		t.ingress = append(t.ingress, mk(fmt.Sprintf("tree.in.%d", i), cfg.LinkLatency))
 	}
@@ -124,6 +142,9 @@ func (t *TreeFabric) Leaves() int { return t.nleaves }
 // Bind implements Transport.
 func (t *TreeFabric) Bind(id NodeID, h Handler) { t.handlers[id] = h }
 
+// SetInjector implements Transport.
+func (t *TreeFabric) SetInjector(in *fault.Injector) { t.inj = in }
+
 // Send implements Transport.
 func (t *TreeFabric) Send(m *Message) {
 	if int(m.Src) < 0 || int(m.Src) >= len(t.handlers) || int(m.Dst) < 0 || int(m.Dst) >= len(t.handlers) {
@@ -134,6 +155,9 @@ func (t *TreeFabric) Send(m *Message) {
 	}
 	if m.Size < 0 {
 		panic("network: negative message size")
+	}
+	if t.handlers[m.Dst] == nil {
+		panic(fmt.Sprintf("network: send %d->%d but no handler is bound for node %d (call Bind before sending)", m.Src, m.Dst, m.Dst))
 	}
 	m.SentAt = t.eng.Now()
 	t.bytesSent[m.Src] += m.Size
@@ -169,8 +193,25 @@ func (t *TreeFabric) pump(p *sim.Proc, s *stage) {
 	for {
 		pkt := s.q.Pop(p)
 		p.Sleep(sim.BytesAtGbps(pkt.bytes, s.gbps))
+		post := s.post
+		if s.faultPoint && t.inj != nil {
+			fate := t.inj.Packet(t.eng.Now(), int(pkt.msg.Src), int(pkt.msg.Dst))
+			if fate.Drop {
+				t.pktsDropped++
+				if !pkt.msg.damaged {
+					pkt.msg.damaged = true
+					t.msgsLost++
+				}
+				continue
+			}
+			if fate.Corrupt && !pkt.msg.Corrupted {
+				pkt.msg.Corrupted = true
+				t.msgsCorrupted++
+			}
+			post += fate.Delay
+		}
 		next := pkt
-		t.eng.After(s.post, func() {
+		t.eng.After(post, func() {
 			if len(next.path) > 0 {
 				ns := next.path[0]
 				next.path = next.path[1:]
@@ -186,6 +227,9 @@ func (t *TreeFabric) deliver(pkt *treePacket) {
 	dst := pkt.msg.Dst
 	t.bytesDelivered[dst] += pkt.bytes
 	if pkt.last {
+		if pkt.msg.damaged {
+			return
+		}
 		t.msgsDelivered[dst]++
 		t.lastDelivery = t.eng.Now()
 		h := t.handlers[dst]
@@ -233,3 +277,12 @@ func (t *TreeFabric) MessagesDelivered(id NodeID) int64 { return t.msgsDelivered
 
 // LastDelivery implements Transport.
 func (t *TreeFabric) LastDelivery() sim.Time { return t.lastDelivery }
+
+// PacketsDropped implements Transport.
+func (t *TreeFabric) PacketsDropped() int64 { return t.pktsDropped }
+
+// MessagesLost implements Transport.
+func (t *TreeFabric) MessagesLost() int64 { return t.msgsLost }
+
+// MessagesCorrupted implements Transport.
+func (t *TreeFabric) MessagesCorrupted() int64 { return t.msgsCorrupted }

@@ -3,6 +3,8 @@ package nic
 import (
 	"testing"
 
+	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -146,5 +148,102 @@ func TestDynamicRelaxedSyncPlaceholderKeepsOverrides(t *testing.T) {
 	r.eng.Run()
 	if recv2.Value() != 1 {
 		t.Fatalf("placeholder lost the override: deliveries = %d", recv2.Value())
+	}
+}
+
+// --- Relaxed-sync races under injected trigger-write faults ---
+
+// withTriggerFaults arms a fault injector on node 0's MMIO trigger path.
+func withTriggerFaults(r *rig, cfg config.FaultConfig) *fault.Injector {
+	inj := fault.NewInjector(cfg)
+	r.nics[0].SetInjector(inj)
+	return inj
+}
+
+// Injected MMIO delay reorders trigger writes relative to registration; the
+// §3.2 race resolution (placeholder or immediate fire) must still deliver
+// exactly once.
+func TestRelaxedSyncRaceUnderTriggerDelay(t *testing.T) {
+	for _, regAt := range []sim.Time{0, 2 * sim.Microsecond, 20 * sim.Microsecond} {
+		r := newRig(t, 2)
+		withTriggerFaults(r, config.FaultConfig{Seed: 4, TrigDelayJitter: 10 * sim.Microsecond})
+		recv := sim.NewCounter(r.eng)
+		r.nics[1].ExposeRegion(&Region{MatchBits: 0x90, Counter: recv})
+		r.eng.Go("host", func(p *sim.Proc) {
+			p.Sleep(regAt)
+			if err := r.nics[0].RegisterTriggered(p, 7, 3, &Command{Kind: OpPut, Target: 1, MatchBits: 0x90, Size: 8}); err != nil {
+				t.Error(err)
+			}
+		})
+		r.eng.Go("gpu", func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(500 * sim.Nanosecond)
+				r.nics[0].TriggerWrite(7)
+			}
+		})
+		r.eng.Run()
+		if recv.Value() != 1 {
+			t.Fatalf("regAt=%v: recv = %d, want exactly 1", regAt, recv.Value())
+		}
+	}
+}
+
+// A lost trigger write never reaches the FIFO: the entry must not fire on
+// fewer surviving writes than its threshold, and the loss is counted.
+func TestTriggerWriteLossStallsEntry(t *testing.T) {
+	r := newRig(t, 2)
+	withTriggerFaults(r, config.FaultConfig{Seed: 1, TrigDropProb: 1.0})
+	recv := sim.NewCounter(r.eng)
+	r.nics[1].ExposeRegion(&Region{MatchBits: 0x91, Counter: recv})
+	r.eng.Go("host", func(p *sim.Proc) {
+		if err := r.nics[0].RegisterTriggered(p, 3, 2, &Command{Kind: OpPut, Target: 1, MatchBits: 0x91, Size: 8}); err != nil {
+			t.Error(err)
+		}
+	})
+	r.eng.Go("gpu", func(p *sim.Proc) {
+		p.Sleep(sim.Microsecond)
+		r.nics[0].TriggerWrite(3)
+		r.nics[0].TriggerWrite(3)
+	})
+	r.eng.Run()
+	if recv.Value() != 0 {
+		t.Fatalf("fired on lost writes: recv = %d", recv.Value())
+	}
+	st := r.nics[0].Stats()
+	if st.LostTriggerWrites != 2 {
+		t.Fatalf("LostTriggerWrites = %d, want 2", st.LostTriggerWrites)
+	}
+	if st.TriggerFires != 0 {
+		t.Fatalf("TriggerFires = %d", st.TriggerFires)
+	}
+}
+
+// The GPU's recovery for a lossy MMIO path is over-writing the tag: as long
+// as threshold writes survive, the entry fires exactly once.
+func TestTriggerWriteLossRecoveredByExtraWrites(t *testing.T) {
+	r := newRig(t, 2)
+	withTriggerFaults(r, config.FaultConfig{Seed: 6, TrigDropProb: 0.5})
+	recv := sim.NewCounter(r.eng)
+	r.nics[1].ExposeRegion(&Region{MatchBits: 0x92, Counter: recv})
+	r.eng.Go("host", func(p *sim.Proc) {
+		if err := r.nics[0].RegisterTriggered(p, 5, 4, &Command{Kind: OpPut, Target: 1, MatchBits: 0x92, Size: 8}); err != nil {
+			t.Error(err)
+		}
+	})
+	const writes = 40 // 50% loss: overwhelming odds that >= 4 survive
+	r.eng.Go("gpu", func(p *sim.Proc) {
+		for i := 0; i < writes; i++ {
+			p.Sleep(100 * sim.Nanosecond)
+			r.nics[0].TriggerWrite(5)
+		}
+	})
+	r.eng.Run()
+	st := r.nics[0].Stats()
+	survived := int64(writes) - st.LostTriggerWrites
+	if survived < 4 {
+		t.Fatalf("seed 6 lost too many writes (%d survived); pick another seed", survived)
+	}
+	if recv.Value() != 1 {
+		t.Fatalf("recv = %d, want exactly 1 (%d of %d writes survived)", recv.Value(), survived, writes)
 	}
 }

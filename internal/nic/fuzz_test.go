@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -143,6 +145,53 @@ func TestMixedOpsFuzz(t *testing.T) {
 		return !bad && putCT.Value() == int64(puts+gets) && done.Value() == int64(nops)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a seeded injector dropping and delaying MMIO trigger
+// writes, and a random register/write interleaving (including relaxed-sync
+// write-first tags), the entry fires exactly once iff at least threshold
+// writes survive the bus, and never more than once regardless.
+func TestRelaxedSyncRaceWithInjectedTriggerFaultsFuzz(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t, 2)
+		inj := fault.NewInjector(config.FaultConfig{
+			Seed:            seed,
+			TrigDropProb:    0.3,
+			TrigDelayJitter: sim.Time(rng.Intn(5000)) * sim.Nanosecond,
+		})
+		r.nics[0].SetInjector(inj)
+		recv := sim.NewCounter(r.eng)
+		r.nics[1].ExposeRegion(&Region{MatchBits: 0xF, Counter: recv})
+
+		threshold := int64(rng.Intn(4) + 1)
+		writes := int(threshold) + rng.Intn(6)
+		regAt := sim.Time(rng.Intn(4000)) * sim.Nanosecond
+		r.eng.Go("host", func(p *sim.Proc) {
+			p.Sleep(regAt)
+			if err := r.nics[0].RegisterTriggered(p, 1, threshold, &Command{
+				Kind: OpPut, Target: 1, MatchBits: 0xF, Size: 8,
+			}); err != nil {
+				t.Error(err)
+			}
+		})
+		r.eng.Go("gpu", func(p *sim.Proc) {
+			for w := 0; w < writes; w++ {
+				p.Sleep(sim.Time(rng.Intn(1000)) * sim.Nanosecond)
+				r.nics[0].TriggerWrite(1)
+			}
+		})
+		r.eng.Run()
+		survived := int64(writes) - r.nics[0].Stats().LostTriggerWrites
+		want := int64(0)
+		if survived >= threshold {
+			want = 1
+		}
+		return recv.Value() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/sim"
 )
@@ -273,6 +274,16 @@ type Stats struct {
 	DynamicFires      int64 // fires with GPU-provided overrides (§3.4)
 	DeliveredMessages int64
 	DroppedTriggers   int64 // FIFO overflow (bounded-FIFO configs only)
+
+	// Reliable-delivery counters (all zero when reliability is off).
+	Retransmits       int64 // data frames resent after timeout or NACK
+	AcksSent          int64
+	NacksSent         int64 // corrupt frames rejected back to the sender
+	DupesDropped      int64 // duplicate frames suppressed at the receiver
+	CorruptDropped    int64 // corrupt frames discarded (unreliable mode)
+	PeersDeclaredDead int64 // peers abandoned after retry-budget exhaustion
+	SendsToDeadPeer   int64 // frames discarded because the peer is dead
+	LostTriggerWrites int64 // MMIO trigger writes lost by the injector
 }
 
 // NIC is one node's network interface.
@@ -281,6 +292,8 @@ type NIC struct {
 	cfg    config.NICConfig
 	id     network.NodeID
 	fabric network.Transport
+	inj    *fault.Injector
+	rel    *reliability // nil unless cfg.Reliability.Enabled
 
 	cmdQ     *sim.Queue[*Command]
 	trigFIFO *sim.Queue[DynamicWrite]
@@ -310,6 +323,9 @@ func New(eng *sim.Engine, cfg config.NICConfig, id network.NodeID, fabric networ
 		trigFIFO: sim.NewQueue[DynamicWrite](eng),
 		lookup:   AssociativeLookup{Latency: cfg.TriggerMatchLatency},
 	}
+	if cfg.Reliability.Enabled {
+		n.rel = newReliability(n, cfg.Reliability)
+	}
 	fabric.Bind(id, n.deliver)
 	eng.Go(fmt.Sprintf("nic.%d.cmd", id), n.runCommands)
 	eng.Go(fmt.Sprintf("nic.%d.trig", id), n.runTriggers)
@@ -327,6 +343,28 @@ func (n *NIC) SetLookupModel(m LookupModel) { n.lookup = m }
 
 // SetIOBusLatency configures the extra MMIO hop of a discrete-GPU system.
 func (n *NIC) SetIOBusLatency(d sim.Time) { n.ioBusLatency = d }
+
+// SetInjector installs the fault injector for NIC-local faults (command
+// stalls, trigger-write loss/delay). Nil keeps the NIC fault-free.
+func (n *NIC) SetInjector(in *fault.Injector) { n.inj = in }
+
+// OnPeerDead registers a callback invoked when the reliability layer gives
+// up on a peer (retry budget exhausted). No-op without reliability.
+func (n *NIC) OnPeerDead(fn func(peer network.NodeID)) {
+	if n.rel != nil {
+		n.rel.onPeerDead = append(n.rel.onPeerDead, fn)
+	}
+}
+
+// send routes an outbound wire message through the reliability layer when
+// one is configured, otherwise straight onto the fabric.
+func (n *NIC) send(m *network.Message) {
+	if n.rel != nil {
+		n.rel.send(m)
+		return
+	}
+	n.fabric.Send(m)
+}
 
 // ExposeRegion appends a target-side region to the match list (the
 // Portals priority list). Earlier regions win ties.
@@ -384,6 +422,17 @@ func (n *NIC) TriggerWrite(tag uint64) {
 func (n *NIC) TriggerWriteDynamic(w DynamicWrite) {
 	n.stats.TriggerWrites++
 	lat := n.cfg.DoorbellLatency + n.ioBusLatency
+	if n.inj != nil {
+		drop, delay := n.inj.TriggerFault(int(n.id))
+		if drop {
+			// The MMIO store was lost on the bus: it never reaches the
+			// trigger FIFO. Recovery is the GPU's re-write (tests) or the
+			// relaxed-sync placeholder path absorbing the survivors.
+			n.stats.LostTriggerWrites++
+			return
+		}
+		lat += delay
+	}
 	n.eng.After(lat, func() {
 		if n.cfg.TriggerFIFODepth > 0 && n.trigFIFO.Len() >= n.cfg.TriggerFIFODepth {
 			// A bounded FIFO applies backpressure in real hardware; the
@@ -532,6 +581,9 @@ func (n *NIC) fire(e *triggerEntry) {
 func (n *NIC) runCommands(p *sim.Proc) {
 	for {
 		c := n.cmdQ.Pop(p)
+		if d := n.inj.CommandStall(int(n.id)); d > 0 {
+			p.Sleep(d)
+		}
 		p.Sleep(n.cfg.CommandLatency)
 		switch c.Kind {
 		case OpPut:
@@ -554,7 +606,7 @@ func (n *NIC) execPut(p *sim.Proc, c *Command) {
 	if f, ok := data.(Deferred); ok {
 		data = f() // buffer contents are read at DMA time
 	}
-	n.fabric.Send(&network.Message{
+	n.send(&network.Message{
 		Src:  n.id,
 		Dst:  c.Target,
 		Size: c.Size,
@@ -584,7 +636,7 @@ func (n *NIC) execGet(p *sim.Proc, c *Command) {
 			n.complete(done)
 		},
 	})
-	n.fabric.Send(&network.Message{
+	n.send(&network.Message{
 		Src:  n.id,
 		Dst:  c.Target,
 		Size: 32, // request header only
@@ -611,10 +663,35 @@ func (n *NIC) complete(c *Command) {
 
 // deliver is the fabric handler: an inbound message has fully arrived.
 func (n *NIC) deliver(m *network.Message) {
-	meta, ok := m.Payload.(*wireMeta)
-	if !ok {
+	switch pl := m.Payload.(type) {
+	case *relAck:
+		// ACK/NACK control frames are themselves unreliable; a corrupt
+		// one is simply discarded (the data timer recovers).
+		if n.rel != nil && !m.Corrupted {
+			n.rel.onAck(m.Src, pl)
+		}
+		return
+	case *relEnvelope:
+		if n.rel == nil {
+			panic(fmt.Sprintf("nic %d: reliable frame from %d but reliability is off", n.id, m.Src))
+		}
+		n.rel.onData(m, pl)
+		return
+	case *wireMeta:
+		if m.Corrupted {
+			// Checksum failure without a reliability layer: the frame is
+			// dropped on the floor, exactly like a lossy physical link.
+			n.stats.CorruptDropped++
+			return
+		}
+		n.dispatch(m, pl)
+	default:
 		panic(fmt.Sprintf("nic %d: foreign payload %T", n.id, m.Payload))
 	}
+}
+
+// dispatch hands a verified inbound operation to the matching service path.
+func (n *NIC) dispatch(m *network.Message, meta *wireMeta) {
 	switch m.Kind {
 	case "put":
 		n.deliverPut(m, meta)
@@ -666,7 +743,7 @@ func (n *NIC) serveGet(m *network.Message, meta *wireMeta) {
 		if r.OnDelivery != nil {
 			r.OnDelivery(Delivery{Kind: OpGet, From: src, MatchBits: meta.matchBits, Size: meta.reqSize, Data: data, At: n.eng.Now()})
 		}
-		n.fabric.Send(&network.Message{
+		n.send(&network.Message{
 			Src:  n.id,
 			Dst:  src,
 			Size: meta.reqSize,
@@ -710,7 +787,7 @@ func (n *NIC) execAtomic(p *sim.Proc, c *Command) {
 			},
 		})
 	}
-	n.fabric.Send(&network.Message{
+	n.send(&network.Message{
 		Src: n.id, Dst: c.Target, Size: c.Size, Kind: "atomic", Payload: meta,
 	})
 	if !meta.fetch {
@@ -741,7 +818,7 @@ func (n *NIC) serveAtomic(m *network.Message, meta *wireMeta) {
 			r.OnDelivery(Delivery{Kind: meta.kind, From: src, MatchBits: meta.matchBits, Size: m.Size, Data: meta.data, At: n.eng.Now()})
 		}
 		if meta.fetch {
-			n.fabric.Send(&network.Message{
+			n.send(&network.Message{
 				Src: n.id, Dst: src, Size: meta.reqSize, Kind: "put",
 				Payload: &wireMeta{kind: OpPut, matchBits: meta.replyMatch, data: prior},
 			})

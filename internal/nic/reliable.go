@@ -1,0 +1,308 @@
+// Reliable delivery (go-back-on-loss with selective buffering): every
+// outbound data frame between a (src, dst) NIC pair carries a sequence
+// number; the receiver delivers strictly in order, buffering out-of-order
+// arrivals, and acknowledges cumulatively. The sender keeps a sliding
+// window of unacknowledged frames, retransmitting on per-frame timeouts
+// with exponential backoff and NACK-triggered fast retransmit for frames
+// that arrive corrupt. A configurable retry budget bounds recovery: when
+// it is exhausted the peer is declared dead and registered callbacks fire,
+// letting upper layers degrade gracefully instead of hanging.
+//
+// Everything runs in simulated time on the single-threaded engine, so the
+// protocol needs no locking and — with a seeded fault injector — replays
+// bit-for-bit. All bookkeeping iterates explicit sequence ranges, never Go
+// maps, to keep event order deterministic.
+package nic
+
+import (
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// relEnvelope wraps one data frame with its per-(src,dst) sequence number.
+type relEnvelope struct {
+	seq  uint64
+	meta *wireMeta
+}
+
+// relAck is the unreliable control frame. cum acknowledges all sequence
+// numbers ≤ cum; saw, when nonzero, reports an out-of-order frame held in
+// the receiver's buffer (suppressing its retransmit timer); nack requests
+// an immediate retransmit of nackSeq (corrupt arrival).
+type relAck struct {
+	cum     uint64
+	saw     uint64
+	nack    bool
+	nackSeq uint64
+}
+
+// relAckBytes is the modeled wire size of an ACK/NACK control frame.
+const relAckBytes = 16
+
+// relEntry is one unacknowledged outbound frame.
+type relEntry struct {
+	seq      uint64
+	kind     string
+	size     int64
+	meta     *wireMeta
+	attempts int
+	timer    *sim.Event
+}
+
+// relChan is the sender-side state toward one destination.
+type relChan struct {
+	dst      network.NodeID
+	nextSeq  uint64 // last assigned sequence number
+	base     uint64 // highest cumulatively acknowledged sequence number
+	inflight map[uint64]*relEntry
+	pending  []*relEntry // assigned a seq, waiting for window space
+	dead     bool
+}
+
+// relRecv is the receiver-side state from one source.
+type relRecv struct {
+	expected uint64 // next in-order sequence number
+	buf      map[uint64]*bufFrame
+}
+
+type bufFrame struct {
+	m    *network.Message
+	meta *wireMeta
+}
+
+// reliability is one NIC's reliable-delivery engine.
+type reliability struct {
+	n          *NIC
+	cfg        config.ReliabilityConfig
+	chans      map[network.NodeID]*relChan
+	recvs      map[network.NodeID]*relRecv
+	onPeerDead []func(peer network.NodeID)
+}
+
+func newReliability(n *NIC, cfg config.ReliabilityConfig) *reliability {
+	return &reliability{
+		n:     n,
+		cfg:   cfg,
+		chans: make(map[network.NodeID]*relChan),
+		recvs: make(map[network.NodeID]*relRecv),
+	}
+}
+
+func (r *reliability) chanTo(dst network.NodeID) *relChan {
+	ch := r.chans[dst]
+	if ch == nil {
+		ch = &relChan{dst: dst, inflight: make(map[uint64]*relEntry)}
+		r.chans[dst] = ch
+	}
+	return ch
+}
+
+func (r *reliability) recvFrom(src network.NodeID) *relRecv {
+	rc := r.recvs[src]
+	if rc == nil {
+		rc = &relRecv{expected: 1, buf: make(map[uint64]*bufFrame)}
+		r.recvs[src] = rc
+	}
+	return rc
+}
+
+// PeerDead reports whether the reliability layer has given up on a peer.
+func (n *NIC) PeerDead(peer network.NodeID) bool {
+	if n.rel == nil {
+		return false
+	}
+	ch := n.rel.chans[peer]
+	return ch != nil && ch.dead
+}
+
+// send assigns the next sequence number toward m.Dst and transmits the
+// frame if the window has room, otherwise queues it.
+func (r *reliability) send(m *network.Message) {
+	meta, ok := m.Payload.(*wireMeta)
+	if !ok {
+		// Non-data payloads (none today) would bypass reliability.
+		r.n.fabric.Send(m)
+		return
+	}
+	ch := r.chanTo(m.Dst)
+	if ch.dead {
+		r.n.stats.SendsToDeadPeer++
+		return
+	}
+	ch.nextSeq++
+	e := &relEntry{seq: ch.nextSeq, kind: m.Kind, size: m.Size, meta: meta}
+	if len(ch.inflight) < r.cfg.WindowSize {
+		r.transmit(ch, e)
+	} else {
+		ch.pending = append(ch.pending, e)
+	}
+}
+
+// rto computes the retransmission timeout for a frame of the given size on
+// its k-th attempt (1-based): a base plus a size-proportional term, doubled
+// per prior attempt, capped at MaxBackoff.
+func (r *reliability) rto(size int64, attempts int) sim.Time {
+	t := r.cfg.RTOBase + r.cfg.RTOPerKB*sim.Time(size/1024+1)
+	for i := 1; i < attempts; i++ {
+		t *= 2
+		if t >= r.cfg.MaxBackoff {
+			break
+		}
+	}
+	if t > r.cfg.MaxBackoff {
+		t = r.cfg.MaxBackoff
+	}
+	return t
+}
+
+// transmit puts a frame on the wire and arms its retransmit timer.
+func (r *reliability) transmit(ch *relChan, e *relEntry) {
+	ch.inflight[e.seq] = e
+	e.attempts++
+	r.n.fabric.Send(&network.Message{
+		Src:     r.n.id,
+		Dst:     ch.dst,
+		Size:    e.size,
+		Kind:    e.kind,
+		Payload: &relEnvelope{seq: e.seq, meta: e.meta},
+	})
+	seq := e.seq
+	e.timer = r.n.eng.After(r.rto(e.size, e.attempts), func() {
+		r.onTimeout(ch, seq)
+	})
+}
+
+// onTimeout handles a retransmit-timer expiry for one frame.
+func (r *reliability) onTimeout(ch *relChan, seq uint64) {
+	e := ch.inflight[seq]
+	if e == nil || ch.dead {
+		return // acknowledged (or channel abandoned) before the timer fired
+	}
+	if e.attempts >= r.cfg.RetryBudget {
+		r.declareDead(ch)
+		return
+	}
+	r.n.stats.Retransmits++
+	r.transmit(ch, e)
+}
+
+// onAck processes an inbound ACK/NACK from peer src.
+func (r *reliability) onAck(src network.NodeID, a *relAck) {
+	ch := r.chans[src]
+	if ch == nil || ch.dead {
+		return
+	}
+	if a.nack {
+		if e := ch.inflight[a.nackSeq]; e != nil {
+			if e.timer != nil {
+				e.timer.Cancel()
+			}
+			if e.attempts >= r.cfg.RetryBudget {
+				r.declareDead(ch)
+				return
+			}
+			r.n.stats.Retransmits++
+			r.transmit(ch, e)
+		}
+		return
+	}
+	if a.saw > a.cum {
+		// The peer holds this frame out of order: disarm its timer. If the
+		// later cumulative ACK is lost, a duplicate of the gap frame will
+		// provoke a fresh cumulative ACK, so progress is still guaranteed.
+		if e := ch.inflight[a.saw]; e != nil && e.timer != nil {
+			e.timer.Cancel()
+			e.timer = nil
+		}
+	}
+	if a.cum > ch.base {
+		for s := ch.base + 1; s <= a.cum; s++ {
+			if e := ch.inflight[s]; e != nil {
+				if e.timer != nil {
+					e.timer.Cancel()
+				}
+				delete(ch.inflight, s)
+			}
+		}
+		ch.base = a.cum
+		// Window slid open: launch queued frames in order.
+		for len(ch.pending) > 0 && len(ch.inflight) < r.cfg.WindowSize {
+			e := ch.pending[0]
+			ch.pending = ch.pending[1:]
+			r.transmit(ch, e)
+		}
+	}
+}
+
+// onData processes an inbound sequenced data frame.
+func (r *reliability) onData(m *network.Message, env *relEnvelope) {
+	rc := r.recvFrom(m.Src)
+	if m.Corrupted {
+		r.n.stats.NacksSent++
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, nack: true, nackSeq: env.seq})
+		return
+	}
+	switch {
+	case env.seq < rc.expected:
+		// Duplicate of an already-delivered frame (a lost ACK made the
+		// sender retransmit): drop it and refresh the cumulative ACK.
+		r.n.stats.DupesDropped++
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1})
+	case env.seq == rc.expected:
+		r.n.dispatch(m, env.meta)
+		rc.expected++
+		// Drain any contiguously buffered successors.
+		for {
+			bf := rc.buf[rc.expected]
+			if bf == nil {
+				break
+			}
+			delete(rc.buf, rc.expected)
+			r.n.dispatch(bf.m, bf.meta)
+			rc.expected++
+		}
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1})
+	default: // out of order: hold it, report the gap
+		if rc.buf[env.seq] == nil {
+			rc.buf[env.seq] = &bufFrame{m: m, meta: env.meta}
+		} else {
+			r.n.stats.DupesDropped++
+		}
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, saw: env.seq})
+	}
+}
+
+// sendAck emits an unreliable control frame back to the peer.
+func (r *reliability) sendAck(dst network.NodeID, a *relAck) {
+	if !a.nack {
+		r.n.stats.AcksSent++
+	}
+	r.n.fabric.Send(&network.Message{
+		Src:     r.n.id,
+		Dst:     dst,
+		Size:    relAckBytes,
+		Kind:    "rel_ack",
+		Payload: a,
+	})
+}
+
+// declareDead abandons a peer after the retry budget is exhausted: all
+// timers are disarmed, queued frames are discarded, and upper layers are
+// notified so they can route around the failure.
+func (r *reliability) declareDead(ch *relChan) {
+	ch.dead = true
+	r.n.stats.PeersDeclaredDead++
+	for s := ch.base + 1; s <= ch.nextSeq; s++ {
+		if e := ch.inflight[s]; e != nil {
+			if e.timer != nil {
+				e.timer.Cancel()
+			}
+			delete(ch.inflight, s)
+		}
+	}
+	ch.pending = nil
+	for _, fn := range r.onPeerDead {
+		fn(ch.dst)
+	}
+}

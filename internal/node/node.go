@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/memsys"
 	"repro/internal/network"
@@ -39,6 +40,9 @@ type Cluster struct {
 	Cfg    config.SystemConfig
 	Fabric network.Transport
 	Nodes  []*Node
+	// Injector is the cluster-wide fault injector; nil when cfg.Faults is
+	// zero-valued (the lossless default).
+	Injector *fault.Injector
 }
 
 // NewCluster builds an n-node cluster from the configuration. The
@@ -63,11 +67,14 @@ func NewCluster(cfg config.SystemConfig, n int) *Cluster {
 	default:
 		panic(fmt.Sprintf("node: unknown topology %q", cfg.Network.Topology))
 	}
-	c := &Cluster{Eng: eng, Cfg: cfg, Fabric: fab}
+	inj := fault.NewInjector(cfg.Faults)
+	fab.SetInjector(inj)
+	c := &Cluster{Eng: eng, Cfg: cfg, Fabric: fab, Injector: inj}
 	for i := 0; i < n; i++ {
 		hostMem := memsys.FromCPU(cfg.CPU)
 		gpuMem := memsys.FromGPU(cfg.GPU, cfg.CPU)
 		nc := nic.New(eng, cfg.NIC, network.NodeID(i), fab)
+		nc.SetInjector(inj)
 		if cfg.DiscreteGPU {
 			nc.SetIOBusLatency(cfg.IOBusLatency)
 		}
@@ -120,6 +127,18 @@ func (c *Cluster) StatsReport() string {
 			c.Fabric.BytesSent(network.NodeID(nd.Index)),
 			c.Fabric.BytesDelivered(network.NodeID(nd.Index)),
 			c.Fabric.MessagesDelivered(network.NodeID(nd.Index)))
+		if ns.Retransmits+ns.AcksSent+ns.NacksSent+ns.DupesDropped+ns.CorruptDropped+ns.PeersDeclaredDead+ns.LostTriggerWrites > 0 {
+			fmt.Fprintf(&b, "         rel{retx=%d acks=%d nacks=%d dupes=%d corrupt=%d peersDead=%d lostTrig=%d}\n",
+				ns.Retransmits, ns.AcksSent, ns.NacksSent, ns.DupesDropped,
+				ns.CorruptDropped, ns.PeersDeclaredDead, ns.LostTriggerWrites)
+		}
+	}
+	if c.Injector != nil {
+		fs := c.Injector.Stats()
+		fmt.Fprintf(&b, "%s\n", c.Injector.Summary())
+		fmt.Fprintf(&b, "injected: pktDrop=%d (flap=%d) corrupt=%d delayed=%d trigDrop=%d trigDelay=%d cmdStall=%d; fabric lostMsgs=%d\n",
+			fs.PacketsDropped, fs.FlapDrops, fs.PacketsCorrupted, fs.PacketsDelayed,
+			fs.TriggerDrops, fs.TriggerDelays, fs.CommandStalls, c.Fabric.MessagesLost())
 	}
 	return b.String()
 }

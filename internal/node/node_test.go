@@ -157,6 +157,45 @@ func TestStatsReport(t *testing.T) {
 			t.Errorf("report missing %q:\n%s", want, out)
 		}
 	}
+	// A fault-free cluster has no injector and no fault lines in the report.
+	if c.Injector != nil {
+		t.Error("fault-free cluster built an injector")
+	}
+	for _, absent := range []string{"rel{", "injected:"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("fault-free report contains %q:\n%s", absent, out)
+		}
+	}
+}
+
+func TestClusterWiresInjectorAndReportsFaults(t *testing.T) {
+	cfg := config.Default()
+	cfg.Faults = config.FaultConfig{Seed: 2, DropProb: 0.3}
+	cfg.NIC.Reliability = config.DefaultReliability()
+	c := NewCluster(cfg, 2)
+	if c.Injector == nil {
+		t.Fatal("armed faults built no injector")
+	}
+	n0, n1 := c.Nodes[0], c.Nodes[1]
+	ct := n1.Ptl.CTAlloc()
+	n1.Ptl.MEAppend(&portals.ME{MatchBits: 0x1, Length: 1 << 20, CT: ct})
+	c.Eng.Go("h", func(p *sim.Proc) {
+		md := n0.Ptl.MDBind("b", 2<<10, nil, nil)
+		for i := 0; i < 8; i++ {
+			n0.Ptl.Put(p, md, 2<<10, 1, 0x1)
+		}
+		ct.Wait(p, 8)
+	})
+	c.Run()
+	if ct.Value() != 8 {
+		t.Fatalf("delivered %d/8 despite reliability", ct.Value())
+	}
+	out := c.StatsReport()
+	for _, want := range []string{"faults: seed=2 drop=30.00%", "injected: pktDrop=", "rel{retx="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
 }
 
 func TestTreeTopologyCluster(t *testing.T) {

@@ -11,12 +11,17 @@
 package portals
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/network"
 	"repro/internal/nic"
 	"repro/internal/sim"
 )
+
+// ErrTimeout is returned by deadline-bounded waits when the counting event
+// fails to reach its target in time. Callers unwrap it with errors.Is.
+var ErrTimeout = errors.New("portals: counting-event wait timed out")
 
 // CT is a counting event, the Portals-4 lightweight completion primitive.
 type CT struct {
@@ -28,6 +33,20 @@ func (c *CT) Value() int64 { return c.ctr.Value() }
 
 // Wait parks p until the count reaches at least target (PtlCTWait).
 func (c *CT) Wait(p *sim.Proc, target int64) { c.ctr.WaitGE(p, target) }
+
+// WaitTimeout parks p until the count reaches target or timeout elapses.
+// A non-positive timeout means wait forever. On expiry it returns an error
+// wrapping ErrTimeout that records the observed and expected counts.
+func (c *CT) WaitTimeout(p *sim.Proc, target int64, timeout sim.Time) error {
+	if timeout <= 0 {
+		c.ctr.WaitGE(p, target)
+		return nil
+	}
+	if c.ctr.WaitGEUntil(p, target, p.Now()+timeout) {
+		return nil
+	}
+	return fmt.Errorf("%w: ct=%d target=%d after %v", ErrTimeout, c.ctr.Value(), target, timeout)
+}
 
 // Inc adds to the count from model code (PtlCTInc).
 func (c *CT) Inc(n int64) { c.ctr.Add(n) }

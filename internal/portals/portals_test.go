@@ -1,6 +1,7 @@
 package portals
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/config"
@@ -217,5 +218,38 @@ func TestCTIncAndValue(t *testing.T) {
 	ct.Inc(5)
 	if ct.Value() != 5 {
 		t.Fatalf("Value = %d", ct.Value())
+	}
+}
+
+func TestCTWaitTimeout(t *testing.T) {
+	w := newWorld(t, 2)
+	ct := w.rts[0].CTAlloc()
+	var errTimed, errOK, errZero error
+	w.eng.Go("w", func(p *sim.Proc) {
+		// Deadline passes with the counter untouched.
+		errTimed = ct.WaitTimeout(p, 1, 2*sim.Microsecond)
+		// Counter reaches the target before the next deadline.
+		errOK = ct.WaitTimeout(p, 1, 50*sim.Microsecond)
+		// Zero timeout means wait forever (blocking fast path).
+		errZero = ct.WaitTimeout(p, 2, 0)
+	})
+	w.eng.Go("inc", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		ct.Inc(1)
+		p.Sleep(10 * sim.Microsecond)
+		ct.Inc(1)
+	})
+	w.eng.Run()
+	if !errors.Is(errTimed, ErrTimeout) {
+		t.Fatalf("expired wait returned %v, want ErrTimeout", errTimed)
+	}
+	if errOK != nil {
+		t.Fatalf("satisfied wait returned %v", errOK)
+	}
+	if errZero != nil {
+		t.Fatalf("zero-timeout wait returned %v", errZero)
+	}
+	if ct.Value() != 2 {
+		t.Fatalf("ct = %d", ct.Value())
 	}
 }

@@ -48,6 +48,9 @@ type Counter struct {
 type ctWaiter struct {
 	p      *Proc
 	target int64
+	// done, when non-nil, is set true before the wake when the wait is
+	// satisfied — deadline waits use it to tell satisfaction from timeout.
+	done *bool
 }
 
 // NewCounter creates a Counter bound to e.
@@ -69,6 +72,9 @@ func (c *Counter) Add(n int64) {
 	rest := c.waiters[:0]
 	for _, w := range c.waiters {
 		if c.value >= w.target {
+			if w.done != nil {
+				*w.done = true
+			}
 			w.p.wake("ctwait")
 		} else {
 			rest = append(rest, w)
@@ -85,6 +91,38 @@ func (c *Counter) WaitGE(p *Proc, target int64) {
 	}
 	c.waiters = append(c.waiters, ctWaiter{p: p, target: target})
 	p.park()
+}
+
+// WaitGEUntil parks p until the counter value is ≥ target or the absolute
+// deadline passes, whichever comes first. It reports whether the target
+// was reached (false = timed out). A deadline at or before now fails
+// immediately unless the target is already satisfied.
+func (c *Counter) WaitGEUntil(p *Proc, target int64, deadline Time) bool {
+	if c.value >= target {
+		return true
+	}
+	if deadline <= c.eng.Now() {
+		return false
+	}
+	done := false
+	c.waiters = append(c.waiters, ctWaiter{p: p, target: target, done: &done})
+	ev := c.eng.ScheduleNamed(deadline, "ctwait.deadline", func() {
+		if done {
+			return
+		}
+		for i := range c.waiters {
+			if c.waiters[i].done == &done {
+				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				break
+			}
+		}
+		p.wake("ctwait.timeout")
+	})
+	p.park()
+	if done {
+		ev.Cancel()
+	}
+	return done
 }
 
 // Queue is an unbounded FIFO connecting producers and consumers.

@@ -1,0 +1,112 @@
+package sim
+
+import "testing"
+
+func TestCounterWaitGEUntilAlreadySatisfied(t *testing.T) {
+	eng := NewEngine()
+	c := NewCounter(eng)
+	c.Add(3)
+	var ok bool
+	var at Time
+	eng.Go("w", func(p *Proc) {
+		ok = c.WaitGEUntil(p, 2, p.Now()+Microsecond)
+		at = p.Now()
+	})
+	eng.Run()
+	if !ok {
+		t.Fatal("satisfied wait reported timeout")
+	}
+	if at != 0 {
+		t.Fatalf("satisfied wait blocked until %v", at)
+	}
+}
+
+func TestCounterWaitGEUntilTimesOut(t *testing.T) {
+	eng := NewEngine()
+	c := NewCounter(eng)
+	var ok bool
+	var at Time
+	eng.Go("w", func(p *Proc) {
+		ok = c.WaitGEUntil(p, 1, 5*Microsecond)
+		at = p.Now()
+	})
+	eng.Run()
+	if ok {
+		t.Fatal("timed-out wait reported success")
+	}
+	if at != 5*Microsecond {
+		t.Fatalf("woke at %v, want the 5us deadline", at)
+	}
+}
+
+func TestCounterWaitGEUntilSatisfiedBeforeDeadline(t *testing.T) {
+	eng := NewEngine()
+	c := NewCounter(eng)
+	var ok bool
+	var at Time
+	eng.Go("w", func(p *Proc) {
+		ok = c.WaitGEUntil(p, 2, 100*Microsecond)
+		at = p.Now()
+	})
+	eng.Go("adder", func(p *Proc) {
+		p.Sleep(3 * Microsecond)
+		c.Add(2)
+	})
+	eng.Run()
+	if !ok {
+		t.Fatal("satisfied wait reported timeout")
+	}
+	if at != 3*Microsecond {
+		t.Fatalf("woke at %v, want 3us", at)
+	}
+}
+
+// A timed-out waiter must not absorb a later Add meant for other waiters,
+// and a second timed wait on the same counter must still work.
+func TestCounterWaitGEUntilThenRetry(t *testing.T) {
+	eng := NewEngine()
+	c := NewCounter(eng)
+	var first, second bool
+	eng.Go("w", func(p *Proc) {
+		first = c.WaitGEUntil(p, 1, 2*Microsecond)
+		second = c.WaitGEUntil(p, 1, 20*Microsecond)
+	})
+	eng.Go("adder", func(p *Proc) {
+		p.Sleep(10 * Microsecond)
+		c.Add(1)
+	})
+	eng.Run()
+	if first {
+		t.Fatal("first wait should have timed out")
+	}
+	if !second {
+		t.Fatal("second wait should have succeeded")
+	}
+}
+
+// Mixed plain and timed waiters on one counter: the timeout of one must not
+// strand the others.
+func TestCounterMixedWaiters(t *testing.T) {
+	eng := NewEngine()
+	c := NewCounter(eng)
+	var plainAt Time
+	var timedOK bool
+	eng.Go("plain", func(p *Proc) {
+		c.WaitGE(p, 2)
+		plainAt = p.Now()
+	})
+	eng.Go("timed", func(p *Proc) {
+		timedOK = c.WaitGEUntil(p, 2, 1*Microsecond)
+	})
+	eng.Go("adder", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		c.Add(2)
+	})
+	eng.Run()
+	if timedOK {
+		t.Fatal("timed waiter should have timed out at 1us")
+	}
+	if plainAt != 5*Microsecond {
+		t.Fatalf("plain waiter woke at %v, want 5us", plainAt)
+	}
+}
