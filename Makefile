@@ -10,7 +10,9 @@ check:
 
 ## chaos: the fault-injection chaos suite (fixed seeds 1-5): exact collectives
 ## under drop/corrupt/jitter/stall, deterministic traces, flap healing, dead-node
-## timeouts, plus the NIC reliability and trigger-fault property tests.
+## timeouts, resource-pressure runs under capped trigger lists (complete exactly
+## or return a watchdog diagnosis — never hang), plus the NIC reliability and
+## trigger-fault property tests.
 chaos:
 	$(GO) test -race -v -run 'TestChaos|TestReliable|TestAllreduceTimeout|TestAllreduceRingHeal|TestBroadcastHeal|TestBroadcastTimeout|TestRelaxedSyncRace|TestTriggerWriteLoss' ./internal/collective/ ./internal/nic/
 

@@ -7,11 +7,14 @@
 //	gputn-bench -exp faults -fault-drop 0.05 -reliable
 //
 // Experiments: fig1, fig8, fig9, fig10, fig11, table1, table2, table3,
-// ablations, faults, all.
+// ablations, faults, resources, all.
 //
 // The -fault-* flag group arms the deterministic fault injector for every
 // experiment in the run; with all of them zero (the default) the fabric is
-// lossless and results are bit-for-bit the fault-free numbers.
+// lossless and results are bit-for-bit the fault-free numbers. The -cap-*
+// flag group bounds NIC resources (trigger-list entries, relaxed-sync
+// placeholders, command queue, trigger FIFO, event queues) the same way:
+// all-zero keeps the unbounded seed behavior bit-for-bit.
 package main
 
 import (
@@ -47,7 +50,7 @@ func writeCSV(dir, name, xlabel string, series []*stats.Series) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|all")
+	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|all")
 	csvDir := flag.String("csv", "", "also write figure data as CSV into this directory")
 
 	faultSeed := flag.Int64("fault-seed", 42, "fault injector RNG seed")
@@ -57,6 +60,12 @@ func main() {
 	flapStartUS := flag.Float64("fault-flap-start-us", 0, "flap window start (us)")
 	flapEndUS := flag.Float64("fault-flap-end-us", 0, "flap window end (us); 0 disables flapping")
 	reliable := flag.Bool("reliable", false, "enable the NIC reliable-delivery layer (seq/ack/retransmit)")
+
+	capTrig := flag.Int("cap-trigger-entries", 0, "trigger-list capacity (0 = paper default of 16)")
+	capPlaceholders := flag.Int("cap-placeholders", 0, "relaxed-sync placeholder budget (0 = shared with trigger list)")
+	capCmdQ := flag.Int("cap-cmdq", 0, "host command-queue depth; full queues backpressure posters (0 = unbounded)")
+	capTrigFIFO := flag.Int("cap-trigger-fifo", 0, "trigger FIFO depth; overflow drops and counts (0 = unbounded)")
+	capEQ := flag.Int("cap-eq", 0, "default event-queue capacity; overflow drops PTL_EQ_DROPPED-style (0 = unbounded)")
 	flag.Parse()
 
 	cfg := config.Default()
@@ -70,6 +79,15 @@ func main() {
 	}
 	if *reliable {
 		cfg.NIC.Reliability = config.DefaultReliability()
+	}
+	cfg.NIC.Resources = config.ResourceConfig{
+		TriggerEntries:     *capTrig,
+		PlaceholderEntries: *capPlaceholders,
+		CmdQueueDepth:      *capCmdQ,
+		EQDepth:            *capEQ,
+	}
+	if *capTrigFIFO > 0 {
+		cfg.NIC.TriggerFIFODepth = *capTrigFIFO
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "gputn-bench:", err)
@@ -85,6 +103,10 @@ func main() {
 		r := cfg.NIC.Reliability
 		fmt.Printf("reliability: window=%d rtoBase=%v rtoPerKB=%v maxBackoff=%v budget=%d\n",
 			r.WindowSize, r.RTOBase, r.RTOPerKB, r.MaxBackoff, r.RetryBudget)
+	}
+	if rc := cfg.NIC.Resources; rc.Enabled() || *capTrigFIFO > 0 {
+		fmt.Printf("resources: triggerEntries=%d placeholders=%d cmdq=%d trigFIFO=%d eq=%d (0 = unbounded/default)\n",
+			rc.TriggerEntries, rc.PlaceholderEntries, rc.CmdQueueDepth, cfg.NIC.TriggerFIFODepth, rc.EQDepth)
 	}
 	fmt.Println()
 	runners := map[string]func(){
@@ -132,8 +154,13 @@ func main() {
 			// rate; the -fault-* flags select the baseline configuration.
 			fmt.Println(bench.RenderFaultTolerance(cfg))
 		},
+		"resources": func() {
+			// The pressure sweep sets its own trigger-list caps per row;
+			// the -cap-* flags select the baseline configuration.
+			fmt.Println(bench.RenderResourcePressure(cfg))
+		},
 	}
-	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults"}
+	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults", "resources"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -28,6 +28,18 @@ const reduceWGs = 64
 // associative lookup (§3.3).
 const trigWindow = 12
 
+// GPUTNWorkingSet reports the peak number of simultaneously registered
+// trigger entries a GPU-TN Allreduce wants on an n-node ring: the full
+// 2(n-1)-round schedule, clamped to the registration window. Resource-
+// pressure experiments size trigger-list capacities relative to this.
+func GPUTNWorkingSet(n int) int {
+	rounds := 2 * (n - 1)
+	if rounds < trigWindow {
+		return rounds
+	}
+	return trigWindow
+}
+
 // Config describes one Allreduce invocation.
 type Config struct {
 	// Kind selects the backend (§5.1).
@@ -293,6 +305,12 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 	}
 	c.Run()
 	if err := errors.Join(errs...); err != nil {
+		// A rank that aborted (e.g. a stalled registration under resource
+		// pressure) usually strands its peers; attach the hang diagnosis so
+		// the error names the starved trigger entries.
+		if diag := c.Diagnose(); diag != nil {
+			return res, errors.Join(err, diag)
+		}
 		return res, err
 	}
 	for i, t := range res.PerRank {
@@ -300,7 +318,10 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 			continue // dead ranks do not participate
 		}
 		if t == 0 {
-			return Result{}, fmt.Errorf("collective: a rank never completed (deadlock?)")
+			if diag := c.Diagnose(); diag != nil {
+				return Result{}, fmt.Errorf("collective: rank %d never completed: %w", i, diag)
+			}
+			return Result{}, fmt.Errorf("collective: rank %d never completed", i)
 		}
 		if t > res.Duration {
 			res.Duration = t
@@ -534,19 +555,22 @@ func runGPUTNRank(p *sim.Proc, st *rankState) error {
 	// GPU trigger tags before their registration lands). With a timeout
 	// armed, the host also gives up if completions stop flowing (the
 	// aborted kernel will never trigger the remaining puts).
-	register := func(step int) {
+	register := func(step int) error {
 		r := rounds[step]
 		md := st.nd.Ptl.MDBind(fmt.Sprintf("tn.%d", step), st.chunk, st.sendPayload(r), comp.CT)
-		if err := host.TrigPut(p, st.tagBase+uint64(step), reduceWGs, md, st.chunk, st.right(), st.mb); err != nil {
-			panic(fmt.Sprintf("collective: rank %d step %d: %v", st.nd.Index, step, err))
-		}
+		// Pressure-aware registration: a full trigger list stalls the host
+		// until an outstanding put fires and frees a slot, instead of
+		// failing the collective outright.
+		return host.TrigPutPressure(p, comp, st.tagBase+uint64(step), reduceWGs, md, st.chunk, st.right(), st.mb)
 	}
 	window := trigWindow
 	if window > total {
 		window = total
 	}
 	for s := 0; s < window; s++ {
-		register(s)
+		if err := register(s); err != nil {
+			return fmt.Errorf("collective: rank %d step %d: %w", st.nd.Index, s, err)
+		}
 	}
 	for s := window; s < total; s++ {
 		if st.timeout > 0 {
@@ -556,7 +580,9 @@ func runGPUTNRank(p *sim.Proc, st *rankState) error {
 		} else {
 			comp.WaitHost(p, int64(s-window)+1)
 		}
-		register(s)
+		if err := register(s); err != nil {
+			return fmt.Errorf("collective: rank %d step %d: %w", st.nd.Index, s, err)
+		}
 	}
 	kern.Wait(p)
 	if failedStep >= 0 {

@@ -131,6 +131,40 @@ func (f FaultConfig) Enabled() bool {
 		f.TrigDropProb > 0 || f.TrigDelayJitter > 0
 }
 
+// ResourceConfig bounds the NIC's finite structures — the paper is explicit
+// that "the trigger list can be held in a small amount of NIC memory", so a
+// robust model must degrade gracefully (typed errors, flow control, drop
+// counters) when pre-registered state outruns capacity instead of growing
+// silently. Every field is pay-for-use: the zero value reproduces the seed
+// behavior bit-for-bit (tested), with MaxTriggerEntries remaining the only
+// trigger-list bound and every queue unbounded.
+type ResourceConfig struct {
+	// TriggerEntries caps simultaneously active trigger-list entries.
+	// 0 falls back to NICConfig.MaxTriggerEntries (the seed behavior).
+	TriggerEntries int
+	// PlaceholderEntries separately caps relaxed-sync placeholder entries
+	// (§3.2) inside the trigger list, so a burst of early tag writes cannot
+	// evict capacity needed by host registrations. 0 = no separate cap;
+	// placeholders compete with registrations for the whole list.
+	PlaceholderEntries int
+	// CmdQueueDepth bounds the NIC command queue. A full queue applies
+	// backpressure: host posts block on the doorbell until a slot frees,
+	// and NIC-internal pushes (trigger fires, pre-posted doorbells) are
+	// deferred in arrival order. Commands are never dropped. 0 = unbounded.
+	CmdQueueDepth int
+	// EQDepth is the default capacity portals.EQAlloc applies when the
+	// caller does not request one. Overflowing a flow-controlled EQ
+	// disables its portal-table entry (Portals 4 flow control). 0 keeps
+	// caller-requested capacities only (unbounded by default).
+	EQDepth int
+}
+
+// Enabled reports whether any capacity bound is armed.
+func (r ResourceConfig) Enabled() bool {
+	return r.TriggerEntries > 0 || r.PlaceholderEntries > 0 ||
+		r.CmdQueueDepth > 0 || r.EQDepth > 0
+}
+
 // NICConfig describes the RDMA NIC and the GPU-TN trigger hardware.
 type NICConfig struct {
 	// DoorbellLatency is the MMIO write cost from an agent to the NIC.
@@ -154,6 +188,9 @@ type NICConfig struct {
 	CompletionWriteLatency sim.Time
 	// Reliability configures the NIC-level reliable-delivery layer.
 	Reliability ReliabilityConfig
+	// Resources bounds the NIC's finite structures; the zero value keeps
+	// the unbounded seed behavior.
+	Resources ResourceConfig
 }
 
 // Topology names for NetworkConfig.Topology.
@@ -276,7 +313,27 @@ func (c *SystemConfig) Validate() error {
 	if err := c.NIC.Reliability.validate(); err != nil {
 		return err
 	}
+	if err := c.NIC.Resources.validate(); err != nil {
+		return err
+	}
 	return c.Faults.validate()
+}
+
+func (r ResourceConfig) validate() error {
+	switch {
+	case r.TriggerEntries < 0:
+		return fmt.Errorf("config: Resources.TriggerEntries = %d", r.TriggerEntries)
+	case r.PlaceholderEntries < 0:
+		return fmt.Errorf("config: Resources.PlaceholderEntries = %d", r.PlaceholderEntries)
+	case r.CmdQueueDepth < 0:
+		return fmt.Errorf("config: Resources.CmdQueueDepth = %d", r.CmdQueueDepth)
+	case r.EQDepth < 0:
+		return fmt.Errorf("config: Resources.EQDepth = %d", r.EQDepth)
+	case r.PlaceholderEntries > 0 && r.TriggerEntries > 0 && r.PlaceholderEntries > r.TriggerEntries:
+		return fmt.Errorf("config: Resources.PlaceholderEntries = %d exceeds TriggerEntries = %d",
+			r.PlaceholderEntries, r.TriggerEntries)
+	}
+	return nil
 }
 
 func (r ReliabilityConfig) validate() error {

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -166,6 +167,29 @@ func (h *Host) TrigPutPlan(p *sim.Proc, regs []Registration, md *portals.MD, siz
 		}
 	}
 	return nil
+}
+
+// trigRetryTimeout bounds how long TrigPutPressure waits for an
+// outstanding completion to free a trigger-list slot before giving up.
+const trigRetryTimeout = 2 * sim.Millisecond
+
+// TrigPutPressure is TrigPut with registration backpressure: when the NIC
+// rejects the registration with ErrTriggerListFull, the host waits for one
+// more local completion on comp — an earlier staged put firing frees its
+// slot — and retries. comp must be the Completion the caller's in-flight
+// registrations complete against, otherwise no slot can ever free and the
+// call fails after trigRetryTimeout with an error wrapping the NIC reject.
+func (h *Host) TrigPutPressure(p *sim.Proc, comp Completion, tag uint64, threshold int64, md *portals.MD, size int64, target int, matchBits uint64) error {
+	for {
+		err := h.ptl.TrigPut(p, tag, threshold, md, size, target, matchBits)
+		if err == nil || !errors.Is(err, nic.ErrTriggerListFull) {
+			return err
+		}
+		base := comp.CT.Value()
+		if werr := comp.CT.WaitTimeout(p, base+1, trigRetryTimeout); werr != nil {
+			return fmt.Errorf("core: registering tag %d stalled: %w (no completion freed a slot within %v)", tag, err, trigRetryTimeout)
+		}
+	}
 }
 
 // GetTriggerAddr returns the memory-mapped trigger address to pass to the

@@ -148,6 +148,11 @@ type Region struct {
 	// it applies the operation to the region's storage and returns the
 	// prior value. Atomic operations to regions without it panic.
 	ApplyAtomic func(op AtomicOp, operand any) (prior any)
+	// Gate, when non-nil, is consulted before each delivery: false means
+	// the region's portal is flow-control disabled and the message is
+	// dropped (counted in FlowCtlDrops), Portals-style. The region is not
+	// unlinked by a gated delivery, even with UseOnce.
+	Gate func() bool
 }
 
 // accepts reports whether the region matches an inbound operation.
@@ -273,7 +278,18 @@ type Stats struct {
 	ImmediateFires    int64 // fired at registration time (relaxed sync)
 	DynamicFires      int64 // fires with GPU-provided overrides (§3.4)
 	DeliveredMessages int64
-	DroppedTriggers   int64 // FIFO overflow (bounded-FIFO configs only)
+	DroppedTriggers   int64 // trigger FIFO/list overflow (bounded configs only)
+
+	// Bounded-resource counters (all zero with a zero ResourceConfig,
+	// except the high-water marks, which are pure observation).
+	TriggerListHighWater int64 // peak simultaneously active trigger entries
+	PlaceholderHighWater int64 // peak unregistered relaxed-sync placeholders
+	CmdQueueHighWater    int64 // peak command-queue backlog
+	TrigFIFOHighWater    int64 // peak trigger-FIFO occupancy
+	CmdQueueStalls       int64 // PostCommand calls that blocked on a full queue
+	CmdDeferred          int64 // non-blocking commands deferred by a full queue
+	RegistrationRejects  int64 // RegisterTriggered calls rejected (list full)
+	FlowCtlDrops         int64 // deliveries dropped by a disabled portal gate
 
 	// Reliable-delivery counters (all zero when reliability is off).
 	Retransmits       int64 // data frames resent after timeout or NACK
@@ -301,6 +317,12 @@ type NIC struct {
 	regions  []*Region
 	lookup   LookupModel
 
+	// Bounded command queue support (Resources.CmdQueueDepth > 0):
+	// cmdPending holds deferred commands from non-blocking sources,
+	// cmdSlots wakes blocked PostCommand callers when slots free up.
+	cmdPending []*Command
+	cmdSlots   *sim.Signal
+
 	// ioBusLatency is added to doorbell/trigger MMIO paths for the
 	// discrete-GPU ablation; zero in the coherent-APU default.
 	ioBusLatency sim.Time
@@ -323,6 +345,7 @@ func New(eng *sim.Engine, cfg config.NICConfig, id network.NodeID, fabric networ
 		trigFIFO: sim.NewQueue[DynamicWrite](eng),
 		lookup:   AssociativeLookup{Latency: cfg.TriggerMatchLatency},
 	}
+	n.cmdSlots = sim.NewSignal(eng)
 	if cfg.Reliability.Enabled {
 		n.rel = newReliability(n, cfg.Reliability)
 	}
@@ -337,6 +360,9 @@ func (n *NIC) ID() network.NodeID { return n.id }
 
 // Stats returns a snapshot of the NIC's counters.
 func (n *NIC) Stats() Stats { return n.stats }
+
+// Config returns the NIC's configuration (resource defaults, latencies).
+func (n *NIC) Config() config.NICConfig { return n.cfg }
 
 // SetLookupModel replaces the trigger-list match hardware (ablation hook).
 func (n *NIC) SetLookupModel(m LookupModel) { n.lookup = m }
@@ -373,17 +399,24 @@ func (n *NIC) ExposeRegion(r *Region) {
 }
 
 // matchRegion locates (and, for use-once entries, unlinks) the first
-// region accepting the operation. It returns nil when nothing matches.
-func (n *NIC) matchRegion(matchBits uint64, src network.NodeID) *Region {
+// region accepting the operation. It returns (nil, false) when nothing
+// matches and (nil, true) when the matching region's Gate refused the
+// delivery — a Portals-style flow-control drop the caller must absorb
+// silently (the sender's recovery path resends after re-enable).
+func (n *NIC) matchRegion(matchBits uint64, src network.NodeID) (*Region, bool) {
 	for i, r := range n.regions {
 		if r.accepts(matchBits, src) {
+			if r.Gate != nil && !r.Gate() {
+				n.stats.FlowCtlDrops++
+				return nil, true
+			}
 			if r.UseOnce {
 				n.regions = append(n.regions[:i], n.regions[i+1:]...)
 			}
-			return r
+			return r, false
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // PostCommand rings the NIC doorbell with a staged command. The caller
@@ -392,20 +425,32 @@ func (n *NIC) matchRegion(matchBits uint64, src network.NodeID) *Region {
 // trigger entries use when they fire.
 func (n *NIC) PostCommand(p *sim.Proc, c *Command) {
 	p.Sleep(n.cfg.DoorbellLatency + n.ioBusLatency)
-	n.cmdQ.Push(c)
+	if d := n.cfg.Resources.CmdQueueDepth; d > 0 {
+		// Bounded queue: the doorbell write stalls (PCIe backpressure)
+		// until the executor frees a slot and the deferred backlog drains.
+		stalled := false
+		for len(n.cmdPending) > 0 || n.cmdQ.Len() >= d {
+			if !stalled {
+				n.stats.CmdQueueStalls++
+				stalled = true
+			}
+			n.cmdSlots.Wait(p)
+		}
+	}
+	n.pushCmd(c)
 }
 
 // PostCommandAsync enqueues a command without a calling process (used by
 // NIC-internal logic such as trigger fires, which already paid their way).
 func (n *NIC) PostCommandAsync(c *Command) {
-	n.cmdQ.Push(c)
+	n.enqueueCmd(c)
 }
 
 // RingDoorbell models an MMIO doorbell write from an agent that should not
 // block on it (e.g. the GPU front-end ringing a GDS network-initiation
 // point): the command lands on the NIC after the doorbell flight time.
 func (n *NIC) RingDoorbell(c *Command) {
-	n.eng.After(n.cfg.DoorbellLatency+n.ioBusLatency, func() { n.cmdQ.Push(c) })
+	n.eng.After(n.cfg.DoorbellLatency+n.ioBusLatency, func() { n.enqueueCmd(c) })
 }
 
 // TriggerWrite is the GPU's memory-mapped store of a tag to the trigger
@@ -442,6 +487,9 @@ func (n *NIC) TriggerWriteDynamic(w DynamicWrite) {
 			return
 		}
 		n.trigFIFO.Push(w)
+		if hw := int64(n.trigFIFO.Len()); hw > n.stats.TrigFIFOHighWater {
+			n.stats.TrigFIFOHighWater = hw
+		}
 	})
 }
 
@@ -462,7 +510,7 @@ func (n *NIC) RegisterTriggered(p *sim.Proc, tag uint64, threshold int64, op *Co
 
 	if e := n.findEntry(tag); e != nil {
 		if e.hasOp && !e.fired {
-			return fmt.Errorf("nic: tag %d already has a pending operation", tag)
+			return fmt.Errorf("nic: tag %d: %w", tag, ErrTagBusy)
 		}
 		if e.fired {
 			// Entry was consumed; treat as fresh registration reusing the slot.
@@ -476,10 +524,12 @@ func (n *NIC) RegisterTriggered(p *sim.Proc, tag uint64, threshold int64, op *Co
 		}
 		return nil
 	}
-	if n.activeEntries() >= n.cfg.MaxTriggerEntries {
-		return fmt.Errorf("nic: trigger list full (%d active entries)", n.cfg.MaxTriggerEntries)
+	if n.activeEntries() >= n.capTriggers() {
+		n.stats.RegistrationRejects++
+		return fmt.Errorf("nic: %w (%d active entries)", ErrTriggerListFull, n.capTriggers())
 	}
 	n.entries = append(n.entries, &triggerEntry{tag: tag, threshold: threshold, op: op, hasOp: true})
+	n.noteTriggerWater()
 	return nil
 }
 
@@ -520,14 +570,21 @@ func (n *NIC) runTriggers(p *sim.Proc) {
 		p.Sleep(n.lookup.MatchLatency(len(n.entries), pos))
 		e := n.findEntry(w.Tag)
 		if e == nil {
-			// Relaxed synchronization: allocate a placeholder (§3.2).
-			if n.activeEntries() >= n.cfg.MaxTriggerEntries {
+			// Relaxed synchronization: allocate a placeholder (§3.2),
+			// subject to the shared list capacity and, when configured,
+			// the dedicated placeholder budget.
+			if n.activeEntries() >= n.capTriggers() {
+				n.stats.DroppedTriggers++
+				continue
+			}
+			if pc := n.capPlaceholders(); pc > 0 && n.activePlaceholders() >= pc {
 				n.stats.DroppedTriggers++
 				continue
 			}
 			e = &triggerEntry{tag: w.Tag, counter: 1}
 			n.entries = append(n.entries, e)
 			n.stats.PlaceholdersMade++
+			n.noteTriggerWater()
 			e.mergeOverrides(w)
 			continue
 		}
@@ -573,7 +630,7 @@ func (n *NIC) fire(e *triggerEntry) {
 		n.stats.DynamicFires++
 		op = &dyn
 	}
-	n.cmdQ.Push(op)
+	n.enqueueCmd(op)
 }
 
 // runCommands executes staged commands: parse, DMA the payload, inject
@@ -581,6 +638,7 @@ func (n *NIC) fire(e *triggerEntry) {
 func (n *NIC) runCommands(p *sim.Proc) {
 	for {
 		c := n.cmdQ.Pop(p)
+		n.admitPending()
 		if d := n.inj.CommandStall(int(n.id)); d > 0 {
 			p.Sleep(d)
 		}
@@ -705,7 +763,10 @@ func (n *NIC) dispatch(m *network.Message, meta *wireMeta) {
 }
 
 func (n *NIC) deliverPut(m *network.Message, meta *wireMeta) {
-	r := n.matchRegion(meta.matchBits, m.Src)
+	r, gated := n.matchRegion(meta.matchBits, m.Src)
+	if gated {
+		return
+	}
 	if r == nil {
 		panic(fmt.Sprintf("nic %d: put to unmatched match bits %#x from %d", n.id, meta.matchBits, m.Src))
 	}
@@ -724,7 +785,10 @@ func (n *NIC) deliverPut(m *network.Message, meta *wireMeta) {
 }
 
 func (n *NIC) serveGet(m *network.Message, meta *wireMeta) {
-	r := n.matchRegion(meta.matchBits, m.Src)
+	r, gated := n.matchRegion(meta.matchBits, m.Src)
+	if gated {
+		return
+	}
 	if r == nil {
 		panic(fmt.Sprintf("nic %d: get from unmatched match bits %#x", n.id, meta.matchBits))
 	}
@@ -799,7 +863,10 @@ func (n *NIC) execAtomic(p *sim.Proc, c *Command) {
 // serveAtomic applies an inbound atomic to the matched region and, for
 // fetch variants, replies with the prior value.
 func (n *NIC) serveAtomic(m *network.Message, meta *wireMeta) {
-	r := n.matchRegion(meta.matchBits, m.Src)
+	r, gated := n.matchRegion(meta.matchBits, m.Src)
+	if gated {
+		return
+	}
 	if r == nil {
 		panic(fmt.Sprintf("nic %d: atomic to unmatched match bits %#x", n.id, meta.matchBits))
 	}

@@ -112,6 +112,17 @@ func (c *Cluster) GoEach(name string, fn func(p *sim.Proc, nd *Node)) {
 	}
 }
 
+// Diagnose builds a hang diagnosis after a run that left ranks incomplete:
+// the engine's blocked waiters plus every node's starved trigger entries.
+// It returns nil when the simulation shows no evidence of a hang.
+func (c *Cluster) Diagnose() *sim.HangError {
+	var starved []sim.StarvedTrigger
+	for _, nd := range c.Nodes {
+		starved = append(starved, nd.NIC.StarvedTriggers()...)
+	}
+	return c.Eng.Diagnose(starved)
+}
+
 // StatsReport renders a per-node dump of the observability counters
 // (gem5-style end-of-run statistics): NIC command/trigger activity, GPU
 // dispatches, and fabric byte counts.
@@ -120,13 +131,18 @@ func (c *Cluster) StatsReport() string {
 	fmt.Fprintf(&b, "cluster statistics @ %v\n", c.Eng.Now())
 	for _, nd := range c.Nodes {
 		ns := nd.NIC.Stats()
-		fmt.Fprintf(&b, "node %2d: kernels=%d nic{cmds=%d trigW=%d fires=%d dyn=%d placeholders=%d immediate=%d dropped=%d} net{sent=%dB recv=%dB msgs=%d}\n",
+		fmt.Fprintf(&b, "node %2d: kernels=%d nic{cmds=%d trigW=%d fires=%d dyn=%d placeholders=%d immediate=%d dropped=%d trigHW=%d} net{sent=%dB recv=%dB msgs=%d}\n",
 			nd.Index, nd.GPU.KernelsLaunched(),
 			ns.CommandsExecuted, ns.TriggerWrites, ns.TriggerFires, ns.DynamicFires,
-			ns.PlaceholdersMade, ns.ImmediateFires, ns.DroppedTriggers,
+			ns.PlaceholdersMade, ns.ImmediateFires, ns.DroppedTriggers, ns.TriggerListHighWater,
 			c.Fabric.BytesSent(network.NodeID(nd.Index)),
 			c.Fabric.BytesDelivered(network.NodeID(nd.Index)),
 			c.Fabric.MessagesDelivered(network.NodeID(nd.Index)))
+		if ns.CmdQueueStalls+ns.CmdDeferred+ns.RegistrationRejects+ns.FlowCtlDrops > 0 {
+			fmt.Fprintf(&b, "         res{cmdStalls=%d cmdDeferred=%d rejects=%d flowCtlDrops=%d cmdqHW=%d fifoHW=%d placeholderHW=%d}\n",
+				ns.CmdQueueStalls, ns.CmdDeferred, ns.RegistrationRejects, ns.FlowCtlDrops,
+				ns.CmdQueueHighWater, ns.TrigFIFOHighWater, ns.PlaceholderHighWater)
+		}
 		if ns.Retransmits+ns.AcksSent+ns.NacksSent+ns.DupesDropped+ns.CorruptDropped+ns.PeersDeclaredDead+ns.LostTriggerWrites > 0 {
 			fmt.Fprintf(&b, "         rel{retx=%d acks=%d nacks=%d dupes=%d corrupt=%d peersDead=%d lostTrig=%d}\n",
 				ns.Retransmits, ns.AcksSent, ns.NacksSent, ns.DupesDropped,

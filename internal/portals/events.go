@@ -57,15 +57,23 @@ type Event struct {
 // exposes and GPU-TN's §4.2.4 completion flags deliberately avoid on the
 // GPU side.
 type EQ struct {
-	q        *sim.Queue[Event]
-	capacity int
-	dropped  int64
+	q         *sim.Queue[Event]
+	capacity  int
+	dropped   int64
+	highWater int64
+	// onOverflow, when non-nil, fires on each dropped event — the hook a
+	// flow-controlled PTE uses to auto-disable (see flowctl.go).
+	onOverflow func()
 }
 
 // EQAlloc allocates an event queue; capacity bounds buffered events
-// (0 = unbounded). Overflow drops events and counts them, mirroring
+// (0 = the ResourceConfig EQDepth default, which itself defaults to
+// unbounded). Overflow drops events and counts them, mirroring
 // PTL_EQ_DROPPED semantics.
 func (r *Runtime) EQAlloc(capacity int) *EQ {
+	if capacity == 0 {
+		capacity = r.nic.Config().Resources.EQDepth
+	}
 	return &EQ{q: sim.NewQueue[Event](r.eng), capacity: capacity}
 }
 
@@ -76,9 +84,15 @@ func (e *EQ) post(ev Event) {
 	}
 	if e.capacity > 0 && e.q.Len() >= e.capacity {
 		e.dropped++
+		if e.onOverflow != nil {
+			e.onOverflow()
+		}
 		return
 	}
 	e.q.Push(ev)
+	if hw := int64(e.q.Len()); hw > e.highWater {
+		e.highWater = hw
+	}
 }
 
 // Wait parks p until an event is available and returns it (PtlEQWait).
@@ -92,6 +106,9 @@ func (e *EQ) Pending() int { return e.q.Len() }
 
 // Dropped reports events lost to overflow.
 func (e *EQ) Dropped() int64 { return e.dropped }
+
+// HighWater reports the peak number of simultaneously buffered events.
+func (e *EQ) HighWater() int64 { return e.highWater }
 
 // MEOptions carries the extended match-entry semantics of Portals 4.
 type MEOptions struct {
@@ -109,6 +126,12 @@ type MEOptions struct {
 // MEAppendEx exposes a match entry with full Portals options. The basic
 // MEAppend remains the common path for the paper's workloads.
 func (r *Runtime) MEAppendEx(me *ME, opts MEOptions) {
+	r.nic.ExposeRegion(r.buildRegion(me, opts))
+}
+
+// buildRegion translates an ME + options into a NIC region (shared by
+// MEAppendEx and the flow-controlled PTE append path).
+func (r *Runtime) buildRegion(me *ME, opts MEOptions) *nic.Region {
 	region := &nic.Region{
 		MatchBits:  me.MatchBits,
 		IgnoreBits: opts.IgnoreBits,
@@ -138,7 +161,7 @@ func (r *Runtime) MEAppendEx(me *ME, opts MEOptions) {
 			Size: d.Size, Data: d.Data, At: d.At,
 		})
 	}
-	r.nic.ExposeRegion(region)
+	return region
 }
 
 // AtomicCell is a host-memory cell served to remote atomics. Alloc with

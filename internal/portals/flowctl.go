@@ -1,0 +1,114 @@
+package portals
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Portals-4-style flow control. A portal table entry (PTE) groups match
+// entries behind one event queue; when that EQ overflows, the PTE
+// auto-disables (PTL_EVENT_PT_DISABLED semantics): subsequent inbound
+// messages to its entries are dropped at the NIC — counted, never
+// delivered — until the application drains the EQ and re-enables the
+// entry (PtlPTEnable). Match entries appended while disabled are parked
+// and replayed on re-enable, so registration-side backpressure is
+// recoverable rather than fatal.
+
+// ErrEQOverflow reports an event-queue overflow condition: either the
+// overflow that disabled a PTE, or an Enable attempted before the
+// backlogged EQ was drained.
+var ErrEQOverflow = errors.New("event queue overflow")
+
+// PTE is a flow-controlled portal table entry.
+type PTE struct {
+	r       *Runtime
+	eq      *EQ
+	enabled bool
+	// pending holds appends issued while disabled, replayed on Enable.
+	pending []pendingME
+	// disables counts auto-disable episodes (one per overflow burst).
+	disables int64
+}
+
+type pendingME struct {
+	me   *ME
+	opts MEOptions
+}
+
+// PTAlloc allocates a flow-controlled portal table entry bound to eq
+// (PtlPTAlloc with PTL_PT_FLOWCTRL). The EQ's overflow hook is pointed at
+// the entry: the first dropped event disables it.
+func (r *Runtime) PTAlloc(eq *EQ) *PTE {
+	if eq == nil {
+		panic("portals: PTAlloc requires an event queue")
+	}
+	p := &PTE{r: r, eq: eq, enabled: true}
+	eq.onOverflow = func() {
+		if p.enabled {
+			p.enabled = false
+			p.disables++
+		}
+	}
+	return p
+}
+
+// Enabled reports whether the entry is accepting deliveries.
+func (p *PTE) Enabled() bool { return p.enabled }
+
+// Disables reports how many times the entry auto-disabled on EQ overflow.
+func (p *PTE) Disables() int64 { return p.disables }
+
+// PendingAppends reports match entries parked awaiting re-enable.
+func (p *PTE) PendingAppends() int { return len(p.pending) }
+
+// Append exposes a match entry under this PTE. The entry's event stream
+// goes to the PTE's EQ and its deliveries are gated on the enabled flag.
+// While the PTE is disabled the append is parked and replayed by Enable —
+// the registration-side face of flow control.
+func (p *PTE) Append(me *ME, opts MEOptions) {
+	opts.EQ = p.eq
+	if !p.enabled {
+		p.pending = append(p.pending, pendingME{me: me, opts: opts})
+		return
+	}
+	region := p.r.buildRegion(me, opts)
+	region.Gate = func() bool { return p.enabled }
+	p.r.nic.ExposeRegion(region)
+}
+
+// Enable re-enables a disabled entry (PtlPTEnable) and replays parked
+// appends in FIFO order. It fails with ErrEQOverflow while the EQ still
+// holds backlogged events: the application must drain (or Recover) first,
+// otherwise the next delivery would immediately re-overflow.
+func (p *PTE) Enable() error {
+	if p.enabled {
+		return nil
+	}
+	if p.eq.Pending() > 0 {
+		return fmt.Errorf("portals: %w: %d events still queued; drain before enable", ErrEQOverflow, p.eq.Pending())
+	}
+	p.enabled = true
+	parked := p.pending
+	p.pending = nil
+	for _, pm := range parked {
+		p.Append(pm.me, pm.opts)
+	}
+	return nil
+}
+
+// Recover is the full recovery path: drain every backlogged event, then
+// re-enable and replay parked appends. The drained events are returned so
+// the application can process what survived the overflow; messages dropped
+// while disabled are gone (counted in EQ.Dropped and the NIC's
+// FlowCtlDrops) and must be recovered end-to-end by the sender.
+func (p *PTE) Recover() ([]Event, error) {
+	var drained []Event
+	for {
+		ev, ok := p.eq.Poll()
+		if !ok {
+			break
+		}
+		drained = append(drained, ev)
+	}
+	return drained, p.Enable()
+}

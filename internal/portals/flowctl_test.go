@@ -1,0 +1,141 @@
+package portals
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/nic"
+	"repro/internal/sim"
+)
+
+// EQ overflow must disable the PTE; deliveries while disabled are dropped
+// at the NIC (FlowCtlDrops), not queued, not delivered.
+func TestPTEAutoDisablesOnEQOverflow(t *testing.T) {
+	w := newWorld(t, 2)
+	r0, r1 := w.rts[0], w.rts[1]
+	eq := r1.EQAlloc(2)
+	pte := r1.PTAlloc(eq)
+	delivered := 0
+	pte.Append(&ME{MatchBits: 0xF0, Length: 1 << 16, OnDelivery: func(d nic.Delivery) { delivered++ }}, MEOptions{})
+
+	w.eng.Go("send", func(p *sim.Proc) {
+		md := r0.MDBind("b", 8, nil, nil)
+		for i := 0; i < 6; i++ {
+			r0.Put(p, md, 8, 1, 0xF0)
+		}
+	})
+	w.eng.Run()
+
+	if pte.Enabled() {
+		t.Fatal("PTE still enabled after EQ overflow")
+	}
+	if pte.Disables() != 1 {
+		t.Fatalf("disables = %d, want 1", pte.Disables())
+	}
+	// Two events fit, the third overflowed and disabled the entry; the
+	// remaining puts were gated at the NIC before reaching OnDelivery.
+	if delivered != 3 {
+		t.Fatalf("delivered = %d, want 3 (2 queued + 1 overflow)", delivered)
+	}
+	if fc := r1.NIC().Stats().FlowCtlDrops; fc != 3 {
+		t.Fatalf("FlowCtlDrops = %d, want 3", fc)
+	}
+	if eq.Dropped() != 1 {
+		t.Fatalf("EQ dropped = %d, want 1", eq.Dropped())
+	}
+}
+
+func TestPTEEnableRequiresDrain(t *testing.T) {
+	w := newWorld(t, 2)
+	r0, r1 := w.rts[0], w.rts[1]
+	eq := r1.EQAlloc(1)
+	pte := r1.PTAlloc(eq)
+	pte.Append(&ME{MatchBits: 0xF1, Length: 1 << 16}, MEOptions{})
+
+	w.eng.Go("send", func(p *sim.Proc) {
+		md := r0.MDBind("b", 8, nil, nil)
+		r0.Put(p, md, 8, 1, 0xF1)
+		r0.Put(p, md, 8, 1, 0xF1)
+	})
+	w.eng.Run()
+	if pte.Enabled() {
+		t.Fatal("PTE should have disabled")
+	}
+	if err := pte.Enable(); !errors.Is(err, ErrEQOverflow) {
+		t.Fatalf("Enable before drain = %v, want ErrEQOverflow", err)
+	}
+	drained, err := pte.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(drained) != 1 {
+		t.Fatalf("drained %d events, want 1", len(drained))
+	}
+	if !pte.Enabled() {
+		t.Fatal("PTE not re-enabled by Recover")
+	}
+}
+
+// Service resumes after recovery: appends parked while disabled are
+// replayed, and new traffic is delivered again.
+func TestPTERecoveryRestoresService(t *testing.T) {
+	w := newWorld(t, 2)
+	r0, r1 := w.rts[0], w.rts[1]
+	eq := r1.EQAlloc(1)
+	pte := r1.PTAlloc(eq)
+	pte.Append(&ME{MatchBits: 0xF2, Length: 1 << 16}, MEOptions{})
+
+	md := r0.MDBind("b", 8, nil, nil)
+	w.eng.Go("overflow", func(p *sim.Proc) {
+		r0.Put(p, md, 8, 1, 0xF2)
+		r0.Put(p, md, 8, 1, 0xF2)
+	})
+	w.eng.Run()
+
+	// Register a second entry while disabled: parked, not exposed.
+	pte.Append(&ME{MatchBits: 0xF3, Length: 1 << 16}, MEOptions{})
+	if pte.PendingAppends() != 1 {
+		t.Fatalf("pending appends = %d, want 1", pte.PendingAppends())
+	}
+	if _, err := pte.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if pte.PendingAppends() != 0 {
+		t.Fatal("parked append not replayed on recovery")
+	}
+
+	w.eng.Go("resume", func(p *sim.Proc) {
+		r0.Put(p, md, 8, 1, 0xF3)
+	})
+	w.eng.Run()
+	ev, ok := eq.Poll()
+	if !ok || ev.MatchBits != 0xF3 {
+		t.Fatalf("post-recovery delivery = %+v ok=%v", ev, ok)
+	}
+}
+
+func TestEQHighWaterAndDefaultDepth(t *testing.T) {
+	w := newWorld(t, 2)
+	r0, r1 := w.rts[0], w.rts[1]
+	eq := r1.EQAlloc(8)
+	r1.MEAppendEx(&ME{MatchBits: 0xF4, Length: 1 << 16}, MEOptions{EQ: eq})
+	w.eng.Go("send", func(p *sim.Proc) {
+		md := r0.MDBind("b", 8, nil, nil)
+		for i := 0; i < 5; i++ {
+			r0.Put(p, md, 8, 1, 0xF4)
+		}
+	})
+	w.eng.Run()
+	if eq.HighWater() != 5 {
+		t.Fatalf("high water = %d, want 5", eq.HighWater())
+	}
+
+	// EQAlloc(0) picks up the ResourceConfig default when one is set.
+	cfg := r1.NIC().Config()
+	if cfg.Resources.EQDepth != 0 {
+		t.Fatalf("default config has EQDepth = %d", cfg.Resources.EQDepth)
+	}
+	if unbounded := r1.EQAlloc(0); unbounded.capacity != 0 {
+		t.Fatalf("EQAlloc(0) capacity = %d with no default", unbounded.capacity)
+	}
+}

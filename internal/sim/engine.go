@@ -67,6 +67,7 @@ type Engine struct {
 	// process bookkeeping
 	parked  chan procYield
 	nprocs  int
+	procs   []*Proc
 	stopped bool
 
 	// Trace, when non-nil, receives a line per executed event. Used by

@@ -23,6 +23,9 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	dead   bool
+	// waiting, when non-nil, records the condition wait the process is
+	// parked on; the watchdog reads it to diagnose quiescent simulations.
+	waiting *waitState
 }
 
 // Name returns the label given at spawn time.
@@ -39,6 +42,7 @@ func (p *Proc) Now() Time { return p.eng.Now() }
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
 	e.nprocs++
+	e.procs = append(e.procs, p)
 	go func() {
 		<-p.resume // wait for the first dispatch
 		var panicked any
@@ -73,6 +77,14 @@ func (e *Engine) dispatch(p *Proc) {
 func (p *Proc) park() {
 	p.eng.parked <- procYield{p: p}
 	<-p.resume
+}
+
+// parkWaiting is park with a watchdog annotation: while parked, the process
+// is reported by Engine.BlockedWaiters as blocked on the given condition.
+func (p *Proc) parkWaiting(kind string, detail func() string) {
+	p.waiting = &waitState{kind: kind, detail: detail}
+	p.park()
+	p.waiting = nil
 }
 
 // wake schedules a dispatch of p at the engine's current time. It is the

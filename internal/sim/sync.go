@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Signal is a broadcast condition variable. Wait parks the calling process
 // until the next Broadcast. There is no lost-wakeup hazard: because model
 // code is single-threaded, a process is either parked on the signal or it
@@ -16,7 +18,7 @@ func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
 // Wait parks p until the next Broadcast.
 func (s *Signal) Wait(p *Proc) {
 	s.waiters = append(s.waiters, p)
-	p.park()
+	p.parkWaiting("signal", nil)
 }
 
 // Broadcast wakes every currently waiting process. Waiters resume in the
@@ -90,7 +92,9 @@ func (c *Counter) WaitGE(p *Proc, target int64) {
 		return
 	}
 	c.waiters = append(c.waiters, ctWaiter{p: p, target: target})
-	p.park()
+	p.parkWaiting("counter", func() string {
+		return fmt.Sprintf("value=%d target=%d", c.value, target)
+	})
 }
 
 // WaitGEUntil parks p until the counter value is ≥ target or the absolute
@@ -118,7 +122,9 @@ func (c *Counter) WaitGEUntil(p *Proc, target int64, deadline Time) bool {
 		}
 		p.wake("ctwait.timeout")
 	})
-	p.park()
+	p.parkWaiting("counter", func() string {
+		return fmt.Sprintf("value=%d target=%d deadline=%v", c.value, target, deadline)
+	})
 	if done {
 		ev.Cancel()
 	}
@@ -220,7 +226,9 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	r.admit()
 	for !w.granted {
 		w.parked = true
-		p.park()
+		p.parkWaiting("resource", func() string {
+			return fmt.Sprintf("need=%d available=%d", n, r.capacity-r.inUse)
+		})
 		w.parked = false
 	}
 }

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the simulator's hang doctor. A deterministic discrete-event
+// simulation cannot literally hang on a model deadlock: when every process
+// is parked on an unsatisfied condition the event queue drains and Run
+// returns — silently, with some ranks never having completed. The watchdog
+// turns that silent quiescence into a structured diagnosis: which processes
+// are parked on what (with counter progress), and — supplied by the NIC
+// models — which trigger-list entries never reached their firing threshold.
+
+// StarvedTrigger describes one trigger-list entry that never fired: the
+// NIC-side half of a hang diagnosis. Registered entries report the staged
+// operation's threshold; relaxed-sync placeholders (op never registered)
+// report Registered=false and a zero threshold.
+type StarvedTrigger struct {
+	// Node is the registering node (the NIC holding the entry).
+	Node      int
+	Tag       uint64
+	Counter   int64
+	Threshold int64
+	// Registered is false for a placeholder the host never backed with an
+	// operation — the relaxed-sync window closed without a registration.
+	Registered bool
+}
+
+func (s StarvedTrigger) String() string {
+	if !s.Registered {
+		return fmt.Sprintf("node %d tag %d: placeholder count %d, op never registered", s.Node, s.Tag, s.Counter)
+	}
+	return fmt.Sprintf("node %d tag %d: count %d/%d", s.Node, s.Tag, s.Counter, s.Threshold)
+}
+
+// BlockedWaiter describes a process parked on an unsatisfied condition at
+// quiescence — the rank-side half of a hang diagnosis.
+type BlockedWaiter struct {
+	// Proc is the parked process's spawn name (encodes backend and rank in
+	// the experiment drivers, e.g. "allreduce.GPU-TN.2").
+	Proc string
+	// Kind is the primitive parked on: "counter", "signal", or "resource".
+	Kind string
+	// Detail reports the wait's progress, e.g. "value=3 target=64".
+	Detail string
+}
+
+func (w BlockedWaiter) String() string {
+	return fmt.Sprintf("%s (%s %s)", w.Proc, w.Kind, w.Detail)
+}
+
+// HangError is the structured diagnosis of a simulation that went quiescent
+// with unsatisfied waiters. It is the shared error type behind every
+// "a rank never completed" path; callers unwrap it with errors.As to reach
+// the starved trigger entries and blocked processes.
+type HangError struct {
+	// At is the simulated time of quiescence.
+	At Time
+	// Blocked lists every process parked on an unsatisfied condition.
+	Blocked []BlockedWaiter
+	// Starved lists every trigger-list entry that never reached threshold.
+	Starved []StarvedTrigger
+}
+
+// diagListMax bounds how many entries an Error() string spells out.
+const diagListMax = 6
+
+func joinCapped[T fmt.Stringer](items []T) string {
+	var parts []string
+	for i, it := range items {
+		if i == diagListMax {
+			parts = append(parts, fmt.Sprintf("+%d more", len(items)-diagListMax))
+			break
+		}
+		parts = append(parts, it.String())
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (e *HangError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim: quiescent at %v with unsatisfied waiters", e.At)
+	if len(e.Starved) > 0 {
+		fmt.Fprintf(&b, "; starved triggers: %s", joinCapped(e.Starved))
+	}
+	if len(e.Blocked) > 0 {
+		fmt.Fprintf(&b, "; blocked: %s", joinCapped(e.Blocked))
+	}
+	return b.String()
+}
+
+// waitState annotates a parked process with what it is waiting on. Only
+// condition waits (counter/signal/resource) are annotated: a sleeping
+// process has a pending wake event, so the engine is not quiescent, and
+// idle service loops parked on empty queues (NIC pipelines, GPU front-end)
+// are normal at quiescence, not deadlock evidence.
+type waitState struct {
+	kind   string
+	detail func() string
+}
+
+// BlockedWaiters lists every live process currently parked on an
+// unsatisfied condition wait. At quiescence (empty event queue) these are
+// exactly the processes a deadlock is starving.
+func (e *Engine) BlockedWaiters() []BlockedWaiter {
+	var out []BlockedWaiter
+	for _, p := range e.procs {
+		if p.dead || p.waiting == nil {
+			continue
+		}
+		w := BlockedWaiter{Proc: p.name, Kind: p.waiting.kind}
+		if p.waiting.detail != nil {
+			w.Detail = p.waiting.detail()
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// Diagnose builds a hang diagnosis from the engine's blocked waiters plus
+// caller-supplied starved trigger entries (collected from the NIC models).
+// It returns nil when nothing is blocked and nothing is starved — i.e. the
+// simulation completed cleanly.
+func (e *Engine) Diagnose(starved []StarvedTrigger) *HangError {
+	blocked := e.BlockedWaiters()
+	if len(blocked) == 0 && len(starved) == 0 {
+		return nil
+	}
+	return &HangError{At: e.now, Blocked: blocked, Starved: starved}
+}

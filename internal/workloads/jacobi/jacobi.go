@@ -1,6 +1,7 @@
 package jacobi
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/backends"
@@ -132,6 +133,7 @@ func Run(c *node.Cluster, params Params) (Result, error) {
 	}
 
 	res := Result{PerRank: make([]sim.Time, dec.Nodes())}
+	errs := make([]error, dec.Nodes())
 	for r := range states {
 		r := r
 		st := states[r]
@@ -146,8 +148,9 @@ func Run(c *node.Cluster, params Params) (Result, error) {
 			case backends.GPUTN:
 				if params.Overlap {
 					st.runGPUTNOverlap(p)
-				} else {
-					st.runGPUTN(p)
+				} else if err := st.runGPUTN(p); err != nil {
+					errs[r] = err
+					return
 				}
 			default:
 				panic(fmt.Sprintf("jacobi: unknown backend %v", params.Kind))
@@ -156,9 +159,20 @@ func Run(c *node.Cluster, params Params) (Result, error) {
 		})
 	}
 	c.Run()
-	for _, t := range res.PerRank {
+	if err := errors.Join(errs...); err != nil {
+		// An aborted rank strands its halo partners; attach the hang
+		// diagnosis so the error names the starved trigger entries.
+		if diag := c.Diagnose(); diag != nil {
+			return Result{}, errors.Join(err, diag)
+		}
+		return Result{}, err
+	}
+	for r, t := range res.PerRank {
 		if t == 0 {
-			return Result{}, fmt.Errorf("jacobi: a rank never completed (deadlock?)")
+			if diag := c.Diagnose(); diag != nil {
+				return Result{}, fmt.Errorf("jacobi: rank %d never completed: %w", r, diag)
+			}
+			return Result{}, fmt.Errorf("jacobi: rank %d never completed", r)
 		}
 		if t > res.Duration {
 			res.Duration = t
@@ -340,7 +354,7 @@ func (st *rankState) runGDS(p *sim.Proc) {
 	stream.Sync(p)
 }
 
-func (st *rankState) runGPUTN(p *sim.Proc) {
+func (st *rankState) runGPUTN(p *sim.Proc) error {
 	host := core.NewHost(st.nd.Eng, st.nd.Ptl, st.nd.GPU)
 	comp := host.NewCompletion()
 	trig := host.GetTriggerAddr()
@@ -368,26 +382,34 @@ func (st *rankState) runGPUTN(p *sim.Proc) {
 	}
 	host.LaunchKern(kern)
 
-	register := func(k int) {
+	register := func(k int) error {
 		for _, d := range dirs {
 			md := st.nd.Ptl.MDBind(fmt.Sprintf("tn.halo.%d.%v", k, d), st.haloBytes(), st.sendPayload(k, d), comp.CT)
-			if err := host.TrigPut(p, tagFor(k, d), int64(wgs), md, st.haloBytes(), st.nbrs[d], haloMatchBits); err != nil {
-				panic(fmt.Sprintf("jacobi: rank %d iter %d dir %v: %v", st.nd.Index, k, d, err))
+			// Pressure-aware registration: a full trigger list stalls the
+			// host until an in-flight halo put fires and frees a slot.
+			if err := host.TrigPutPressure(p, comp, tagFor(k, d), int64(wgs), md, st.haloBytes(), st.nbrs[d], haloMatchBits); err != nil {
+				return fmt.Errorf("jacobi: rank %d iter %d dir %v: %w", st.nd.Index, k, d, err)
 			}
 		}
+		return nil
 	}
 	window := trigWindowIters
 	if window > iters {
 		window = iters
 	}
 	for k := 0; k < window; k++ {
-		register(k)
+		if err := register(k); err != nil {
+			return err
+		}
 	}
 	for k := window; k < iters; k++ {
 		comp.WaitHost(p, int64(k-window+1)*n)
-		register(k)
+		if err := register(k); err != nil {
+			return err
+		}
 	}
 	kern.Wait(p)
+	return nil
 }
 
 func orderedDirList(nbrs map[Dir]int) []Dir {
