@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check chaos build test vet
+.PHONY: check chaos build test vet bench bench-smoke
 
 ## check: the full gate — vet, build, and the whole suite under the race detector.
 check:
@@ -24,3 +24,14 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+## bench: the full simulator perf run (events/sec, allocs/event, wall time
+## per experiment); refreshes the BENCH_sim.json baseline at the repo root.
+bench:
+	$(GO) run ./cmd/gputn-bench -exp perf -perf-preset full -bench-out BENCH_sim.json
+
+## bench-smoke: the reduced perf run CI uses — compares against the
+## committed BENCH_sim.json baseline first (failing on >30% events/sec
+## regression), then overwrites it with the fresh smoke report.
+bench-smoke:
+	$(GO) run ./cmd/gputn-bench -exp perf -perf-preset smoke -bench-baseline BENCH_sim.json -bench-out BENCH_sim.json

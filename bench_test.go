@@ -215,6 +215,27 @@ func BenchmarkTrainingLoop(b *testing.B) {
 	b.ReportMetric(mlearn.Project(w, times)[backends.GPUTN], "projected")
 }
 
+// BenchmarkAllreduce16 is the perf-trajectory anchor: one 16-node GPU-TN
+// 8MB ring allreduce per iteration, the workload that dominates the
+// Figure 10 sweep. Allocation counts here track the whole model stack, not
+// just the engine, so regressions in any layer show up.
+func BenchmarkAllreduce16(b *testing.B) {
+	cfg := config.Default()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := node.NewCluster(cfg, 16)
+		res, err := collective.Run(c, collective.Config{
+			Kind: backends.GPUTN, TotalBytes: bench.Fig10Payload,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(res.Duration.Us(), "allreduce-us")
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw engine throughput: events
 // executed per second of wall time, the figure of merit for scaling these
 // experiments up.

@@ -4,10 +4,24 @@
 //
 //	gputn-bench -exp all
 //	gputn-bench -exp fig10
+//	gputn-bench -exp figures -parallel 8
+//	gputn-bench -exp perf -perf-preset smoke -bench-out BENCH_sim.json
 //	gputn-bench -exp faults -fault-drop 0.05 -reliable
 //
 // Experiments: fig1, fig8, fig9, fig10, fig11, table1, table2, table3,
-// ablations, faults, resources, all.
+// ablations, faults, resources, perf, all; "figures" runs fig1+fig8+fig9+
+// fig10+fig11.
+//
+// The -parallel flag sets how many OS threads the sweep runner fans
+// independent simulation replicas across (default: NumCPU). Results are
+// collected in submission order, so output is byte-identical for any
+// -parallel value; -parallel 1 takes the exact serial code path.
+//
+// The -exp perf harness measures the simulator itself (events/sec,
+// allocs/event, wall time per experiment) and writes BENCH_sim.json;
+// -bench-baseline compares against a committed report and exits nonzero
+// when events/sec regresses beyond -bench-tolerance. The -cpuprofile and
+// -memprofile flags capture pprof profiles of whatever experiment runs.
 //
 // The -fault-* flag group arms the deterministic fault injector for every
 // experiment in the run; with all of them zero (the default) the fabric is
@@ -22,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 	"repro/internal/config"
@@ -31,27 +47,37 @@ import (
 )
 
 // writeCSV saves a figure's series to <dir>/<name>.csv when dir is set.
-func writeCSV(dir, name, xlabel string, series []*stats.Series) {
+func writeCSV(dir, name, xlabel string, series []*stats.Series) error {
 	if dir == "" {
-		return
+		return nil
 	}
 	path := filepath.Join(dir, name+".csv")
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	defer f.Close()
 	if err := stats.WriteSeriesCSV(f, xlabel, series); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
 }
 
-func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|all")
+func main() { os.Exit(run()) }
+
+// run is main minus os.Exit, so profile-flushing defers always execute.
+func run() int {
+	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|perf|figures|all")
 	csvDir := flag.String("csv", "", "also write figure data as CSV into this directory")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker threads for sweep replicas (1 = serial)")
+
+	perfPreset := flag.String("perf-preset", "full", "perf harness preset: full|smoke")
+	benchOut := flag.String("bench-out", "BENCH_sim.json", "write the perf report JSON here (empty = don't write)")
+	benchBaseline := flag.String("bench-baseline", "", "compare the perf report against this baseline JSON")
+	benchTolerance := flag.Float64("bench-tolerance", 0.30, "allowed fractional events/sec regression vs baseline")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile here")
+	memprofile := flag.String("memprofile", "", "write a heap profile here at exit")
 
 	faultSeed := flag.Int64("fault-seed", 42, "fault injector RNG seed")
 	faultDrop := flag.Float64("fault-drop", 0, "per-packet drop probability [0,1]")
@@ -67,6 +93,41 @@ func main() {
 	capTrigFIFO := flag.Int("cap-trigger-fifo", 0, "trigger FIFO depth; overflow drops and counts (0 = unbounded)")
 	capEQ := flag.Int("cap-eq", 0, "default event-queue capacity; overflow drops PTL_EQ_DROPPED-style (0 = unbounded)")
 	flag.Parse()
+
+	bench.SetParallelism(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gputn-bench:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gputn-bench:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gputn-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gputn-bench:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *memprofile)
+		}()
+	}
 
 	cfg := config.Default()
 	cfg.Faults = config.FaultConfig{
@@ -91,7 +152,7 @@ func main() {
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "gputn-bench:", err)
-		os.Exit(2)
+		return 2
 	}
 	if cfg.Faults.Enabled() && !*reliable {
 		fmt.Fprintln(os.Stderr, "warning: faults armed without -reliable; lossy runs may lose messages and hang or skew results")
@@ -109,69 +170,110 @@ func main() {
 			rc.TriggerEntries, rc.PlaceholderEntries, rc.CmdQueueDepth, cfg.NIC.TriggerFIFODepth, rc.EQDepth)
 	}
 	fmt.Println()
-	runners := map[string]func(){
-		"fig1": func() {
+	runners := map[string]func() error{
+		"fig1": func() error {
 			series := bench.Figure1(cfg)
 			fmt.Println(stats.RenderSeries("Figure 1: kernel launch latency (us) vs queued kernel commands",
 				"queued", series))
 			fmt.Println(stats.Plot(series, stats.PlotOptions{LogX: true, XLabel: "queued kernel commands", Title: "launch latency (us)"}))
-			writeCSV(*csvDir, "fig1", "queued", series)
+			return writeCSV(*csvDir, "fig1", "queued", series)
 		},
-		"fig8": func() {
+		"fig8": func() error {
 			res := bench.Figure8Extended(cfg)
 			fmt.Println(bench.RenderFigure8(res))
 			fmt.Println(bench.RenderFigure8Bars(res))
 			fmt.Println(bench.RenderFigure8Extended(res))
+			return nil
 		},
-		"fig9": func() {
+		"fig9": func() error {
 			series := bench.Figure9(cfg)
 			fmt.Println(stats.RenderSeries("Figure 9: Jacobi speedup vs HDN (2x2 nodes, per-iteration)",
 				"N", series))
 			fmt.Println(stats.Plot(series, stats.PlotOptions{LogX: true, XLabel: "local grid N", Title: "speedup vs HDN"}))
-			writeCSV(*csvDir, "fig9", "N", series)
+			return writeCSV(*csvDir, "fig9", "N", series)
 		},
-		"fig10": func() {
+		"fig10": func() error {
 			series := bench.Figure10(cfg)
 			fmt.Println(stats.RenderSeries("Figure 10: 8MB Allreduce speedup vs CPU (strong scaling)",
 				"nodes", series))
 			fmt.Println(stats.Plot(series, stats.PlotOptions{XLabel: "nodes", Title: "speedup vs CPU"}))
-			writeCSV(*csvDir, "fig10", "nodes", series)
+			return writeCSV(*csvDir, "fig10", "nodes", series)
 		},
-		"fig11": func() {
+		"fig11": func() error {
 			results, err := bench.Figure11(cfg)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "fig11:", err)
-				os.Exit(1)
+				return fmt.Errorf("fig11: %w", err)
 			}
 			fmt.Println(bench.RenderFigure11(results))
+			return nil
 		},
-		"table1":    func() { fmt.Println(bench.RenderTable1()) },
-		"table2":    func() { fmt.Println(bench.RenderTable2(cfg)) },
-		"table3":    func() { fmt.Println(bench.RenderTable3()) },
-		"ablations": func() { fmt.Println(bench.RenderAblations(cfg)) },
-		"faults": func() {
+		"table1":    func() error { fmt.Println(bench.RenderTable1()); return nil },
+		"table2":    func() error { fmt.Println(bench.RenderTable2(cfg)); return nil },
+		"table3":    func() error { fmt.Println(bench.RenderTable3()); return nil },
+		"ablations": func() error { fmt.Println(bench.RenderAblations(cfg)); return nil },
+		"faults": func() error {
 			// The fault-tolerance sweep arms its own injector per drop
 			// rate; the -fault-* flags select the baseline configuration.
 			fmt.Println(bench.RenderFaultTolerance(cfg))
+			return nil
 		},
-		"resources": func() {
+		"resources": func() error {
 			// The pressure sweep sets its own trigger-list caps per row;
 			// the -cap-* flags select the baseline configuration.
 			fmt.Println(bench.RenderResourcePressure(cfg))
+			return nil
+		},
+		"perf": func() error {
+			rep, err := bench.RunPerf(cfg, *perfPreset)
+			if err != nil {
+				return err
+			}
+			fmt.Println(rep.Render())
+			var regressions []string
+			if *benchBaseline != "" {
+				base, err := bench.LoadPerfReport(*benchBaseline)
+				if err != nil {
+					return err
+				}
+				regressions = bench.ComparePerf(rep, base, *benchTolerance)
+			}
+			if *benchOut != "" {
+				if err := rep.WriteJSON(*benchOut); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *benchOut)
+			}
+			if len(regressions) > 0 {
+				for _, r := range regressions {
+					fmt.Fprintln(os.Stderr, "perf regression:", r)
+				}
+				return fmt.Errorf("perf: %d experiment(s) regressed beyond %.0f%% vs %s",
+					len(regressions), *benchTolerance*100, *benchBaseline)
+			}
+			return nil
 		},
 	}
 	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults", "resources"}
+	figures := []string{"fig1", "fig8", "fig9", "fig10", "fig11"}
 
-	if *exp == "all" {
-		for _, name := range order {
-			runners[name]()
+	var names []string
+	switch *exp {
+	case "all":
+		names = order
+	case "figures":
+		names = figures
+	default:
+		if _, ok := runners[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %v, perf, figures, or all)\n", *exp, order)
+			return 2
 		}
-		return
+		names = []string{*exp}
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %v or all)\n", *exp, order)
-		os.Exit(2)
+	for _, name := range names {
+		if err := runners[name](); err != nil {
+			fmt.Fprintln(os.Stderr, "gputn-bench:", err)
+			return 1
+		}
 	}
-	run()
+	return 0
 }

@@ -60,7 +60,8 @@ func AblationRelaxedSync(cfg config.SystemConfig, postDelay sim.Time) (relaxed, 
 		c.Run()
 		return done
 	}
-	return run(true), run(false)
+	both := parallelMap(2, func(i int) sim.Time { return run(i == 0) })
+	return both[0], both[1]
 }
 
 // AblationGranularity measures sending puts from one kernel at each
@@ -72,8 +73,9 @@ func AblationRelaxedSync(cfg config.SystemConfig, postDelay sim.Time) (relaxed, 
 // trigger list to fit, which is itself part of the finding.
 func AblationGranularity(cfg config.SystemConfig, workGroups, wgSize int) map[core.Granularity]sim.Time {
 	cfg.NIC.MaxTriggerEntries = workGroups*wgSize + 4
-	out := map[core.Granularity]sim.Time{}
-	for _, g := range []core.Granularity{core.WorkItem, core.WorkGroup, core.KernelLevel, core.Mixed} {
+	grans := []core.Granularity{core.WorkItem, core.WorkGroup, core.KernelLevel, core.Mixed}
+	durs := parallelMap(len(grans), func(gi int) sim.Time {
+		g := grans[gi]
 		c := node.NewCluster(cfg, 2)
 		n0, n1 := c.Nodes[0], c.Nodes[1]
 		recvCT := n1.Ptl.CTAlloc()
@@ -111,7 +113,11 @@ func AblationGranularity(cfg config.SystemConfig, workGroups, wgSize int) map[co
 			done = p.Now()
 		})
 		c.Run()
-		out[g] = done
+		return done
+	})
+	out := map[core.Granularity]sim.Time{}
+	for gi, g := range grans {
+		out[g] = durs[gi]
 	}
 	return out
 }
@@ -125,8 +131,8 @@ func AblationTriggerLookup(cfg config.SystemConfig, writes int) map[string]sim.T
 		nic.HashLookup{Latency: cfg.NIC.TriggerMatchLatency * 3 / 2},
 		nic.LinkedListLookup{PerEntry: cfg.NIC.TriggerMatchLatency},
 	}
-	out := map[string]sim.Time{}
-	for _, m := range models {
+	durs := parallelMap(len(models), func(mi int) sim.Time {
+		m := models[mi]
 		c := node.NewCluster(cfg, 2)
 		n0, n1 := c.Nodes[0], c.Nodes[1]
 		n0.NIC.SetLookupModel(m)
@@ -153,7 +159,11 @@ func AblationTriggerLookup(cfg config.SystemConfig, writes int) map[string]sim.T
 			done = p.Now()
 		})
 		c.Run()
-		out[m.Name()] = done
+		return done
+	})
+	out := map[string]sim.Time{}
+	for mi, m := range models {
+		out[m.Name()] = durs[mi]
 	}
 	return out
 }
@@ -163,13 +173,16 @@ func AblationTriggerLookup(cfg config.SystemConfig, writes int) map[string]sim.T
 // reports GPU-TN's speedup over HDN and GDS at each point: the benefit
 // grows with scheduler cost.
 func AblationKernelOverhead(cfg config.SystemConfig, scales []float64) map[float64][2]float64 {
-	out := map[float64][2]float64{}
-	for _, s := range scales {
+	rows := parallelMap(len(scales), func(si int) [2]float64 {
 		c := cfg
-		c.GPU.KernelLaunch = sim.Time(float64(cfg.GPU.KernelLaunch) * s)
-		c.GPU.KernelTeardown = sim.Time(float64(cfg.GPU.KernelTeardown) * s)
+		c.GPU.KernelLaunch = sim.Time(float64(cfg.GPU.KernelLaunch) * scales[si])
+		c.GPU.KernelTeardown = sim.Time(float64(cfg.GPU.KernelTeardown) * scales[si])
 		r := Figure8(c)
-		out[s] = [2]float64{r.SpeedupVs(backends.HDN), r.SpeedupVs(backends.GDS)}
+		return [2]float64{r.SpeedupVs(backends.HDN), r.SpeedupVs(backends.GDS)}
+	})
+	out := map[float64][2]float64{}
+	for si, s := range scales {
+		out[s] = rows[si]
 	}
 	return out
 }
@@ -190,20 +203,22 @@ func AblationDiscreteGPU(cfg config.SystemConfig, busLatency sim.Time) (apu, dis
 // under scaled kernel overheads, reporting GPU-TN speedup over GDS — the
 // strong-scaling argument of §1 in workload form.
 func AblationJacobiKernelCost(cfg config.SystemConfig, scales []float64) map[float64]float64 {
-	out := map[float64]float64{}
-	for _, s := range scales {
+	kinds := []backends.Kind{backends.GDS, backends.GPUTN}
+	durs := parallelMap(len(scales)*len(kinds), func(idx int) sim.Time {
 		c := cfg
+		s := scales[idx/len(kinds)]
 		c.GPU.KernelLaunch = sim.Time(float64(cfg.GPU.KernelLaunch) * s)
 		c.GPU.KernelTeardown = sim.Time(float64(cfg.GPU.KernelTeardown) * s)
-		run := func(kind backends.Kind) sim.Time {
-			cl := node.NewCluster(c, 4)
-			res, err := jacobi.Run(cl, jacobi.Params{Kind: kind, N: 128, PX: 2, PY: 2, Iters: 4})
-			if err != nil {
-				panic(err)
-			}
-			return res.Duration
+		cl := node.NewCluster(c, 4)
+		res, err := jacobi.Run(cl, jacobi.Params{Kind: kinds[idx%len(kinds)], N: 128, PX: 2, PY: 2, Iters: 4})
+		if err != nil {
+			panic(err)
 		}
-		out[s] = float64(run(backends.GDS)) / float64(run(backends.GPUTN))
+		return res.Duration
+	})
+	out := map[float64]float64{}
+	for si, s := range scales {
+		out[s] = float64(durs[si*len(kinds)]) / float64(durs[si*len(kinds)+1])
 	}
 	return out
 }
@@ -213,19 +228,20 @@ func AblationJacobiKernelCost(cfg config.SystemConfig, scales []float64) map[flo
 // several node counts (8 MB payload), returning plain vs pipelined
 // durations per node count.
 func AblationPipelining(cfg config.SystemConfig, nodeCounts []int) map[int][2]sim.Time {
-	out := map[int][2]sim.Time{}
-	for _, n := range nodeCounts {
-		run := func(ways int) sim.Time {
-			c := node.NewCluster(cfg, n)
-			res, err := collective.Run(c, collective.Config{
-				Kind: backends.GPUTN, TotalBytes: 8 << 20, Pipeline: ways,
-			})
-			if err != nil {
-				panic(err)
-			}
-			return res.Duration
+	ways := []int{0, 8}
+	durs := parallelMap(len(nodeCounts)*len(ways), func(idx int) sim.Time {
+		c := node.NewCluster(cfg, nodeCounts[idx/len(ways)])
+		res, err := collective.Run(c, collective.Config{
+			Kind: backends.GPUTN, TotalBytes: 8 << 20, Pipeline: ways[idx%len(ways)],
+		})
+		if err != nil {
+			panic(err)
 		}
-		out[n] = [2]sim.Time{run(0), run(8)}
+		return res.Duration
+	})
+	out := map[int][2]sim.Time{}
+	for ni, n := range nodeCounts {
+		out[n] = [2]sim.Time{durs[ni*len(ways)], durs[ni*len(ways)+1]}
 	}
 	return out
 }
@@ -234,8 +250,7 @@ func AblationPipelining(cfg config.SystemConfig, nodeCounts []int) map[int][2]si
 // kernel sending one message with 0..3 GPU-computed override fields.
 // Returns end-to-end target latency per field count.
 func AblationDynamicTrigger(cfg config.SystemConfig) [4]sim.Time {
-	var out [4]sim.Time
-	for fields := 0; fields <= 3; fields++ {
+	durs := parallelMap(4, func(fields int) sim.Time {
 		c := node.NewCluster(cfg, 2)
 		n0, n1 := c.Nodes[0], c.Nodes[1]
 		recvCT := n1.Ptl.CTAlloc()
@@ -270,8 +285,10 @@ func AblationDynamicTrigger(cfg config.SystemConfig) [4]sim.Time {
 			done = p.Now()
 		})
 		c.Run()
-		out[fields] = done
-	}
+		return done
+	})
+	var out [4]sim.Time
+	copy(out[:], durs)
 	return out
 }
 
@@ -281,12 +298,14 @@ func AblationDynamicTrigger(cfg config.SystemConfig) [4]sim.Time {
 // grows — §1's argument that launch overheads "negate the efforts of
 // network interconnect providers". Returns GPU-TN speedup vs HDN per rate.
 func AblationNetworkSensitivity(cfg config.SystemConfig, gbps []float64) map[float64]float64 {
-	out := map[float64]float64{}
-	for _, g := range gbps {
+	speedups := parallelMap(len(gbps), func(gi int) float64 {
 		c := cfg
-		c.Network.BandwidthGbps = g
-		r := Figure8(c)
-		out[g] = r.SpeedupVs(backends.HDN)
+		c.Network.BandwidthGbps = gbps[gi]
+		return Figure8(c).SpeedupVs(backends.HDN)
+	})
+	out := map[float64]float64{}
+	for gi, g := range gbps {
+		out[g] = speedups[gi]
 	}
 	return out
 }
@@ -315,7 +334,13 @@ func AblationMPIRendezvous(cfg config.SystemConfig, size int64) (eager, rendezvo
 		c.Run()
 		return done
 	}
-	return run(size + 1), run(1)
+	both := parallelMap(2, func(i int) sim.Time {
+		if i == 0 {
+			return run(size + 1)
+		}
+		return run(1)
+	})
+	return both[0], both[1]
 }
 
 // RenderAblations runs every ablation at representative points and
@@ -391,7 +416,13 @@ func AblationTopology(cfg config.SystemConfig, nodes, leafSize int) (star, tree 
 	t := cfg
 	t.Network.Topology = config.TopologyTree
 	t.Network.TreeLeafSize = leafSize
-	return run(cfg), run(t)
+	both := parallelMap(2, func(i int) sim.Time {
+		if i == 0 {
+			return run(cfg)
+		}
+		return run(t)
+	})
+	return both[0], both[1]
 }
 
 // AblationJacobiOverlap compares the plain GPU-TN Jacobi against the
@@ -407,5 +438,6 @@ func AblationJacobiOverlap(cfg config.SystemConfig, n, iters int) (plain, overla
 		}
 		return res.Duration
 	}
-	return run(false), run(true)
+	both := parallelMap(2, func(i int) sim.Time { return run(i == 1) })
+	return both[0], both[1]
 }

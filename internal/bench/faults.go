@@ -35,30 +35,39 @@ func AblationFaultTolerance(cfg config.SystemConfig, dropRates []float64) []Faul
 	const totalBytes = 256 << 10
 	kinds := []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN}
 
+	type cell struct {
+		latency sim.Time
+		retx    int64
+	}
+	cells := parallelMap(len(dropRates)*len(kinds), func(idx int) cell {
+		rate := dropRates[idx/len(kinds)]
+		k := kinds[idx%len(kinds)]
+		c := cfg
+		c.Faults = config.FaultConfig{Seed: faultAblationSeed, DropProb: rate}
+		if rate > 0 {
+			c.NIC.Reliability = config.DefaultReliability()
+		}
+		cl := node.NewCluster(c, nodes)
+		res, err := collective.Run(cl, collective.Config{Kind: k, TotalBytes: totalBytes})
+		if err != nil {
+			panic(fmt.Sprintf("bench: fault ablation %v drop=%.2f: %v", k, rate, err))
+		}
+		var retx int64
+		for _, nd := range cl.Nodes {
+			retx += nd.NIC.Stats().Retransmits
+		}
+		return cell{latency: res.Duration, retx: retx}
+	})
 	var out []FaultTolerancePoint
-	for _, rate := range dropRates {
+	for ri, rate := range dropRates {
 		pt := FaultTolerancePoint{
 			DropProb:    rate,
 			Latency:     map[backends.Kind]sim.Time{},
 			Retransmits: map[backends.Kind]int64{},
 		}
-		for _, k := range kinds {
-			c := cfg
-			c.Faults = config.FaultConfig{Seed: faultAblationSeed, DropProb: rate}
-			if rate > 0 {
-				c.NIC.Reliability = config.DefaultReliability()
-			}
-			cl := node.NewCluster(c, nodes)
-			res, err := collective.Run(cl, collective.Config{Kind: k, TotalBytes: totalBytes})
-			if err != nil {
-				panic(fmt.Sprintf("bench: fault ablation %v drop=%.2f: %v", k, rate, err))
-			}
-			pt.Latency[k] = res.Duration
-			var retx int64
-			for _, nd := range cl.Nodes {
-				retx += nd.NIC.Stats().Retransmits
-			}
-			pt.Retransmits[k] = retx
+		for ki, k := range kinds {
+			pt.Latency[k] = cells[ri*len(kinds)+ki].latency
+			pt.Retransmits[k] = cells[ri*len(kinds)+ki].retx
 		}
 		out = append(out, pt)
 	}

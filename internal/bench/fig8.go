@@ -68,9 +68,11 @@ func (r *Fig8Result) SpeedupVs(base backends.Kind) float64 {
 // on the initiator copies one cache line and sends 64 B to the target,
 // under HDN, GDS, and GPU-TN.
 func Figure8(cfg config.SystemConfig) *Fig8Result {
+	kinds := []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN}
+	runs := parallelMap(len(kinds), func(i int) *Fig8Run { return figure8Run(cfg, kinds[i]) })
 	res := &Fig8Result{Runs: map[backends.Kind]*Fig8Run{}}
-	for _, kind := range []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN} {
-		res.Runs[kind] = figure8Run(cfg, kind)
+	for i, kind := range kinds {
+		res.Runs[kind] = runs[i]
 	}
 	return res
 }
@@ -79,9 +81,11 @@ func Figure8(cfg config.SystemConfig) *Fig8Result {
 // Native Networking models, making the paper's qualitative §5.1.1
 // comparison quantitative.
 func Figure8Extended(cfg config.SystemConfig) *Fig8Result {
-	res := Figure8(cfg)
-	for _, kind := range []backends.Kind{backends.GHN, backends.GNN} {
-		res.Runs[kind] = figure8Run(cfg, kind)
+	kinds := []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN, backends.GHN, backends.GNN}
+	runs := parallelMap(len(kinds), func(i int) *Fig8Run { return figure8Run(cfg, kinds[i]) })
+	res := &Fig8Result{Runs: map[backends.Kind]*Fig8Run{}}
+	for i, kind := range kinds {
+		res.Runs[kind] = runs[i]
 	}
 	return res
 }

@@ -23,28 +23,33 @@ var Fig1Depths = []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
 // commands exposed to the hardware scheduler at once, for the three GPU
 // presets, by driving the simulated front-end with empty kernels.
 func Figure1(cfg config.SystemConfig) []*stats.Series {
+	presets := config.Figure1Presets()
+	vals := parallelMap(len(presets)*len(Fig1Depths), func(idx int) float64 {
+		preset := presets[idx/len(Fig1Depths)]
+		depth := Fig1Depths[idx%len(Fig1Depths)]
+		eng := sim.NewEngine()
+		g := gpu.New(eng, cfg.GPU, memsys.FromGPU(cfg.GPU, cfg.CPU))
+		g.SetLaunchModel(preset.LaunchLatency)
+		var total sim.Time
+		eng.Go("driver", func(p *sim.Proc) {
+			start := p.Now()
+			var last *gpu.Kernel
+			for i := 0; i < depth; i++ {
+				last = &gpu.Kernel{Name: "empty", WorkGroups: 1}
+				g.Launch(last)
+			}
+			last.Wait(p)
+			total = p.Now() - start
+		})
+		eng.Run()
+		// Launch latency excludes the teardown the empty kernel pays.
+		return (total/sim.Time(depth) - cfg.GPU.KernelTeardown).Us()
+	})
 	var out []*stats.Series
-	for _, preset := range config.Figure1Presets() {
+	for pi, preset := range presets {
 		s := &stats.Series{Name: preset.Name}
-		for _, depth := range Fig1Depths {
-			eng := sim.NewEngine()
-			g := gpu.New(eng, cfg.GPU, memsys.FromGPU(cfg.GPU, cfg.CPU))
-			g.SetLaunchModel(preset.LaunchLatency)
-			var total sim.Time
-			eng.Go("driver", func(p *sim.Proc) {
-				start := p.Now()
-				var last *gpu.Kernel
-				for i := 0; i < depth; i++ {
-					last = &gpu.Kernel{Name: "empty", WorkGroups: 1}
-					g.Launch(last)
-				}
-				last.Wait(p)
-				total = p.Now() - start
-			})
-			eng.Run()
-			// Launch latency excludes the teardown the empty kernel pays.
-			perKernel := total/sim.Time(depth) - cfg.GPU.KernelTeardown
-			s.Add(float64(depth), perKernel.Us())
+		for di, depth := range Fig1Depths {
+			s.Add(float64(depth), vals[pi*len(Fig1Depths)+di])
 		}
 		out = append(out, s)
 	}
@@ -63,22 +68,25 @@ const Fig9Iters = 8
 // 2x2 cluster and reports per-iteration speedup relative to HDN.
 func Figure9(cfg config.SystemConfig) []*stats.Series {
 	kinds := []backends.Kind{backends.CPU, backends.GDS, backends.GPUTN}
+	all := []backends.Kind{backends.HDN, backends.CPU, backends.GDS, backends.GPUTN}
+	durs := parallelMap(len(Fig9Sizes)*len(all), func(idx int) sim.Time {
+		n := Fig9Sizes[idx/len(all)]
+		kind := all[idx%len(all)]
+		c := node.NewCluster(cfg, 4)
+		res, err := jacobi.Run(c, jacobi.Params{Kind: kind, N: n, PX: 2, PY: 2, Iters: Fig9Iters})
+		if err != nil {
+			panic(fmt.Sprintf("bench: figure9 %s N=%d: %v", kind, n, err))
+		}
+		return res.Duration
+	})
 	series := map[backends.Kind]*stats.Series{}
 	for _, k := range kinds {
 		series[k] = &stats.Series{Name: k.String()}
 	}
-	for _, n := range Fig9Sizes {
-		run := func(kind backends.Kind) sim.Time {
-			c := node.NewCluster(cfg, 4)
-			res, err := jacobi.Run(c, jacobi.Params{Kind: kind, N: n, PX: 2, PY: 2, Iters: Fig9Iters})
-			if err != nil {
-				panic(fmt.Sprintf("bench: figure9 %s N=%d: %v", kind, n, err))
-			}
-			return res.Duration
-		}
-		hdn := run(backends.HDN)
-		for _, k := range kinds {
-			series[k].Add(float64(n), float64(hdn)/float64(run(k)))
+	for si, n := range Fig9Sizes {
+		hdn := durs[si*len(all)]
+		for ki, k := range all[1:] {
+			series[k].Add(float64(n), float64(hdn)/float64(durs[si*len(all)+ki+1]))
 		}
 	}
 	out := make([]*stats.Series, 0, len(kinds))
@@ -94,18 +102,20 @@ func Figure9(cfg config.SystemConfig) []*stats.Series {
 // nodes." It runs the same local grid on growing node meshes and returns
 // GPU-TN's speedup vs HDN per mesh — the values should be nearly flat.
 func Figure9Weak(cfg config.SystemConfig, n int, meshes [][2]int) map[int]float64 {
-	out := map[int]float64{}
-	for _, m := range meshes {
-		px, py := m[0], m[1]
-		run := func(kind backends.Kind) sim.Time {
-			c := node.NewCluster(cfg, px*py)
-			res, err := jacobi.Run(c, jacobi.Params{Kind: kind, N: n, PX: px, PY: py, Iters: Fig9Iters})
-			if err != nil {
-				panic(fmt.Sprintf("bench: figure9weak %s %dx%d: %v", kind, px, py, err))
-			}
-			return res.Duration
+	kinds := []backends.Kind{backends.HDN, backends.GPUTN}
+	durs := parallelMap(len(meshes)*len(kinds), func(idx int) sim.Time {
+		px, py := meshes[idx/len(kinds)][0], meshes[idx/len(kinds)][1]
+		kind := kinds[idx%len(kinds)]
+		c := node.NewCluster(cfg, px*py)
+		res, err := jacobi.Run(c, jacobi.Params{Kind: kind, N: n, PX: px, PY: py, Iters: Fig9Iters})
+		if err != nil {
+			panic(fmt.Sprintf("bench: figure9weak %s %dx%d: %v", kind, px, py, err))
 		}
-		out[px*py] = float64(run(backends.HDN)) / float64(run(backends.GPUTN))
+		return res.Duration
+	})
+	out := map[int]float64{}
+	for mi, m := range meshes {
+		out[m[0]*m[1]] = float64(durs[mi*len(kinds)]) / float64(durs[mi*len(kinds)+1])
 	}
 	return out
 }
@@ -120,22 +130,25 @@ const Fig10Payload = int64(8 << 20)
 // each GPU backend relative to the CPU backend at each node count.
 func Figure10(cfg config.SystemConfig) []*stats.Series {
 	kinds := backends.GPUKinds()
+	all := append([]backends.Kind{backends.CPU}, kinds...)
+	durs := parallelMap(len(Fig10Nodes)*len(all), func(idx int) sim.Time {
+		n := Fig10Nodes[idx/len(all)]
+		kind := all[idx%len(all)]
+		c := node.NewCluster(cfg, n)
+		res, err := collective.Run(c, collective.Config{Kind: kind, TotalBytes: Fig10Payload})
+		if err != nil {
+			panic(fmt.Sprintf("bench: figure10 %s n=%d: %v", kind, n, err))
+		}
+		return res.Duration
+	})
 	series := map[backends.Kind]*stats.Series{}
 	for _, k := range kinds {
 		series[k] = &stats.Series{Name: k.String()}
 	}
-	for _, n := range Fig10Nodes {
-		run := func(kind backends.Kind) sim.Time {
-			c := node.NewCluster(cfg, n)
-			res, err := collective.Run(c, collective.Config{Kind: kind, TotalBytes: Fig10Payload})
-			if err != nil {
-				panic(fmt.Sprintf("bench: figure10 %s n=%d: %v", kind, n, err))
-			}
-			return res.Duration
-		}
-		cpu := run(backends.CPU)
-		for _, k := range kinds {
-			series[k].Add(float64(n), float64(cpu)/float64(run(k)))
+	for ni, n := range Fig10Nodes {
+		cpu := durs[ni*len(all)]
+		for ki, k := range kinds {
+			series[k].Add(float64(n), float64(cpu)/float64(durs[ni*len(all)+ki+1]))
 		}
 	}
 	out := make([]*stats.Series, 0, len(kinds))

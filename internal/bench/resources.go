@@ -42,35 +42,55 @@ func AblationResourcePressure(cfg config.SystemConfig, fractions []float64) []Re
 	kinds := []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN}
 	ws := collective.GPUTNWorkingSet(nodes)
 
-	var out []ResourcePressurePoint
-	for _, f := range fractions {
+	capOf := func(f float64) int {
 		entries := int(f * float64(ws))
 		if entries < 1 {
 			entries = 1
 		}
+		return entries
+	}
+	type cell struct {
+		latency          sim.Time
+		rejects, dropped int64
+		highWater        int64
+	}
+	cells := parallelMap(len(fractions)*len(kinds), func(idx int) cell {
+		entries := capOf(fractions[idx/len(kinds)])
+		k := kinds[idx%len(kinds)]
+		c := cfg
+		c.NIC.Resources.TriggerEntries = entries
+		cl := node.NewCluster(c, nodes)
+		res, err := collective.Run(cl, collective.Config{Kind: k, TotalBytes: totalBytes})
+		if err != nil {
+			panic(fmt.Sprintf("bench: resource ablation %v cap=%d: %v", k, entries, err))
+		}
+		out := cell{latency: res.Duration}
+		if k == backends.GPUTN {
+			for _, nd := range cl.Nodes {
+				s := nd.NIC.Stats()
+				out.rejects += s.RegistrationRejects
+				out.dropped += s.DroppedTriggers
+				if s.TriggerListHighWater > out.highWater {
+					out.highWater = s.TriggerListHighWater
+				}
+			}
+		}
+		return out
+	})
+	var out []ResourcePressurePoint
+	for fi, f := range fractions {
 		pt := ResourcePressurePoint{
 			Fraction: f,
-			Capacity: entries,
+			Capacity: capOf(f),
 			Latency:  map[backends.Kind]sim.Time{},
 		}
-		for _, k := range kinds {
-			c := cfg
-			c.NIC.Resources.TriggerEntries = entries
-			cl := node.NewCluster(c, nodes)
-			res, err := collective.Run(cl, collective.Config{Kind: k, TotalBytes: totalBytes})
-			if err != nil {
-				panic(fmt.Sprintf("bench: resource ablation %v cap=%d: %v", k, entries, err))
-			}
-			pt.Latency[k] = res.Duration
-			if k == backends.GPUTN {
-				for _, nd := range cl.Nodes {
-					s := nd.NIC.Stats()
-					pt.Rejects += s.RegistrationRejects
-					pt.Dropped += s.DroppedTriggers
-					if s.TriggerListHighWater > pt.HighWater {
-						pt.HighWater = s.TriggerListHighWater
-					}
-				}
+		for ki, k := range kinds {
+			c := cells[fi*len(kinds)+ki]
+			pt.Latency[k] = c.latency
+			pt.Rejects += c.rejects
+			pt.Dropped += c.dropped
+			if c.highWater > pt.HighWater {
+				pt.HighWater = c.highWater
 			}
 		}
 		out = append(out, pt)

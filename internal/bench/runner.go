@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sweep runner: every figure and ablation in this package is a sweep
+// of independent simulation replicas (one engine each, fully isolated —
+// see sim.Engine), so the replicas of one sweep can run on separate OS
+// threads. parallelMap fans items across a bounded worker pool and returns
+// results in submission order, which keeps every rendered table and series
+// byte-identical to the serial run regardless of worker count.
+
+// parallelism is the worker budget shared by all sweeps (default: NumCPU).
+var parallelism atomic.Int64
+
+func init() { parallelism.Store(int64(runtime.NumCPU())) }
+
+// SetParallelism sets the number of worker threads sweeps may use. n <= 1
+// selects the exact serial code path.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism reports the current sweep worker budget.
+func Parallelism() int { return int(parallelism.Load()) }
+
+// parallelMap computes f(0..n-1) and returns the results indexed by input.
+// With a worker budget of 1 (or a single item) it degenerates to a plain
+// loop — the serial path, bit-identical to the seed harness. Otherwise
+// workers pull items from an atomic dispenser; a panic inside f is captured
+// per item and the lowest-index panic is re-raised after the pool drains,
+// matching the serial path's "first failing item panics" behavior.
+func parallelMap[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	workers := Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = f(i)
+		}
+		return out
+	}
+	panics := make([]any, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panics[i] = r
+						}
+					}()
+					out[i] = f(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if panics[i] != nil {
+			panic(fmt.Sprintf("bench: sweep item %d: %v", i, panics[i]))
+		}
+	}
+	return out
+}

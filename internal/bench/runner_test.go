@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// renderSample produces a deterministic multi-experiment report covering
+// the figure sweeps, the fault sweep, and the resource sweep — the
+// surfaces the parallel runner fans out.
+func renderSample(cfg config.SystemConfig) string {
+	var b strings.Builder
+	b.WriteString(stats.RenderSeries("fig1", "queued", Figure1(cfg)))
+	b.WriteString(RenderFigure8Extended(Figure8Extended(cfg)))
+	b.WriteString(RenderFaultTolerance(cfg))
+	b.WriteString(RenderResourcePressure(cfg))
+	return b.String()
+}
+
+// TestParallelDeterminism requires byte-identical experiment output for
+// any worker count: the runner collects results in submission order, so
+// parallelism must never show in what the harness prints.
+func TestParallelDeterminism(t *testing.T) {
+	cfg := config.Default()
+	old := Parallelism()
+	defer SetParallelism(old)
+
+	SetParallelism(1)
+	serial := renderSample(cfg)
+	for _, n := range []int{4, 8} {
+		SetParallelism(n)
+		if got := renderSample(cfg); got != serial {
+			t.Errorf("parallel=%d output differs from serial run", n)
+		}
+	}
+}
+
+func TestParallelMapOrder(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(8)
+	got := parallelMap(100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("item %d: got %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParallelMapPanic(t *testing.T) {
+	old := Parallelism()
+	defer SetParallelism(old)
+	SetParallelism(4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the item panic to propagate")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic lost the original value: %v", r)
+		}
+	}()
+	parallelMap(10, func(i int) int {
+		if i == 3 {
+			panic("boom")
+		}
+		return i
+	})
+}

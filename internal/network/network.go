@@ -51,14 +51,42 @@ type packet struct {
 	last  bool
 }
 
+// port is one serialization stage of a fabric port: a FIFO of waiting
+// packets plus the packet currently on the wire. Serialization is modeled
+// as a chain of completion events — one event per packet — rather than a
+// pump process, which would cost two goroutine context switches per
+// packet. done is the stage's pre-bound completion callback, so the
+// steady-state path allocates no closures for serialization.
+type port struct {
+	q    []*packet
+	head int
+	cur  *packet // in service; nil when the stage is idle
+	done func()
+}
+
+func (pq *port) push(p *packet) { pq.q = append(pq.q, p) }
+
+func (pq *port) pop() *packet {
+	p := pq.q[pq.head]
+	pq.q[pq.head] = nil
+	pq.head++
+	if pq.head == len(pq.q) {
+		pq.q = pq.q[:0]
+		pq.head = 0
+	}
+	return p
+}
+
+func (pq *port) empty() bool { return pq.head == len(pq.q) }
+
 // Fabric is the star-topology interconnect.
 type Fabric struct {
 	eng *sim.Engine
 	cfg config.NetworkConfig
 	inj *fault.Injector
 
-	egress   []*sim.Queue[*packet] // per-source injection FIFO
-	ingress  []*sim.Queue[*packet] // per-destination switch output FIFO
+	egress   []port // per-source injection stage
+	ingress  []port // per-destination switch output stage
 	handlers []Handler
 
 	bytesSent      []int64
@@ -81,8 +109,8 @@ func NewFabric(eng *sim.Engine, cfg config.NetworkConfig, n int) *Fabric {
 	f := &Fabric{
 		eng:            eng,
 		cfg:            cfg,
-		egress:         make([]*sim.Queue[*packet], n),
-		ingress:        make([]*sim.Queue[*packet], n),
+		egress:         make([]port, n),
+		ingress:        make([]port, n),
 		handlers:       make([]Handler, n),
 		bytesSent:      make([]int64, n),
 		bytesDelivered: make([]int64, n),
@@ -90,10 +118,8 @@ func NewFabric(eng *sim.Engine, cfg config.NetworkConfig, n int) *Fabric {
 	}
 	for i := 0; i < n; i++ {
 		i := i
-		f.egress[i] = sim.NewQueue[*packet](eng)
-		f.ingress[i] = sim.NewQueue[*packet](eng)
-		eng.Go(fmt.Sprintf("net.egress.%d", i), func(p *sim.Proc) { f.pumpEgress(p, i) })
-		eng.Go(fmt.Sprintf("net.ingress.%d", i), func(p *sim.Proc) { f.pumpIngress(p, i) })
+		f.egress[i].done = func() { f.egressDone(i) }
+		f.ingress[i].done = func() { f.ingressDone(i) }
 	}
 	return f
 }
@@ -140,73 +166,102 @@ func (f *Fabric) Send(m *Message) {
 			chunk = f.cfg.MTUBytes
 		}
 		remaining -= chunk
-		f.egress[m.Src].Push(&packet{msg: m, bytes: chunk, last: remaining == 0})
+		f.egress[m.Src].push(&packet{msg: m, bytes: chunk, last: remaining == 0})
 		if remaining == 0 {
 			break
 		}
 	}
+	if f.egress[m.Src].cur == nil {
+		f.egressStart(int(m.Src))
+	}
 }
 
-// pumpEgress serializes packets onto the source link in FIFO order and
-// launches them toward the switch.
-func (f *Fabric) pumpEgress(p *sim.Proc, port int) {
-	for {
-		pkt := f.egress[port].Pop(p)
-		p.Sleep(sim.BytesAtGbps(pkt.bytes, f.cfg.BandwidthGbps))
-		// Fault-injection point: the packet has consumed its serialization
-		// time on the source port (a dropped packet still wasted that
-		// bandwidth) and is about to enter the switch.
-		flight := f.cfg.LinkLatency + f.cfg.SwitchLatency
-		if f.inj != nil {
-			fate := f.inj.Packet(f.eng.Now(), int(pkt.msg.Src), int(pkt.msg.Dst))
-			if fate.Drop {
-				f.pktsDropped++
-				if !pkt.msg.damaged {
-					pkt.msg.damaged = true
-					f.msgsLost++
-				}
-				continue
+// egressStart puts the next queued packet on the source link. The
+// completion event fires when its last byte has serialized.
+func (f *Fabric) egressStart(portID int) {
+	pq := &f.egress[portID]
+	pq.cur = pq.pop()
+	f.eng.After(sim.BytesAtGbps(pq.cur.bytes, f.cfg.BandwidthGbps), pq.done)
+}
+
+// egressDone finishes one packet's source-port serialization and launches
+// it toward the switch.
+func (f *Fabric) egressDone(portID int) {
+	pq := &f.egress[portID]
+	pkt := pq.cur
+	pq.cur = nil
+	// Fault-injection point: the packet has consumed its serialization
+	// time on the source port (a dropped packet still wasted that
+	// bandwidth) and is about to enter the switch.
+	flight := f.cfg.LinkLatency + f.cfg.SwitchLatency
+	dropped := false
+	if f.inj != nil {
+		fate := f.inj.Packet(f.eng.Now(), int(pkt.msg.Src), int(pkt.msg.Dst))
+		if fate.Drop {
+			f.pktsDropped++
+			if !pkt.msg.damaged {
+				pkt.msg.damaged = true
+				f.msgsLost++
 			}
+			dropped = true
+		} else {
 			if fate.Corrupt && !pkt.msg.Corrupted {
 				pkt.msg.Corrupted = true
 				f.msgsCorrupted++
 			}
 			flight += fate.Delay
 		}
+	}
+	if !dropped {
 		// Propagation to the switch plus switch traversal, then enqueue on
 		// the destination port. Flight time is pure delay (pipelined), so
-		// model it with a scheduled event rather than blocking the port.
+		// model it with a scheduled event rather than occupying the port.
 		dst := int(pkt.msg.Dst)
 		f.eng.After(flight, func() {
-			f.ingress[dst].Push(pkt)
+			f.ingress[dst].push(pkt)
+			if f.ingress[dst].cur == nil {
+				f.ingressStart(dst)
+			}
 		})
+	}
+	if !pq.empty() {
+		f.egressStart(portID)
 	}
 }
 
-// pumpIngress serializes packets onto the destination link and delivers
-// completed messages to the bound handler.
-func (f *Fabric) pumpIngress(p *sim.Proc, port int) {
-	for {
-		pkt := f.ingress[port].Pop(p)
-		p.Sleep(sim.BytesAtGbps(pkt.bytes, f.cfg.BandwidthGbps))
-		pktDone := pkt
-		f.eng.After(f.cfg.LinkLatency, func() {
-			f.bytesDelivered[port] += pktDone.bytes
-			if pktDone.last {
-				if pktDone.msg.damaged {
-					// At least one packet of the message was dropped:
-					// the message never completes at the receiver.
-					return
-				}
-				f.msgsDelivered[port]++
-				f.lastDelivery = f.eng.Now()
-				h := f.handlers[port]
-				if h == nil {
-					panic(fmt.Sprintf("network: no handler bound for node %d", port))
-				}
-				h(pktDone.msg)
+// ingressStart puts the next queued packet on the destination link.
+func (f *Fabric) ingressStart(portID int) {
+	pq := &f.ingress[portID]
+	pq.cur = pq.pop()
+	f.eng.After(sim.BytesAtGbps(pq.cur.bytes, f.cfg.BandwidthGbps), pq.done)
+}
+
+// ingressDone finishes one packet's destination-port serialization and,
+// after the destination link propagation, delivers completed messages to
+// the bound handler.
+func (f *Fabric) ingressDone(portID int) {
+	pq := &f.ingress[portID]
+	pktDone := pq.cur
+	pq.cur = nil
+	f.eng.After(f.cfg.LinkLatency, func() {
+		f.bytesDelivered[portID] += pktDone.bytes
+		if pktDone.last {
+			if pktDone.msg.damaged {
+				// At least one packet of the message was dropped:
+				// the message never completes at the receiver.
+				return
 			}
-		})
+			f.msgsDelivered[portID]++
+			f.lastDelivery = f.eng.Now()
+			h := f.handlers[portID]
+			if h == nil {
+				panic(fmt.Sprintf("network: no handler bound for node %d", portID))
+			}
+			h(pktDone.msg)
+		}
+	})
+	if !pq.empty() {
+		f.ingressStart(portID)
 	}
 }
 

@@ -41,16 +41,36 @@ var (
 	_ Transport = (*TreeFabric)(nil)
 )
 
-// stage is one store-and-forward hop: a FIFO whose pump serializes each
-// packet at the stage rate and forwards it after the fixed post-latency.
+// stage is one store-and-forward hop: a FIFO serialized at the stage rate,
+// each packet forwarded after the fixed post-latency. Like the star
+// fabric's ports, a stage is an event-driven state machine — one
+// serialization-completion event per packet, no pump process.
 type stage struct {
-	q    *sim.Queue[*treePacket]
+	q    []*treePacket
+	head int
+	cur  *treePacket // in service; nil when the stage is idle
+	done func()
 	gbps float64
 	post sim.Time
 	// faultPoint marks the injection stage (the node-to-leaf egress hop);
 	// fault verdicts are drawn exactly once per packet, there.
 	faultPoint bool
 }
+
+func (s *stage) push(p *treePacket) { s.q = append(s.q, p) }
+
+func (s *stage) pop() *treePacket {
+	p := s.q[s.head]
+	s.q[s.head] = nil
+	s.head++
+	if s.head == len(s.q) {
+		s.q = s.q[:0]
+		s.head = 0
+	}
+	return p
+}
+
+func (s *stage) empty() bool { return s.head == len(s.q) }
 
 type treePacket struct {
 	msg   *Message
@@ -107,25 +127,25 @@ func NewTreeFabric(eng *sim.Engine, cfg config.NetworkConfig, n, leafSize int) *
 		bytesDelivered: make([]int64, n),
 		msgsDelivered:  make([]int64, n),
 	}
-	mk := func(name string, post sim.Time) *stage {
-		s := &stage{q: sim.NewQueue[*treePacket](eng), gbps: cfg.BandwidthGbps, post: post}
-		eng.Go(name, func(p *sim.Proc) { t.pump(p, s) })
+	mk := func(post sim.Time) *stage {
+		s := &stage{gbps: cfg.BandwidthGbps, post: post}
+		s.done = func() { t.stageDone(s) }
 		return s
 	}
 	for i := 0; i < n; i++ {
 		// Node-to-leaf: propagation + leaf switch traversal. This is the
 		// fault-injection stage for tree topologies.
-		eg := mk(fmt.Sprintf("tree.eg.%d", i), cfg.LinkLatency+cfg.SwitchLatency)
+		eg := mk(cfg.LinkLatency + cfg.SwitchLatency)
 		eg.faultPoint = true
 		t.egress = append(t.egress, eg)
 		// Leaf-to-node: propagation only.
-		t.ingress = append(t.ingress, mk(fmt.Sprintf("tree.in.%d", i), cfg.LinkLatency))
+		t.ingress = append(t.ingress, mk(cfg.LinkLatency))
 	}
 	for l := 0; l < nleaves; l++ {
 		// Leaf-to-root: propagation + root switch traversal.
-		t.uplink = append(t.uplink, mk(fmt.Sprintf("tree.up.%d", l), cfg.LinkLatency+cfg.SwitchLatency))
+		t.uplink = append(t.uplink, mk(cfg.LinkLatency+cfg.SwitchLatency))
 		// Root-to-leaf: propagation + leaf switch traversal.
-		t.downlink = append(t.downlink, mk(fmt.Sprintf("tree.down.%d", l), cfg.LinkLatency+cfg.SwitchLatency))
+		t.downlink = append(t.downlink, mk(cfg.LinkLatency+cfg.SwitchLatency))
 	}
 	return t
 }
@@ -181,45 +201,64 @@ func (t *TreeFabric) Send(m *Message) {
 		}
 		remaining -= chunk
 		pkt := &treePacket{msg: m, bytes: chunk, last: remaining == 0, path: path[1:]}
-		path[0].q.Push(pkt)
+		path[0].push(pkt)
 		if remaining == 0 {
 			break
 		}
 	}
+	if path[0].cur == nil {
+		t.stageStart(path[0])
+	}
 }
 
-// pump serializes packets through one stage.
-func (t *TreeFabric) pump(p *sim.Proc, s *stage) {
-	for {
-		pkt := s.q.Pop(p)
-		p.Sleep(sim.BytesAtGbps(pkt.bytes, s.gbps))
-		post := s.post
-		if s.faultPoint && t.inj != nil {
-			fate := t.inj.Packet(t.eng.Now(), int(pkt.msg.Src), int(pkt.msg.Dst))
-			if fate.Drop {
-				t.pktsDropped++
-				if !pkt.msg.damaged {
-					pkt.msg.damaged = true
-					t.msgsLost++
-				}
-				continue
+// stageStart puts the next queued packet on a stage's wire; the completion
+// event fires when its last byte has serialized.
+func (t *TreeFabric) stageStart(s *stage) {
+	s.cur = s.pop()
+	t.eng.After(sim.BytesAtGbps(s.cur.bytes, s.gbps), s.done)
+}
+
+// stageDone finishes one packet's serialization on a stage and forwards it
+// down its remaining path after the stage's post-latency.
+func (t *TreeFabric) stageDone(s *stage) {
+	pkt := s.cur
+	s.cur = nil
+	post := s.post
+	dropped := false
+	if s.faultPoint && t.inj != nil {
+		fate := t.inj.Packet(t.eng.Now(), int(pkt.msg.Src), int(pkt.msg.Dst))
+		if fate.Drop {
+			t.pktsDropped++
+			if !pkt.msg.damaged {
+				pkt.msg.damaged = true
+				t.msgsLost++
 			}
+			dropped = true
+		} else {
 			if fate.Corrupt && !pkt.msg.Corrupted {
 				pkt.msg.Corrupted = true
 				t.msgsCorrupted++
 			}
 			post += fate.Delay
 		}
+	}
+	if !dropped {
 		next := pkt
 		t.eng.After(post, func() {
 			if len(next.path) > 0 {
 				ns := next.path[0]
 				next.path = next.path[1:]
-				ns.q.Push(next)
+				ns.push(next)
+				if ns.cur == nil {
+					t.stageStart(ns)
+				}
 				return
 			}
 			t.deliver(next)
 		})
+	}
+	if !s.empty() {
+		t.stageStart(s)
 	}
 }
 

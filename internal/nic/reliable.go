@@ -47,7 +47,7 @@ type relEntry struct {
 	size     int64
 	meta     *wireMeta
 	attempts int
-	timer    *sim.Event
+	timer    sim.Event
 }
 
 // relChan is the sender-side state toward one destination.
@@ -195,9 +195,7 @@ func (r *reliability) onAck(src network.NodeID, a *relAck) {
 	}
 	if a.nack {
 		if e := ch.inflight[a.nackSeq]; e != nil {
-			if e.timer != nil {
-				e.timer.Cancel()
-			}
+			e.timer.Cancel()
 			if e.attempts >= r.cfg.RetryBudget {
 				r.declareDead(ch)
 				return
@@ -211,17 +209,15 @@ func (r *reliability) onAck(src network.NodeID, a *relAck) {
 		// The peer holds this frame out of order: disarm its timer. If the
 		// later cumulative ACK is lost, a duplicate of the gap frame will
 		// provoke a fresh cumulative ACK, so progress is still guaranteed.
-		if e := ch.inflight[a.saw]; e != nil && e.timer != nil {
+		if e := ch.inflight[a.saw]; e != nil {
 			e.timer.Cancel()
-			e.timer = nil
+			e.timer = sim.Event{}
 		}
 	}
 	if a.cum > ch.base {
 		for s := ch.base + 1; s <= a.cum; s++ {
 			if e := ch.inflight[s]; e != nil {
-				if e.timer != nil {
-					e.timer.Cancel()
-				}
+				e.timer.Cancel()
 				delete(ch.inflight, s)
 			}
 		}
@@ -295,9 +291,7 @@ func (r *reliability) declareDead(ch *relChan) {
 	r.n.stats.PeersDeclaredDead++
 	for s := ch.base + 1; s <= ch.nextSeq; s++ {
 		if e := ch.inflight[s]; e != nil {
-			if e.timer != nil {
-				e.timer.Cancel()
-			}
+			e.timer.Cancel()
 			delete(ch.inflight, s)
 		}
 	}

@@ -1,0 +1,60 @@
+package sim
+
+import "testing"
+
+// BenchmarkSchedule measures the steady-state schedule+fire path: one heap
+// push and one pop per iteration against a warmed arena. The acceptance
+// bar is 0 allocs/op — the free list and heap capacity must absorb the
+// churn entirely.
+func BenchmarkSchedule(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i+1), fn)
+	}
+	for e.step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.now+Time(i%64+1), fn)
+		e.step()
+	}
+}
+
+// BenchmarkScheduleNow measures the same-time fast path: schedules at the
+// current instant bypass the heap through the nowq FIFO ring.
+func BenchmarkScheduleNow(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i+1), fn)
+	}
+	for e.step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.now, fn)
+		e.step()
+	}
+}
+
+// BenchmarkScheduleCancel measures the schedule+cancel path: the cancelled
+// event is lazily reclaimed by the next pop-side drain.
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Time(i+1), fn)
+	}
+	for e.step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(e.now+1, fn)
+		ev.Cancel()
+		e.step()
+	}
+}

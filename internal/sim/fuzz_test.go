@@ -16,7 +16,7 @@ func TestEventCancelFuzz(t *testing.T) {
 		e := NewEngine()
 		const n = 40
 		fired := make([]bool, n)
-		events := make([]*Event, n)
+		events := make([]Event, n)
 		for i := 0; i < n; i++ {
 			i := i
 			events[i] = e.Schedule(Time(rng.Intn(1000)+100), func() { fired[i] = true })

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goldenWorkload drives a deterministic mixed workload — processes sleeping
+// and yielding, counters, signals, queues, resources, direct labeled events,
+// and cancellations — through the engine. Every labeled event it produces is
+// captured by Trace, so the resulting trace pins the engine's (at, seq)
+// total order. The trace in testdata/golden_trace.txt was captured from the
+// seed container/heap engine; the arena engine must reproduce it exactly.
+func goldenWorkload(e *Engine, trace *[]string) {
+	e.Trace = func(t Time, label string) {
+		*trace = append(*trace, fmt.Sprintf("%d:%s", int64(t), label))
+	}
+	rng := rand.New(rand.NewSource(20170612)) // SC'17 submission-season seed
+
+	// Direct labeled events, some cancelled before and some during the run.
+	var evs []Event
+	for i := 0; i < 40; i++ {
+		at := Time(rng.Intn(2000))
+		evs = append(evs, e.ScheduleNamed(at, fmt.Sprintf("direct%d", i), func() {}))
+	}
+	for i := 0; i < 10; i++ {
+		evs[rng.Intn(len(evs))].Cancel()
+	}
+	for i := 0; i < 10; i++ {
+		v := rng.Intn(len(evs))
+		e.ScheduleNamed(Time(rng.Intn(500)), fmt.Sprintf("cancel%d", i), func() {
+			evs[v].Cancel()
+		})
+	}
+
+	// Nested scheduling from inside events.
+	var nest func(base Time, depth int)
+	nest = func(base Time, depth int) {
+		if depth > 3 {
+			return
+		}
+		n := rng.Intn(3) + 1
+		for i := 0; i < n; i++ {
+			at := base + Time(rng.Intn(100)+1)
+			d := depth
+			e.ScheduleNamed(at, fmt.Sprintf("nest%d", depth), func() {
+				nest(e.Now(), d+1)
+			})
+		}
+	}
+	nest(0, 0)
+
+	// Producer/consumer processes over a queue.
+	q := NewQueue[int](e)
+	for c := 0; c < 3; c++ {
+		e.Go(fmt.Sprintf("cons%d", c), func(p *Proc) {
+			for i := 0; i < 10; i++ {
+				q.Pop(p)
+				p.Sleep(Time(rng.Intn(20)))
+			}
+		})
+	}
+	for pr := 0; pr < 2; pr++ {
+		e.Go(fmt.Sprintf("prod%d", pr), func(p *Proc) {
+			for i := 0; i < 15; i++ {
+				p.Sleep(Time(rng.Intn(30) + 1))
+				q.Push(i)
+			}
+		})
+	}
+
+	// Counter with threshold waiters, including a deadline that times out.
+	ct := NewCounter(e)
+	for _, th := range []int64{3, 7, 12} {
+		th := th
+		e.Go(fmt.Sprintf("ctw%d", th), func(p *Proc) {
+			ct.WaitGE(p, th)
+			p.Yield()
+		})
+	}
+	e.Go("ctdeadline", func(p *Proc) {
+		ct.WaitGEUntil(p, 1000, 900)
+	})
+	e.Go("ctadder", func(p *Proc) {
+		for i := 0; i < 12; i++ {
+			p.Sleep(Time(rng.Intn(40) + 5))
+			ct.Add(1)
+		}
+	})
+
+	// Signal broadcast waves.
+	sig := NewSignal(e)
+	for w := 0; w < 3; w++ {
+		e.Go(fmt.Sprintf("sigw%d", w), func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				sig.Wait(p)
+			}
+		})
+	}
+	e.Go("sigfire", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(Time(rng.Intn(200) + 50))
+			sig.Broadcast()
+		}
+	})
+
+	// Resource contention.
+	r := NewResource(e, 2)
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Go(fmt.Sprintf("res%d", i), func(p *Proc) {
+			p.Sleep(Time(rng.Intn(50)))
+			n := int64(rng.Intn(2) + 1)
+			r.Acquire(p, n)
+			p.Sleep(Time(rng.Intn(60) + 1))
+			r.Release(n)
+		})
+	}
+}
+
+const goldenPath = "testdata/golden_trace.txt"
+
+// TestGoldenTrace locks the engine's event ordering to the trace captured
+// from the seed engine (the container/heap implementation this repo shipped
+// with). Any reordering — even among same-time events — is a regression.
+// Regenerate with GOLDEN_UPDATE=1 only when an ordering change is intended
+// and understood.
+func TestGoldenTrace(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	goldenWorkload(e, &trace)
+	e.Run()
+	got := strings.Join(trace, "\n") + "\n"
+
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d events)", goldenPath, len(trace))
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden trace (run with GOLDEN_UPDATE=1 to capture): %v", err)
+	}
+	if got != string(want) {
+		gl := strings.Split(got, "\n")
+		wl := strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("trace diverges at event %d: got %q, want %q (got %d events, want %d)",
+					i, gl[i], wl[i], len(gl), len(wl))
+			}
+		}
+		t.Fatalf("trace length mismatch: got %d lines, want %d", len(gl), len(wl))
+	}
+}

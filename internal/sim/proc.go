@@ -23,6 +23,10 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	dead   bool
+	// wakeLabel and sleep0Label are precomputed so the wake fast path never
+	// concatenates strings per event.
+	wakeLabel   string
+	sleep0Label string
 	// waiting, when non-nil, records the condition wait the process is
 	// parked on; the watchdog reads it to diagnose quiescent simulations.
 	waiting *waitState
@@ -40,7 +44,13 @@ func (p *Proc) Now() Time { return p.eng.Now() }
 // Go spawns a process. fn starts executing at the current simulation time,
 // after already-queued events at this time have run.
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	p := &Proc{
+		eng:         e,
+		name:        name,
+		resume:      make(chan struct{}),
+		wakeLabel:   "wake:" + name,
+		sleep0Label: "sleep0:" + name,
+	}
 	e.nprocs++
 	e.procs = append(e.procs, p)
 	go func() {
@@ -53,7 +63,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		p.dead = true
 		e.parked <- procYield{p: p, done: true, panicked: panicked}
 	}()
-	e.ScheduleNamed(e.now, "start:"+name, func() { e.dispatch(p) })
+	e.scheduleProc(e.now, "start:"+name, p)
 	return p
 }
 
@@ -90,8 +100,7 @@ func (p *Proc) parkWaiting(kind string, detail func() string) {
 // wake schedules a dispatch of p at the engine's current time. It is the
 // building block used by all synchronization primitives.
 func (p *Proc) wake(label string) {
-	e := p.eng
-	e.ScheduleNamed(e.now, label, func() { e.dispatch(p) })
+	p.eng.scheduleProc(p.eng.now, label, p)
 }
 
 // Sleep suspends the process for duration d of simulated time.
@@ -101,12 +110,12 @@ func (p *Proc) Sleep(d Time) {
 	}
 	if d == 0 {
 		// Still yield, so that a zero-length sleep is a scheduling point.
-		p.wake("sleep0:" + p.name)
+		p.wake(p.sleep0Label)
 		p.park()
 		return
 	}
 	e := p.eng
-	e.ScheduleNamed(e.now+d, "wake:"+p.name, func() { e.dispatch(p) })
+	e.scheduleProc(e.now+d, p.wakeLabel, p)
 	p.park()
 }
 

@@ -122,8 +122,15 @@ func (e *Engine) BlockedWaiters() []BlockedWaiter {
 // Diagnose builds a hang diagnosis from the engine's blocked waiters plus
 // caller-supplied starved trigger entries (collected from the NIC models).
 // It returns nil when nothing is blocked and nothing is starved — i.e. the
-// simulation completed cleanly.
+// simulation completed cleanly — or when live events are still queued: a
+// simulation with pending work is paused, not quiescent, so a hang verdict
+// would be premature. (Pending counts live events only; lazily-cancelled
+// entries awaiting reclamation cannot wake anyone and do not defer the
+// diagnosis.)
 func (e *Engine) Diagnose(starved []StarvedTrigger) *HangError {
+	if e.Pending() > 0 {
+		return nil
+	}
 	blocked := e.BlockedWaiters()
 	if len(blocked) == 0 && len(starved) == 0 {
 		return nil
