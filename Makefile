@@ -2,19 +2,22 @@ GO ?= go
 
 .PHONY: check chaos build test vet bench bench-smoke
 
-## check: the full gate — vet, build, and the whole suite under the race detector.
+## check: the full gate — vet, build, and the whole suite under the race
+## detector (includes the crash-recovery smoke tests alongside everything else).
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
 
-## chaos: the fault-injection chaos suite (fixed seeds 1-5): exact collectives
-## under drop/corrupt/jitter/stall, deterministic traces, flap healing, dead-node
-## timeouts, resource-pressure runs under capped trigger lists (complete exactly
-## or return a watchdog diagnosis — never hang), plus the NIC reliability and
-## trigger-fault property tests.
+## chaos: the fault-injection + crash chaos suite (fixed seeds 1-5): exact
+## collectives under drop/corrupt/jitter/stall, deterministic traces, flap
+## healing, dead-node timeouts, resource-pressure runs under capped trigger
+## lists (complete exactly or return a watchdog diagnosis — never hang), the
+## NIC reliability and trigger-fault property tests, and the crash-restart
+## matrix: mid-collective crashes with epoch-fenced rejoin, heartbeat
+## membership convergence, and recoverable Jacobi reintegration.
 chaos:
-	$(GO) test -race -v -run 'TestChaos|TestReliable|TestAllreduceTimeout|TestAllreduceRingHeal|TestBroadcastHeal|TestBroadcastTimeout|TestRelaxedSyncRace|TestTriggerWriteLoss' ./internal/collective/ ./internal/nic/
+	$(GO) test -race -v -run 'TestChaos|TestReliable|TestAllreduceTimeout|TestAllreduceRingHeal|TestBroadcastHeal|TestBroadcastTimeout|TestRelaxedSyncRace|TestTriggerWriteLoss|TestCrash|TestRecoverable|TestRestartEpoch|TestStaleSrc|TestCancelTriggered|TestMarkPeerCrashed|TestSuite|TestPeerDead' ./internal/collective/ ./internal/nic/ ./internal/health/ ./internal/workloads/jacobi/
 
 build:
 	$(GO) build ./...

@@ -9,8 +9,8 @@
 //	gputn-bench -exp faults -fault-drop 0.05 -reliable
 //
 // Experiments: fig1, fig8, fig9, fig10, fig11, table1, table2, table3,
-// ablations, faults, resources, perf, all; "figures" runs fig1+fig8+fig9+
-// fig10+fig11.
+// ablations, faults, resources, crash, perf, all; "figures" runs fig1+
+// fig8+fig9+fig10+fig11.
 //
 // The -parallel flag sets how many OS threads the sweep runner fans
 // independent simulation replicas across (default: NumCPU). Results are
@@ -29,6 +29,11 @@
 // flag group bounds NIC resources (trigger-list entries, relaxed-sync
 // placeholders, command queue, trigger FIFO, event queues) the same way:
 // all-zero keeps the unbounded seed behavior bit-for-bit.
+//
+// The -crash-* flag group arms a deterministic crash-stop/restart schedule
+// and the -health-* group tunes the heartbeat membership timing; -exp
+// crash sweeps restart delay vs recovery latency per backend. All-zero
+// disables both, keeping the crash-free behavior bit-for-bit.
 package main
 
 import (
@@ -68,7 +73,7 @@ func main() { os.Exit(run()) }
 
 // run is main minus os.Exit, so profile-flushing defers always execute.
 func run() int {
-	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|perf|figures|all")
+	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|crash|perf|figures|all")
 	csvDir := flag.String("csv", "", "also write figure data as CSV into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker threads for sweep replicas (1 = serial)")
 
@@ -86,6 +91,13 @@ func run() int {
 	flapStartUS := flag.Float64("fault-flap-start-us", 0, "flap window start (us)")
 	flapEndUS := flag.Float64("fault-flap-end-us", 0, "flap window end (us); 0 disables flapping")
 	reliable := flag.Bool("reliable", false, "enable the NIC reliable-delivery layer (seq/ack/retransmit)")
+
+	crashNode := flag.Int("crash-node", 0, "node the -crash-at-us event kills")
+	crashAtUS := flag.Float64("crash-at-us", 0, "crash-stop time (us); 0 disables the crash schedule")
+	crashRestartUS := flag.Float64("crash-restart-us", 0, "restart delay after the crash (us); 0 = never restarts")
+	healthPeriodUS := flag.Float64("health-period-us", 0, "heartbeat GPU-tick period (us); 0 = default")
+	healthSuspectUS := flag.Float64("health-suspect-us", 0, "silence before a node is suspected dead (us); 0 = default")
+	healthStabilizeUS := flag.Float64("health-stabilize-us", 0, "view-stability window before reintegration (us); 0 = default")
 
 	capTrig := flag.Int("cap-trigger-entries", 0, "trigger-list capacity (0 = paper default of 16)")
 	capPlaceholders := flag.Int("cap-placeholders", 0, "relaxed-sync placeholder budget (0 = shared with trigger list)")
@@ -141,6 +153,25 @@ func run() int {
 	if *reliable {
 		cfg.NIC.Reliability = config.DefaultReliability()
 	}
+	if *crashAtUS > 0 {
+		cfg.Crash = config.CrashConfig{Events: []config.CrashEvent{{
+			Node:         *crashNode,
+			At:           sim.Time(*crashAtUS * float64(sim.Microsecond)),
+			RestartAfter: sim.Time(*crashRestartUS * float64(sim.Microsecond)),
+		}}}
+	}
+	if *crashAtUS > 0 || *healthPeriodUS > 0 || *healthSuspectUS > 0 || *healthStabilizeUS > 0 {
+		cfg.Health = config.DefaultHealth()
+		if *healthPeriodUS > 0 {
+			cfg.Health.Period = sim.Time(*healthPeriodUS * float64(sim.Microsecond))
+		}
+		if *healthSuspectUS > 0 {
+			cfg.Health.SuspectAfter = sim.Time(*healthSuspectUS * float64(sim.Microsecond))
+		}
+		if *healthStabilizeUS > 0 {
+			cfg.Health.StabilizeDelay = sim.Time(*healthStabilizeUS * float64(sim.Microsecond))
+		}
+	}
 	cfg.NIC.Resources = config.ResourceConfig{
 		TriggerEntries:     *capTrig,
 		PlaceholderEntries: *capPlaceholders,
@@ -157,9 +188,17 @@ func run() int {
 	if cfg.Faults.Enabled() && !*reliable {
 		fmt.Fprintln(os.Stderr, "warning: faults armed without -reliable; lossy runs may lose messages and hang or skew results")
 	}
-	// Run header: every invocation states its fault schedule up front so
-	// saved outputs are self-describing.
+	if cfg.Crash.Enabled() && *exp != "crash" {
+		fmt.Fprintln(os.Stderr, "warning: -crash-* armed for a non-crash experiment; only crash-aware recovery drivers survive a mid-run crash")
+	}
+	// Run header: every invocation states its fault and crash schedules up
+	// front so saved outputs are self-describing.
 	fmt.Println(fault.NewInjector(cfg.Faults).Summary())
+	fmt.Println(fault.NewCrashPlan(cfg.Crash).Summary())
+	if h := cfg.Health; h.Enabled {
+		fmt.Printf("health: period=%v suspectAfter=%v stabilize=%v\n",
+			h.Period, h.SuspectAfter, h.StabilizeDelay)
+	}
 	if *reliable {
 		r := cfg.NIC.Reliability
 		fmt.Printf("reliability: window=%d rtoBase=%v rtoPerKB=%v maxBackoff=%v budget=%d\n",
@@ -223,6 +262,12 @@ func run() int {
 			fmt.Println(bench.RenderResourcePressure(cfg))
 			return nil
 		},
+		"crash": func() error {
+			// The recovery sweep sets its own crash schedule per cell; the
+			// -health-* flags select the heartbeat timing.
+			fmt.Println(bench.RenderCrashRecovery(cfg))
+			return nil
+		},
 		"perf": func() error {
 			rep, err := bench.RunPerf(cfg, *perfPreset)
 			if err != nil {
@@ -253,7 +298,7 @@ func run() int {
 			return nil
 		},
 	}
-	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults", "resources"}
+	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults", "resources", "crash"}
 	figures := []string{"fig1", "fig8", "fig9", "fig10", "fig11"}
 
 	var names []string

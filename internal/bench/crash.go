@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/backends"
+	"repro/internal/collective"
+	"repro/internal/config"
+	"repro/internal/health"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// crashAblationNodes and crashAblationBytes size the crash-recovery sweep:
+// 4 ranks and a payload whose attempt spans tens of microseconds, so the
+// mid-attempt crash time below always lands inside the first attempt.
+const (
+	crashAblationNodes = 4
+	crashAblationBytes = 64 << 10
+	// crashAblationNode is the rank the sweep crashes.
+	crashAblationNode = 2
+	// crashAt is the crash time for backends whose receive waits can time
+	// out: the first attempt starts at StabilizeDelay (60us) and runs
+	// 20-30us, so 70us is mid-attempt. GDS stream waits cannot be
+	// interrupted, so its crash lands at crashAtGDS, before any attempt.
+	crashAt    = 70 * sim.Microsecond
+	crashAtGDS = 5 * sim.Microsecond
+	// crashTimeout bounds per-round receive waits; the fabric is lossless
+	// here, so this only has to exceed a healthy round by a wide margin.
+	crashTimeout = 50 * sim.Microsecond
+)
+
+// CrashRecoveryPoint is one row of the crash-recovery ablation: recovery
+// latency per backend for one restart delay.
+type CrashRecoveryPoint struct {
+	// RestartDelay is the crash-to-restart gap; 0 means the node never
+	// comes back and the survivors must complete without it.
+	RestartDelay sim.Time
+	// Latency is the absolute completion time of the successful attempt.
+	Latency map[backends.Kind]sim.Time
+	// Attempts counts attempts the recovery driver ran (successful last).
+	Attempts map[backends.Kind]int
+	// Rejoined reports whether the crashed rank made it back into the
+	// membership the result was computed over.
+	Rejoined map[backends.Kind]bool
+}
+
+// crashHealthOrDefault picks the heartbeat timing for the sweep: the
+// configured one when the caller enabled health explicitly, the default
+// crash-recovery parameters otherwise.
+func crashHealthOrDefault(cfg config.SystemConfig) config.HealthConfig {
+	if cfg.Health.Enabled {
+		return cfg.Health
+	}
+	return config.DefaultHealth()
+}
+
+// AblationCrashRecovery measures how Allreduce recovery latency depends on
+// the crashed node's restart delay, per backend. GPU-TN and HDN take a
+// mid-attempt crash (their receive waits time out and the survivors
+// retry); GDS cannot interrupt a stream wait, so its node crashes before
+// the first attempt and the sweep shows pure membership-convergence cost.
+// A short restart delay lets the crashed rank rejoin the retried attempt;
+// past the detection horizon the survivors complete without it.
+func AblationCrashRecovery(cfg config.SystemConfig, delays []sim.Time) []CrashRecoveryPoint {
+	kinds := []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN}
+
+	type cell struct {
+		latency  sim.Time
+		attempts int
+		rejoined bool
+	}
+	cells := parallelMap(len(delays)*len(kinds), func(idx int) cell {
+		delay := delays[idx/len(kinds)]
+		k := kinds[idx%len(kinds)]
+		c := cfg
+		c.Health = crashHealthOrDefault(cfg)
+		c.NIC.Reliability = config.DefaultReliability()
+		at := crashAt
+		if k == backends.GDS {
+			at = crashAtGDS
+		}
+		c.Crash = config.CrashConfig{Events: []config.CrashEvent{
+			{Node: crashAblationNode, At: at, RestartAfter: delay},
+		}}
+		rcfg := collective.RecoverConfig{Kind: k, TotalBytes: crashAblationBytes}
+		if k != backends.GDS {
+			rcfg.Timeout = crashTimeout
+		}
+		cl := node.NewCluster(c, crashAblationNodes)
+		suite := health.Start(cl)
+		var res collective.RecoverResult
+		var rerr error
+		cl.Eng.Go("bench.crash.driver", func(p *sim.Proc) {
+			res, rerr = collective.RunRecoverable(p, cl, suite.Membership, rcfg)
+			suite.Stop()
+		})
+		cl.Run()
+		if rerr != nil {
+			panic(fmt.Sprintf("bench: crash ablation %v delay=%v: %v", k, delay, rerr))
+		}
+		out := cell{latency: res.Duration, attempts: len(res.Attempts)}
+		for _, r := range res.Alive {
+			if r == crashAblationNode {
+				out.rejoined = true
+			}
+		}
+		return out
+	})
+	var pts []CrashRecoveryPoint
+	for di, delay := range delays {
+		pt := CrashRecoveryPoint{
+			RestartDelay: delay,
+			Latency:      map[backends.Kind]sim.Time{},
+			Attempts:     map[backends.Kind]int{},
+			Rejoined:     map[backends.Kind]bool{},
+		}
+		for ki, k := range kinds {
+			c := cells[di*len(kinds)+ki]
+			pt.Latency[k] = c.latency
+			pt.Attempts[k] = c.attempts
+			pt.Rejoined[k] = c.rejoined
+		}
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// RenderCrashRecovery renders the crash-recovery ablation: restart delay
+// vs recovery latency per backend, with the attempt count and whether the
+// crashed rank rejoined the final membership.
+func RenderCrashRecovery(cfg config.SystemConfig) string {
+	delays := []sim.Time{
+		0,
+		30 * sim.Microsecond,
+		60 * sim.Microsecond,
+		120 * sim.Microsecond,
+		240 * sim.Microsecond,
+	}
+	pts := AblationCrashRecovery(cfg, delays)
+	kinds := []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN}
+	hc := crashHealthOrDefault(cfg)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Crash recovery: %d-node %dKB Allreduce, node %d crashes mid-run (GDS: pre-attempt)\n",
+		crashAblationNodes, crashAblationBytes>>10, crashAblationNode)
+	fmt.Fprintf(&b, "heartbeat period=%v suspectAfter=%v stabilize=%v; latency = completion time, (n) = attempts, + = crashed rank rejoined\n",
+		hc.Period, hc.SuspectAfter, hc.StabilizeDelay)
+	fmt.Fprintf(&b, "%-10s", "restart")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %16s", k)
+	}
+	b.WriteString("\n")
+	for _, pt := range pts {
+		label := "never"
+		if pt.RestartDelay > 0 {
+			label = fmt.Sprintf("+%v", pt.RestartDelay)
+		}
+		fmt.Fprintf(&b, "%-10s", label)
+		for _, k := range kinds {
+			mark := " "
+			if pt.Rejoined[k] {
+				mark = "+"
+			}
+			fmt.Fprintf(&b, "  %10.1fus(%d)%s",
+				float64(pt.Latency[k])/float64(sim.Microsecond), pt.Attempts[k], mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// A short two-point sweep exercises the whole recovery path per backend: a
+// quick restart lets the crashed rank rejoin, no restart forces the
+// survivors to complete without it, and every cell recovers.
+func TestAblationCrashRecoverySmoke(t *testing.T) {
+	delays := []sim.Time{0, 30 * sim.Microsecond}
+	pts := AblationCrashRecovery(config.Default(), delays)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, k := range []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN} {
+		for i, pt := range pts {
+			if pt.Latency[k] <= 0 {
+				t.Fatalf("%s delay=%v latency = %v", k, delays[i], pt.Latency[k])
+			}
+			if pt.Attempts[k] < 1 {
+				t.Fatalf("%s delay=%v attempts = %d", k, delays[i], pt.Attempts[k])
+			}
+		}
+		if pts[0].Rejoined[k] {
+			t.Fatalf("%s: never-restarted rank rejoined", k)
+		}
+		if !pts[1].Rejoined[k] {
+			t.Fatalf("%s: quickly-restarted rank did not rejoin", k)
+		}
+	}
+}
+
+// The sweep is deterministic: the same configuration yields identical
+// points run to run (the chaos matrix covers seeds; this covers the bench).
+func TestAblationCrashRecoveryDeterministic(t *testing.T) {
+	delays := []sim.Time{30 * sim.Microsecond}
+	a := AblationCrashRecovery(config.Default(), delays)
+	b := AblationCrashRecovery(config.Default(), delays)
+	for _, k := range []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN} {
+		if a[0].Latency[k] != b[0].Latency[k] || a[0].Attempts[k] != b[0].Attempts[k] {
+			t.Fatalf("%s: replay diverged: %v(%d) vs %v(%d)",
+				k, a[0].Latency[k], a[0].Attempts[k], b[0].Latency[k], b[0].Attempts[k])
+		}
+	}
+}
+
+func TestRenderCrashRecovery(t *testing.T) {
+	out := RenderCrashRecovery(config.Default())
+	for _, want := range []string{"Crash recovery", "restart", "never", "HDN", "GPU-TN", "heartbeat"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Mid-collective crash recovery: RunRecoverable drives Allreduce attempts
+// from inside the simulation, consulting the heartbeat membership view
+// between attempts. An attempt runs over the ranks currently believed
+// alive; if a participant crashes mid-attempt the survivors abort via
+// their receive timeouts, the view destabilizes, and the driver retries
+// once the view has been quiet for StabilizeDelay. A crashed-and-restarted
+// node reappears in the view (its heartbeats carry the new incarnation
+// epoch) and rejoins the ring at the next attempt boundary, replaying its
+// CPU-side registration from scratch on the fresh incarnation — the
+// paper's pre-registered triggered-op machinery rebuilt cold, including
+// the relaxed-sync placeholder path when the restarted GPU ticks early.
+//
+// Every attempt salts its landing-region match bits and trigger-tag base,
+// so frames and tag writes from an aborted attempt can never land in a
+// later one: stale traffic either hits the old attempt's (still exposed)
+// region on a survivor or is epoch-fenced at a restarted node.
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/backends"
+	"repro/internal/health"
+	"repro/internal/nic"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// recoverMatchBits returns attempt a's landing-region address, disjoint
+// from the plain-run (0xA11), episode (0xA11_0000|e), and heartbeat
+// namespaces.
+func recoverMatchBits(a int) uint64 { return 0x5EC_0000 | uint64(a) }
+
+// recoverTagBase returns attempt a's first trigger tag; the 1<<26 offset
+// keeps the range disjoint from episode tags (episode*4096) and heartbeat
+// tags (0x48420000+peer).
+func recoverTagBase(a int) uint64 { return 1<<26 + uint64(a)*4096 }
+
+// RecoverConfig describes a crash-recoverable Allreduce.
+type RecoverConfig struct {
+	// Kind selects the backend. GDS stream waits cannot be interrupted, so
+	// GDS runs tolerate crashes only between attempts (before an attempt
+	// starts); a mid-attempt crash hangs the attempt. The other backends
+	// require Timeout > 0 and abort cleanly.
+	Kind backends.Kind
+	// TotalBytes is the per-rank payload.
+	TotalBytes int64
+	// Data supplies the full-world per-rank vectors; the successful attempt
+	// reduces exactly the vectors of its (final) membership. Optional.
+	Data [][]float32
+	// Timeout bounds every per-round receive wait within an attempt.
+	// Required for every backend except GDS.
+	Timeout sim.Time
+	// MaxAttempts bounds the retry loop (default 8).
+	MaxAttempts int
+}
+
+// AttemptReport records one attempt for traces and tests.
+type AttemptReport struct {
+	Start, End sim.Time
+	ViewID     int64
+	Alive      []int
+	// Completed is true when every participant's runner finished (no
+	// runner was killed by a crash); Err collects runner errors.
+	Completed bool
+	Err       error
+}
+
+// RecoverResult reports a recoverable run.
+type RecoverResult struct {
+	// Attempts lists every attempt, successful last.
+	Attempts []AttemptReport
+	// Duration is the absolute completion time of the successful attempt.
+	Duration sim.Time
+	// ViewID and Alive identify the membership the result was computed
+	// over.
+	ViewID int64
+	Alive  []int
+	// Output carries the reduced vectors indexed by rank (nil entries for
+	// ranks outside the final membership) when Data was provided.
+	Output [][]float32
+}
+
+// RunRecoverable executes Allreduce attempts until one completes over a
+// stable membership view. It runs on the calling process (in-simulation):
+// spawn it with eng.Go and read the result after the cluster drains.
+func RunRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg RecoverConfig) (RecoverResult, error) {
+	n := cl.Size()
+	var res RecoverResult
+	if n < 2 {
+		return res, fmt.Errorf("collective: allreduce needs >= 2 nodes")
+	}
+	if cfg.Data != nil && len(cfg.Data) != n {
+		return res, fmt.Errorf("collective: got %d data vectors for %d ranks", len(cfg.Data), n)
+	}
+	if cfg.Timeout <= 0 && cfg.Kind != backends.GDS {
+		return res, fmt.Errorf("collective: recoverable %v runs need a Timeout to abort on a mid-attempt crash", cfg.Kind)
+	}
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 8
+	}
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		view := m.WaitStable(p)
+		alive := m.Alive()
+		doomed := len(alive) < 2
+		for _, i := range alive {
+			// The view can briefly lag reality: a node that just crashed is
+			// still listed until the sweeper notices. Building an attempt on
+			// a down node would stage state into its *next* incarnation, so
+			// wait out the detection instead.
+			if cl.Nodes[i].Down() {
+				doomed = true
+			}
+		}
+		if doomed {
+			m.Changed().Wait(p)
+			continue
+		}
+		rep := AttemptReport{Start: p.Now(), ViewID: view, Alive: append([]int(nil), alive...)}
+		out, completed, err := runAttempt(p, cl, cfg, alive, attempt)
+		rep.End, rep.Completed, rep.Err = p.Now(), completed, err
+		res.Attempts = append(res.Attempts, rep)
+		if completed && err == nil && m.ViewID() == view {
+			res.Duration = p.Now()
+			res.ViewID = view
+			res.Alive = rep.Alive
+			res.Output = out
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("collective: no attempt succeeded in %d tries", maxAttempts)
+}
+
+// runAttempt runs one Allreduce over the given ranks with attempt-salted
+// match bits and trigger tags, waiting until every participant's runner
+// has exited (normally or killed by a crash). completed reports whether
+// all runners finished their backend code.
+func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, attempt int) (out [][]float32, completed bool, err error) {
+	n := cl.Size()
+	ringSize := len(alive)
+	if cfg.TotalBytes < int64(ringSize)*elemBytes {
+		return nil, false, fmt.Errorf("collective: payload %dB too small for %d chunks", cfg.TotalBytes, ringSize)
+	}
+	nelems := int(cfg.TotalBytes / elemBytes)
+	join := sim.NewCounter(cl.Eng)
+	errs := make([]error, n)
+	finished := make([]bool, n)
+	states := make([]*rankState, n)
+
+	// Withdraw every earlier attempt's staged triggered ops before staging
+	// new ones (PtlCTCancelTriggeredOps). Aborted attempts leave entries
+	// that will never fire — their thresholds wanted ticks from kernels
+	// that timed out — plus relaxed-sync placeholders from tag writes that
+	// outran cancellation; unreclaimed, they pin the NIC's small
+	// associative list until registration itself fails.
+	if attempt > 0 {
+		for _, i := range alive {
+			cl.Nodes[i].Ptl.CancelTriggered(p, recoverTagBase(0), recoverTagBase(attempt))
+		}
+	}
+
+	for pos, i := range alive {
+		rounds, rerr := RingSchedule(pos, ringSize)
+		if rerr != nil {
+			return nil, false, rerr
+		}
+		nd := cl.Nodes[i]
+		st := &rankState{
+			nd:      nd,
+			rounds:  rounds,
+			recvCT:  nd.Ptl.CTAlloc(),
+			nelems:  nelems,
+			nranks:  ringSize,
+			chunk:   cfg.TotalBytes / int64(ringSize),
+			mb:      recoverMatchBits(attempt),
+			tagBase: recoverTagBase(attempt),
+			ring:    alive,
+			pos:     pos,
+			timeout: cfg.Timeout,
+		}
+		if cfg.Data != nil {
+			if len(cfg.Data[i]) != nelems {
+				return nil, false, fmt.Errorf("collective: rank %d vector has %d elems, want %d", i, len(cfg.Data[i]), nelems)
+			}
+			st.vec = append([]float32(nil), cfg.Data[i]...)
+		}
+		states[i] = st
+	}
+	for _, i := range alive {
+		st := states[i]
+		st.nd.Ptl.MEAppend(&portals.ME{
+			MatchBits: st.mb,
+			Length:    cfg.TotalBytes,
+			CT:        st.recvCT,
+			OnDelivery: func(d nic.Delivery) {
+				if st.vec == nil {
+					return
+				}
+				msg := d.Data.(chunkMsg)
+				r := st.rounds[msg.step]
+				lo, hi := ChunkRange(st.nelems, st.nranks, r.RecvChunk)
+				if r.Reduce {
+					for k, v := range msg.vals {
+						st.vec[lo+k] += v
+					}
+				} else {
+					copy(st.vec[lo:hi], msg.vals)
+				}
+			},
+		})
+	}
+	for _, i := range alive {
+		i := i
+		st := states[i]
+		pr := st.nd.Go(fmt.Sprintf("recover.a%d.%s.%d", attempt, cfg.Kind, i), func(p *sim.Proc) {
+			var rerr error
+			switch cfg.Kind {
+			case backends.CPU:
+				rerr = runCPURank(p, st)
+			case backends.HDN:
+				rerr = runHDNRank(p, st)
+			case backends.GDS:
+				rerr = runGDSRank(p, st)
+			case backends.GPUTN:
+				rerr = runGPUTNRank(p, st)
+			default:
+				panic(fmt.Sprintf("collective: unknown backend %v", cfg.Kind))
+			}
+			errs[i] = rerr
+			finished[i] = true
+		})
+		// Goroutine-level exit hook: the join counter is bumped even when a
+		// crash kills the runner (including before its first instruction),
+		// so the driver never waits on a participant that can no longer
+		// report.
+		pr.OnExit(func() { join.Add(1) })
+	}
+	join.WaitGE(p, int64(ringSize))
+
+	completed = true
+	for _, i := range alive {
+		if !finished[i] {
+			completed = false
+		}
+		if errs[i] != nil && err == nil {
+			err = errs[i]
+		}
+	}
+	if cfg.Data != nil && completed && err == nil {
+		out = make([][]float32, n)
+		for _, i := range alive {
+			out[i] = states[i].vec
+		}
+	}
+	return out, completed, err
+}

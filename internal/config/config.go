@@ -131,6 +131,87 @@ func (f FaultConfig) Enabled() bool {
 		f.TrigDropProb > 0 || f.TrigDelayJitter > 0
 }
 
+// CrashEvent schedules one deterministic crash-stop: node Node dies at
+// simulated time At, losing all NIC trigger-list, placeholder,
+// command-queue, and reliable-layer state plus in-flight GPU kernels and
+// bound processes. When RestartAfter > 0 the node restarts cold at
+// At+RestartAfter under a new incarnation epoch; 0 means it never comes
+// back.
+type CrashEvent struct {
+	Node         int
+	At           sim.Time
+	RestartAfter sim.Time
+}
+
+// CrashConfig holds the deterministic crash-stop/restart schedule. The zero
+// value schedules nothing and costs nothing: without events no epochs ever
+// advance and the event trace is bit-for-bit the crash-free one (tested).
+type CrashConfig struct {
+	Events []CrashEvent
+}
+
+// Enabled reports whether any crash is scheduled.
+func (c CrashConfig) Enabled() bool { return len(c.Events) > 0 }
+
+func (c CrashConfig) validate() error {
+	for i, ev := range c.Events {
+		switch {
+		case ev.Node < 0:
+			return fmt.Errorf("config: Crash.Events[%d].Node = %d", i, ev.Node)
+		case ev.At <= 0:
+			return fmt.Errorf("config: Crash.Events[%d].At = %v (must be > 0)", i, ev.At)
+		case ev.RestartAfter < 0:
+			return fmt.Errorf("config: Crash.Events[%d].RestartAfter = %v", i, ev.RestartAfter)
+		}
+	}
+	return nil
+}
+
+// HealthConfig configures heartbeat-based membership (internal/health):
+// each node's CPU pre-registers triggered-op heartbeat Puts that a GPU
+// counter tick fires (the paper's own mechanism), and silence beyond
+// SuspectAfter marks a node suspect in the shared membership view. The zero
+// value starts no agents and costs nothing.
+type HealthConfig struct {
+	Enabled bool
+	// Period is the GPU tick interval driving heartbeat emission.
+	Period sim.Time
+	// SuspectAfter is the silence threshold before a node is suspected dead.
+	SuspectAfter sim.Time
+	// StabilizeDelay is how long the membership view must stay unchanged
+	// before recovery drivers trust it for a reintegration attempt.
+	StabilizeDelay sim.Time
+}
+
+// DefaultHealth returns the heartbeat parameters used by the crash-recovery
+// experiments: a 10 us GPU tick, suspicion after 40 us of silence, and a
+// 60 us view-stability window before reintegration attempts.
+func DefaultHealth() HealthConfig {
+	return HealthConfig{
+		Enabled:        true,
+		Period:         10 * sim.Microsecond,
+		SuspectAfter:   40 * sim.Microsecond,
+		StabilizeDelay: 60 * sim.Microsecond,
+	}
+}
+
+// Validate checks the heartbeat timing parameters. Exported because
+// internal/health validates configurations handed to it directly.
+func (h HealthConfig) Validate() error {
+	if !h.Enabled {
+		return nil
+	}
+	switch {
+	case h.Period <= 0:
+		return fmt.Errorf("config: Health.Period = %v", h.Period)
+	case h.SuspectAfter <= h.Period:
+		return fmt.Errorf("config: Health.SuspectAfter = %v must exceed Period = %v", h.SuspectAfter, h.Period)
+	case h.StabilizeDelay <= 0:
+		return fmt.Errorf("config: Health.StabilizeDelay = %v", h.StabilizeDelay)
+	}
+	return nil
+}
+
 // ResourceConfig bounds the NIC's finite structures — the paper is explicit
 // that "the trigger list can be held in a small amount of NIC memory", so a
 // robust model must degrade gracefully (typed errors, flow control, drop
@@ -228,6 +309,12 @@ type SystemConfig struct {
 	// Faults arms the deterministic fault-injection layer; the zero value
 	// is fault-free and pay-for-use.
 	Faults FaultConfig
+	// Crash schedules deterministic node crash-stop/restart events; the
+	// zero value schedules nothing and is pay-for-use.
+	Crash CrashConfig
+	// Health starts heartbeat-based membership agents; the zero value
+	// starts nothing and is pay-for-use.
+	Health HealthConfig
 }
 
 // Default returns the Table 2 configuration used for all headline results.
@@ -314,6 +401,12 @@ func (c *SystemConfig) Validate() error {
 		return err
 	}
 	if err := c.NIC.Resources.validate(); err != nil {
+		return err
+	}
+	if err := c.Crash.validate(); err != nil {
+		return err
+	}
+	if err := c.Health.Validate(); err != nil {
 		return err
 	}
 	return c.Faults.validate()

@@ -1,0 +1,67 @@
+// Deterministic crash-stop/restart schedules. A CrashPlan turns a
+// config.CrashConfig into engine events: at each event's time the node
+// crash-stops (losing all NIC, GPU, and process state — the node layer
+// decides what that means), and, if a restart delay is configured, comes
+// back cold that much later. The schedule is pure configuration — no
+// randomness — so a given plan replays bit-for-bit under any seed.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// CrashPlan is an armed (or armable) deterministic crash schedule.
+type CrashPlan struct {
+	events []config.CrashEvent
+}
+
+// NewCrashPlan builds a plan from configuration. It returns nil when the
+// configuration schedules nothing, and all methods are nil-safe, so the
+// crash-free hot path stays untouched (pay-for-use).
+func NewCrashPlan(cfg config.CrashConfig) *CrashPlan {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &CrashPlan{events: cfg.Events}
+}
+
+// Arm schedules the plan's events on the engine: crash(node) fires at each
+// event's At, and restart(node) fires RestartAfter later when a restart is
+// configured. Callbacks run as ordinary engine events, interleaved
+// deterministically with model traffic.
+func (p *CrashPlan) Arm(eng *sim.Engine, crash, restart func(node int)) {
+	if p == nil {
+		return
+	}
+	now := eng.Now()
+	for _, ev := range p.events {
+		ev := ev
+		eng.After(ev.At-now, func() { crash(ev.Node) })
+		if ev.RestartAfter > 0 {
+			eng.After(ev.At+ev.RestartAfter-now, func() { restart(ev.Node) })
+		}
+	}
+}
+
+// Summary renders a one-line human-readable description of the schedule
+// (used by run headers). Nil plans describe themselves as inactive.
+func (p *CrashPlan) Summary() string {
+	if p == nil {
+		return "crashes: none"
+	}
+	parts := make([]string, 0, len(p.events))
+	for _, ev := range p.events {
+		s := fmt.Sprintf("node %d @%v", ev.Node, ev.At)
+		if ev.RestartAfter > 0 {
+			s += fmt.Sprintf(" (restart +%v)", ev.RestartAfter)
+		} else {
+			s += " (no restart)"
+		}
+		parts = append(parts, s)
+	}
+	return "crashes: " + strings.Join(parts, ", ")
+}

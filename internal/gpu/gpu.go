@@ -100,6 +100,11 @@ type GPU struct {
 	// a queue-depth-dependent one (Figure 1 presets).
 	launchModel func(queued int) sim.Time
 
+	// frontendProc and live track the scheduler process and in-flight
+	// work-group processes so a node crash can take them all down.
+	frontendProc *sim.Proc
+	live         []*sim.Proc
+
 	kernelsLaunched int64
 }
 
@@ -116,8 +121,60 @@ func New(eng *sim.Engine, cfg config.GPUConfig, mem *memsys.Hierarchy) *GPU {
 		slots: sim.NewResource(eng, int64(slots)),
 		queue: sim.NewQueue[*Kernel](eng),
 	}
-	eng.Go("gpu.frontend", g.frontend)
+	g.frontendProc = eng.Go("gpu.frontend", g.frontend)
 	return g
+}
+
+// Reset models the GPU side of a node crash: every in-flight work-group
+// process and the front-end scheduler are killed (in-flight kernels are
+// lost, never completing), the kernel queue is cleared, and a fresh
+// front-end starts so the restarted node can launch kernels again.
+// Work-group slots held by killed processes are released by their deferred
+// cleanup, so the CU pool comes back whole.
+func (g *GPU) Reset() {
+	g.eng.Kill(g.frontendProc)
+	for _, p := range g.live {
+		g.eng.Kill(p)
+	}
+	g.live = g.live[:0]
+	for {
+		if _, ok := g.queue.TryPop(); !ok {
+			break
+		}
+	}
+	g.frontendProc = g.eng.Go("gpu.frontend", g.frontend)
+}
+
+// track records a live work-group process, compacting dead entries so
+// long-running simulations do not accumulate garbage.
+func (g *GPU) track(p *sim.Proc) {
+	if len(g.live) >= 64 {
+		keep := g.live[:0]
+		for _, q := range g.live {
+			if !q.Dead() {
+				keep = append(keep, q)
+			}
+		}
+		g.live = keep
+	}
+	g.live = append(g.live, p)
+}
+
+// RunResident runs a single-work-group resident task directly on the CU
+// pool, bypassing the front-end queue — modeling a persistent background
+// kernel dispatched on its own hardware queue (the heartbeat ticker of
+// internal/health). It occupies one work-group slot for its lifetime and
+// dies with the node on Reset.
+func (g *GPU) RunResident(name string, body func(wg *WGCtx)) *sim.Proc {
+	p := g.eng.Go("gpu."+name, func(wp *sim.Proc) {
+		wp.Sleep(g.cfg.KernelLaunch)
+		g.kernelsLaunched++
+		g.slots.Acquire(wp, 1)
+		defer g.slots.Release(1)
+		body(&WGCtx{gpu: g, p: wp, Group: 0, NumGroups: 1, WGSize: g.cfg.WavefrontSize})
+	})
+	g.track(p)
+	return p
 }
 
 // Config returns the GPU configuration.
@@ -179,13 +236,13 @@ func (g *GPU) frontend(p *sim.Proc) {
 			for wg := 0; wg < k.WorkGroups; wg++ {
 				wg := wg
 				kk := k
-				g.eng.Go(fmt.Sprintf("gpu.%s.wg%d", k.Name, wg), func(wp *sim.Proc) {
+				g.track(g.eng.Go(fmt.Sprintf("gpu.%s.wg%d", k.Name, wg), func(wp *sim.Proc) {
 					g.slots.Acquire(wp, 1)
 					defer g.slots.Release(1)
 					ctx := &WGCtx{gpu: g, p: wp, Group: wg, NumGroups: kk.WorkGroups, WGSize: kk.WGSize}
 					kk.Body(ctx)
 					wgDone.Add(1)
-				})
+				}))
 			}
 			wgDone.WaitGE(p, int64(k.WorkGroups))
 		}

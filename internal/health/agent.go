@@ -1,0 +1,181 @@
+package health
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/gpu"
+	"repro/internal/network"
+	"repro/internal/nic"
+	"repro/internal/node"
+	"repro/internal/portals"
+	"repro/internal/sim"
+)
+
+// Heartbeat wire constants. The tag and match-bits spaces are shared with
+// collectives on the same NIC, so both live far above the episode/attempt
+// ranges (episodes use tag = episode*4096, attempts salt from 1<<26).
+const (
+	hbTagBase   = uint64(0x48420000) // + peer rank
+	hbMatchBits = uint64(0x4842_BEA7)
+	hbBytes     = int64(32)
+)
+
+// hbPayload is the heartbeat put's payload: who beats, and under which
+// incarnation epoch.
+type hbPayload struct {
+	Node int
+	Inc  int64
+}
+
+// Agent is one node's heartbeat emitter. Its CPU side loops registering a
+// triggered heartbeat Put per peer (threshold 1) on the NIC; its GPU side
+// is a persistent one-work-group ticker kernel writing the per-peer
+// heartbeat tags to the trigger address every Period. The put therefore
+// only leaves the NIC when the GPU actually ticks — a wedged GPU stops
+// heartbeats even though the CPU loop keeps registering. Registration and
+// tick race deliberately: a tick that lands before the next registration
+// takes the relaxed-sync placeholder path (§3.2).
+type Agent struct {
+	m       *Membership
+	nd      *node.Node
+	cfg     config.HealthConfig
+	procs   []*sim.Proc // current incarnation's loop + ticker
+	stopped bool
+}
+
+// StartAgent installs the heartbeat service on a node: landing zone,
+// CPU registration loop, and GPU ticker. The agent re-installs itself via
+// the node's OnRestart hook, replaying the CPU-side registration on the
+// fresh incarnation (the mid-collective reintegration path).
+func StartAgent(m *Membership, nd *node.Node) *Agent {
+	a := &Agent{m: m, nd: nd, cfg: m.cfg}
+	a.install()
+	nd.OnRestart(func(*node.Node) {
+		if !a.stopped {
+			a.install()
+		}
+	})
+	return a
+}
+
+// install wires one incarnation: expose the heartbeat landing region,
+// start the CPU registration loop, and start the GPU ticker.
+func (a *Agent) install() {
+	nd := a.nd
+	nd.Ptl.MEAppend(&portals.ME{
+		MatchBits: hbMatchBits,
+		OnDelivery: func(d nic.Delivery) {
+			if pl, ok := d.Data.(hbPayload); ok {
+				a.m.Beat(pl.Node, pl.Inc)
+			}
+		},
+	})
+	tick := nd.GPU.RunResident(fmt.Sprintf("hbtick.%d", nd.Index), a.ticker)
+	nd.Bind(tick)
+	a.procs = []*sim.Proc{nd.Go("hb.cpu", a.cpuLoop), tick}
+}
+
+// cpuLoop is the host side: every Period it (re-)registers a triggered
+// heartbeat Put toward each peer with threshold 1, so the next GPU tick
+// fires them all. A registration that finds the previous entry still
+// pending (tick delayed or trigger list full) skips that peer this round —
+// the standing entry will fire on the late tick. Killed with the node.
+func (a *Agent) cpuLoop(p *sim.Proc) {
+	nd := a.nd
+	inc := nd.NIC.Incarnation()
+	size := nd.Ptl.Size()
+	md := nd.Ptl.MDBind("hb", hbBytes, hbPayload{Node: nd.Index, Inc: inc}, nil)
+	for {
+		for peer := 0; peer < size; peer++ {
+			if peer == nd.Index {
+				continue
+			}
+			// ErrTagBusy (entry still pending) and capacity rejects are
+			// expected steady-state outcomes, not failures.
+			_ = nd.Ptl.TrigPut(p, hbTagBase+uint64(peer), 1, md, hbBytes, peer, hbMatchBits)
+		}
+		// The node's own software being scheduled is its self-evidence.
+		a.m.Beat(nd.Index, inc)
+		p.Sleep(a.cfg.Period)
+	}
+}
+
+// ticker is the GPU side: a persistent single-work-group kernel that every
+// Period publishes the heartbeat by storing the per-peer tags to the
+// NIC's trigger address (fence + system-scope atomic store, §4.2.6).
+func (a *Agent) ticker(wg *gpu.WGCtx) {
+	nd := a.nd
+	trig := nd.Ptl.GetTriggerAddr()
+	size := nd.Ptl.Size()
+	for {
+		wg.Compute(a.cfg.Period)
+		wg.FenceSystem()
+		for peer := 0; peer < size; peer++ {
+			if peer == nd.Index {
+				continue
+			}
+			peer := peer
+			wg.AtomicStoreSystem(func() { trig.Write(hbTagBase + uint64(peer)) })
+		}
+	}
+}
+
+// Stop ends the agent: the current incarnation's loop and ticker are
+// killed (without crashing the node) and no reinstall happens on future
+// restarts. Idempotent.
+func (a *Agent) Stop() {
+	if a.stopped {
+		return
+	}
+	a.stopped = true
+	for _, p := range a.procs {
+		a.nd.Eng.Kill(p)
+	}
+	a.procs = nil
+}
+
+// Suite is the cluster-wide health service: one shared membership view
+// plus one agent per node, with suspicion wired into the survivor NICs'
+// reliability layers (an explicit PeerDeadCrash verdict, so collectives
+// blocked on a dead peer abort immediately).
+type Suite struct {
+	Membership *Membership
+	Agents     []*Agent
+
+	cl *node.Cluster
+}
+
+// Start launches the health service on a cluster. It uses cl.Cfg.Health
+// when enabled, falling back to DefaultHealth. Call Stop when the workload
+// completes so heartbeat traffic stops and the simulation drains.
+func Start(cl *node.Cluster) *Suite {
+	cfg := cl.Cfg.Health
+	if !cfg.Enabled {
+		cfg = config.DefaultHealth()
+	}
+	m := NewMembership(cl.Eng, cfg, cl.Size())
+	s := &Suite{Membership: m, cl: cl}
+	m.OnSuspect(func(suspect int) {
+		for _, nd := range cl.Nodes {
+			if nd.Index != suspect && !nd.NIC.Down() {
+				nd.NIC.MarkPeerCrashed(network.NodeID(suspect))
+			}
+		}
+	})
+	for _, nd := range cl.Nodes {
+		s.Agents = append(s.Agents, StartAgent(m, nd))
+	}
+	return s
+}
+
+// Stop shuts the whole service down: every agent's loop and ticker are
+// killed (without crashing the nodes) and the membership sweeper exits.
+// After Stop the health subsystem schedules no further events, letting the
+// simulation drain. Idempotent.
+func (s *Suite) Stop() {
+	for _, a := range s.Agents {
+		a.Stop()
+	}
+	s.Membership.Stop()
+}

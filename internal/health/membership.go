@@ -1,0 +1,215 @@
+// Package health is the heartbeat-based failure detector: every node runs
+// an agent whose CPU side pre-registers triggered heartbeat Puts on the
+// NIC and whose GPU side runs a persistent one-work-group ticker kernel
+// that fires them by writing the heartbeat tag to the trigger address — so
+// a heartbeat proves the whole node (CPU runtime, GPU, NIC trigger
+// pipeline) is alive, not just a host daemon. Received heartbeats feed a
+// shared membership view; a sweeper suspects nodes whose beats stop, and a
+// restarted node's beats — carrying its new incarnation epoch — revive it.
+//
+// The membership view is the deliberately simple "shared bulletin board"
+// abstraction: detection latency is modeled (heartbeat period, suspicion
+// timeout, stabilization delay), dissemination is not.
+package health
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// Status is a member's health verdict in the shared view.
+type Status int
+
+const (
+	// Alive means beats are arriving within the suspicion timeout.
+	Alive Status = iota
+	// Suspect means no beat arrived for SuspectAfter; the node is treated
+	// as failed until a beat from a newer (or the same) incarnation revives
+	// it.
+	Suspect
+)
+
+func (s Status) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Member is one node's entry in the membership view.
+type Member struct {
+	Status      Status
+	Incarnation int64
+	LastBeat    sim.Time
+}
+
+// Stats counts membership transitions for tests and run reports.
+type Stats struct {
+	Beats      int64
+	Suspicions int64
+	Revivals   int64 // Suspect -> Alive on a fresh beat
+	Rejoins    int64 // revivals that carried a new incarnation
+}
+
+// Membership is the shared failure-detector view of the cluster.
+type Membership struct {
+	eng *sim.Engine
+	cfg config.HealthConfig
+
+	members    []Member
+	viewID     int64
+	lastChange sim.Time
+	changed    *sim.Signal
+	sweeper    *sim.Proc
+	onSuspect  []func(node int)
+	stats      Stats
+	stopped    bool
+}
+
+// NewMembership creates the view with every node alive at incarnation 1
+// and starts the suspicion sweeper. Callers must Stop it when the workload
+// finishes, or the sweeper's periodic events keep the simulation alive.
+func NewMembership(eng *sim.Engine, cfg config.HealthConfig, n int) *Membership {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("health: %v", err))
+	}
+	m := &Membership{
+		eng:     eng,
+		cfg:     cfg,
+		members: make([]Member, n),
+		changed: sim.NewSignal(eng),
+	}
+	now := eng.Now()
+	for i := range m.members {
+		m.members[i] = Member{Status: Alive, Incarnation: 1, LastBeat: now}
+	}
+	m.sweeper = eng.Go("health.sweep", m.sweep)
+	return m
+}
+
+// Config returns the timing configuration the view runs under.
+func (m *Membership) Config() config.HealthConfig { return m.cfg }
+
+// Stats returns a snapshot of the transition counters.
+func (m *Membership) Stats() Stats { return m.stats }
+
+// ViewID returns the current view version; it increments on every
+// suspicion or revival.
+func (m *Membership) ViewID() int64 { return m.viewID }
+
+// Changed returns the signal broadcast on every view change.
+func (m *Membership) Changed() *sim.Signal { return m.changed }
+
+// Member returns node's current entry.
+func (m *Membership) Member(node int) Member { return m.members[node] }
+
+// Alive returns the ranks currently believed alive, in rank order.
+func (m *Membership) Alive() []int {
+	out := make([]int, 0, len(m.members))
+	for i := range m.members {
+		if m.members[i].Status == Alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// OnSuspect registers a hook invoked (in registration order) each time a
+// node transitions Alive -> Suspect. The cluster wiring uses it to
+// propagate the verdict into survivor NICs' reliability layers.
+func (m *Membership) OnSuspect(fn func(node int)) {
+	m.onSuspect = append(m.onSuspect, fn)
+}
+
+// Beat records a heartbeat from node under incarnation inc. Beats from an
+// older incarnation than the recorded one are stale post-crash stragglers
+// and are ignored. A beat from a newer incarnation — or any beat while the
+// node is suspected — revives it and bumps the view.
+func (m *Membership) Beat(node int, inc int64) {
+	mb := &m.members[node]
+	if inc < mb.Incarnation {
+		return
+	}
+	m.stats.Beats++
+	mb.LastBeat = m.eng.Now()
+	rejoin := inc > mb.Incarnation
+	if rejoin {
+		mb.Incarnation = inc
+		m.stats.Rejoins++
+	}
+	if mb.Status == Suspect || rejoin {
+		if mb.Status == Suspect {
+			m.stats.Revivals++
+		}
+		mb.Status = Alive
+		m.bump()
+	}
+}
+
+// bump advances the view and wakes everything waiting on it.
+func (m *Membership) bump() {
+	m.viewID++
+	m.lastChange = m.eng.Now()
+	m.changed.Broadcast()
+}
+
+// sweep is the suspicion loop: every Period it suspects members whose last
+// beat is older than SuspectAfter.
+func (m *Membership) sweep(p *sim.Proc) {
+	for {
+		p.Sleep(m.cfg.Period)
+		now := p.Now()
+		for i := range m.members {
+			mb := &m.members[i]
+			if mb.Status == Alive && now-mb.LastBeat > m.cfg.SuspectAfter {
+				mb.Status = Suspect
+				m.stats.Suspicions++
+				m.bump()
+				for _, fn := range m.onSuspect {
+					fn(i)
+				}
+			}
+		}
+	}
+}
+
+// WaitStable parks p until the view has been unchanged for StabilizeDelay,
+// then returns the stable view id. Recovery drivers call it before each
+// collective attempt so they do not commit to a membership that is still
+// settling (a crash was just detected, or a restarted node is rejoining).
+func (m *Membership) WaitStable(p *sim.Proc) int64 {
+	for {
+		d := m.lastChange + m.cfg.StabilizeDelay - p.Now()
+		if d <= 0 {
+			return m.viewID
+		}
+		p.Sleep(d)
+	}
+}
+
+// Stop kills the sweeper so the simulation can drain. Idempotent.
+func (m *Membership) Stop() {
+	if m.stopped {
+		return
+	}
+	m.stopped = true
+	m.eng.Kill(m.sweeper)
+}
+
+// String renders the view for debugging and run reports.
+func (m *Membership) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "view %d:", m.viewID)
+	for i := range m.members {
+		mb := &m.members[i]
+		fmt.Fprintf(&b, " %d=%s/inc%d", i, mb.Status, mb.Incarnation)
+	}
+	return b.String()
+}

@@ -31,6 +31,14 @@ type Message struct {
 	// SentAt is stamped by the fabric when the message is injected.
 	SentAt sim.Time
 
+	// SrcEpoch and DstEpoch are incarnation epochs stamped by the sending
+	// NIC: SrcEpoch is the sender's current incarnation and DstEpoch is the
+	// sender's view of the destination's incarnation. The receiving NIC
+	// fences frames from a dead incarnation (SrcEpoch behind its view) and
+	// frames addressed to a previous life of its own (DstEpoch mismatch).
+	// Both stay at the initial incarnation (1) unless a node crashes.
+	SrcEpoch, DstEpoch int64
+
 	// Corrupted is set by the fault injector when any packet of the
 	// message was corrupted in flight; the receiving NIC's checksum
 	// detects it (and NACKs it when reliable delivery is on).

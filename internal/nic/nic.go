@@ -300,6 +300,21 @@ type Stats struct {
 	PeersDeclaredDead int64 // peers abandoned after retry-budget exhaustion
 	SendsToDeadPeer   int64 // frames discarded because the peer is dead
 	LostTriggerWrites int64 // MMIO trigger writes lost by the injector
+
+	// Crash-recovery / incarnation-epoch counters (all zero without a
+	// scheduled crash).
+	Crashes              int64
+	Restarts             int64
+	DownDrops            int64 // inbound frames dropped while the NIC was down
+	StaleSrcDrops        int64 // frames from a peer's dead incarnation
+	StaleDstDrops        int64 // frames addressed to this NIC's previous incarnation
+	EpochResets          int64 // per-peer reliability resets on epoch adoption
+	FencedCommands       int64 // commands/completions abandoned mid-flight by a crash
+	FencedTriggers       int64 // trigger writes/fires fenced by a crash
+	FencedDeliveries     int64 // inbound DMA completions fenced by a crash
+	PeersDeclaredCrashed int64 // peer-dead declarations caused by an explicit crash report
+	CanceledTriggers     int64 // pending entries removed by CancelTriggered
+	UnmatchedDrops       int64 // post-restart inbound ops matching no region
 }
 
 // NIC is one node's network interface.
@@ -330,6 +345,14 @@ type NIC struct {
 	// replySeq generates unique reply match bits for outstanding gets.
 	replySeq uint64
 
+	// Crash-stop state: down marks a crashed-and-not-restarted NIC, inc is
+	// the incarnation epoch (1 until the first restart), and peerEpoch is
+	// this NIC's view of each peer's incarnation (0 entries read as 1).
+	down      bool
+	downAt    sim.Time
+	inc       int64
+	peerEpoch []int64
+
 	stats Stats
 }
 
@@ -344,6 +367,7 @@ func New(eng *sim.Engine, cfg config.NICConfig, id network.NodeID, fabric networ
 		cmdQ:     sim.NewQueue[*Command](eng),
 		trigFIFO: sim.NewQueue[DynamicWrite](eng),
 		lookup:   AssociativeLookup{Latency: cfg.TriggerMatchLatency},
+		inc:      1,
 	}
 	n.cmdSlots = sim.NewSignal(eng)
 	if cfg.Reliability.Enabled {
@@ -389,7 +413,7 @@ func (n *NIC) send(m *network.Message) {
 		n.rel.send(m)
 		return
 	}
-	n.fabric.Send(m)
+	n.emit(m)
 }
 
 // ExposeRegion appends a target-side region to the match list (the
@@ -478,7 +502,14 @@ func (n *NIC) TriggerWriteDynamic(w DynamicWrite) {
 		}
 		lat += delay
 	}
+	ep := n.inc
 	n.eng.After(lat, func() {
+		if n.fenced(ep) {
+			// The node crashed while the MMIO store was in flight: the
+			// write from the dead incarnation never reaches the (new) FIFO.
+			n.stats.FencedTriggers++
+			return
+		}
 		if n.cfg.TriggerFIFODepth > 0 && n.trigFIFO.Len() >= n.cfg.TriggerFIFODepth {
 			// A bounded FIFO applies backpressure in real hardware; the
 			// model counts the event and drops, and tests assert this
@@ -536,6 +567,35 @@ func (n *NIC) RegisterTriggered(p *sim.Proc, tag uint64, threshold int64, op *Co
 // TriggerListLen reports the number of allocated trigger entries.
 func (n *NIC) TriggerListLen() int { return len(n.entries) }
 
+// CancelTriggered removes every trigger-list entry whose tag lies in
+// [lo, hi): staged operations that have not fired, relaxed-sync
+// placeholders, and consumed (fired) entries alike. It is the model's
+// PtlCTCancelTriggeredOps: an aborted workload must withdraw the
+// operations it staged, or dead entries pin the associative list until
+// nothing else can register (the list is small by design, §3.3). The
+// caller pays one host command; the return value counts the removed
+// entries that were still pending (had not fired).
+func (n *NIC) CancelTriggered(p *sim.Proc, lo, hi uint64) int {
+	p.Sleep(n.cfg.DoorbellLatency + n.cfg.CommandLatency)
+	kept := n.entries[:0]
+	canceled := 0
+	for _, e := range n.entries {
+		if e.tag >= lo && e.tag < hi {
+			if !e.fired {
+				canceled++
+			}
+			continue
+		}
+		kept = append(kept, e)
+	}
+	for i := len(kept); i < len(n.entries); i++ {
+		n.entries[i] = nil
+	}
+	n.entries = kept
+	n.stats.CanceledTriggers += int64(canceled)
+	return canceled
+}
+
 func (n *NIC) activeEntries() int {
 	c := 0
 	for _, e := range n.entries {
@@ -560,6 +620,7 @@ func (n *NIC) findEntry(tag uint64) *triggerEntry {
 func (n *NIC) runTriggers(p *sim.Proc) {
 	for {
 		w := n.trigFIFO.Pop(p)
+		ep := n.inc
 		pos := len(n.entries)
 		for i, e := range n.entries {
 			if e.tag == w.Tag {
@@ -568,6 +629,12 @@ func (n *NIC) runTriggers(p *sim.Proc) {
 			}
 		}
 		p.Sleep(n.lookup.MatchLatency(len(n.entries), pos))
+		if n.fenced(ep) {
+			// Crash landed between pop and match: the write dies with the
+			// incarnation that buffered it.
+			n.stats.FencedTriggers++
+			continue
+		}
 		e := n.findEntry(w.Tag)
 		if e == nil {
 			// Relaxed synchronization: allocate a placeholder (§3.2),
@@ -638,18 +705,25 @@ func (n *NIC) fire(e *triggerEntry) {
 func (n *NIC) runCommands(p *sim.Proc) {
 	for {
 		c := n.cmdQ.Pop(p)
+		ep := n.inc
 		n.admitPending()
 		if d := n.inj.CommandStall(int(n.id)); d > 0 {
 			p.Sleep(d)
 		}
 		p.Sleep(n.cfg.CommandLatency)
+		if n.fenced(ep) {
+			// The node crashed while this command was being parsed: it is
+			// abandoned, never reaching the fabric.
+			n.stats.FencedCommands++
+			continue
+		}
 		switch c.Kind {
 		case OpPut:
-			n.execPut(p, c)
+			n.execPut(p, c, ep)
 		case OpGet:
-			n.execGet(p, c)
+			n.execGet(p, c, ep)
 		case OpAtomic, OpFetchAtomic:
-			n.execAtomic(p, c)
+			n.execAtomic(p, c, ep)
 		default:
 			panic(fmt.Sprintf("nic: unknown op kind %v", c.Kind))
 		}
@@ -657,9 +731,13 @@ func (n *NIC) runCommands(p *sim.Proc) {
 	}
 }
 
-func (n *NIC) execPut(p *sim.Proc, c *Command) {
+func (n *NIC) execPut(p *sim.Proc, c *Command, ep int64) {
 	// DMA-read the send buffer from memory.
 	p.Sleep(n.cfg.DMAStartup + sim.BytesAtGbps(c.Size, n.cfg.DMAGBps*8))
+	if n.fenced(ep) {
+		n.stats.FencedCommands++
+		return
+	}
 	data := c.Data
 	if f, ok := data.(Deferred); ok {
 		data = f() // buffer contents are read at DMA time
@@ -679,7 +757,7 @@ func (n *NIC) execPut(p *sim.Proc, c *Command) {
 	n.complete(c)
 }
 
-func (n *NIC) execGet(p *sim.Proc, c *Command) {
+func (n *NIC) execGet(p *sim.Proc, c *Command, ep int64) {
 	// A get sends a small request; the reply carries the data. The reply
 	// is routed back to a NIC-internal region with a unique key, so
 	// concurrent gets against the same remote match bits cannot collide.
@@ -709,7 +787,14 @@ func (n *NIC) execGet(p *sim.Proc, c *Command) {
 }
 
 func (n *NIC) complete(c *Command) {
+	ep := n.inc
 	n.eng.After(n.cfg.CompletionWriteLatency, func() {
+		if n.fenced(ep) {
+			// The completion write belonged to a dead incarnation; the
+			// counters it would have bumped are gone with the session.
+			n.stats.FencedCommands++
+			return
+		}
 		if c.LocalCompletion != nil {
 			c.LocalCompletion.Add(1)
 		}
@@ -720,7 +805,43 @@ func (n *NIC) complete(c *Command) {
 }
 
 // deliver is the fabric handler: an inbound message has fully arrived.
+// Before any payload handling it applies the crash fences: a down NIC
+// receives nothing, frames from a dead incarnation of the sender are
+// dropped (adopting newer incarnations resets per-peer reliability state),
+// and frames addressed to a previous incarnation of this NIC are dropped —
+// the stale pre-staged traffic of the node's former life. Frames with
+// zero epochs (sent by non-NIC test harnesses) read as incarnation 1.
 func (n *NIC) deliver(m *network.Message) {
+	if n.down {
+		n.stats.DownDrops++
+		return
+	}
+	se, de := m.SrcEpoch, m.DstEpoch
+	if se == 0 {
+		se = 1
+	}
+	if de == 0 {
+		de = 1
+	}
+	if view := n.peerEpochOf(m.Src); se > view {
+		// The peer restarted: adopt its new incarnation and reset the
+		// reliability channel pair so both directions start fresh.
+		n.setPeerEpoch(m.Src, se)
+		n.stats.EpochResets++
+		if n.rel != nil {
+			n.rel.resetPeer(m.Src)
+		}
+	} else if se < view {
+		n.stats.StaleSrcDrops++
+		return
+	}
+	if de != n.inc {
+		n.stats.StaleDstDrops++
+		return
+	}
+	if _, ok := m.Payload.(*epochAnnounce); ok {
+		return // the epoch adoption above is the whole message
+	}
 	switch pl := m.Payload.(type) {
 	case *relAck:
 		// ACK/NACK control frames are themselves unreliable; a corrupt
@@ -762,18 +883,40 @@ func (n *NIC) dispatch(m *network.Message, meta *wireMeta) {
 	}
 }
 
+// unmatched handles an inbound operation whose match bits found no exposed
+// region. In a crash-free simulation that is a model bug and panics. After
+// a restart it is expected: a surviving peer still running a workload from
+// before the crash addresses regions that existed only in this NIC's
+// previous life — those frames pass the epoch fence (the sender knows the
+// new incarnation; only its *workload* is stale), and Portals semantics
+// drop them with an event rather than faulting. Returns true when dropped.
+func (n *NIC) unmatched(what string, mb uint64, src network.NodeID) bool {
+	if n.inc > 1 {
+		n.stats.UnmatchedDrops++
+		return true
+	}
+	panic(fmt.Sprintf("nic %d: %s to unmatched match bits %#x from %d", n.id, what, mb, src))
+}
+
 func (n *NIC) deliverPut(m *network.Message, meta *wireMeta) {
 	r, gated := n.matchRegion(meta.matchBits, m.Src)
 	if gated {
 		return
 	}
 	if r == nil {
-		panic(fmt.Sprintf("nic %d: put to unmatched match bits %#x from %d", n.id, meta.matchBits, m.Src))
+		if n.unmatched("put", meta.matchBits, m.Src) {
+			return
+		}
 	}
 	// DMA-write into target memory, then raise target-side notification.
 	dmaDone := n.cfg.DMAStartup + sim.BytesAtGbps(m.Size, n.cfg.DMAGBps*8)
 	src, size, data := m.Src, m.Size, meta.data
+	ep := n.inc
 	n.eng.After(dmaDone, func() {
+		if n.fenced(ep) {
+			n.stats.FencedDeliveries++
+			return
+		}
 		n.stats.DeliveredMessages++
 		if r.Counter != nil {
 			r.Counter.Add(1)
@@ -790,7 +933,9 @@ func (n *NIC) serveGet(m *network.Message, meta *wireMeta) {
 		return
 	}
 	if r == nil {
-		panic(fmt.Sprintf("nic %d: get from unmatched match bits %#x", n.id, meta.matchBits))
+		if n.unmatched("get", meta.matchBits, m.Src) {
+			return
+		}
 	}
 	var data any
 	if r.ReadBack != nil {
@@ -799,7 +944,12 @@ func (n *NIC) serveGet(m *network.Message, meta *wireMeta) {
 	// DMA-read the region, then send the reply.
 	dma := n.cfg.DMAStartup + sim.BytesAtGbps(meta.reqSize, n.cfg.DMAGBps*8)
 	src := m.Src
+	ep := n.inc
 	n.eng.After(dma, func() {
+		if n.fenced(ep) {
+			n.stats.FencedDeliveries++
+			return
+		}
 		n.stats.DeliveredMessages++
 		if r.Counter != nil {
 			r.Counter.Add(1)
@@ -824,8 +974,12 @@ func (n *NIC) serveGet(m *network.Message, meta *wireMeta) {
 // execAtomic issues an OpAtomic/OpFetchAtomic: a small wire message
 // carrying the operand. Fetch variants expose a use-once reply region
 // exactly like gets.
-func (n *NIC) execAtomic(p *sim.Proc, c *Command) {
+func (n *NIC) execAtomic(p *sim.Proc, c *Command, ep int64) {
 	p.Sleep(n.cfg.DMAStartup + sim.BytesAtGbps(c.Size, n.cfg.DMAGBps*8))
+	if n.fenced(ep) {
+		n.stats.FencedCommands++
+		return
+	}
 	operand := c.Data
 	if f, ok := operand.(Deferred); ok {
 		operand = f()
@@ -868,14 +1022,21 @@ func (n *NIC) serveAtomic(m *network.Message, meta *wireMeta) {
 		return
 	}
 	if r == nil {
-		panic(fmt.Sprintf("nic %d: atomic to unmatched match bits %#x", n.id, meta.matchBits))
+		if n.unmatched("atomic", meta.matchBits, m.Src) {
+			return
+		}
 	}
 	if r.ApplyAtomic == nil {
 		panic(fmt.Sprintf("nic %d: atomic to region %#x without ApplyAtomic", n.id, r.MatchBits))
 	}
 	dma := n.cfg.DMAStartup + sim.BytesAtGbps(m.Size, n.cfg.DMAGBps*8)
 	src := m.Src
+	ep := n.inc
 	n.eng.After(dma, func() {
+		if n.fenced(ep) {
+			n.stats.FencedDeliveries++
+			return
+		}
 		n.stats.DeliveredMessages++
 		prior := r.ApplyAtomic(meta.atomicOp, meta.data)
 		if r.Counter != nil {

@@ -58,6 +58,10 @@ type relChan struct {
 	inflight map[uint64]*relEntry
 	pending  []*relEntry // assigned a seq, waiting for window space
 	dead     bool
+	// deadInfo records when and why the peer was declared dead, so
+	// NeighborFailedError and the fencing stats can distinguish an explicit
+	// crash from retry-budget exhaustion (congestion/loss).
+	deadInfo PeerDeadInfo
 }
 
 // relRecv is the receiver-side state from one source.
@@ -121,8 +125,8 @@ func (n *NIC) PeerDead(peer network.NodeID) bool {
 func (r *reliability) send(m *network.Message) {
 	meta, ok := m.Payload.(*wireMeta)
 	if !ok {
-		// Non-data payloads (none today) would bypass reliability.
-		r.n.fabric.Send(m)
+		// Non-data payloads (epoch announcements) bypass reliability.
+		r.n.emit(m)
 		return
 	}
 	ch := r.chanTo(m.Dst)
@@ -160,7 +164,7 @@ func (r *reliability) rto(size int64, attempts int) sim.Time {
 func (r *reliability) transmit(ch *relChan, e *relEntry) {
 	ch.inflight[e.seq] = e
 	e.attempts++
-	r.n.fabric.Send(&network.Message{
+	r.n.emit(&network.Message{
 		Src:     r.n.id,
 		Dst:     ch.dst,
 		Size:    e.size,
@@ -180,7 +184,7 @@ func (r *reliability) onTimeout(ch *relChan, seq uint64) {
 		return // acknowledged (or channel abandoned) before the timer fired
 	}
 	if e.attempts >= r.cfg.RetryBudget {
-		r.declareDead(ch)
+		r.declareDead(ch, PeerDeadRetries)
 		return
 	}
 	r.n.stats.Retransmits++
@@ -197,7 +201,7 @@ func (r *reliability) onAck(src network.NodeID, a *relAck) {
 		if e := ch.inflight[a.nackSeq]; e != nil {
 			e.timer.Cancel()
 			if e.attempts >= r.cfg.RetryBudget {
-				r.declareDead(ch)
+				r.declareDead(ch, PeerDeadRetries)
 				return
 			}
 			r.n.stats.Retransmits++
@@ -274,7 +278,7 @@ func (r *reliability) sendAck(dst network.NodeID, a *relAck) {
 	if !a.nack {
 		r.n.stats.AcksSent++
 	}
-	r.n.fabric.Send(&network.Message{
+	r.n.emit(&network.Message{
 		Src:     r.n.id,
 		Dst:     dst,
 		Size:    relAckBytes,
@@ -283,12 +287,17 @@ func (r *reliability) sendAck(dst network.NodeID, a *relAck) {
 	})
 }
 
-// declareDead abandons a peer after the retry budget is exhausted: all
+// declareDead abandons a peer — because the retry budget is exhausted or
+// because an explicit crash was reported — recording when and why. All
 // timers are disarmed, queued frames are discarded, and upper layers are
 // notified so they can route around the failure.
-func (r *reliability) declareDead(ch *relChan) {
+func (r *reliability) declareDead(ch *relChan, reason PeerDeadReason) {
 	ch.dead = true
+	ch.deadInfo = PeerDeadInfo{At: r.n.eng.Now(), Reason: reason}
 	r.n.stats.PeersDeclaredDead++
+	if reason == PeerDeadCrash {
+		r.n.stats.PeersDeclaredCrashed++
+	}
 	for s := ch.base + 1; s <= ch.nextSeq; s++ {
 		if e := ch.inflight[s]; e != nil {
 			e.timer.Cancel()
@@ -298,5 +307,35 @@ func (r *reliability) declareDead(ch *relChan) {
 	ch.pending = nil
 	for _, fn := range r.onPeerDead {
 		fn(ch.dst)
+	}
+}
+
+// resetPeer forgets all state toward and from one peer: the receiver
+// adopted a newer incarnation epoch, so sequence numbers restart from
+// scratch and a dead verdict against the previous incarnation is void.
+// Fresh state is rebuilt lazily on the next send/receive.
+func (r *reliability) resetPeer(peer network.NodeID) {
+	if ch := r.chans[peer]; ch != nil {
+		for s := ch.base + 1; s <= ch.nextSeq; s++ {
+			if e := ch.inflight[s]; e != nil {
+				e.timer.Cancel()
+				delete(ch.inflight, s)
+			}
+		}
+		delete(r.chans, peer)
+	}
+	delete(r.recvs, peer)
+}
+
+// cancelAllTimers disarms every retransmit timer (crash teardown). Map
+// iteration order is irrelevant here: cancellation is lazy bookkeeping and
+// schedules no events.
+func (r *reliability) cancelAllTimers() {
+	for _, ch := range r.chans {
+		for s := ch.base + 1; s <= ch.nextSeq; s++ {
+			if e := ch.inflight[s]; e != nil {
+				e.timer.Cancel()
+			}
+		}
 	}
 }

@@ -32,6 +32,79 @@ type Node struct {
 
 	HostMem *memsys.Hierarchy
 	GPUMem  *memsys.Hierarchy
+
+	// procs are the simulation processes bound to this node's current
+	// incarnation (spawned via Node.Go or registered with Bind); a crash
+	// kills them all.
+	procs []*sim.Proc
+	// onRestart hooks run after the node comes back up — services
+	// (heartbeat agents, recovery drivers) use them to re-establish state
+	// on the fresh incarnation.
+	onRestart []func(nd *Node)
+}
+
+// Go spawns a process bound to this node: it dies with the node on Crash.
+// Experiment code that models software running *on* a node (rank loops,
+// progress threads) should use this instead of Eng.Go so crashes take it
+// down realistically.
+func (nd *Node) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
+	p := nd.Eng.Go(fmt.Sprintf("n%d.%s", nd.Index, name), fn)
+	nd.Bind(p)
+	return p
+}
+
+// Bind registers an externally spawned process as belonging to this node,
+// so it is killed on Crash.
+func (nd *Node) Bind(p *sim.Proc) {
+	if len(nd.procs) >= 64 {
+		keep := nd.procs[:0]
+		for _, q := range nd.procs {
+			if !q.Dead() {
+				keep = append(keep, q)
+			}
+		}
+		nd.procs = keep
+	}
+	nd.procs = append(nd.procs, p)
+}
+
+// OnRestart registers a hook invoked (in registration order) each time the
+// node restarts after a crash.
+func (nd *Node) OnRestart(fn func(nd *Node)) {
+	nd.onRestart = append(nd.onRestart, fn)
+}
+
+// Down reports whether the node is crashed and not yet restarted.
+func (nd *Node) Down() bool { return nd.NIC.Down() }
+
+// Crash crash-stops the node at the current instant: every bound process
+// is killed, the GPU loses its in-flight kernels and queue, and the NIC
+// goes down losing trigger-list, placeholder, command-queue, and
+// reliable-delivery state (see nic.Crash). Idempotent while down.
+func (nd *Node) Crash() {
+	if nd.NIC.Down() {
+		return
+	}
+	for _, p := range nd.procs {
+		nd.Eng.Kill(p)
+	}
+	nd.procs = nd.procs[:0]
+	nd.GPU.Reset()
+	nd.NIC.Crash()
+}
+
+// Restart brings a crashed node back cold under a new incarnation epoch.
+// The caller (normally the cluster's crash plan) is responsible for
+// announcing the epoch to peers; registered OnRestart hooks then rebuild
+// software state on the fresh incarnation.
+func (nd *Node) Restart() {
+	if !nd.NIC.Down() {
+		return
+	}
+	nd.NIC.Restart()
+	for _, fn := range nd.onRestart {
+		fn(nd)
+	}
 }
 
 // Cluster is a set of nodes on one fabric.
@@ -43,6 +116,9 @@ type Cluster struct {
 	// Injector is the cluster-wide fault injector; nil when cfg.Faults is
 	// zero-valued (the lossless default).
 	Injector *fault.Injector
+	// Plan is the armed crash-stop/restart schedule; nil when cfg.Crash is
+	// zero-valued (no crashes).
+	Plan *fault.CrashPlan
 }
 
 // NewCluster builds an n-node cluster from the configuration. The
@@ -91,7 +167,45 @@ func NewCluster(cfg config.SystemConfig, n int) *Cluster {
 		}
 		c.Nodes = append(c.Nodes, nd)
 	}
+	if plan := fault.NewCrashPlan(cfg.Crash); plan != nil {
+		c.Plan = plan
+		plan.Arm(eng, c.CrashNode, c.RestartNode)
+	}
 	return c
+}
+
+// CrashNode crash-stops one node and propagates link-down to every
+// surviving peer: their reliability layers declare the node dead with
+// reason PeerDeadCrash immediately, so blocked collectives abort instead
+// of burning retry budgets.
+func (c *Cluster) CrashNode(i int) {
+	nd := c.Nodes[i]
+	if nd.Down() {
+		return
+	}
+	nd.Crash()
+	for _, other := range c.Nodes {
+		if other.Index != i && !other.NIC.Down() {
+			other.NIC.MarkPeerCrashed(network.NodeID(i))
+		}
+	}
+}
+
+// RestartNode restarts a crashed node cold: the NIC comes back under a new
+// incarnation epoch, which is announced to every peer (stopping stale
+// retransmits against the dead incarnation), and OnRestart hooks rebuild
+// the node's software state.
+func (c *Cluster) RestartNode(i int) {
+	nd := c.Nodes[i]
+	if !nd.Down() {
+		return
+	}
+	nd.Restart()
+	for _, other := range c.Nodes {
+		if other.Index != i {
+			nd.NIC.AnnounceEpoch(network.NodeID(other.Index))
+		}
+	}
 }
 
 // Size returns the number of nodes.
@@ -117,10 +231,21 @@ func (c *Cluster) GoEach(name string, fn func(p *sim.Proc, nd *Node)) {
 // It returns nil when the simulation shows no evidence of a hang.
 func (c *Cluster) Diagnose() *sim.HangError {
 	var starved []sim.StarvedTrigger
+	var crashed []sim.CrashedNode
 	for _, nd := range c.Nodes {
+		if nd.NIC.Down() {
+			// A crashed-and-never-restarted node is its own hang cause; its
+			// trigger list died with it, so it contributes no starved entries.
+			crashed = append(crashed, sim.CrashedNode{Node: nd.Index, At: nd.NIC.DownSince()})
+			continue
+		}
 		starved = append(starved, nd.NIC.StarvedTriggers()...)
 	}
-	return c.Eng.Diagnose(starved)
+	he := c.Eng.Diagnose(starved)
+	if he != nil {
+		he.Crashed = crashed
+	}
+	return he
 }
 
 // StatsReport renders a per-node dump of the observability counters
@@ -148,6 +273,15 @@ func (c *Cluster) StatsReport() string {
 				ns.Retransmits, ns.AcksSent, ns.NacksSent, ns.DupesDropped,
 				ns.CorruptDropped, ns.PeersDeclaredDead, ns.LostTriggerWrites)
 		}
+		if ns.Crashes+ns.Restarts+ns.DownDrops+ns.StaleSrcDrops+ns.StaleDstDrops+ns.EpochResets+
+			ns.FencedCommands+ns.FencedTriggers+ns.FencedDeliveries+ns.PeersDeclaredCrashed > 0 {
+			fmt.Fprintf(&b, "         crash{crashes=%d restarts=%d inc=%d downDrops=%d staleSrc=%d staleDst=%d epochResets=%d fencedCmds=%d fencedTrig=%d fencedDeliv=%d peersCrashed=%d}\n",
+				ns.Crashes, ns.Restarts, nd.NIC.Incarnation(), ns.DownDrops, ns.StaleSrcDrops, ns.StaleDstDrops,
+				ns.EpochResets, ns.FencedCommands, ns.FencedTriggers, ns.FencedDeliveries, ns.PeersDeclaredCrashed)
+		}
+	}
+	if c.Plan != nil {
+		fmt.Fprintf(&b, "%s\n", c.Plan.Summary())
 	}
 	if c.Injector != nil {
 		fs := c.Injector.Stats()

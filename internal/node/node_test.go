@@ -227,3 +227,85 @@ func TestUnknownTopologyRejected(t *testing.T) {
 	}()
 	NewCluster(cfg, 2)
 }
+
+// A crash takes down the node's bound processes and the hang doctor names
+// the crashed-and-never-restarted node as the likely cause.
+func TestDiagnoseNamesCrashedNode(t *testing.T) {
+	cfg := config.Default()
+	cfg.Crash = config.CrashConfig{Events: []config.CrashEvent{
+		{Node: 1, At: 5 * sim.Microsecond},
+	}}
+	c := NewCluster(cfg, 3)
+	n1 := c.Nodes[1]
+	ct := n1.Ptl.CTAlloc()
+	n1.Ptl.MEAppend(&portals.ME{MatchBits: 0x1, Length: 64, CT: ct})
+	// A survivor waits forever on a delivery only the crashed node's rank
+	// loop would have produced.
+	c.Eng.Go("waiter", func(p *sim.Proc) {
+		sim.NewCounter(c.Eng).WaitGE(p, 1)
+	})
+	victimRan := false
+	n1.Go("rank1", func(p *sim.Proc) {
+		p.Sleep(100 * sim.Microsecond) // killed by the crash long before this
+		victimRan = true
+	})
+	c.Run()
+	if victimRan {
+		t.Fatal("node-bound process survived the crash")
+	}
+	if !n1.Down() {
+		t.Fatal("node 1 not down")
+	}
+	he := c.Diagnose()
+	if he == nil {
+		t.Fatal("no hang diagnosis despite a parked waiter")
+	}
+	if len(he.Crashed) != 1 || he.Crashed[0].Node != 1 {
+		t.Fatalf("diagnosis crashed list = %v, want node 1", he.Crashed)
+	}
+	msg := he.Error()
+	if !strings.Contains(msg, "crashed and never restarted") || !strings.Contains(msg, "node 1") {
+		t.Fatalf("diagnosis does not name the crashed node: %s", msg)
+	}
+}
+
+// RestartNode announces the new epoch to every peer and replays OnRestart
+// hooks; CrashNode propagates an immediate crash verdict into survivors.
+func TestCrashRestartClusterPropagation(t *testing.T) {
+	cfg := config.Default()
+	cfg.NIC.Reliability = config.DefaultReliability()
+	c := NewCluster(cfg, 3)
+	hooks := 0
+	c.Nodes[1].OnRestart(func(*Node) { hooks++ })
+	c.Eng.Go("driver", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Microsecond)
+		c.CrashNode(1)
+		c.CrashNode(1) // idempotent
+		for _, nd := range c.Nodes {
+			if nd.Index == 1 {
+				continue
+			}
+			if info, ok := nd.NIC.PeerDeadDetail(1); !ok || info.Reason.String() != "peer crashed" {
+				t.Errorf("node %d did not get the crash verdict: %v %v", nd.Index, info, ok)
+			}
+		}
+		p.Sleep(5 * sim.Microsecond)
+		c.RestartNode(1)
+		c.RestartNode(1) // idempotent
+	})
+	c.Run()
+	if hooks != 1 {
+		t.Fatalf("OnRestart hooks ran %d times, want 1", hooks)
+	}
+	if inc := c.Nodes[1].NIC.Incarnation(); inc != 2 {
+		t.Fatalf("incarnation = %d, want 2", inc)
+	}
+	for _, nd := range c.Nodes {
+		if nd.Index == 1 {
+			continue
+		}
+		if nd.NIC.Stats().EpochResets == 0 {
+			t.Fatalf("node %d never adopted node 1's new epoch", nd.Index)
+		}
+	}
+}

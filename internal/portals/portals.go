@@ -235,6 +235,15 @@ func (r *Runtime) TrigPut(p *sim.Proc, tag uint64, threshold int64, md *MD, size
 	return r.nic.RegisterTriggered(p, tag, threshold, r.buildPut(md, size, target, matchBits))
 }
 
+// CancelTriggered withdraws staged triggered operations whose tag lies in
+// [lo, hi) — PtlCTCancelTriggeredOps. An aborted workload (timeout,
+// neighbor failure) must call this before its tags are abandoned, or its
+// never-to-fire entries pin the NIC's small associative list. Returns the
+// number of pending entries removed.
+func (r *Runtime) CancelTriggered(p *sim.Proc, lo, hi uint64) int {
+	return r.nic.CancelTriggered(p, lo, hi)
+}
+
 // GetTriggerAddr returns the NIC's memory-mapped trigger address, to be
 // passed to GPU kernels as an argument (Figure 6 step 3).
 func (r *Runtime) GetTriggerAddr() TriggerAddr {

@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // procYield is the message a process goroutine sends back to the engine
 // when it parks (blocks) or terminates.
@@ -23,6 +26,9 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	dead   bool
+	// killed marks a process condemned by Engine.Kill; it exits at its
+	// next resume instead of running model code.
+	killed bool
 	// wakeLabel and sleep0Label are precomputed so the wake fast path never
 	// concatenates strings per event.
 	wakeLabel   string
@@ -30,10 +36,19 @@ type Proc struct {
 	// waiting, when non-nil, records the condition wait the process is
 	// parked on; the watchdog reads it to diagnose quiescent simulations.
 	waiting *waitState
+	// onExit callbacks run when the goroutine terminates for any reason —
+	// normal return, panic, or a Kill that lands before the body ever ran
+	// (when function-level defers do not exist yet). Join counting uses
+	// this to stay accurate across crashes.
+	onExit []func()
 }
 
 // Name returns the label given at spawn time.
 func (p *Proc) Name() string { return p.name }
+
+// Dead reports whether the process has terminated or been condemned by
+// Engine.Kill.
+func (p *Proc) Dead() bool { return p.dead || p.killed }
 
 // Engine returns the owning engine.
 func (p *Proc) Engine() *Engine { return p.eng }
@@ -54,14 +69,27 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 	e.nprocs++
 	e.procs = append(e.procs, p)
 	go func() {
-		<-p.resume // wait for the first dispatch
 		var panicked any
+		// The termination yield is sent from a goroutine-level defer so it
+		// also runs when a killed process unwinds via runtime.Goexit.
+		defer func() {
+			p.dead = true
+			// The engine is still blocked waiting for this goroutine's
+			// yield, so onExit callbacks run under the same single-threaded
+			// discipline as model code.
+			for _, fn := range p.onExit {
+				fn()
+			}
+			e.parked <- procYield{p: p, done: true, panicked: panicked}
+		}()
+		<-p.resume // wait for the first dispatch
+		if p.killed {
+			return
+		}
 		func() {
 			defer func() { panicked = recover() }()
 			fn(p)
 		}()
-		p.dead = true
-		e.parked <- procYield{p: p, done: true, panicked: panicked}
 	}()
 	e.scheduleProc(e.now, "start:"+name, p)
 	return p
@@ -83,11 +111,37 @@ func (e *Engine) dispatch(p *Proc) {
 	}
 }
 
-// park suspends the calling process until the next dispatch.
+// park suspends the calling process until the next dispatch. A process
+// condemned by Engine.Kill exits here via runtime.Goexit, which runs its
+// deferred functions (join-counter bumps, cleanup) before the goroutine-
+// level defer reports termination to the event loop.
 func (p *Proc) park() {
 	p.eng.parked <- procYield{p: p}
 	<-p.resume
+	if p.killed {
+		runtime.Goexit()
+	}
 }
+
+// Kill condemns a process: at its next resume it unwinds via runtime.Goexit
+// (running deferred functions) instead of continuing model code. Kill is
+// asynchronous — it schedules a wake at the current time — and idempotent;
+// killing a dead process is a no-op. It models a node crash taking down the
+// processes bound to it: any condition the process was waiting on is simply
+// abandoned (primitives tolerate dead waiters).
+func (e *Engine) Kill(p *Proc) {
+	if p == nil || p.dead || p.killed {
+		return
+	}
+	p.killed = true
+	e.scheduleProc(e.now, "kill:"+p.name, p)
+}
+
+// OnExit registers a callback invoked when the process terminates —
+// normal completion, panic, or Kill, including a Kill that lands before
+// the body's first instruction. Callbacks run in registration order,
+// before the engine learns of the termination.
+func (p *Proc) OnExit(fn func()) { p.onExit = append(p.onExit, fn) }
 
 // parkWaiting is park with a watchdog annotation: while parked, the process
 // is reported by Engine.BlockedWaiters as blocked on the given condition.

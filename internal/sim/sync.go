@@ -145,13 +145,20 @@ func NewQueue[T any](e *Engine) *Queue[T] { return &Queue[T]{eng: e} }
 // Len reports the number of queued items.
 func (q *Queue[T]) Len() int { return len(q.items) }
 
-// Push appends v and wakes one waiting consumer, if any.
+// Push appends v and wakes one waiting consumer, if any. Waiters killed
+// while parked (a crashed node's service loops) are skipped and discarded —
+// waking one would consume the wakeup without consuming the item, leaving
+// live consumers parked forever behind a dead one.
 func (q *Queue[T]) Push(v T) {
 	q.items = append(q.items, v)
-	if len(q.waiters) > 0 {
+	for len(q.waiters) > 0 {
 		w := q.waiters[0]
 		q.waiters = q.waiters[1:]
+		if w.Dead() {
+			continue
+		}
 		w.wake("queue")
+		break
 	}
 }
 
@@ -224,6 +231,29 @@ func (r *Resource) Acquire(p *Proc, n int64) {
 	w := &resWaiter{p: p, n: n}
 	r.waiters = append(r.waiters, w)
 	r.admit()
+	if w.granted {
+		return
+	}
+	// A process killed while parked here unwinds via Goexit, which runs
+	// this frame's defers: units granted in the same instant as the kill
+	// are returned, an ungranted request is withdrawn. Without this, a
+	// crashed node's work-groups would pin semaphore capacity forever.
+	defer func() {
+		if !p.killed {
+			return
+		}
+		if w.granted {
+			r.inUse -= w.n
+			r.admit()
+			return
+		}
+		for i, x := range r.waiters {
+			if x == w {
+				r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+				break
+			}
+		}
+	}()
 	for !w.granted {
 		w.parked = true
 		p.parkWaiting("resource", func() string {
@@ -244,10 +274,16 @@ func (r *Resource) Release(n int64) {
 
 // admit grants units to waiters from the head of the queue while capacity
 // allows, preserving FIFO order: a large request at the head blocks later
-// small requests (no barging), which keeps timing deterministic.
+// small requests (no barging), which keeps timing deterministic. Waiters
+// killed while parked are dropped, not granted — their Acquire frame will
+// never run again to consume (or release) the grant.
 func (r *Resource) admit() {
 	for len(r.waiters) > 0 {
 		w := r.waiters[0]
+		if w.p.Dead() {
+			r.waiters = r.waiters[1:]
+			continue
+		}
 		if r.capacity-r.inUse < w.n {
 			return
 		}

@@ -51,6 +51,20 @@ func (w BlockedWaiter) String() string {
 	return fmt.Sprintf("%s (%s %s)", w.Proc, w.Kind, w.Detail)
 }
 
+// CrashedNode names a node that crashed and never restarted — a distinct
+// hang cause: its peers' waits can never be satisfied, and its own state
+// (trigger entries, processes) was wiped rather than starved.
+type CrashedNode struct {
+	// Node is the crashed node's index.
+	Node int
+	// At is the simulated time of the crash.
+	At Time
+}
+
+func (c CrashedNode) String() string {
+	return fmt.Sprintf("node %d (down since %v)", c.Node, c.At)
+}
+
 // HangError is the structured diagnosis of a simulation that went quiescent
 // with unsatisfied waiters. It is the shared error type behind every
 // "a rank never completed" path; callers unwrap it with errors.As to reach
@@ -62,6 +76,9 @@ type HangError struct {
 	Blocked []BlockedWaiter
 	// Starved lists every trigger-list entry that never reached threshold.
 	Starved []StarvedTrigger
+	// Crashed lists nodes that crashed and never restarted, the likely
+	// root cause of the waits above (populated by Cluster.Diagnose).
+	Crashed []CrashedNode
 }
 
 // diagListMax bounds how many entries an Error() string spells out.
@@ -82,6 +99,9 @@ func joinCapped[T fmt.Stringer](items []T) string {
 func (e *HangError) Error() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sim: quiescent at %v with unsatisfied waiters", e.At)
+	if len(e.Crashed) > 0 {
+		fmt.Fprintf(&b, "; crashed and never restarted: %s", joinCapped(e.Crashed))
+	}
 	if len(e.Starved) > 0 {
 		fmt.Fprintf(&b, "; starved triggers: %s", joinCapped(e.Starved))
 	}

@@ -1,0 +1,122 @@
+package jacobi
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/config"
+	"repro/internal/health"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func recoverHealth() config.HealthConfig {
+	return config.HealthConfig{
+		Enabled:        true,
+		Period:         10 * sim.Microsecond,
+		SuspectAfter:   150 * sim.Microsecond,
+		StabilizeDelay: 60 * sim.Microsecond,
+	}
+}
+
+func driveJacobiRecoverable(t *testing.T, cfg config.SystemConfig, rp RecoverParams) (RecoverResult, *node.Cluster, error) {
+	t.Helper()
+	cl := node.NewCluster(cfg, rp.PX*rp.PY)
+	suite := health.Start(cl)
+	var res RecoverResult
+	var rerr error
+	cl.Eng.Go("jacobi.recover.driver", func(p *sim.Proc) {
+		res, rerr = RunRecoverable(p, cl, suite.Membership, rp)
+		suite.Stop()
+	})
+	cl.Run()
+	return res, cl, rerr
+}
+
+// A rank crashed mid-relaxation and restarted must rejoin: the retried
+// attempt runs cold from pristine grids with the restarted node replaying
+// all CPU-side triggered-op registration, and the result is exact.
+func TestRecoverableRestartReplaysAndMatchesReference(t *testing.T) {
+	const iters = 6
+	cfg := config.Default()
+	cfg.NIC.Reliability = config.DefaultReliability()
+	cfg.Health = recoverHealth()
+	cfg.Crash = config.CrashConfig{Events: []config.CrashEvent{
+		// The first attempt spans roughly 60-72us; land the crash inside it.
+		{Node: 2, At: 65 * sim.Microsecond, RestartAfter: 60 * sim.Microsecond},
+	}}
+	rp := RecoverParams{
+		Params:  Params{Kind: backends.GPUTN, N: 64, PX: 2, PY: 2, Iters: iters, WithData: true},
+		Timeout: 100 * sim.Microsecond,
+	}
+	res, cl, err := driveJacobiRecoverable(t, cfg, rp)
+	if err != nil {
+		t.Fatalf("recoverable jacobi failed: %v\n%v", err, cl.Diagnose())
+	}
+	if len(res.Attempts) < 2 {
+		t.Fatalf("expected a retried attempt, got %d", len(res.Attempts))
+	}
+	if inc := cl.Nodes[2].NIC.Incarnation(); inc != 2 {
+		t.Fatalf("restarted rank incarnation = %d, want 2", inc)
+	}
+	dec := Decomp{N: rp.N, PX: rp.PX, PY: rp.PY}
+	want := dec.Reference(iters)
+	if len(res.Grids) != dec.Nodes() {
+		t.Fatalf("got %d grids, want %d", len(res.Grids), dec.Nodes())
+	}
+	for r := range res.Grids {
+		gridsEqualInterior(t, res.Grids[r], want[r], r)
+	}
+}
+
+// A rank that crashes and never restarts must fail the run with the
+// grid-incomplete verdict — a 2D stencil cannot heal over a hole — instead
+// of hanging the driver.
+func TestRecoverablePermanentCrashFailsBounded(t *testing.T) {
+	cfg := config.Default()
+	cfg.NIC.Reliability = config.DefaultReliability()
+	cfg.Health = recoverHealth()
+	cfg.Crash = config.CrashConfig{Events: []config.CrashEvent{
+		{Node: 1, At: 65 * sim.Microsecond},
+	}}
+	rp := RecoverParams{
+		Params:      Params{Kind: backends.GPUTN, N: 64, PX: 2, PY: 2, Iters: 6, WithData: true},
+		Timeout:     100 * sim.Microsecond,
+		MaxAttempts: 4,
+	}
+	res, _, err := driveJacobiRecoverable(t, cfg, rp)
+	if err == nil {
+		t.Fatal("run over a permanently crashed rank succeeded")
+	}
+	skipped := 0
+	for _, a := range res.Attempts {
+		if errors.Is(a.Err, ErrGridIncomplete) {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatalf("no attempt recorded the grid-incomplete verdict: %+v", res.Attempts)
+	}
+}
+
+// Recoverable runs reject configurations recovery cannot honor.
+func TestRecoverableValidation(t *testing.T) {
+	cfg := config.Default()
+	cfg.Health = recoverHealth()
+	cl := node.NewCluster(cfg, 4)
+	suite := health.Start(cl)
+	cl.Eng.Go("driver", func(p *sim.Proc) {
+		base := Params{Kind: backends.GPUTN, N: 64, PX: 2, PY: 2, Iters: 2}
+		if _, err := RunRecoverable(p, cl, suite.Membership, RecoverParams{Params: base}); err == nil {
+			t.Error("missing timeout accepted")
+		}
+		hdn := base
+		hdn.Kind = backends.HDN
+		if _, err := RunRecoverable(p, cl, suite.Membership, RecoverParams{Params: hdn, Timeout: sim.Microsecond}); err == nil {
+			t.Error("non-GPUTN backend accepted")
+		}
+		suite.Stop()
+	})
+	cl.Run()
+}
