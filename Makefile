@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: check chaos build test vet bench bench-smoke
+.PHONY: check chaos build test vet lint bench bench-smoke
+
+# Pinned so CI runs reproduce: bump deliberately, not via a floating tag.
+STATICCHECK_VERSION ?= 2024.1.1
 
 ## check: the full gate — vet, build, and the whole suite under the race
 ## detector (includes the crash-recovery smoke tests alongside everything else).
@@ -13,11 +16,13 @@ check:
 ## collectives under drop/corrupt/jitter/stall, deterministic traces, flap
 ## healing, dead-node timeouts, resource-pressure runs under capped trigger
 ## lists (complete exactly or return a watchdog diagnosis — never hang), the
-## NIC reliability and trigger-fault property tests, and the crash-restart
+## NIC reliability and trigger-fault property tests, the crash-restart
 ## matrix: mid-collective crashes with epoch-fenced rejoin, heartbeat
-## membership convergence, and recoverable Jacobi reintegration.
+## membership convergence, and recoverable Jacobi reintegration — and the
+## partition matrix: clean and asymmetric cuts, gray links under static vs
+## adaptive RTO, split-brain refusal, and mid-collective heal rejoin.
 chaos:
-	$(GO) test -race -v -run 'TestChaos|TestReliable|TestAllreduceTimeout|TestAllreduceRingHeal|TestBroadcastHeal|TestBroadcastTimeout|TestRelaxedSyncRace|TestTriggerWriteLoss|TestCrash|TestRecoverable|TestRestartEpoch|TestStaleSrc|TestCancelTriggered|TestMarkPeerCrashed|TestSuite|TestPeerDead' ./internal/collective/ ./internal/nic/ ./internal/health/ ./internal/workloads/jacobi/
+	$(GO) test -race -v -run 'TestChaos|TestReliable|TestAllreduceTimeout|TestAllreduceRingHeal|TestBroadcastHeal|TestBroadcastTimeout|TestRelaxedSyncRace|TestTriggerWriteLoss|TestCrash|TestRecoverable|TestRestartEpoch|TestStaleSrc|TestCancelTriggered|TestMarkPeerCrashed|TestSuite|TestPeerDead|TestPartition|TestDoubleCrash|TestAdaptiveRTO|TestLinkHealth|TestMatrixClassifies|TestSymmetricCut|TestHealReturns' ./internal/collective/ ./internal/nic/ ./internal/health/ ./internal/workloads/jacobi/
 
 build:
 	$(GO) build ./...
@@ -27,6 +32,12 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+## lint: vet plus staticcheck at a pinned version. Fetches the tool, so it
+## needs network — CI runs it; local `make check` stays offline-friendly.
+lint:
+	$(GO) vet ./...
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
 
 ## bench: the full simulator perf run (events/sec, allocs/event, wall time
 ## per experiment); refreshes the BENCH_sim.json baseline at the repo root.

@@ -34,6 +34,16 @@
 // and the -health-* group tunes the heartbeat membership timing; -exp
 // crash sweeps restart delay vs recovery latency per backend. All-zero
 // disables both, keeping the crash-free behavior bit-for-bit.
+//
+// The -part-* flag group arms one deterministic network partition (cut
+// side A off from side B — or from everyone else when -part-b is empty —
+// at -part-at-us, healing after -part-heal-us; -part-asym blackholes only
+// the A->B direction). The -degrade-* group arms one gray-link window
+// (latency multiplier and packet loss on a directed link). -adaptive-rto
+// switches the reliable layer's retransmit timer from the static RTOBase
+// to the per-peer Jacobson/Karels estimator. -exp partitions sweeps
+// partition heal delay and gray-link severity per backend. -list prints
+// every experiment with a one-line description and exits.
 package main
 
 import (
@@ -43,6 +53,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/config"
@@ -50,6 +62,41 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// experimentList names every experiment in run order with a one-line
+// description; -list renders it and the runner map in run() must cover it.
+var experimentList = []struct{ name, desc string }{
+	{"table1", "simulated platform parameters (paper Table 1)"},
+	{"table2", "communication-primitive microbenchmark latencies (paper Table 2)"},
+	{"table3", "triggered-op API coverage summary (paper Table 3)"},
+	{"fig1", "kernel launch latency vs queued kernel commands (paper Fig. 1)"},
+	{"fig8", "Allreduce latency across backends and payload sizes (paper Fig. 8)"},
+	{"fig9", "Jacobi per-iteration speedup vs HDN on a 2x2 grid (paper Fig. 9)"},
+	{"fig10", "8MB Allreduce strong-scaling speedup vs CPU (paper Fig. 10)"},
+	{"fig11", "machine-learning training step breakdown (paper Fig. 11)"},
+	{"ablations", "mechanism ablations: relaxed sync, granularity, topology, pipelining, ..."},
+	{"faults", "Allreduce latency under packet loss with reliable delivery"},
+	{"resources", "NIC resource-pressure sweep (bounded trigger lists and queues)"},
+	{"crash", "crash-stop/restart recovery latency vs restart delay per backend"},
+	{"partitions", "partition heal-delay sweep and gray-link static-vs-adaptive RTO comparison"},
+	{"perf", "simulator self-benchmark: events/sec, allocs/event, wall time (not part of -exp all)"},
+}
+
+// parseNodeList parses a comma-separated node list ("0,1,3"); empty is nil.
+func parseNodeList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("node list %q: %w", s, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 // writeCSV saves a figure's series to <dir>/<name>.csv when dir is set.
 func writeCSV(dir, name, xlabel string, series []*stats.Series) error {
@@ -73,7 +120,8 @@ func main() { os.Exit(run()) }
 
 // run is main minus os.Exit, so profile-flushing defers always execute.
 func run() int {
-	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|crash|perf|figures|all")
+	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|crash|partitions|perf|figures|all")
+	list := flag.Bool("list", false, "list all experiments with one-line descriptions and exit")
 	csvDir := flag.String("csv", "", "also write figure data as CSV into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker threads for sweep replicas (1 = serial)")
 
@@ -92,6 +140,21 @@ func run() int {
 	flapEndUS := flag.Float64("fault-flap-end-us", 0, "flap window end (us); 0 disables flapping")
 	reliable := flag.Bool("reliable", false, "enable the NIC reliable-delivery layer (seq/ack/retransmit)")
 
+	partA := flag.String("part-a", "", "comma-separated node list forming partition side A; empty disables the partition schedule")
+	partB := flag.String("part-b", "", "partition side B; empty = everyone not in side A")
+	partAtUS := flag.Float64("part-at-us", 0, "partition cut time (us); 0 disables the partition schedule")
+	partHealUS := flag.Float64("part-heal-us", 0, "heal delay after the cut (us); 0 = never heals")
+	partAsym := flag.Bool("part-asym", false, "asymmetric cut: blackhole only A->B traffic, deliver B->A")
+
+	degradeSrc := flag.Int("degrade-src", -1, "gray-link source node (-1 = any)")
+	degradeDst := flag.Int("degrade-dst", -1, "gray-link destination node (-1 = any)")
+	degradeFromUS := flag.Float64("degrade-from-us", 0, "gray-link window start (us)")
+	degradeUntilUS := flag.Float64("degrade-until-us", 0, "gray-link window end (us); 0 disables the window")
+	degradeFactor := flag.Float64("degrade-factor", 0, "latency multiplier on the gray link (>1 slows it)")
+	degradeLoss := flag.Float64("degrade-loss", 0, "per-packet loss probability on the gray link [0,1]")
+	degradeRamp := flag.Bool("degrade-ramp", false, "ramp the loss linearly from 0 to -degrade-loss over the window")
+	adaptiveRTO := flag.Bool("adaptive-rto", false, "use the per-peer Jacobson/Karels adaptive retransmit timer (implies -reliable behavior only when -reliable is set)")
+
 	crashNode := flag.Int("crash-node", 0, "node the -crash-at-us event kills")
 	crashAtUS := flag.Float64("crash-at-us", 0, "crash-stop time (us); 0 disables the crash schedule")
 	crashRestartUS := flag.Float64("crash-restart-us", 0, "restart delay after the crash (us); 0 = never restarts")
@@ -105,6 +168,15 @@ func run() int {
 	capTrigFIFO := flag.Int("cap-trigger-fifo", 0, "trigger FIFO depth; overflow drops and counts (0 = unbounded)")
 	capEQ := flag.Int("cap-eq", 0, "default event-queue capacity; overflow drops PTL_EQ_DROPPED-style (0 = unbounded)")
 	flag.Parse()
+
+	if *list {
+		for _, e := range experimentList {
+			fmt.Printf("%-10s  %s\n", e.name, e.desc)
+		}
+		fmt.Printf("%-10s  %s\n", "figures", "fig1+fig8+fig9+fig10+fig11")
+		fmt.Printf("%-10s  %s\n", "all", "every experiment above except perf")
+		return 0
+	}
 
 	bench.SetParallelism(*parallel)
 
@@ -150,8 +222,39 @@ func run() int {
 		FlapStart:   sim.Time(*flapStartUS * float64(sim.Microsecond)),
 		FlapEnd:     sim.Time(*flapEndUS * float64(sim.Microsecond)),
 	}
+	if *partAtUS > 0 {
+		a, err := parseNodeList(*partA)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gputn-bench: -part-a:", err)
+			return 2
+		}
+		b, err := parseNodeList(*partB)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gputn-bench: -part-b:", err)
+			return 2
+		}
+		cfg.Faults.Partition = config.PartitionConfig{Events: []config.PartitionEvent{{
+			A:          a,
+			B:          b,
+			At:         sim.Time(*partAtUS * float64(sim.Microsecond)),
+			HealAfter:  sim.Time(*partHealUS * float64(sim.Microsecond)),
+			Asymmetric: *partAsym,
+		}}}
+	}
+	if *degradeUntilUS > 0 {
+		cfg.Faults.Degrade = config.DegradeConfig{Windows: []config.DegradeWindow{{
+			Src:           *degradeSrc,
+			Dst:           *degradeDst,
+			From:          sim.Time(*degradeFromUS * float64(sim.Microsecond)),
+			Until:         sim.Time(*degradeUntilUS * float64(sim.Microsecond)),
+			LatencyFactor: *degradeFactor,
+			LossProb:      *degradeLoss,
+			Ramp:          *degradeRamp,
+		}}}
+	}
 	if *reliable {
 		cfg.NIC.Reliability = config.DefaultReliability()
+		cfg.NIC.Reliability.AdaptiveRTO = *adaptiveRTO
 	}
 	if *crashAtUS > 0 {
 		cfg.Crash = config.CrashConfig{Events: []config.CrashEvent{{
@@ -201,8 +304,12 @@ func run() int {
 	}
 	if *reliable {
 		r := cfg.NIC.Reliability
-		fmt.Printf("reliability: window=%d rtoBase=%v rtoPerKB=%v maxBackoff=%v budget=%d\n",
-			r.WindowSize, r.RTOBase, r.RTOPerKB, r.MaxBackoff, r.RetryBudget)
+		rto := "static"
+		if r.AdaptiveRTO {
+			rto = "adaptive (Jacobson/Karels)"
+		}
+		fmt.Printf("reliability: window=%d rtoBase=%v rtoPerKB=%v maxBackoff=%v budget=%d rto=%s\n",
+			r.WindowSize, r.RTOBase, r.RTOPerKB, r.MaxBackoff, r.RetryBudget, rto)
 	}
 	if rc := cfg.NIC.Resources; rc.Enabled() || *capTrigFIFO > 0 {
 		fmt.Printf("resources: triggerEntries=%d placeholders=%d cmdq=%d trigFIFO=%d eq=%d (0 = unbounded/default)\n",
@@ -268,6 +375,12 @@ func run() int {
 			fmt.Println(bench.RenderCrashRecovery(cfg))
 			return nil
 		},
+		"partitions": func() error {
+			// The partition sweep sets its own cut and degradation schedules
+			// per cell; the -health-* flags select the heartbeat timing.
+			fmt.Println(bench.RenderPartitions(cfg))
+			return nil
+		},
 		"perf": func() error {
 			rep, err := bench.RunPerf(cfg, *perfPreset)
 			if err != nil {
@@ -298,7 +411,7 @@ func run() int {
 			return nil
 		},
 	}
-	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults", "resources", "crash"}
+	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults", "resources", "crash", "partitions"}
 	figures := []string{"fig1", "fig8", "fig9", "fig10", "fig11"}
 
 	var names []string
@@ -309,7 +422,7 @@ func run() int {
 		names = figures
 	default:
 		if _, ok := runners[*exp]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %v, perf, figures, or all)\n", *exp, order)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %v, perf, figures, or all; -list describes them)\n", *exp, order)
 			return 2
 		}
 		names = []string{*exp}

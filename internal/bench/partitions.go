@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/backends"
+	"repro/internal/collective"
+	"repro/internal/config"
+	"repro/internal/health"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// The partition sweep reuses the crash ablation's cluster shape (4 ranks,
+// 64KB) and timing: the cut lands at crashAt (mid-first-attempt) for
+// backends whose receive waits can time out, and at crashAtGDS (before any
+// attempt) for GDS, whose stream waits cannot be interrupted — a
+// mid-attempt blackhole would park a GDS rank forever.
+const (
+	// partAblationNode is the rank the sweep cuts off from the rest.
+	partAblationNode = 2
+	// degradeAblationSeed fixes the loss schedule of the gray-link sweep.
+	degradeAblationSeed = 42
+	// degradeLossProb is the per-packet loss on the degraded node's links:
+	// high enough that several losses land on the critical path, so the
+	// retransmit timer dominates recovery latency.
+	degradeLossProb = 0.25
+)
+
+// PartitionRecoveryPoint is one row of the partition-recovery ablation:
+// recovery latency per backend for one heal delay.
+type PartitionRecoveryPoint struct {
+	// HealDelay is the cut-to-heal gap; 0 means the cut never heals and the
+	// majority side must complete without the partitioned rank.
+	HealDelay sim.Time
+	// Latency is the absolute completion time of the successful attempt.
+	Latency map[backends.Kind]sim.Time
+	// Attempts counts attempts the recovery driver ran (successful last).
+	Attempts map[backends.Kind]int
+	// Rejoined reports whether the partitioned rank made it back into the
+	// membership the result was computed over.
+	Rejoined map[backends.Kind]bool
+}
+
+// AblationPartition measures how Allreduce recovery latency depends on a
+// network partition's heal delay, per backend. One rank is cut off from
+// the other three (symmetric blackhole, both directions); its heartbeats
+// stop crossing the cut, the membership classifies it Partitioned — not
+// crashed: it still vouches for itself — and the majority side retries
+// without it. A heal short enough rides through on retransmission before
+// the suspicion horizon; a later heal lets the rank rejoin a retried
+// attempt; a permanent cut leaves the majority to complete alone.
+func AblationPartition(cfg config.SystemConfig, heals []sim.Time) []PartitionRecoveryPoint {
+	kinds := backends.All()
+
+	type cell struct {
+		latency  sim.Time
+		attempts int
+		rejoined bool
+	}
+	cells := parallelMap(len(heals)*len(kinds), func(idx int) cell {
+		heal := heals[idx/len(kinds)]
+		k := kinds[idx%len(kinds)]
+		c := cfg
+		c.Health = crashHealthOrDefault(cfg)
+		c.NIC.Reliability = config.DefaultReliability()
+		at := crashAt
+		if k == backends.GDS {
+			at = crashAtGDS
+		}
+		c.Faults = config.FaultConfig{Partition: config.PartitionConfig{Events: []config.PartitionEvent{
+			{A: []int{partAblationNode}, At: at, HealAfter: heal},
+		}}}
+		rcfg := collective.RecoverConfig{Kind: k, TotalBytes: crashAblationBytes}
+		if k != backends.GDS {
+			rcfg.Timeout = crashTimeout
+		}
+		cl := node.NewCluster(c, crashAblationNodes)
+		suite := health.Start(cl)
+		var res collective.RecoverResult
+		var rerr error
+		cl.Eng.Go("bench.part.driver", func(p *sim.Proc) {
+			res, rerr = collective.RunRecoverable(p, cl, suite.Membership, rcfg)
+			suite.Stop()
+		})
+		cl.Run()
+		if rerr != nil {
+			panic(fmt.Sprintf("bench: partition ablation %v heal=%v: %v", k, heal, rerr))
+		}
+		out := cell{latency: res.Duration, attempts: len(res.Attempts)}
+		for _, r := range res.Alive {
+			if r == partAblationNode {
+				out.rejoined = true
+			}
+		}
+		return out
+	})
+	var pts []PartitionRecoveryPoint
+	for hi, heal := range heals {
+		pt := PartitionRecoveryPoint{
+			HealDelay: heal,
+			Latency:   map[backends.Kind]sim.Time{},
+			Attempts:  map[backends.Kind]int{},
+			Rejoined:  map[backends.Kind]bool{},
+		}
+		for ki, k := range kinds {
+			c := cells[hi*len(kinds)+ki]
+			pt.Latency[k] = c.latency
+			pt.Attempts[k] = c.attempts
+			pt.Rejoined[k] = c.rejoined
+		}
+		pts = append(pts, pt)
+	}
+	return pts
+}
+
+// DegradeRTOPoint is one row of the gray-link ablation: Allreduce latency
+// and retransmit count per backend for one degradation severity, under
+// either the static or the adaptive retransmit timer.
+type DegradeRTOPoint struct {
+	// Factor is the latency multiplier on the degraded rank's links.
+	Factor float64
+	// Adaptive selects the RTT-estimating retransmit timer.
+	Adaptive    bool
+	Latency     map[backends.Kind]sim.Time
+	Retransmits map[backends.Kind]int64
+}
+
+// AblationDegradeRTO measures Allreduce latency under a gray link — one
+// rank's links slowed by Factor and losing degradeLossProb of packets in
+// both directions — comparing the static retransmit timer (RTOBase, 30us)
+// against the adaptive Jacobson/Karels one. The static timer pays its full
+// conservative RTO per loss; the adaptive timer converges to the degraded
+// RTT and recovers each loss in a few round trips, so it completes sooner
+// despite the identical loss schedule.
+func AblationDegradeRTO(cfg config.SystemConfig, factors []float64) []DegradeRTOPoint {
+	const nodes = 4
+	const totalBytes = 64 << 10
+	kinds := []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN}
+	modes := []bool{false, true}
+
+	type cell struct {
+		latency sim.Time
+		retx    int64
+	}
+	cells := parallelMap(len(factors)*len(modes)*len(kinds), func(idx int) cell {
+		factor := factors[idx/(len(modes)*len(kinds))]
+		adaptive := modes[(idx/len(kinds))%len(modes)]
+		k := kinds[idx%len(kinds)]
+		c := cfg
+		c.NIC.Reliability = config.DefaultReliability()
+		c.NIC.Reliability.AdaptiveRTO = adaptive
+		c.Faults = config.FaultConfig{Seed: degradeAblationSeed, Degrade: config.DegradeConfig{Windows: []config.DegradeWindow{
+			{Src: partAblationNode, Dst: -1, Until: 100 * sim.Millisecond, LatencyFactor: factor, LossProb: degradeLossProb},
+			{Src: -1, Dst: partAblationNode, Until: 100 * sim.Millisecond, LatencyFactor: factor, LossProb: degradeLossProb},
+		}}}
+		cl := node.NewCluster(c, nodes)
+		res, err := collective.Run(cl, collective.Config{Kind: k, TotalBytes: totalBytes})
+		if err != nil {
+			panic(fmt.Sprintf("bench: degrade ablation %v factor=%g adaptive=%v: %v", k, factor, adaptive, err))
+		}
+		var retx int64
+		for _, nd := range cl.Nodes {
+			retx += nd.NIC.Stats().Retransmits
+		}
+		return cell{latency: res.Duration, retx: retx}
+	})
+	var out []DegradeRTOPoint
+	i := 0
+	for _, factor := range factors {
+		for _, adaptive := range modes {
+			pt := DegradeRTOPoint{
+				Factor:      factor,
+				Adaptive:    adaptive,
+				Latency:     map[backends.Kind]sim.Time{},
+				Retransmits: map[backends.Kind]int64{},
+			}
+			for _, k := range kinds {
+				pt.Latency[k] = cells[i].latency
+				pt.Retransmits[k] = cells[i].retx
+				i++
+			}
+			out = append(out, pt)
+		}
+	}
+	return out
+}
+
+// RenderPartitions renders the partition-recovery and gray-link ablations.
+func RenderPartitions(cfg config.SystemConfig) string {
+	heals := []sim.Time{
+		0,
+		30 * sim.Microsecond,
+		60 * sim.Microsecond,
+		120 * sim.Microsecond,
+		240 * sim.Microsecond,
+	}
+	pts := AblationPartition(cfg, heals)
+	kinds := backends.All()
+	hc := crashHealthOrDefault(cfg)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Partition recovery: %d-node %dKB Allreduce, node %d cut off mid-run (GDS: pre-attempt)\n",
+		crashAblationNodes, crashAblationBytes>>10, partAblationNode)
+	fmt.Fprintf(&b, "heartbeat period=%v suspectAfter=%v stabilize=%v; latency = completion time, (n) = attempts, + = partitioned rank rejoined\n",
+		hc.Period, hc.SuspectAfter, hc.StabilizeDelay)
+	fmt.Fprintf(&b, "%-10s", "heal")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  %16s", k)
+	}
+	b.WriteString("\n")
+	for _, pt := range pts {
+		label := "never"
+		if pt.HealDelay > 0 {
+			label = fmt.Sprintf("+%v", pt.HealDelay)
+		}
+		fmt.Fprintf(&b, "%-10s", label)
+		for _, k := range kinds {
+			mark := " "
+			if pt.Rejoined[k] {
+				mark = "+"
+			}
+			fmt.Fprintf(&b, "  %10.1fus(%d)%s",
+				float64(pt.Latency[k])/float64(sim.Microsecond), pt.Attempts[k], mark)
+		}
+		b.WriteString("\n")
+	}
+
+	factors := []float64{10, 100}
+	dpts := AblationDegradeRTO(cfg, factors)
+	dkinds := []backends.Kind{backends.HDN, backends.GDS, backends.GPUTN}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "Gray link: 4-node 64KB Allreduce, node %d links slowed and losing %.0f%% of packets (seed %d)\n",
+		partAblationNode, 100*degradeLossProb, degradeAblationSeed)
+	fmt.Fprintf(&b, "static RTO = %v base; adaptive = Jacobson/Karels srtt+4*rttvar per peer; (n) = retransmits\n",
+		config.DefaultReliability().RTOBase)
+	fmt.Fprintf(&b, "%-14s", "link")
+	for _, k := range dkinds {
+		fmt.Fprintf(&b, "  %18s", k)
+	}
+	b.WriteString("\n")
+	for _, pt := range dpts {
+		mode := "static"
+		if pt.Adaptive {
+			mode = "adaptive"
+		}
+		fmt.Fprintf(&b, "%-14s", fmt.Sprintf("%gx %s", pt.Factor, mode))
+		for _, k := range dkinds {
+			fmt.Fprintf(&b, "  %11.1fus(%d)",
+				float64(pt.Latency[k])/float64(sim.Microsecond), pt.Retransmits[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -157,7 +157,7 @@ func TestAllreduceDeadNodesValidation(t *testing.T) {
 	for _, cfg := range []Config{
 		{Kind: backends.CPU, TotalBytes: 1024, DeadNodes: []int{9}, HealRing: true},
 		{Kind: backends.CPU, TotalBytes: 1024, DeadNodes: []int{1, 1}, HealRing: true},
-		{Kind: backends.CPU, TotalBytes: 1024, DeadNodes: []int{1}}, // no heal, no timeout
+		{Kind: backends.CPU, TotalBytes: 1024, DeadNodes: []int{1}},                       // no heal, no timeout
 		{Kind: backends.CPU, TotalBytes: 1024, DeadNodes: []int{1, 2, 3}, HealRing: true}, // <2 alive
 	} {
 		c := node.NewCluster(config.Default(), 4)

@@ -101,8 +101,22 @@ func RunRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg Rec
 	if maxAttempts <= 0 {
 		maxAttempts = 8
 	}
+	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		view := m.WaitStable(p)
+		view, verr := m.WaitStable(p)
+		if verr != nil {
+			// Split-brain: the view is stable but no component holds a
+			// majority, so no side may reduce. Record the refused attempt,
+			// back off one suspicion horizon (heartbeats may yet heal the
+			// cut), and charge it against the attempt budget so a permanent
+			// symmetric cut returns a named error instead of parking forever.
+			lastErr = verr
+			res.Attempts = append(res.Attempts, AttemptReport{
+				Start: p.Now(), End: p.Now(), ViewID: view, Err: verr,
+			})
+			p.Sleep(m.Config().SuspectAfter)
+			continue
+		}
 		alive := m.Alive()
 		doomed := len(alive) < 2
 		for _, i := range alive {
@@ -122,6 +136,9 @@ func RunRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg Rec
 		out, completed, err := runAttempt(p, cl, cfg, alive, attempt)
 		rep.End, rep.Completed, rep.Err = p.Now(), completed, err
 		res.Attempts = append(res.Attempts, rep)
+		if err != nil {
+			lastErr = err
+		}
 		if completed && err == nil && m.ViewID() == view {
 			res.Duration = p.Now()
 			res.ViewID = view
@@ -129,6 +146,9 @@ func RunRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg Rec
 			res.Output = out
 			return res, nil
 		}
+	}
+	if lastErr != nil {
+		return res, fmt.Errorf("collective: no attempt succeeded in %d tries (last: %w)", maxAttempts, lastErr)
 	}
 	return res, fmt.Errorf("collective: no attempt succeeded in %d tries", maxAttempts)
 }

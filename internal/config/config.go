@@ -73,6 +73,16 @@ type ReliabilityConfig struct {
 	// RetryBudget is the maximum transmission attempts per message; when
 	// exhausted the peer is declared dead and its channel drained.
 	RetryBudget int
+	// AdaptiveRTO replaces the static size-scaled timeout with per-peer
+	// Jacobson/Karels SRTT/RTTVAR estimation fed by NIC timestamp echoes
+	// (each data frame carries its transmit time, echoed in the ACK, so
+	// retransmission never produces an ambiguous sample). False keeps the
+	// fixed RTOBase+RTOPerKB formula bit-for-bit (tested).
+	AdaptiveRTO bool
+	// MinRTO floors the adaptive timeout so a string of identical RTT
+	// samples cannot collapse the timer onto the ACK arrival instant.
+	// 0 defaults to 1 us. Ignored when AdaptiveRTO is false.
+	MinRTO sim.Time
 }
 
 // DefaultReliability returns the reliable-delivery parameters used by the
@@ -121,6 +131,12 @@ type FaultConfig struct {
 	// given probability; TrigDelayJitter adds uniform random flight delay.
 	TrigDropProb    float64
 	TrigDelayJitter sim.Time
+	// Partition schedules deterministic network partitions; the zero value
+	// schedules nothing and is pay-for-use.
+	Partition PartitionConfig
+	// Degrade schedules deterministic link-degradation windows (gray
+	// failures); the zero value schedules nothing and is pay-for-use.
+	Degrade DegradeConfig
 }
 
 // Enabled reports whether any fault is armed.
@@ -128,7 +144,123 @@ func (f FaultConfig) Enabled() bool {
 	return f.DropProb > 0 || f.CorruptProb > 0 || f.DelayJitter > 0 ||
 		f.FlapEnd > f.FlapStart ||
 		(f.CmdStallProb > 0 && f.CmdStallTime > 0) ||
-		f.TrigDropProb > 0 || f.TrigDelayJitter > 0
+		f.TrigDropProb > 0 || f.TrigDelayJitter > 0 ||
+		f.Partition.Enabled() || f.Degrade.Enabled()
+}
+
+// PartitionEvent schedules one deterministic network cut {A}|{B} starting
+// at At: every packet from a node in A to a node in B (and, unless
+// Asymmetric, from B to A) is blackholed at its fabric egress port. When
+// HealAfter > 0 the cut heals at At+HealAfter; 0 means it never heals.
+type PartitionEvent struct {
+	// A is one side of the cut. B is the other; when B is empty it is the
+	// complement of A (every node not in A).
+	A  []int
+	B  []int
+	At sim.Time
+	// HealAfter is the cut duration; 0 = never heals.
+	HealAfter sim.Time
+	// Asymmetric blackholes only the A-to-B direction: B's packets to A
+	// still deliver — the gray-failure shape where heartbeats flow one way.
+	Asymmetric bool
+}
+
+// PartitionConfig holds the deterministic partition schedule. The zero
+// value schedules nothing and costs nothing: no RNG draws, no events, a
+// bit-for-bit identical trace (tested).
+type PartitionConfig struct {
+	Events []PartitionEvent
+}
+
+// Enabled reports whether any partition is scheduled.
+func (p PartitionConfig) Enabled() bool { return len(p.Events) > 0 }
+
+func (p PartitionConfig) validate() error {
+	for i, ev := range p.Events {
+		if len(ev.A) == 0 {
+			return fmt.Errorf("config: Faults.Partition.Events[%d]: side A is empty", i)
+		}
+		if ev.At <= 0 {
+			return fmt.Errorf("config: Faults.Partition.Events[%d].At = %v (must be > 0)", i, ev.At)
+		}
+		if ev.HealAfter < 0 {
+			return fmt.Errorf("config: Faults.Partition.Events[%d].HealAfter = %v", i, ev.HealAfter)
+		}
+		seen := map[int]bool{}
+		for _, n := range ev.A {
+			if n < 0 {
+				return fmt.Errorf("config: Faults.Partition.Events[%d]: node %d in A", i, n)
+			}
+			seen[n] = true
+		}
+		for _, n := range ev.B {
+			if n < 0 {
+				return fmt.Errorf("config: Faults.Partition.Events[%d]: node %d in B", i, n)
+			}
+			if seen[n] {
+				return fmt.Errorf("config: Faults.Partition.Events[%d]: node %d on both sides", i, n)
+			}
+		}
+	}
+	return nil
+}
+
+// DegradeWindow degrades one directed link (or a wildcard set of links)
+// during [From, Until): flight latency is multiplied by LatencyFactor and
+// packets are lost with probability up to LossProb. This is the gray-failure
+// model — the link stays up, just slow and lossy.
+type DegradeWindow struct {
+	// Src and Dst select the directed link; -1 is a wildcard matching any
+	// node, so {Src: 2, Dst: -1} degrades everything node 2 transmits.
+	Src, Dst int
+	// From and Until bound the window; it is armed only when Until > From.
+	From, Until sim.Time
+	// LatencyFactor multiplies per-packet flight latency (propagation +
+	// switching) while the window is active. Values <= 1 add no delay.
+	LatencyFactor float64
+	// LossProb is the packet-loss probability while active. With Ramp the
+	// loss ramps linearly from 0 at From up to LossProb at Until, modeling
+	// a link that decays rather than steps.
+	LossProb float64
+	Ramp     bool
+}
+
+// Enabled reports whether this window can affect any packet.
+func (w DegradeWindow) Enabled() bool {
+	return w.Until > w.From && (w.LatencyFactor > 1 || w.LossProb > 0)
+}
+
+// DegradeConfig holds the deterministic link-degradation schedule. The zero
+// value schedules nothing and costs nothing; RNG is drawn only for packets
+// inside an armed window, so traces outside the windows are untouched.
+type DegradeConfig struct {
+	Windows []DegradeWindow
+}
+
+// Enabled reports whether any degradation window is armed.
+func (d DegradeConfig) Enabled() bool {
+	for _, w := range d.Windows {
+		if w.Enabled() {
+			return true
+		}
+	}
+	return false
+}
+
+func (d DegradeConfig) validate() error {
+	for i, w := range d.Windows {
+		switch {
+		case w.Src < -1 || w.Dst < -1:
+			return fmt.Errorf("config: Faults.Degrade.Windows[%d]: src=%d dst=%d", i, w.Src, w.Dst)
+		case w.Until < w.From:
+			return fmt.Errorf("config: Faults.Degrade.Windows[%d]: Until %v before From %v", i, w.Until, w.From)
+		case w.LossProb < 0 || w.LossProb > 1:
+			return fmt.Errorf("config: Faults.Degrade.Windows[%d].LossProb = %v outside [0, 1]", i, w.LossProb)
+		case w.LatencyFactor < 0:
+			return fmt.Errorf("config: Faults.Degrade.Windows[%d].LatencyFactor = %v", i, w.LatencyFactor)
+		}
+	}
+	return nil
 }
 
 // CrashEvent schedules one deterministic crash-stop: node Node dies at
@@ -442,6 +574,8 @@ func (r ReliabilityConfig) validate() error {
 		return fmt.Errorf("config: Reliability.RTOPerKB = %v", r.RTOPerKB)
 	case r.RetryBudget <= 0:
 		return fmt.Errorf("config: Reliability.RetryBudget = %d", r.RetryBudget)
+	case r.MinRTO < 0:
+		return fmt.Errorf("config: Reliability.MinRTO = %v", r.MinRTO)
 	}
 	return nil
 }
@@ -475,7 +609,10 @@ func (f FaultConfig) validate() error {
 	case f.FlapEnd > f.FlapStart && f.FlapNode < 0:
 		return fmt.Errorf("config: Faults.FlapNode = %d", f.FlapNode)
 	}
-	return nil
+	if err := f.Partition.validate(); err != nil {
+		return err
+	}
+	return f.Degrade.validate()
 }
 
 // SchedulerPreset models one GPU front-end hardware scheduler for the

@@ -1,0 +1,76 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// RestartAfter 0 means crash-stop forever: the crash callback fires, the
+// restart callback never does.
+func TestCrashPlanZeroRestartDelayNeverRestarts(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewCrashPlan(config.CrashConfig{Events: []config.CrashEvent{
+		{Node: 1, At: 5 * sim.Microsecond},
+	}})
+	var crashes, restarts int
+	p.Arm(eng, func(node int) { crashes++ }, func(node int) { restarts++ })
+	eng.Run()
+	if crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", crashes)
+	}
+	if restarts != 0 {
+		t.Fatalf("restarts = %d, want 0 (RestartAfter unset)", restarts)
+	}
+}
+
+// Two crash events for the same node in one run fire independently, each
+// at its own instant, with the restart between them at crash+delay.
+func TestCrashPlanTwoCrashesSameNode(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewCrashPlan(config.CrashConfig{Events: []config.CrashEvent{
+		{Node: 2, At: 10 * sim.Microsecond, RestartAfter: 20 * sim.Microsecond},
+		{Node: 2, At: 50 * sim.Microsecond},
+	}})
+	type mark struct {
+		kind string
+		at   sim.Time
+	}
+	var marks []mark
+	p.Arm(eng,
+		func(node int) { marks = append(marks, mark{"crash", eng.Now()}) },
+		func(node int) { marks = append(marks, mark{"restart", eng.Now()}) })
+	eng.Run()
+	want := []mark{
+		{"crash", 10 * sim.Microsecond},
+		{"restart", 30 * sim.Microsecond},
+		{"crash", 50 * sim.Microsecond},
+	}
+	if len(marks) != len(want) {
+		t.Fatalf("events %v, want %v", marks, want)
+	}
+	for i, w := range want {
+		if marks[i] != w {
+			t.Fatalf("event %d = %v, want %v", i, marks[i], w)
+		}
+	}
+}
+
+// Arm schedules relative to the engine's current time, so a plan armed
+// mid-run still crashes at the event's absolute instant.
+func TestCrashPlanArmMidRunKeepsAbsoluteTimes(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewCrashPlan(config.CrashConfig{Events: []config.CrashEvent{
+		{Node: 0, At: 40 * sim.Microsecond},
+	}})
+	var at sim.Time
+	eng.Go("armer", func(proc *sim.Proc) {
+		proc.Sleep(15 * sim.Microsecond)
+		p.Arm(eng, func(node int) { at = eng.Now() }, func(int) {})
+	})
+	eng.Run()
+	if at != 40*sim.Microsecond {
+		t.Fatalf("crash fired at %v, want the absolute 40µs", at)
+	}
+}

@@ -28,14 +28,21 @@ type PacketFate struct {
 	Corrupt bool
 	// Delay is extra flight time added to the packet (jitter).
 	Delay sim.Time
+	// DelayFactor, when > 1, multiplies the packet's base flight latency
+	// (propagation + switching) before Delay is added — the link-degradation
+	// verdict. 0 and 1 both mean "no scaling".
+	DelayFactor float64
 }
 
 // Stats counts injected faults.
 type Stats struct {
 	PacketsDropped   int64
 	FlapDrops        int64 // subset of PacketsDropped due to link flaps
+	PartitionDrops   int64 // subset of PacketsDropped blackholed by a cut
+	DegradeDrops     int64 // subset of PacketsDropped lost inside a degradation window
 	PacketsCorrupted int64
 	PacketsDelayed   int64
+	DegradeSlowed    int64 // packets whose flight was stretched by a degradation window
 	TriggerDrops     int64
 	TriggerDelays    int64
 	CommandStalls    int64
@@ -47,6 +54,7 @@ type Stats struct {
 type Injector struct {
 	cfg   config.FaultConfig
 	rng   *rand.Rand
+	plan  *PartitionPlan
 	stats Stats
 }
 
@@ -57,7 +65,20 @@ func NewInjector(cfg config.FaultConfig) *Injector {
 	if !cfg.Enabled() {
 		return nil
 	}
-	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	return &Injector{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		plan: NewPartitionPlan(cfg.Partition),
+	}
+}
+
+// Partitions returns the compiled partition schedule (nil for nil or when
+// none is configured); the watchdog reads it to name unhealed cuts.
+func (in *Injector) Partitions() *PartitionPlan {
+	if in == nil {
+		return nil
+	}
+	return in.plan
 }
 
 // Stats returns a snapshot of the injected-fault counters.
@@ -77,8 +98,10 @@ func (in *Injector) Config() config.FaultConfig {
 }
 
 // Packet decides the fate of one packet from src to dst at simulated time
-// now. Flap windows are checked first (no randomness), then drop,
-// corruption, and jitter draws in a fixed order.
+// now. The RNG-free verdicts come first — flap windows, then partition
+// blackholes — so arming them never shifts the stream of random draws.
+// Then, in a fixed order: degradation loss/latency (drawn only for packets
+// inside an armed window), drop, corruption, and jitter.
 func (in *Injector) Packet(now sim.Time, src, dst int) PacketFate {
 	if in == nil {
 		return PacketFate{}
@@ -90,7 +113,29 @@ func (in *Injector) Packet(now sim.Time, src, dst int) PacketFate {
 		in.stats.FlapDrops++
 		return PacketFate{Drop: true}
 	}
+	if in.plan.Blackholed(now, src, dst) {
+		in.stats.PacketsDropped++
+		in.stats.PartitionDrops++
+		return PacketFate{Drop: true}
+	}
 	var f PacketFate
+	for i := range c.Degrade.Windows {
+		w := &c.Degrade.Windows[i]
+		if !degradeMatch(w, now, src, dst) {
+			continue
+		}
+		if loss := degradeLoss(w, now); loss > 0 && in.rng.Float64() < loss {
+			in.stats.PacketsDropped++
+			in.stats.DegradeDrops++
+			return PacketFate{Drop: true}
+		}
+		if w.LatencyFactor > f.DelayFactor {
+			f.DelayFactor = w.LatencyFactor
+		}
+	}
+	if f.DelayFactor > 1 {
+		in.stats.DegradeSlowed++
+	}
 	if c.DropProb > 0 && in.rng.Float64() < c.DropProb {
 		in.stats.PacketsDropped++
 		f.Drop = true
@@ -160,6 +205,12 @@ func (in *Injector) Summary() string {
 	}
 	if c.TrigDropProb > 0 || c.TrigDelayJitter > 0 {
 		s += fmt.Sprintf(" trig[drop=%.2f%% jitter=%v]", 100*c.TrigDropProb, c.TrigDelayJitter)
+	}
+	if in.plan != nil {
+		s += " " + in.plan.Summary()
+	}
+	if ds := degradeSummary(c.Degrade); ds != "" {
+		s += " " + ds
 	}
 	return s
 }

@@ -25,8 +25,12 @@ func TestNilInjectorIsNoOp(t *testing.T) {
 	if in.Summary() != "faults: none" {
 		t.Fatalf("nil Summary = %q", in.Summary())
 	}
-	if in.Config() != (config.FaultConfig{}) {
-		t.Fatal("nil Config nonzero")
+	// FaultConfig holds schedules (slices) now, so compare by arming.
+	if in.Config().Enabled() {
+		t.Fatal("nil Config armed")
+	}
+	if in.Partitions() != nil {
+		t.Fatal("nil Partitions nonzero")
 	}
 }
 

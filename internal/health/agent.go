@@ -63,11 +63,18 @@ func StartAgent(m *Membership, nd *node.Node) *Agent {
 // start the CPU registration loop, and start the GPU ticker.
 func (a *Agent) install() {
 	nd := a.nd
+	// Heartbeats are unreliable-datagram class: best-effort on the wire, so
+	// liveness evidence keeps flowing to and from a peer whose reliable
+	// channels are condemned — the only way a healed partition can ever be
+	// observed and retracted.
+	nd.NIC.MarkUnreliable(hbMatchBits)
 	nd.Ptl.MEAppend(&portals.ME{
 		MatchBits: hbMatchBits,
 		OnDelivery: func(d nic.Delivery) {
 			if pl, ok := d.Data.(hbPayload); ok {
-				a.m.Beat(pl.Node, pl.Inc)
+				// The receiving node is the observer: its NIC delivering
+				// this put is one reachability vote for pl.Node.
+				a.m.BeatFrom(nd.Index, pl.Node, pl.Inc)
 			}
 		},
 	})
@@ -160,6 +167,44 @@ func Start(cl *node.Cluster) *Suite {
 		for _, nd := range cl.Nodes {
 			if nd.Index != suspect && !nd.NIC.Down() {
 				nd.NIC.MarkPeerCrashed(network.NodeID(suspect))
+			}
+		}
+	})
+	m.OnPartition(func(part int) {
+		// Condemn both directions: majority-side sends to the partitioned
+		// node and its sends toward them are withdrawn instead of burning
+		// retry budgets against a blackhole. (The board is shared, so the
+		// minority side sees its own verdict too.)
+		for _, nd := range cl.Nodes {
+			if nd.NIC.Down() {
+				continue
+			}
+			if nd.Index == part {
+				for _, peer := range cl.Nodes {
+					if peer.Index != part {
+						nd.NIC.MarkPeerPartitioned(network.NodeID(peer.Index))
+					}
+				}
+			} else {
+				nd.NIC.MarkPeerPartitioned(network.NodeID(part))
+			}
+		}
+	})
+	m.OnHeal(func(healed int) {
+		// Retract the outage verdicts in both directions; the channels
+		// restart under fresh sessions on the next send.
+		for _, nd := range cl.Nodes {
+			if nd.NIC.Down() {
+				continue
+			}
+			if nd.Index == healed {
+				for _, peer := range cl.Nodes {
+					if peer.Index != healed {
+						nd.NIC.HealPeer(network.NodeID(peer.Index))
+					}
+				}
+			} else {
+				nd.NIC.HealPeer(network.NodeID(healed))
 			}
 		}
 	})

@@ -91,7 +91,11 @@ func TestWaitStableWaitsOutChurn(t *testing.T) {
 	var stableAt sim.Time
 	var stableView int64
 	e.Go("waiter", func(p *sim.Proc) {
-		stableView = m.WaitStable(p)
+		var werr error
+		stableView, werr = m.WaitStable(p)
+		if werr != nil {
+			t.Errorf("WaitStable: %v", werr)
+		}
 		stableAt = p.Now()
 		m.Stop()
 	})

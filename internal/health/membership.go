@@ -9,10 +9,21 @@
 //
 // The membership view is the deliberately simple "shared bulletin board"
 // abstraction: detection latency is modeled (heartbeat period, suspicion
-// timeout, stabilization delay), dissemination is not.
+// timeout, stabilization delay), dissemination is not. Partition awareness
+// rides on the same board: each received heartbeat is recorded per
+// *observer* (the node whose NIC delivered it), forming a reachability
+// matrix of who currently hears whom. A node nobody hears — itself
+// included — is crash-Suspect, exactly as before. A node that still beats
+// locally but has lost mutual reachability with the majority of the
+// cluster is Partitioned: alive, just unreachable. The majority rule
+// (a component must contain strictly more than half of the non-Suspect
+// nodes to make progress) is what refuses split-brain — in a symmetric
+// cut neither side qualifies and WaitStable reports ErrSplitBrain instead
+// of letting both halves run the collective.
 package health
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -30,6 +41,11 @@ const (
 	// as failed until a beat from a newer (or the same) incarnation revives
 	// it.
 	Suspect
+	// Partitioned means the node still beats (so it is not crashed) but has
+	// lost mutual reachability with the majority component. Unlike Suspect
+	// the verdict self-heals: when the cut heals and cross-beats resume the
+	// node returns to Alive and OnHeal hooks fire.
+	Partitioned
 )
 
 func (s Status) String() string {
@@ -38,10 +54,18 @@ func (s Status) String() string {
 		return "alive"
 	case Suspect:
 		return "suspect"
+	case Partitioned:
+		return "partitioned"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
 }
+
+// ErrSplitBrain is returned by WaitStable when the view is stable but no
+// component holds a strict majority of the non-Suspect nodes — e.g. a
+// symmetric half/half cut. No side may run a collective in that state;
+// drivers back off and retry, bounded by their attempt budget.
+var ErrSplitBrain = errors.New("health: no majority component (split-brain refused)")
 
 // Member is one node's entry in the membership view.
 type Member struct {
@@ -56,6 +80,8 @@ type Stats struct {
 	Suspicions int64
 	Revivals   int64 // Suspect -> Alive on a fresh beat
 	Rejoins    int64 // revivals that carried a new incarnation
+	Partitions int64 // Alive -> Partitioned transitions
+	Heals      int64 // Partitioned -> Alive transitions
 }
 
 // Membership is the shared failure-detector view of the cluster.
@@ -69,8 +95,21 @@ type Membership struct {
 	changed    *sim.Signal
 	sweeper    *sim.Proc
 	onSuspect  []func(node int)
+	onPart     []func(node int)
+	onHeal     []func(node int)
 	stats      Stats
 	stopped    bool
+
+	// lastHeard[i][j] is when observer i last received subject j's
+	// heartbeat — the reachability-vote matrix. Partition detection is
+	// armed only once crossEvidence is set (some observer heard someone
+	// other than itself): plain Beat-driven views never pay for it.
+	lastHeard     [][]sim.Time
+	crossEvidence bool
+	splitBrain    bool
+	// scratch buffers reused by recompute (single-threaded engine).
+	compID []int
+	queue  []int
 }
 
 // NewMembership creates the view with every node alive at incarnation 1
@@ -81,14 +120,21 @@ func NewMembership(eng *sim.Engine, cfg config.HealthConfig, n int) *Membership 
 		panic(fmt.Sprintf("health: %v", err))
 	}
 	m := &Membership{
-		eng:     eng,
-		cfg:     cfg,
-		members: make([]Member, n),
-		changed: sim.NewSignal(eng),
+		eng:       eng,
+		cfg:       cfg,
+		members:   make([]Member, n),
+		changed:   sim.NewSignal(eng),
+		lastHeard: make([][]sim.Time, n),
+		compID:    make([]int, n),
+		queue:     make([]int, 0, n),
 	}
 	now := eng.Now()
 	for i := range m.members {
 		m.members[i] = Member{Status: Alive, Incarnation: 1, LastBeat: now}
+		m.lastHeard[i] = make([]sim.Time, n)
+		for j := range m.lastHeard[i] {
+			m.lastHeard[i][j] = now
+		}
 	}
 	m.sweeper = eng.Go("health.sweep", m.sweep)
 	return m
@@ -101,7 +147,7 @@ func (m *Membership) Config() config.HealthConfig { return m.cfg }
 func (m *Membership) Stats() Stats { return m.stats }
 
 // ViewID returns the current view version; it increments on every
-// suspicion or revival.
+// suspicion, revival, partition, or heal.
 func (m *Membership) ViewID() int64 { return m.viewID }
 
 // Changed returns the signal broadcast on every view change.
@@ -110,11 +156,24 @@ func (m *Membership) Changed() *sim.Signal { return m.changed }
 // Member returns node's current entry.
 func (m *Membership) Member(node int) Member { return m.members[node] }
 
-// Alive returns the ranks currently believed alive, in rank order.
+// Alive returns the ranks currently believed alive — the majority
+// component when partition detection is engaged — in rank order.
 func (m *Membership) Alive() []int {
 	out := make([]int, 0, len(m.members))
 	for i := range m.members {
 		if m.members[i].Status == Alive {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Partitioned returns the ranks currently diagnosed as partitioned, in
+// rank order.
+func (m *Membership) Partitioned() []int {
+	var out []int
+	for i := range m.members {
+		if m.members[i].Status == Partitioned {
 			out = append(out, i)
 		}
 	}
@@ -128,28 +187,63 @@ func (m *Membership) OnSuspect(fn func(node int)) {
 	m.onSuspect = append(m.onSuspect, fn)
 }
 
-// Beat records a heartbeat from node under incarnation inc. Beats from an
-// older incarnation than the recorded one are stale post-crash stragglers
-// and are ignored. A beat from a newer incarnation — or any beat while the
-// node is suspected — revives it and bumps the view.
+// OnPartition registers a hook invoked each time a node transitions
+// Alive -> Partitioned. The suite wiring uses it to declare the node's
+// reliability channels dead with reason PeerDeadPartition.
+func (m *Membership) OnPartition(fn func(node int)) {
+	m.onPart = append(m.onPart, fn)
+}
+
+// OnHeal registers a hook invoked each time a node returns to Alive from
+// Partitioned — or from a same-incarnation false suspicion — so NIC
+// channels condemned by the outage can be healed.
+func (m *Membership) OnHeal(fn func(node int)) {
+	m.onHeal = append(m.onHeal, fn)
+}
+
+// Beat records a self-reported heartbeat from node under incarnation inc —
+// shorthand for BeatFrom(node, node, inc), kept for direct-drive callers.
 func (m *Membership) Beat(node int, inc int64) {
-	mb := &m.members[node]
+	m.BeatFrom(node, node, inc)
+}
+
+// BeatFrom records that observer received subject's heartbeat under
+// incarnation inc — one reachability vote on the shared board. Beats from
+// an older incarnation than the recorded one are stale post-crash
+// stragglers and are ignored. A beat from a newer incarnation — or any
+// beat while the subject is suspected — revives it and bumps the view.
+func (m *Membership) BeatFrom(observer, subject int, inc int64) {
+	mb := &m.members[subject]
 	if inc < mb.Incarnation {
 		return
 	}
 	m.stats.Beats++
-	mb.LastBeat = m.eng.Now()
+	now := m.eng.Now()
+	mb.LastBeat = now
+	m.lastHeard[observer][subject] = now
+	if observer != subject {
+		m.crossEvidence = true
+	}
 	rejoin := inc > mb.Incarnation
 	if rejoin {
 		mb.Incarnation = inc
 		m.stats.Rejoins++
 	}
 	if mb.Status == Suspect || rejoin {
-		if mb.Status == Suspect {
+		revived := mb.Status == Suspect
+		if revived {
 			m.stats.Revivals++
 		}
 		mb.Status = Alive
 		m.bump()
+		if revived && !rejoin {
+			// A same-incarnation revival is a retracted false accusation:
+			// the node never died, so channels condemned as crashed must be
+			// healed, not await an epoch announcement that will never come.
+			for _, fn := range m.onHeal {
+				fn(subject)
+			}
+		}
 	}
 }
 
@@ -160,35 +254,126 @@ func (m *Membership) bump() {
 	m.changed.Broadcast()
 }
 
-// sweep is the suspicion loop: every Period it suspects members whose last
-// beat is older than SuspectAfter.
+// sweep is the detection loop: every Period it suspects members whose last
+// beat is older than SuspectAfter, then recomputes reachability components.
 func (m *Membership) sweep(p *sim.Proc) {
 	for {
 		p.Sleep(m.cfg.Period)
-		now := p.Now()
-		for i := range m.members {
-			mb := &m.members[i]
-			if mb.Status == Alive && now-mb.LastBeat > m.cfg.SuspectAfter {
-				mb.Status = Suspect
-				m.stats.Suspicions++
-				m.bump()
-				for _, fn := range m.onSuspect {
-					fn(i)
+		m.recompute(p.Now())
+	}
+}
+
+// recompute applies crash suspicion and — once cross-observer evidence
+// exists — partition detection to the current board. All iteration is
+// index-ordered, so verdicts and hook order are deterministic.
+func (m *Membership) recompute(now sim.Time) {
+	// Crash suspicion: nobody, the node itself included, has heard it
+	// within the horizon. A partitioned-but-alive node never trips this —
+	// its own beats keep refreshing LastBeat on the shared board.
+	for i := range m.members {
+		mb := &m.members[i]
+		if mb.Status != Suspect && now-mb.LastBeat > m.cfg.SuspectAfter {
+			mb.Status = Suspect
+			m.stats.Suspicions++
+			m.bump()
+			for _, fn := range m.onSuspect {
+				fn(i)
+			}
+		}
+	}
+	if !m.crossEvidence {
+		return
+	}
+
+	// Mutual-reachability components over the non-Suspect nodes: an edge
+	// (i, j) exists when each has heard the other within the horizon, so an
+	// asymmetric blackhole severs the edge even though one direction still
+	// delivers. Component ids are assigned by BFS in index order.
+	fresh := func(i, j int) bool { return now-m.lastHeard[i][j] <= m.cfg.SuspectAfter }
+	n := len(m.members)
+	nonSuspect := 0
+	for i := 0; i < n; i++ {
+		if m.members[i].Status != Suspect {
+			nonSuspect++
+			m.compID[i] = -1
+		} else {
+			m.compID[i] = -2
+		}
+	}
+	bestComp, bestSize := -1, 0
+	comps := 0
+	for i := 0; i < n; i++ {
+		if m.compID[i] != -1 {
+			continue
+		}
+		id := comps
+		comps++
+		size := 0
+		m.queue = append(m.queue[:0], i)
+		m.compID[i] = id
+		for len(m.queue) > 0 {
+			u := m.queue[0]
+			m.queue = m.queue[1:]
+			size++
+			for v := 0; v < n; v++ {
+				if m.compID[v] == -1 && fresh(u, v) && fresh(v, u) {
+					m.compID[v] = id
+					m.queue = append(m.queue, v)
 				}
+			}
+		}
+		if size > bestSize {
+			bestComp, bestSize = id, size
+		}
+	}
+	// The majority rule: strictly more than half of the non-Suspect nodes.
+	// Crashed nodes leave the denominator (a 3-of-4 survivor set is a
+	// majority), but a symmetric cut keeps it (2 of 4 is not).
+	majority := bestComp
+	if 2*bestSize <= nonSuspect {
+		majority = -1
+	}
+	m.splitBrain = majority == -1
+
+	for i := 0; i < n; i++ {
+		mb := &m.members[i]
+		if mb.Status == Suspect {
+			continue
+		}
+		inMaj := majority >= 0 && m.compID[i] == majority
+		switch {
+		case mb.Status == Alive && !inMaj:
+			mb.Status = Partitioned
+			m.stats.Partitions++
+			m.bump()
+			for _, fn := range m.onPart {
+				fn(i)
+			}
+		case mb.Status == Partitioned && inMaj:
+			mb.Status = Alive
+			m.stats.Heals++
+			m.bump()
+			for _, fn := range m.onHeal {
+				fn(i)
 			}
 		}
 	}
 }
 
 // WaitStable parks p until the view has been unchanged for StabilizeDelay,
-// then returns the stable view id. Recovery drivers call it before each
-// collective attempt so they do not commit to a membership that is still
-// settling (a crash was just detected, or a restarted node is rejoining).
-func (m *Membership) WaitStable(p *sim.Proc) int64 {
+// then returns the stable view id. When the stable view has no majority
+// component the error is ErrSplitBrain: the caller must not run a
+// collective, and should back off and retry against its attempt budget.
+// Recovery drivers call this before each attempt so they do not commit to
+// a membership that is still settling.
+func (m *Membership) WaitStable(p *sim.Proc) (int64, error) {
 	for {
 		d := m.lastChange + m.cfg.StabilizeDelay - p.Now()
 		if d <= 0 {
-			return m.viewID
+			if m.splitBrain {
+				return m.viewID, ErrSplitBrain
+			}
+			return m.viewID, nil
 		}
 		p.Sleep(d)
 	}

@@ -1,0 +1,140 @@
+package health
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// beatMatrix drives BeatFrom votes every period: pairs lists (observer,
+// subject) edges to refresh each tick. Self-beats must be listed too.
+func beatMatrix(e *sim.Engine, m *Membership, ticks int, pairs [][2]int) {
+	e.Go("beats", func(p *sim.Proc) {
+		for i := 0; i < ticks; i++ {
+			for _, pr := range pairs {
+				m.BeatFrom(pr[0], pr[1], 1)
+			}
+			p.Sleep(10 * sim.Microsecond)
+		}
+		m.Stop()
+	})
+}
+
+// full returns the full mutual beat matrix over ranks.
+func full(ranks ...int) [][2]int {
+	var out [][2]int
+	for _, i := range ranks {
+		for _, j := range ranks {
+			out = append(out, [2]int{i, j})
+		}
+	}
+	return out
+}
+
+// The reachability matrix separates the two failure modes: a node nobody
+// hears — itself included — is crash-Suspect; a node that still vouches
+// for itself but has lost mutual reachability with the majority is
+// Partitioned, and the OnPartition hook names it.
+func TestMatrixClassifiesPartitionedVersusSuspect(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewMembership(e, testHealthCfg(), 4)
+	var parted, suspected []int
+	m.OnPartition(func(n int) { parted = append(parted, n) })
+	m.OnSuspect(func(n int) { suspected = append(suspected, n) })
+	// 0 and 1 hear each other; 3 only hears itself (cut off); 2 is silent.
+	pairs := append(full(0, 1), [2]int{3, 3})
+	beatMatrix(e, m, 30, pairs)
+	e.Run()
+	if m.Member(2).Status != Suspect {
+		t.Fatalf("silent node 2 = %v, want suspect", m.Member(2).Status)
+	}
+	if m.Member(3).Status != Partitioned {
+		t.Fatalf("self-vouching cut-off node 3 = %v, want partitioned", m.Member(3).Status)
+	}
+	if got := m.Alive(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("alive = %v, want the majority [0 1]", got)
+	}
+	if got := m.Partitioned(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Partitioned() = %v, want [3]", got)
+	}
+	if len(parted) != 1 || parted[0] != 3 {
+		t.Fatalf("OnPartition fired for %v, want [3]", parted)
+	}
+	if len(suspected) != 1 || suspected[0] != 2 {
+		t.Fatalf("OnSuspect fired for %v, want [2]", suspected)
+	}
+	st := m.Stats()
+	if st.Partitions != 1 || st.Suspicions != 1 {
+		t.Fatalf("stats = %+v, want 1 partition + 1 suspicion", st)
+	}
+}
+
+// A symmetric half/half cut leaves no majority component: every node is
+// Partitioned and WaitStable refuses to bless either side, returning
+// ErrSplitBrain once the view stabilizes.
+func TestSymmetricCutRefusesSplitBrain(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewMembership(e, testHealthCfg(), 4)
+	pairs := append(full(0, 1), full(2, 3)...)
+	beatMatrix(e, m, 30, pairs)
+	var waitErr error
+	e.Go("driver", func(p *sim.Proc) {
+		p.Sleep(100 * sim.Microsecond) // let the cut be diagnosed
+		_, waitErr = m.WaitStable(p)
+	})
+	e.Run()
+	if !errors.Is(waitErr, ErrSplitBrain) {
+		t.Fatalf("WaitStable = %v, want ErrSplitBrain", waitErr)
+	}
+	if got := m.Alive(); len(got) != 0 {
+		t.Fatalf("alive = %v, want nobody (no side may proceed)", got)
+	}
+	if got := m.Partitioned(); len(got) != 4 {
+		t.Fatalf("Partitioned() = %v, want all four", got)
+	}
+}
+
+// When cross-beats resume, a partitioned node rejoins the majority
+// component: the verdict self-heals, OnHeal fires, and no incarnation bump
+// or rejoin is involved — the node never died.
+func TestHealReturnsPartitionedNodeToAlive(t *testing.T) {
+	e := sim.NewEngine()
+	m := NewMembership(e, testHealthCfg(), 3)
+	var healed []int
+	m.OnHeal(func(n int) { healed = append(healed, n) })
+	e.Go("beats", func(p *sim.Proc) {
+		// Phase 1: node 2 cut off (self-beats only) long enough to classify.
+		for i := 0; i < 10; i++ {
+			for _, pr := range append(full(0, 1), [2]int{2, 2}) {
+				m.BeatFrom(pr[0], pr[1], 1)
+			}
+			p.Sleep(10 * sim.Microsecond)
+		}
+		if m.Member(2).Status != Partitioned {
+			t.Errorf("node 2 = %v before the heal, want partitioned", m.Member(2).Status)
+		}
+		// Phase 2: the cut heals; the full matrix flows again.
+		for i := 0; i < 10; i++ {
+			for _, pr := range full(0, 1, 2) {
+				m.BeatFrom(pr[0], pr[1], 1)
+			}
+			p.Sleep(10 * sim.Microsecond)
+		}
+		m.Stop()
+	})
+	e.Run()
+	if m.Member(2).Status != Alive {
+		t.Fatalf("node 2 = %v after the heal, want alive", m.Member(2).Status)
+	}
+	if m.Member(2).Incarnation != 1 {
+		t.Fatalf("heal bumped the incarnation to %d", m.Member(2).Incarnation)
+	}
+	if len(healed) != 1 || healed[0] != 2 {
+		t.Fatalf("OnHeal fired for %v, want [2]", healed)
+	}
+	st := m.Stats()
+	if st.Heals != 1 || st.Rejoins != 0 {
+		t.Fatalf("stats = %+v, want exactly one heal and no rejoin", st)
+	}
+}

@@ -140,3 +140,65 @@ func TestNilInjectorIdenticalToNoInjector(t *testing.T) {
 		t.Fatalf("nil injector changed timing: %v vs %v", a, b)
 	}
 }
+
+// A degradation window's latency factor stretches flight time (propagation
+// plus switching) but not serialization: arrival time must be linear in
+// the factor — arrival(f) = clean + (f-1)*flight — on both fabrics, so the
+// factor-100 excess is exactly 11x the factor-10 excess.
+func TestDegradeLatencyFactorStretchesFlightLinearly(t *testing.T) {
+	degraded := func(factor float64) config.FaultConfig {
+		return config.FaultConfig{Degrade: config.DegradeConfig{Windows: []config.DegradeWindow{
+			{Src: -1, Dst: -1, Until: sim.Second, LatencyFactor: factor},
+		}}}
+	}
+	arrivals := func(faults config.FaultConfig) map[string]sim.Time {
+		e := sim.NewEngine()
+		out := map[string]sim.Time{}
+		for topo, tr := range transports(e, 4, faults) {
+			topo, tr := topo, tr
+			tr.Bind(3, func(m *Message) { out[topo] = e.Now() })
+			e.Go("send."+topo, func(p *sim.Proc) {
+				tr.Send(&Message{Src: 0, Dst: 3, Size: 64}) // cross-leaf on the tree
+			})
+		}
+		e.Run()
+		return out
+	}
+	clean := arrivals(config.FaultConfig{})
+	slow10 := arrivals(degraded(10))
+	slow100 := arrivals(degraded(100))
+	for topo, cl := range clean {
+		x10, x100 := slow10[topo]-cl, slow100[topo]-cl
+		if x10 <= 0 {
+			t.Fatalf("%s: factor 10 did not slow delivery (clean %v, degraded %v)", topo, cl, slow10[topo])
+		}
+		if x100 != 11*x10 {
+			t.Fatalf("%s: excess not linear in factor: 10x adds %v, 100x adds %v (want 11x)", topo, x10, x100)
+		}
+	}
+}
+
+// Partition blackholes count and suppress delivery at the fabric level.
+func TestPartitionBlackholeSuppressesDelivery(t *testing.T) {
+	cut := config.FaultConfig{Partition: config.PartitionConfig{Events: []config.PartitionEvent{
+		{A: []int{0}, At: 1 * sim.Nanosecond},
+	}}}
+	e := sim.NewEngine()
+	for topo, tr := range transports(e, 4, cut) {
+		delivered := 0
+		tr.Bind(1, func(m *Message) { delivered++ })
+		tr.Bind(3, func(m *Message) { delivered++ })
+		e.Go("send."+topo, func(p *sim.Proc) {
+			p.Sleep(sim.Microsecond)
+			tr.Send(&Message{Src: 0, Dst: 1, Size: 64})
+			tr.Send(&Message{Src: 0, Dst: 3, Size: 64})
+		})
+		e.Run()
+		if delivered != 0 {
+			t.Fatalf("%s: %d messages crossed an active cut", topo, delivered)
+		}
+		if tr.MessagesLost() != 2 {
+			t.Fatalf("%s: MessagesLost = %d, want 2", topo, tr.MessagesLost())
+		}
+	}
+}

@@ -217,6 +217,12 @@ func (f *Fabric) egressDone(portID int) {
 				pkt.msg.Corrupted = true
 				f.msgsCorrupted++
 			}
+			if fate.DelayFactor > 1 {
+				// Link degradation stretches propagation + switching, not
+				// serialization: the port drained at full rate, the medium
+				// is what got slow.
+				flight = sim.Time(float64(flight) * fate.DelayFactor)
+			}
 			flight += fate.Delay
 		}
 	}

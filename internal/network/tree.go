@@ -239,6 +239,11 @@ func (t *TreeFabric) stageDone(s *stage) {
 				pkt.msg.Corrupted = true
 				t.msgsCorrupted++
 			}
+			if fate.DelayFactor > 1 {
+				// Degradation stretches the hop latency the packet is about
+				// to pay (propagation + switching), not its serialization.
+				post = sim.Time(float64(post) * fate.DelayFactor)
+			}
 			post += fate.Delay
 		}
 	}

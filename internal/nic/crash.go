@@ -38,6 +38,10 @@ const (
 	// PeerDeadCrash means an explicit crash report (link-down propagated by
 	// the cluster when the peer's node crashed).
 	PeerDeadCrash
+	// PeerDeadPartition means the membership layer diagnosed a network
+	// partition: the peer is alive but unreachable. Unlike a crash the
+	// verdict is revocable — HealPeer clears it when the cut heals.
+	PeerDeadPartition
 )
 
 func (r PeerDeadReason) String() string {
@@ -46,6 +50,8 @@ func (r PeerDeadReason) String() string {
 		return "retry budget exhausted"
 	case PeerDeadCrash:
 		return "peer crashed"
+	case PeerDeadPartition:
+		return "peer partitioned"
 	default:
 		return fmt.Sprintf("PeerDeadReason(%d)", int(r))
 	}
@@ -192,4 +198,31 @@ func (n *NIC) MarkPeerCrashed(peer network.NodeID) {
 		return
 	}
 	n.rel.declareDead(ch, PeerDeadCrash)
+}
+
+// MarkPeerPartitioned records a partition diagnosis for a peer: the peer is
+// declared dead with reason PeerDeadPartition so pending traffic is
+// withdrawn and upper layers route around it, but — unlike a crash — the
+// verdict is designed to be healed (see HealPeer). No-op without
+// reliability or when the peer is already dead.
+func (n *NIC) MarkPeerPartitioned(peer network.NodeID) {
+	if n.rel == nil || n.down || peer == n.id {
+		return
+	}
+	ch := n.rel.chanTo(peer)
+	if ch.dead {
+		return
+	}
+	n.rel.declareDead(ch, PeerDeadPartition)
+}
+
+// HealPeer clears a dead verdict against a peer — a healed partition or a
+// retracted false suspicion. The channel restarts under a fresh session
+// number (no incarnation bump: the node never died), which the receiver
+// adopts lazily from the first frame. No-op for live or unknown peers.
+func (n *NIC) HealPeer(peer network.NodeID) {
+	if n.rel == nil || n.down || peer == n.id {
+		return
+	}
+	n.rel.heal(peer)
 }

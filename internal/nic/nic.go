@@ -315,6 +315,14 @@ type Stats struct {
 	PeersDeclaredCrashed int64 // peer-dead declarations caused by an explicit crash report
 	CanceledTriggers     int64 // pending entries removed by CancelTriggered
 	UnmatchedDrops       int64 // post-restart inbound ops matching no region
+
+	// Partition / gray-failure counters (all zero without partitions,
+	// heals, or session churn; tested).
+	PeersDeclaredPartitioned int64 // peer-dead declarations diagnosed as partitions
+	PeersHealed              int64 // dead verdicts cleared by HealPeer
+	SessionResets            int64 // receiver adoptions of a healed channel's fresh session
+	StaleSessionDrops        int64 // frames/ACKs from an abandoned channel session
+	RTTSamples               int64 // timestamp-echo RTT measurements folded into SRTT/RTTVAR
 }
 
 // NIC is one node's network interface.
@@ -353,6 +361,11 @@ type NIC struct {
 	inc       int64
 	peerEpoch []int64
 
+	// unreliableMB lists match-bits regions whose puts are sent as
+	// best-effort datagrams, bypassing the reliability layer (heartbeats).
+	// Survives crashes: it is registration metadata, not NIC state.
+	unreliableMB []uint64
+
 	stats Stats
 }
 
@@ -390,6 +403,57 @@ func (n *NIC) Config() config.NICConfig { return n.cfg }
 
 // SetLookupModel replaces the trigger-list match hardware (ablation hook).
 func (n *NIC) SetLookupModel(m LookupModel) { n.lookup = m }
+
+// MarkUnreliable registers a match-bits region as unreliable-datagram
+// class: puts addressed to it bypass the reliability layer entirely (no
+// sequence numbers, no retransmits, never absorbed by a dead-peer
+// verdict). Heartbeats use this so liveness evidence keeps flowing across
+// a partition that has already killed the reliable channels. Idempotent.
+func (n *NIC) MarkUnreliable(matchBits uint64) {
+	for _, mb := range n.unreliableMB {
+		if mb == matchBits {
+			return
+		}
+	}
+	n.unreliableMB = append(n.unreliableMB, matchBits)
+}
+
+// unreliableMatch reports whether matchBits was registered via
+// MarkUnreliable. The list is tiny (heartbeats only), so a linear scan
+// beats a map on the per-send hot path.
+func (n *NIC) unreliableMatch(matchBits uint64) bool {
+	for _, mb := range n.unreliableMB {
+		if mb == matchBits {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkHealth is the per-peer gray-failure score the reliability layer
+// maintains: an EWMA in [0, 1] pulled toward 0 by retransmissions and
+// inflated RTT samples, plus the raw Jacobson/Karels estimator state.
+type LinkHealth struct {
+	// Score is 1 for a clean link, 0 for a dead one; degradation shows up
+	// as the EWMA sagging toward 0 while the link technically still works.
+	Score  float64
+	SRTT   sim.Time
+	RTTVar sim.Time
+	Dead   bool
+}
+
+// LinkHealth returns the health of the sender-side channel toward peer.
+// ok is false when no channel exists (no traffic yet, or reliability off).
+func (n *NIC) LinkHealth(peer network.NodeID) (LinkHealth, bool) {
+	if n.rel == nil {
+		return LinkHealth{}, false
+	}
+	ch := n.rel.chans[peer]
+	if ch == nil {
+		return LinkHealth{}, false
+	}
+	return LinkHealth{Score: ch.health, SRTT: ch.srtt, RTTVar: ch.rttvar, Dead: ch.dead}, true
+}
 
 // SetIOBusLatency configures the extra MMIO hop of a discrete-GPU system.
 func (n *NIC) SetIOBusLatency(d sim.Time) { n.ioBusLatency = d }

@@ -21,18 +21,29 @@ import (
 )
 
 // relEnvelope wraps one data frame with its per-(src,dst) sequence number.
+// sess is the channel session: HealPeer starts a fresh session so sequence
+// spaces restart after a partition heals without a node-incarnation bump.
+// sentAt is the NIC hardware timestamp of this transmission, echoed by the
+// receiver's ACK so RTT samples are never retransmission-ambiguous.
 type relEnvelope struct {
-	seq  uint64
-	meta *wireMeta
+	seq    uint64
+	sess   uint64
+	sentAt sim.Time
+	meta   *wireMeta
 }
 
 // relAck is the unreliable control frame. cum acknowledges all sequence
 // numbers ≤ cum; saw, when nonzero, reports an out-of-order frame held in
 // the receiver's buffer (suppressing its retransmit timer); nack requests
-// an immediate retransmit of nackSeq (corrupt arrival).
+// an immediate retransmit of nackSeq (corrupt arrival). sess names the
+// receiver's current session — the sender ignores ACKs from older sessions.
+// echoTS, when nonzero, echoes the sentAt timestamp of the frame that
+// provoked this ACK (the RTT measurement channel).
 type relAck struct {
 	cum     uint64
 	saw     uint64
+	sess    uint64
+	echoTS  sim.Time
 	nack    bool
 	nackSeq uint64
 }
@@ -53,6 +64,7 @@ type relEntry struct {
 // relChan is the sender-side state toward one destination.
 type relChan struct {
 	dst      network.NodeID
+	sess     uint64 // channel session (bumped by HealPeer)
 	nextSeq  uint64 // last assigned sequence number
 	base     uint64 // highest cumulatively acknowledged sequence number
 	inflight map[uint64]*relEntry
@@ -62,10 +74,19 @@ type relChan struct {
 	// NeighborFailedError and the fencing stats can distinguish an explicit
 	// crash from retry-budget exhaustion (congestion/loss).
 	deadInfo PeerDeadInfo
+	// Jacobson/Karels RTT estimator state, fed by ACK timestamp echoes.
+	// srtt == 0 means "no sample yet". Pure bookkeeping: it changes no
+	// events unless Reliability.AdaptiveRTO arms the adaptive timeout.
+	srtt   sim.Time
+	rttvar sim.Time
+	// health is the link-health EWMA in [0, 1]: 1 = clean, pulled toward 0
+	// by retransmits and inflated RTT samples, toward 1 by clean exchanges.
+	health float64
 }
 
 // relRecv is the receiver-side state from one source.
 type relRecv struct {
+	sess     uint64 // adopted sender session (highest seen)
 	expected uint64 // next in-order sequence number
 	buf      map[uint64]*bufFrame
 }
@@ -77,26 +98,31 @@ type bufFrame struct {
 
 // reliability is one NIC's reliable-delivery engine.
 type reliability struct {
-	n          *NIC
-	cfg        config.ReliabilityConfig
-	chans      map[network.NodeID]*relChan
-	recvs      map[network.NodeID]*relRecv
+	n     *NIC
+	cfg   config.ReliabilityConfig
+	chans map[network.NodeID]*relChan
+	recvs map[network.NodeID]*relRecv
+	// sessTo outlives channel teardown: HealPeer drops a dead channel and
+	// bumps the session here, so the rebuilt channel opens a space the
+	// receiver has never seen and adopts lazily.
+	sessTo     map[network.NodeID]uint64
 	onPeerDead []func(peer network.NodeID)
 }
 
 func newReliability(n *NIC, cfg config.ReliabilityConfig) *reliability {
 	return &reliability{
-		n:     n,
-		cfg:   cfg,
-		chans: make(map[network.NodeID]*relChan),
-		recvs: make(map[network.NodeID]*relRecv),
+		n:      n,
+		cfg:    cfg,
+		chans:  make(map[network.NodeID]*relChan),
+		recvs:  make(map[network.NodeID]*relRecv),
+		sessTo: make(map[network.NodeID]uint64),
 	}
 }
 
 func (r *reliability) chanTo(dst network.NodeID) *relChan {
 	ch := r.chans[dst]
 	if ch == nil {
-		ch = &relChan{dst: dst, inflight: make(map[uint64]*relEntry)}
+		ch = &relChan{dst: dst, sess: r.sessTo[dst], health: 1, inflight: make(map[uint64]*relEntry)}
 		r.chans[dst] = ch
 	}
 	return ch
@@ -129,6 +155,13 @@ func (r *reliability) send(m *network.Message) {
 		r.n.emit(m)
 		return
 	}
+	if r.n.unreliableMatch(meta.matchBits) {
+		// Unreliable-datagram class (heartbeats): best-effort, never queued
+		// behind a window and never absorbed by a dead-channel verdict —
+		// they must keep flowing so a healed partition can be observed.
+		r.n.emit(m)
+		return
+	}
 	ch := r.chanTo(m.Dst)
 	if ch.dead {
 		r.n.stats.SendsToDeadPeer++
@@ -143,11 +176,32 @@ func (r *reliability) send(m *network.Message) {
 	}
 }
 
+// defaultMinRTO floors the adaptive timeout when MinRTO is unset, so a
+// string of identical RTT samples cannot land the timer exactly on the
+// ACK's arrival instant.
+const defaultMinRTO = 1 * sim.Microsecond
+
 // rto computes the retransmission timeout for a frame of the given size on
-// its k-th attempt (1-based): a base plus a size-proportional term, doubled
-// per prior attempt, capped at MaxBackoff.
-func (r *reliability) rto(size int64, attempts int) sim.Time {
-	t := r.cfg.RTOBase + r.cfg.RTOPerKB*sim.Time(size/1024+1)
+// its k-th attempt (1-based). The static formula is a base plus a size-
+// proportional term; with AdaptiveRTO armed and at least one RTT sample,
+// the base becomes the Jacobson/Karels estimate srtt + srtt/8 + 4*rttvar
+// (the srtt/8 guard keeps the timer off the expected ACK instant when
+// rttvar has converged to zero), floored at MinRTO. Either way the result
+// doubles per prior attempt, capped at MaxBackoff.
+func (r *reliability) rto(ch *relChan, size int64, attempts int) sim.Time {
+	var t sim.Time
+	if r.cfg.AdaptiveRTO && ch.srtt > 0 {
+		t = ch.srtt + ch.srtt/8 + 4*ch.rttvar + r.cfg.RTOPerKB*sim.Time(size/1024+1)
+		min := r.cfg.MinRTO
+		if min <= 0 {
+			min = defaultMinRTO
+		}
+		if t < min {
+			t = min
+		}
+	} else {
+		t = r.cfg.RTOBase + r.cfg.RTOPerKB*sim.Time(size/1024+1)
+	}
 	for i := 1; i < attempts; i++ {
 		t *= 2
 		if t >= r.cfg.MaxBackoff {
@@ -160,6 +214,40 @@ func (r *reliability) rto(size int64, attempts int) sim.Time {
 	return t
 }
 
+// sampleRTT feeds one timestamp-echo RTT measurement into the channel's
+// Jacobson/Karels estimator and the link-health EWMA. Estimator state is
+// pure bookkeeping — it never schedules events — so maintaining it
+// unconditionally keeps traces identical while AdaptiveRTO is off.
+func (r *reliability) sampleRTT(ch *relChan, rtt sim.Time) {
+	if rtt <= 0 {
+		return
+	}
+	r.n.stats.RTTSamples++
+	inflated := ch.srtt > 0 && rtt > 2*ch.srtt
+	if ch.srtt == 0 {
+		ch.srtt = rtt
+		ch.rttvar = rtt / 2
+	} else {
+		diff := rtt - ch.srtt
+		if diff < 0 {
+			diff = -diff
+		}
+		ch.rttvar += (diff - ch.rttvar) / 4
+		ch.srtt += (rtt - ch.srtt) / 8
+	}
+	if inflated {
+		r.noteLink(ch, 0.5)
+	} else {
+		r.noteLink(ch, 1)
+	}
+}
+
+// noteLink folds one link observation into the health EWMA: 1 for a clean
+// exchange, 0.5 for an inflated RTT sample, 0 for a retransmission.
+func (r *reliability) noteLink(ch *relChan, good float64) {
+	ch.health += (good - ch.health) / 8
+}
+
 // transmit puts a frame on the wire and arms its retransmit timer.
 func (r *reliability) transmit(ch *relChan, e *relEntry) {
 	ch.inflight[e.seq] = e
@@ -169,10 +257,10 @@ func (r *reliability) transmit(ch *relChan, e *relEntry) {
 		Dst:     ch.dst,
 		Size:    e.size,
 		Kind:    e.kind,
-		Payload: &relEnvelope{seq: e.seq, meta: e.meta},
+		Payload: &relEnvelope{seq: e.seq, sess: ch.sess, sentAt: r.n.eng.Now(), meta: e.meta},
 	})
 	seq := e.seq
-	e.timer = r.n.eng.After(r.rto(e.size, e.attempts), func() {
+	e.timer = r.n.eng.After(r.rto(ch, e.size, e.attempts), func() {
 		r.onTimeout(ch, seq)
 	})
 }
@@ -188,6 +276,7 @@ func (r *reliability) onTimeout(ch *relChan, seq uint64) {
 		return
 	}
 	r.n.stats.Retransmits++
+	r.noteLink(ch, 0)
 	r.transmit(ch, e)
 }
 
@@ -197,6 +286,16 @@ func (r *reliability) onAck(src network.NodeID, a *relAck) {
 	if ch == nil || ch.dead {
 		return
 	}
+	if a.sess != ch.sess {
+		// An ACK from a previous channel session (late arrival across a
+		// heal, or the receiver has not adopted the new session yet): it
+		// describes a sequence space this channel no longer uses.
+		r.n.stats.StaleSessionDrops++
+		return
+	}
+	if a.echoTS > 0 {
+		r.sampleRTT(ch, r.n.eng.Now()-a.echoTS)
+	}
 	if a.nack {
 		if e := ch.inflight[a.nackSeq]; e != nil {
 			e.timer.Cancel()
@@ -205,6 +304,7 @@ func (r *reliability) onAck(src network.NodeID, a *relAck) {
 				return
 			}
 			r.n.stats.Retransmits++
+			r.noteLink(ch, 0)
 			r.transmit(ch, e)
 		}
 		return
@@ -239,16 +339,32 @@ func (r *reliability) onAck(src network.NodeID, a *relAck) {
 func (r *reliability) onData(m *network.Message, env *relEnvelope) {
 	rc := r.recvFrom(m.Src)
 	if m.Corrupted {
+		// A corrupt frame's header fields are untrusted: NACK it under the
+		// current session without adopting anything from it.
 		r.n.stats.NacksSent++
-		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, nack: true, nackSeq: env.seq})
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, nack: true, nackSeq: env.seq})
 		return
+	}
+	if env.sess != rc.sess {
+		if env.sess < rc.sess {
+			// Leftover of a pre-heal session still in flight: its sequence
+			// numbers belong to an abandoned space.
+			r.n.stats.StaleSessionDrops++
+			return
+		}
+		// The sender healed this channel and opened a fresh session:
+		// adopt it and restart the in-order space.
+		rc.sess = env.sess
+		rc.expected = 1
+		rc.buf = make(map[uint64]*bufFrame)
+		r.n.stats.SessionResets++
 	}
 	switch {
 	case env.seq < rc.expected:
 		// Duplicate of an already-delivered frame (a lost ACK made the
 		// sender retransmit): drop it and refresh the cumulative ACK.
 		r.n.stats.DupesDropped++
-		r.sendAck(m.Src, &relAck{cum: rc.expected - 1})
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, echoTS: env.sentAt})
 	case env.seq == rc.expected:
 		r.n.dispatch(m, env.meta)
 		rc.expected++
@@ -262,14 +378,14 @@ func (r *reliability) onData(m *network.Message, env *relEnvelope) {
 			r.n.dispatch(bf.m, bf.meta)
 			rc.expected++
 		}
-		r.sendAck(m.Src, &relAck{cum: rc.expected - 1})
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, echoTS: env.sentAt})
 	default: // out of order: hold it, report the gap
 		if rc.buf[env.seq] == nil {
 			rc.buf[env.seq] = &bufFrame{m: m, meta: env.meta}
 		} else {
 			r.n.stats.DupesDropped++
 		}
-		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, saw: env.seq})
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, saw: env.seq, echoTS: env.sentAt})
 	}
 }
 
@@ -293,10 +409,14 @@ func (r *reliability) sendAck(dst network.NodeID, a *relAck) {
 // notified so they can route around the failure.
 func (r *reliability) declareDead(ch *relChan, reason PeerDeadReason) {
 	ch.dead = true
+	ch.health = 0
 	ch.deadInfo = PeerDeadInfo{At: r.n.eng.Now(), Reason: reason}
 	r.n.stats.PeersDeclaredDead++
-	if reason == PeerDeadCrash {
+	switch reason {
+	case PeerDeadCrash:
 		r.n.stats.PeersDeclaredCrashed++
+	case PeerDeadPartition:
+		r.n.stats.PeersDeclaredPartitioned++
 	}
 	for s := ch.base + 1; s <= ch.nextSeq; s++ {
 		if e := ch.inflight[s]; e != nil {
@@ -325,6 +445,21 @@ func (r *reliability) resetPeer(peer network.NodeID) {
 		delete(r.chans, peer)
 	}
 	delete(r.recvs, peer)
+}
+
+// heal clears a dead verdict against a peer after a partition (or a false
+// suspicion) ends: the dead channel is dropped and the next send opens a
+// fresh session, whose higher session number the receiver adopts lazily —
+// no incarnation bump, no epoch announcement, no receiver coordination.
+// A live channel is left untouched (nothing to heal).
+func (r *reliability) heal(peer network.NodeID) {
+	ch := r.chans[peer]
+	if ch == nil || !ch.dead {
+		return
+	}
+	r.sessTo[peer] = ch.sess + 1
+	delete(r.chans, peer)
+	r.n.stats.PeersHealed++
 }
 
 // cancelAllTimers disarms every retransmit timer (crash teardown). Map

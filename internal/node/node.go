@@ -244,8 +244,33 @@ func (c *Cluster) Diagnose() *sim.HangError {
 	he := c.Eng.Diagnose(starved)
 	if he != nil {
 		he.Crashed = crashed
+		he.Partitions = c.unhealedPartitions()
 	}
 	return he
+}
+
+// unhealedPartitions converts the injector's still-in-force, never-healing
+// cuts into the watchdog's sim-local type (sim cannot import fault). An
+// empty B side in the schedule means "everyone else"; the diagnosis
+// materializes it so the error names both sides.
+func (c *Cluster) unhealedPartitions() []sim.UnhealedPartition {
+	var out []sim.UnhealedPartition
+	for _, u := range c.Injector.Partitions().Unhealed(c.Eng.Now()) {
+		b := u.B
+		if len(b) == 0 {
+			inA := make(map[int]bool, len(u.A))
+			for _, n := range u.A {
+				inA[n] = true
+			}
+			for i := range c.Nodes {
+				if !inA[i] {
+					b = append(b, i)
+				}
+			}
+		}
+		out = append(out, sim.UnhealedPartition{A: u.A, B: b, At: u.At, Asymmetric: u.Asymmetric})
+	}
+	return out
 }
 
 // StatsReport renders a per-node dump of the observability counters
@@ -273,6 +298,10 @@ func (c *Cluster) StatsReport() string {
 				ns.Retransmits, ns.AcksSent, ns.NacksSent, ns.DupesDropped,
 				ns.CorruptDropped, ns.PeersDeclaredDead, ns.LostTriggerWrites)
 		}
+		if ns.PeersDeclaredPartitioned+ns.PeersHealed+ns.SessionResets+ns.StaleSessionDrops > 0 {
+			fmt.Fprintf(&b, "         part{peersPart=%d healed=%d sessResets=%d staleSess=%d rttSamples=%d}\n",
+				ns.PeersDeclaredPartitioned, ns.PeersHealed, ns.SessionResets, ns.StaleSessionDrops, ns.RTTSamples)
+		}
 		if ns.Crashes+ns.Restarts+ns.DownDrops+ns.StaleSrcDrops+ns.StaleDstDrops+ns.EpochResets+
 			ns.FencedCommands+ns.FencedTriggers+ns.FencedDeliveries+ns.PeersDeclaredCrashed > 0 {
 			fmt.Fprintf(&b, "         crash{crashes=%d restarts=%d inc=%d downDrops=%d staleSrc=%d staleDst=%d epochResets=%d fencedCmds=%d fencedTrig=%d fencedDeliv=%d peersCrashed=%d}\n",
@@ -289,6 +318,10 @@ func (c *Cluster) StatsReport() string {
 		fmt.Fprintf(&b, "injected: pktDrop=%d (flap=%d) corrupt=%d delayed=%d trigDrop=%d trigDelay=%d cmdStall=%d; fabric lostMsgs=%d\n",
 			fs.PacketsDropped, fs.FlapDrops, fs.PacketsCorrupted, fs.PacketsDelayed,
 			fs.TriggerDrops, fs.TriggerDelays, fs.CommandStalls, c.Fabric.MessagesLost())
+		if fs.PartitionDrops+fs.DegradeDrops+fs.DegradeSlowed > 0 {
+			fmt.Fprintf(&b, "degraded: partDrop=%d degradeDrop=%d degradeSlow=%d\n",
+				fs.PartitionDrops, fs.DegradeDrops, fs.DegradeSlowed)
+		}
 	}
 	return b.String()
 }

@@ -65,6 +65,29 @@ func (c CrashedNode) String() string {
 	return fmt.Sprintf("node %d (down since %v)", c.Node, c.At)
 }
 
+// UnhealedPartition names a network cut that was still in force at
+// quiescence and whose schedule never heals it — a hang cause distinct from
+// a crash: both sides are up and their processes are parked, but no frame
+// (or retransmission) can ever cross the cut. Defined here rather than in
+// the fault package because sim sits below it in the import order; the
+// cluster diagnosis converts from the injector's schedule.
+type UnhealedPartition struct {
+	// A and B are the two sides of the cut (node indices, sorted).
+	A, B []int
+	// At is the simulated time the cut took effect.
+	At Time
+	// Asymmetric is true when only A->B traffic was blackholed.
+	Asymmetric bool
+}
+
+func (u UnhealedPartition) String() string {
+	dir := "|"
+	if u.Asymmetric {
+		dir = "-x>"
+	}
+	return fmt.Sprintf("%v%s%v (partitioned at %v, never healed)", u.A, dir, u.B, u.At)
+}
+
 // HangError is the structured diagnosis of a simulation that went quiescent
 // with unsatisfied waiters. It is the shared error type behind every
 // "a rank never completed" path; callers unwrap it with errors.As to reach
@@ -79,6 +102,9 @@ type HangError struct {
 	// Crashed lists nodes that crashed and never restarted, the likely
 	// root cause of the waits above (populated by Cluster.Diagnose).
 	Crashed []CrashedNode
+	// Partitions lists network cuts still in force whose schedule never
+	// heals them (populated by Cluster.Diagnose from the fault injector).
+	Partitions []UnhealedPartition
 }
 
 // diagListMax bounds how many entries an Error() string spells out.
@@ -101,6 +127,9 @@ func (e *HangError) Error() string {
 	fmt.Fprintf(&b, "sim: quiescent at %v with unsatisfied waiters", e.At)
 	if len(e.Crashed) > 0 {
 		fmt.Fprintf(&b, "; crashed and never restarted: %s", joinCapped(e.Crashed))
+	}
+	if len(e.Partitions) > 0 {
+		fmt.Fprintf(&b, "; unhealed partitions: %s", joinCapped(e.Partitions))
 	}
 	if len(e.Starved) > 0 {
 		fmt.Fprintf(&b, "; starved triggers: %s", joinCapped(e.Starved))

@@ -98,7 +98,16 @@ func RunRecoverable(p *sim.Proc, c *node.Cluster, m *health.Membership, rp Recov
 		maxAttempts = 8
 	}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		view := m.WaitStable(p)
+		view, verr := m.WaitStable(p)
+		if verr != nil {
+			// Split-brain: no majority component, so no side may relax the
+			// grid. Same bounded-poll shape as ErrGridIncomplete below.
+			res.Attempts = append(res.Attempts, RecoverAttempt{
+				Start: p.Now(), End: p.Now(), ViewID: view, Err: verr,
+			})
+			p.Sleep(m.Config().SuspectAfter)
+			continue
+		}
 		alive := m.Alive()
 		ready := len(alive) == dec.Nodes()
 		for _, i := range alive {
