@@ -1,9 +1,12 @@
 GO ?= go
 
-.PHONY: check chaos build test vet lint bench bench-smoke
+.PHONY: check chaos build test vet lint bench bench-smoke fuzz-smoke
 
 # Pinned so CI runs reproduce: bump deliberately, not via a floating tag.
 STATICCHECK_VERSION ?= 2024.1.1
+
+# Per-target budget for the fuzz smoke run.
+FUZZ_TIME ?= 15s
 
 ## check: the full gate — vet, build, and the whole suite under the race
 ## detector (includes the crash-recovery smoke tests alongside everything else).
@@ -18,11 +21,14 @@ check:
 ## lists (complete exactly or return a watchdog diagnosis — never hang), the
 ## NIC reliability and trigger-fault property tests, the crash-restart
 ## matrix: mid-collective crashes with epoch-fenced rejoin, heartbeat
-## membership convergence, and recoverable Jacobi reintegration — and the
+## membership convergence, and recoverable Jacobi reintegration — the
 ## partition matrix: clean and asymmetric cuts, gray links under static vs
-## adaptive RTO, split-brain refusal, and mid-collective heal rejoin.
+## adaptive RTO, split-brain refusal, and mid-collective heal rejoin — and
+## the SDC matrix: silent wire/buffer/reducer corruption caught by the e2e
+## checksum and claim chain, with blame-driven permanent quarantine and
+## exact sums over the post-quarantine membership.
 chaos:
-	$(GO) test -race -v -run 'TestChaos|TestReliable|TestAllreduceTimeout|TestAllreduceRingHeal|TestBroadcastHeal|TestBroadcastTimeout|TestRelaxedSyncRace|TestTriggerWriteLoss|TestCrash|TestRecoverable|TestRestartEpoch|TestStaleSrc|TestCancelTriggered|TestMarkPeerCrashed|TestSuite|TestPeerDead|TestPartition|TestDoubleCrash|TestAdaptiveRTO|TestLinkHealth|TestMatrixClassifies|TestSymmetricCut|TestHealReturns' ./internal/collective/ ./internal/nic/ ./internal/health/ ./internal/workloads/jacobi/
+	$(GO) test -race -v -run 'TestChaos|TestReliable|TestAllreduceTimeout|TestAllreduceRingHeal|TestBroadcastHeal|TestBroadcastTimeout|TestRelaxedSyncRace|TestTriggerWriteLoss|TestCrash|TestRecoverable|TestRestartEpoch|TestStaleSrc|TestCancelTriggered|TestMarkPeerCrashed|TestSuite|TestPeerDead|TestPartition|TestDoubleCrash|TestAdaptiveRTO|TestLinkHealth|TestMatrixClassifies|TestSymmetricCut|TestHealReturns|TestSDC|TestQuarantineIsPermanent' ./internal/collective/ ./internal/nic/ ./internal/health/ ./internal/workloads/jacobi/
 
 build:
 	$(GO) build ./...
@@ -49,3 +55,12 @@ bench:
 ## regression), then overwrites it with the fresh smoke report.
 bench-smoke:
 	$(GO) run ./cmd/gputn-bench -exp perf -perf-preset smoke -bench-baseline BENCH_sim.json -bench-out BENCH_sim.json
+
+## fuzz-smoke: every committed Fuzz* target under the actual fuzzer for
+## FUZZ_TIME each — plain `go test` only replays their seed corpora. The
+## engine allows one -fuzz pattern per invocation, so targets run serially.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzBytesAtGbps$$' -fuzztime $(FUZZ_TIME) ./internal/sim/
+	$(GO) test -run '^$$' -fuzz '^FuzzTimeString$$' -fuzztime $(FUZZ_TIME) ./internal/sim/
+	$(GO) test -run '^$$' -fuzz '^FuzzPlan$$' -fuzztime $(FUZZ_TIME) ./internal/core/
+	$(GO) test -run '^$$' -fuzz '^FuzzE2ERetransmit$$' -fuzztime $(FUZZ_TIME) ./internal/nic/

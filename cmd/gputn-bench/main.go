@@ -9,8 +9,8 @@
 //	gputn-bench -exp faults -fault-drop 0.05 -reliable
 //
 // Experiments: fig1, fig8, fig9, fig10, fig11, table1, table2, table3,
-// ablations, faults, resources, crash, perf, all; "figures" runs fig1+
-// fig8+fig9+fig10+fig11.
+// ablations, faults, resources, crash, partitions, sdc, perf, all;
+// "figures" runs fig1+fig8+fig9+fig10+fig11.
 //
 // The -parallel flag sets how many OS threads the sweep runner fans
 // independent simulation replicas across (default: NumCPU). Results are
@@ -44,6 +44,15 @@
 // to the per-peer Jacobson/Karels estimator. -exp partitions sweeps
 // partition heal delay and gray-link severity per backend. -list prints
 // every experiment with a one-line description and exits.
+//
+// The -sdc-* flag group arms silent-data-corruption injection — corruption
+// the link checksum does NOT catch (silent wire flips, buffer corruption at
+// rest on one node, a faulty reducer rank) — and -e2e arms the end-to-end
+// payload checksum that detects it (-e2e-latency-ns prices each sum). All
+// zero keeps the corruption-free behavior bit-for-bit. -exp sdc sweeps
+// corruption rate x class, reporting detection latency, undetected-escape
+// rate with/without verification, and the e2e checksum's clean-path
+// overhead per backend.
 package main
 
 import (
@@ -79,6 +88,7 @@ var experimentList = []struct{ name, desc string }{
 	{"resources", "NIC resource-pressure sweep (bounded trigger lists and queues)"},
 	{"crash", "crash-stop/restart recovery latency vs restart delay per backend"},
 	{"partitions", "partition heal-delay sweep and gray-link static-vs-adaptive RTO comparison"},
+	{"sdc", "silent-data-corruption sweep: detection latency, escape rate, e2e checksum overhead"},
 	{"perf", "simulator self-benchmark: events/sec, allocs/event, wall time (not part of -exp all)"},
 }
 
@@ -120,7 +130,7 @@ func main() { os.Exit(run()) }
 
 // run is main minus os.Exit, so profile-flushing defers always execute.
 func run() int {
-	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|crash|partitions|perf|figures|all")
+	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|crash|partitions|sdc|perf|figures|all")
 	list := flag.Bool("list", false, "list all experiments with one-line descriptions and exit")
 	csvDir := flag.String("csv", "", "also write figure data as CSV into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker threads for sweep replicas (1 = serial)")
@@ -161,6 +171,16 @@ func run() int {
 	healthPeriodUS := flag.Float64("health-period-us", 0, "heartbeat GPU-tick period (us); 0 = default")
 	healthSuspectUS := flag.Float64("health-suspect-us", 0, "silence before a node is suspected dead (us); 0 = default")
 	healthStabilizeUS := flag.Float64("health-stabilize-us", 0, "view-stability window before reintegration (us); 0 = default")
+
+	sdcSeed := flag.Int64("sdc-seed", 42, "SDC plan private RNG seed")
+	sdcWire := flag.Float64("sdc-wire", 0, "per-packet silent wire-corruption probability [0,1] (link CRC stays green)")
+	sdcBuffer := flag.Float64("sdc-buffer", 0, "per-send buffer-corruption-at-rest probability [0,1] on -sdc-buffer-node")
+	sdcBufferNode := flag.Int("sdc-buffer-node", 0, "node whose send buffers corrupt at rest")
+	sdcRank := flag.Int("sdc-rank", 0, "rank whose reduction combines are wrong during the faulty window")
+	sdcFromUS := flag.Float64("sdc-from-us", 0, "faulty-reducer window start (us)")
+	sdcUntilUS := flag.Float64("sdc-until-us", 0, "faulty-reducer window end (us); 0 disables the window")
+	e2e := flag.Bool("e2e", false, "arm the end-to-end payload checksum (CRC32C, verified at the destination)")
+	e2eLatencyNS := flag.Float64("e2e-latency-ns", 0, "modeled per-message checksum compute/verify cost (ns)")
 
 	capTrig := flag.Int("cap-trigger-entries", 0, "trigger-list capacity (0 = paper default of 16)")
 	capPlaceholders := flag.Int("cap-placeholders", 0, "relaxed-sync placeholder budget (0 = shared with trigger list)")
@@ -252,6 +272,21 @@ func run() int {
 			Ramp:          *degradeRamp,
 		}}}
 	}
+	if *sdcWire > 0 || *sdcBuffer > 0 || *sdcUntilUS > 0 {
+		cfg.Faults.SDC = config.SDCConfig{
+			Seed:        *sdcSeed,
+			WireProb:    *sdcWire,
+			BufferProb:  *sdcBuffer,
+			BufferNode:  *sdcBufferNode,
+			FaultyRank:  *sdcRank,
+			FaultyFrom:  sim.Time(*sdcFromUS * float64(sim.Microsecond)),
+			FaultyUntil: sim.Time(*sdcUntilUS * float64(sim.Microsecond)),
+		}
+	}
+	if *e2e {
+		cfg.NIC.E2EChecksum = true
+		cfg.NIC.E2EChecksumLatency = sim.Time(*e2eLatencyNS * float64(sim.Nanosecond))
+	}
 	if *reliable {
 		cfg.NIC.Reliability = config.DefaultReliability()
 		cfg.NIC.Reliability.AdaptiveRTO = *adaptiveRTO
@@ -310,6 +345,9 @@ func run() int {
 		}
 		fmt.Printf("reliability: window=%d rtoBase=%v rtoPerKB=%v maxBackoff=%v budget=%d rto=%s\n",
 			r.WindowSize, r.RTOBase, r.RTOPerKB, r.MaxBackoff, r.RetryBudget, rto)
+	}
+	if cfg.NIC.E2EChecksum {
+		fmt.Printf("e2e checksum: on latency=%v\n", cfg.NIC.E2EChecksumLatency)
 	}
 	if rc := cfg.NIC.Resources; rc.Enabled() || *capTrigFIFO > 0 {
 		fmt.Printf("resources: triggerEntries=%d placeholders=%d cmdq=%d trigFIFO=%d eq=%d (0 = unbounded/default)\n",
@@ -381,6 +419,13 @@ func run() int {
 			fmt.Println(bench.RenderPartitions(cfg))
 			return nil
 		},
+		"sdc": func() error {
+			// The SDC sweep arms its own corruption schedule and e2e
+			// checksum per cell; the -e2e-latency-ns and -health-* flags
+			// select the baseline pricing and heartbeat timing.
+			fmt.Println(bench.RenderSDC(cfg))
+			return nil
+		},
 		"perf": func() error {
 			rep, err := bench.RunPerf(cfg, *perfPreset)
 			if err != nil {
@@ -411,7 +456,7 @@ func run() int {
 			return nil
 		},
 	}
-	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults", "resources", "crash", "partitions"}
+	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults", "resources", "crash", "partitions", "sdc"}
 	figures := []string{"fig1", "fig8", "fig9", "fig10", "fig11"}
 
 	var names []string

@@ -1,11 +1,14 @@
 package collective
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/backends"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/nic"
 	"repro/internal/node"
@@ -97,11 +100,49 @@ type Result struct {
 	Output [][]float32
 }
 
-// chunkMsg is the wire payload of one ring step.
+// chunkMsg is the wire payload of one ring step. Verified runs additionally
+// carry an in-band claim — the sender's claimed float64 sum of vals — which
+// the receiver checks against the actual contents (the ABFT-style blame
+// chain of RunVerified). tainted is simulator omniscience, not protocol
+// state: it rides along so the NIC's escape counters and the chaos tests
+// can tell whether injected corruption reached application data.
 type chunkMsg struct {
-	step int
-	vals []float32
+	step     int
+	vals     []float32
+	claim    float64
+	hasClaim bool
+	tainted  bool
 }
+
+// ChecksumBytes serializes the body the end-to-end CRC covers: the step,
+// the claim, and every element's bit pattern. tainted is metadata the wire
+// does not carry, so it stays out of the sum.
+func (m chunkMsg) ChecksumBytes() []byte {
+	b := make([]byte, 0, 12+4*len(m.vals))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.step))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(m.claim))
+	for _, v := range m.vals {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+	}
+	return b
+}
+
+// CorruptCopy returns a deep copy with one element's bits flipped — the
+// deterministic materialization of injected wire/buffer corruption. The
+// claim is left intact: corruption never fixes up the sender's claimed sum,
+// which is exactly what the verified layer detects.
+func (m chunkMsg) CorruptCopy() any {
+	cp := m
+	cp.vals = append([]float32(nil), m.vals...)
+	if len(cp.vals) > 0 {
+		cp.vals[0] = fault.CorruptFloat32(cp.vals[0])
+	}
+	cp.tainted = true
+	return cp
+}
+
+// IsCorrupt reports whether this payload carries injected corruption.
+func (m chunkMsg) IsCorrupt() bool { return m.tainted }
 
 // rankState is the per-rank execution state shared by all backends.
 type rankState struct {
@@ -128,6 +169,71 @@ type rankState struct {
 	pos  int
 	// timeout bounds each receive wait (0 = wait forever).
 	timeout sim.Time
+
+	// sdc is the node's silent-corruption plan (nil when nothing is
+	// armed): injection is ambient, driven by config, on every run kind.
+	sdc *fault.SDCPlan
+	// verify, when non-nil, threads the in-band claim chain through sends
+	// and deliveries (RunVerified).
+	verify *verifyState
+}
+
+// applyChunk lands one ring chunk into the rank's vector: claim
+// verification (first observer blames and then relays honestly), the
+// reduce-or-copy, claim-chain bookkeeping, and the faulty-reducer
+// injection that corrupts the combine's output.
+func (st *rankState) applyChunk(msg chunkMsg) {
+	if st.vec == nil {
+		return
+	}
+	r := st.rounds[msg.step]
+	lo, hi := ChunkRange(st.nelems, st.nranks, r.RecvChunk)
+	if len(msg.vals) != hi-lo {
+		panic(fmt.Sprintf("collective: chunk size mismatch %d vs %d", len(msg.vals), hi-lo))
+	}
+	v := st.verify
+	if v != nil && v.check && msg.hasClaim {
+		got := sum64(msg.vals)
+		if diff := got - msg.claim; diff > verifyEps || diff < -verifyEps {
+			// First observer: the chunk's contents do not add up to what
+			// the sender claimed, so the sender's compute pipeline is
+			// indicted. Overwrite the claim with the actual sum before it
+			// enters this rank's chain — downstream ranks relay the (bad)
+			// data honestly instead of re-blaming innocents.
+			v.log.add(Violation{
+				Observer: st.nd.Index, Blamed: st.left(),
+				Step: msg.step, At: st.nd.Eng.Now(),
+			})
+			msg.claim = got
+		}
+	}
+	if r.Reduce {
+		for k, val := range msg.vals {
+			st.vec[lo+k] += val
+		}
+	} else {
+		copy(st.vec[lo:hi], msg.vals)
+	}
+	if v != nil {
+		if msg.tainted {
+			v.taint[r.RecvChunk] = true
+		}
+		if v.check {
+			if r.Reduce {
+				v.claims[r.RecvChunk] = msg.claim + v.own[r.RecvChunk]
+			} else {
+				v.claims[r.RecvChunk] = msg.claim
+			}
+		}
+	}
+	if r.Reduce && st.sdc.FaultyReducer(st.nd.Eng.Now(), st.nd.Index) {
+		// The faulty rank's combine produced a wrong value; its claim
+		// chain is untouched, so the next hop's check exposes it.
+		st.vec[lo] = fault.CorruptFloat32(st.vec[lo])
+		if v != nil {
+			v.taint[r.RecvChunk] = true
+		}
+	}
 }
 
 // Run executes one Allreduce on the cluster and drives the simulation to
@@ -218,6 +324,7 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 			mb:      allreduceMatchBits,
 			tagBase: 0,
 			timeout: cfg.Timeout,
+			sdc:     c.Nodes[i].NIC.Injector().SDC(),
 		}
 		if heal {
 			st.ring, st.pos = alive, pos
@@ -252,19 +359,7 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 				if st.vec == nil {
 					return
 				}
-				msg := d.Data.(chunkMsg)
-				r := st.rounds[msg.step]
-				lo, hi := ChunkRange(st.nelems, st.nranks, r.RecvChunk)
-				if len(msg.vals) != hi-lo {
-					panic(fmt.Sprintf("collective: chunk size mismatch %d vs %d", len(msg.vals), hi-lo))
-				}
-				if r.Reduce {
-					for k, v := range msg.vals {
-						st.vec[lo+k] += v
-					}
-				} else {
-					copy(st.vec[lo:hi], msg.vals)
-				}
+				st.applyChunk(d.Data.(chunkMsg))
 			},
 		})
 	}
@@ -363,6 +458,8 @@ func (st *rankState) neighborFailed(step int, err error) error {
 
 // sendPayload builds the deferred wire payload for one round: the chunk
 // contents are captured at NIC DMA time, after the producing reduction.
+// Verified runs attach the chunk's current claimed sum and taint flag at
+// the same instant, so the claim always describes the bytes actually sent.
 func (st *rankState) sendPayload(r Round) any {
 	if st.vec == nil {
 		return nil
@@ -371,7 +468,14 @@ func (st *rankState) sendPayload(r Round) any {
 	chunk := r.SendChunk
 	return nic.Deferred(func() any {
 		lo, hi := ChunkRange(st.nelems, st.nranks, chunk)
-		return chunkMsg{step: step, vals: append([]float32(nil), st.vec[lo:hi]...)}
+		m := chunkMsg{step: step, vals: append([]float32(nil), st.vec[lo:hi]...)}
+		if v := st.verify; v != nil {
+			m.tainted = v.taint[chunk]
+			if v.check {
+				m.claim, m.hasClaim = v.claims[chunk], true
+			}
+		}
+		return m
 	})
 }
 

@@ -17,6 +17,7 @@
 package collective
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/backends"
@@ -86,6 +87,13 @@ type RecoverResult struct {
 // stable membership view. It runs on the calling process (in-simulation):
 // spawn it with eng.Go and read the result after the cluster drains.
 func RunRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg RecoverConfig) (RecoverResult, error) {
+	return runRecoverable(p, cl, m, cfg, nil)
+}
+
+// runRecoverable is the shared attempt loop; ver (nil for plain
+// recoverable runs) threads the verified layer's claim chain through every
+// attempt and settles blame between attempts.
+func runRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg RecoverConfig, ver *verifyRun) (RecoverResult, error) {
 	n := cl.Size()
 	var res RecoverResult
 	if n < 2 {
@@ -133,13 +141,26 @@ func RunRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg Rec
 			continue
 		}
 		rep := AttemptReport{Start: p.Now(), ViewID: view, Alive: append([]int(nil), alive...)}
-		out, completed, err := runAttempt(p, cl, cfg, alive, attempt)
+		out, completed, err := runAttempt(p, cl, cfg, alive, attempt, ver)
 		rep.End, rep.Completed, rep.Err = p.Now(), completed, err
 		res.Attempts = append(res.Attempts, rep)
 		if err != nil {
 			lastErr = err
 		}
-		if completed && err == nil && m.ViewID() == view {
+		violations := 0
+		if ver != nil {
+			// Settle blame before judging the attempt: quarantine bumps the
+			// view, so an attempt that reduced a corrupt rank's data fails
+			// the view-unchanged check below and retries over the survivors.
+			violations = ver.settle(cl, m)
+			if violations > 0 {
+				verr := fmt.Errorf("collective: attempt %d: %d integrity violations", attempt, violations)
+				rep.Err = errors.Join(rep.Err, verr)
+				res.Attempts[len(res.Attempts)-1] = rep
+				lastErr = verr
+			}
+		}
+		if completed && err == nil && violations == 0 && m.ViewID() == view {
 			res.Duration = p.Now()
 			res.ViewID = view
 			res.Alive = rep.Alive
@@ -157,7 +178,7 @@ func RunRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg Rec
 // match bits and trigger tags, waiting until every participant's runner
 // has exited (normally or killed by a crash). completed reports whether
 // all runners finished their backend code.
-func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, attempt int) (out [][]float32, completed bool, err error) {
+func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, attempt int, ver *verifyRun) (out [][]float32, completed bool, err error) {
 	n := cl.Size()
 	ringSize := len(alive)
 	if cfg.TotalBytes < int64(ringSize)*elemBytes {
@@ -199,12 +220,16 @@ func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, a
 			ring:    alive,
 			pos:     pos,
 			timeout: cfg.Timeout,
+			sdc:     nd.NIC.Injector().SDC(),
 		}
 		if cfg.Data != nil {
 			if len(cfg.Data[i]) != nelems {
 				return nil, false, fmt.Errorf("collective: rank %d vector has %d elems, want %d", i, len(cfg.Data[i]), nelems)
 			}
 			st.vec = append([]float32(nil), cfg.Data[i]...)
+			if ver != nil {
+				st.verify = ver.newState(ringSize, nelems, st.vec)
+			}
 		}
 		states[i] = st
 	}
@@ -218,16 +243,7 @@ func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, a
 				if st.vec == nil {
 					return
 				}
-				msg := d.Data.(chunkMsg)
-				r := st.rounds[msg.step]
-				lo, hi := ChunkRange(st.nelems, st.nranks, r.RecvChunk)
-				if r.Reduce {
-					for k, v := range msg.vals {
-						st.vec[lo+k] += v
-					}
-				} else {
-					copy(st.vec[lo:hi], msg.vals)
-				}
+				st.applyChunk(d.Data.(chunkMsg))
 			},
 		})
 	}

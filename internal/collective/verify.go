@@ -1,0 +1,172 @@
+// Verified collectives: RunVerified is RunRecoverable plus an in-band
+// integrity layer. Every ring chunk carries a claim — the sender's float64
+// sum of the partial reductions it ships — maintained as a chain: a rank's
+// outgoing claim for a reduce step is the inbound claim plus the float64
+// sum of its own pristine input slice, and an allgather step passes the
+// claim through. With integer-valued inputs both sums are exact, so any
+// corruption of the data (a faulty reducer's botched combine, a buffer
+// flip that survived frame-level retransmission self-consistently, silent
+// wire corruption with the e2e checksum off) breaks the equality at the
+// next hop. The first observer records a Violation blaming its ring
+// predecessor and then relays honestly (claim rewritten to the actual
+// sum), so corruption is blamed exactly once, at the rank whose compute
+// pipeline produced it.
+//
+// Verification never aborts an attempt — deliveries still bump counting
+// events, so even GDS stream waits run to completion. Between attempts the
+// driver settles blame: new Violations plus the NICs' frame-level strike
+// deltas are reported to the membership layer, which quarantines a rank
+// crossing the strike threshold (permanently — a flaky core does not
+// heal). The next attempt's stable view excludes the quarantined rank, the
+// ring heals over the survivors, and the collective recomputes exactly
+// over their contributions.
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/health"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// verifyEps bounds the claim-vs-contents comparison. Integer-valued inputs
+// make both sides exact in float64, and the deterministic bit flip moves
+// any value >= 1 by at least 0.5, so the band only has to absorb zero.
+const verifyEps = 0.25
+
+// sum64 accumulates a chunk in float64 — exact for the integer-valued
+// vectors the integrity tests and benches use.
+func sum64(vals []float32) float64 {
+	var s float64
+	for _, v := range vals {
+		s += float64(v)
+	}
+	return s
+}
+
+// Violation records one detected integrity breach: Observer received a
+// chunk whose contents did not match its claim, indicting Blamed (the ring
+// predecessor that produced it).
+type Violation struct {
+	Observer int
+	Blamed   int
+	Step     int
+	At       sim.Time
+}
+
+// violationLog collects Violations across all ranks of a verified run
+// (single-threaded engine: appends never race).
+type violationLog struct {
+	all []Violation
+}
+
+func (l *violationLog) add(v Violation) { l.all = append(l.all, v) }
+
+// verifyState is one rank's per-attempt claim-chain state.
+type verifyState struct {
+	// check arms inbound claim verification; injection (taint tracking)
+	// stays on even when only observing escapes.
+	check bool
+	// own is the per-chunk float64 sum of this rank's pristine input.
+	own []float64
+	// claims is the current claimed sum per chunk, advanced at delivery.
+	claims []float64
+	// taint marks chunks whose data was touched by injected corruption.
+	taint []bool
+	log   *violationLog
+}
+
+// verifyRun is the driver-side integrity bookkeeping of one RunVerified.
+type verifyRun struct {
+	log *violationLog
+	// settled is how many log entries previous settlements consumed.
+	settled int
+	// strikes remembers each (observer, sender) NIC strike count already
+	// reported, so settlement only forwards deltas.
+	strikes map[[2]int]int64
+}
+
+func newVerifyRun() *verifyRun {
+	return &verifyRun{log: &violationLog{}, strikes: make(map[[2]int]int64)}
+}
+
+// newState builds one rank's claim chain over its pristine vector.
+func (vr *verifyRun) newState(nranks, nelems int, vec []float32) *verifyState {
+	v := &verifyState{
+		check:  true,
+		own:    make([]float64, nranks),
+		claims: make([]float64, nranks),
+		taint:  make([]bool, nranks),
+		log:    vr.log,
+	}
+	for c := 0; c < nranks; c++ {
+		lo, hi := ChunkRange(nelems, nranks, c)
+		v.own[c] = sum64(vec[lo:hi])
+		v.claims[c] = v.own[c]
+	}
+	return v
+}
+
+// settle reports the attempt's integrity evidence to the membership layer:
+// per-rank Violation counts plus the frame-level strike deltas every NIC
+// accumulated against its peers. Reports run in rank order so quarantine
+// transitions (and their view bumps) land deterministically. Returns the
+// number of fresh Violations — a non-zero count means the attempt's data
+// cannot be trusted even if every runner completed.
+func (vr *verifyRun) settle(cl *node.Cluster, m *health.Membership) int {
+	fresh := vr.log.all[vr.settled:]
+	vr.settled = len(vr.log.all)
+	blame := make([]int64, cl.Size())
+	for _, v := range fresh {
+		blame[v.Blamed]++
+	}
+	for _, nd := range cl.Nodes {
+		for _, peer := range cl.Nodes {
+			if peer.Index == nd.Index {
+				continue
+			}
+			cur := nd.NIC.IntegrityStrikes(network.NodeID(peer.Index))
+			key := [2]int{nd.Index, peer.Index}
+			if d := cur - vr.strikes[key]; d > 0 {
+				vr.strikes[key] = cur
+				blame[peer.Index] += d
+			}
+		}
+	}
+	for subject, n := range blame {
+		if n > 0 {
+			m.ReportCorrupt(subject, n)
+		}
+	}
+	return len(fresh)
+}
+
+// VerifyResult reports a verified run.
+type VerifyResult struct {
+	RecoverResult
+	// Violations lists every integrity breach observed across all
+	// attempts, in detection order.
+	Violations []Violation
+	// Quarantined lists the ranks the membership layer quarantined by the
+	// time the run finished.
+	Quarantined []int
+}
+
+// RunVerified executes Allreduce attempts with the in-band claim chain
+// until one completes over a stable view with zero integrity violations.
+// Requires Data (verification is meaningless without contents). It runs on
+// the calling process, like RunRecoverable.
+func RunVerified(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg RecoverConfig) (VerifyResult, error) {
+	var res VerifyResult
+	if cfg.Data == nil {
+		return res, fmt.Errorf("collective: verified runs need Data")
+	}
+	vr := newVerifyRun()
+	rec, err := runRecoverable(p, cl, m, cfg, vr)
+	res.RecoverResult = rec
+	res.Violations = vr.log.all
+	res.Quarantined = m.Quarantined()
+	return res, err
+}

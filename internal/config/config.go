@@ -113,7 +113,11 @@ type FaultConfig struct {
 	DropProb float64
 	// CorruptProb is the per-packet corruption probability; a corrupted
 	// packet marks its whole message corrupt (checksum failure at the
-	// receiving NIC).
+	// receiving NIC). Like gray-link loss, the draw is per MTU packet, so
+	// the chance a multi-packet chunk arrives corrupt compounds:
+	// CompoundPerPacket converts the per-packet rate to the per-chunk rate
+	// ablations should quote (e.g. 2% per packet over a 64KB/4KB chunk is
+	// 1-(1-0.02)^16 ~ 28% per chunk).
 	CorruptProb float64
 	// DelayJitter adds a uniform random [0, DelayJitter] flight delay per
 	// packet.
@@ -137,6 +141,10 @@ type FaultConfig struct {
 	// Degrade schedules deterministic link-degradation windows (gray
 	// failures); the zero value schedules nothing and is pay-for-use.
 	Degrade DegradeConfig
+	// SDC schedules silent-data-corruption injection — corruption the link
+	// checksum does NOT catch; the zero value schedules nothing and is
+	// pay-for-use.
+	SDC SDCConfig
 }
 
 // Enabled reports whether any fault is armed.
@@ -145,7 +153,78 @@ func (f FaultConfig) Enabled() bool {
 		f.FlapEnd > f.FlapStart ||
 		(f.CmdStallProb > 0 && f.CmdStallTime > 0) ||
 		f.TrigDropProb > 0 || f.TrigDelayJitter > 0 ||
-		f.Partition.Enabled() || f.Degrade.Enabled()
+		f.Partition.Enabled() || f.Degrade.Enabled() || f.SDC.Enabled()
+}
+
+// CompoundPerPacket converts a per-packet probability (loss, corruption)
+// into the probability that a chunk of the given size is affected at least
+// once, compounding across its ceil(bytes/mtu) MTU segments. This is the
+// rate ablations should quote so per-packet corruption and per-chunk loss
+// sweeps are comparable.
+func CompoundPerPacket(p float64, bytes, mtu int64) float64 {
+	if p <= 0 || bytes <= 0 || mtu <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	pkts := (bytes + mtu - 1) / mtu
+	keep := 1.0
+	for i := int64(0); i < pkts; i++ {
+		keep *= 1 - p
+	}
+	return 1 - keep
+}
+
+// SDCConfig schedules deterministic silent-data-corruption injection:
+// corruption the link-level checksum does not catch, so it reaches the
+// application unless the end-to-end integrity layer (NICConfig.E2EChecksum,
+// collective.RunVerified) detects it. Three corruption classes, each
+// seed-reproducible and pay-for-use (the zero value draws no RNG and
+// replays the seed trace bit-for-bit, tested):
+//
+//   - wire: each delivered packet silently flips payload bits with
+//     probability WireProb, without setting the link Corrupt flag;
+//   - buffer: node BufferNode's send buffer flips bits at rest between
+//     compute and DMA with probability BufferProb per send;
+//   - reducer: rank FaultyRank's reduction combines produce wrong values
+//     during [FaultyFrom, FaultyUntil) — a "core that doesn't count".
+type SDCConfig struct {
+	// Seed seeds the SDC plan's private RNG; drawing SDC fates never
+	// perturbs the main injector's stream.
+	Seed int64
+	// WireProb is the per-packet silent wire-corruption probability.
+	WireProb float64
+	// BufferNode selects the node whose send buffers corrupt at rest;
+	// BufferProb is the per-send corruption probability.
+	BufferNode int
+	BufferProb float64
+	// FaultyRank's reductions are wrong during [FaultyFrom, FaultyUntil);
+	// the window is armed only when FaultyUntil > FaultyFrom.
+	FaultyRank  int
+	FaultyFrom  sim.Time
+	FaultyUntil sim.Time
+}
+
+// Enabled reports whether any corruption class is armed.
+func (s SDCConfig) Enabled() bool {
+	return s.WireProb > 0 || s.BufferProb > 0 || s.FaultyUntil > s.FaultyFrom
+}
+
+func (s SDCConfig) validate() error {
+	switch {
+	case s.WireProb < 0 || s.WireProb > 1:
+		return fmt.Errorf("config: Faults.SDC.WireProb = %v outside [0, 1]", s.WireProb)
+	case s.BufferProb < 0 || s.BufferProb > 1:
+		return fmt.Errorf("config: Faults.SDC.BufferProb = %v outside [0, 1]", s.BufferProb)
+	case s.BufferProb > 0 && s.BufferNode < 0:
+		return fmt.Errorf("config: Faults.SDC.BufferNode = %d", s.BufferNode)
+	case s.FaultyUntil < s.FaultyFrom:
+		return fmt.Errorf("config: Faults.SDC.FaultyUntil %v before FaultyFrom %v", s.FaultyUntil, s.FaultyFrom)
+	case s.FaultyUntil > s.FaultyFrom && s.FaultyRank < 0:
+		return fmt.Errorf("config: Faults.SDC.FaultyRank = %d", s.FaultyRank)
+	}
+	return nil
 }
 
 // PartitionEvent schedules one deterministic network cut {A}|{B} starting
@@ -313,6 +392,18 @@ type HealthConfig struct {
 	// StabilizeDelay is how long the membership view must stay unchanged
 	// before recovery drivers trust it for a reintegration attempt.
 	StabilizeDelay sim.Time
+	// QuarantineStrikes is how many independent corruption reports against
+	// a node the membership tolerates before quarantining it (verdict
+	// Quarantined, permanent: heartbeats cannot revive it). 0 = 3.
+	QuarantineStrikes int
+}
+
+// EffectiveQuarantineStrikes returns the armed strike budget (default 3).
+func (h HealthConfig) EffectiveQuarantineStrikes() int {
+	if h.QuarantineStrikes > 0 {
+		return h.QuarantineStrikes
+	}
+	return 3
 }
 
 // DefaultHealth returns the heartbeat parameters used by the crash-recovery
@@ -340,6 +431,8 @@ func (h HealthConfig) Validate() error {
 		return fmt.Errorf("config: Health.SuspectAfter = %v must exceed Period = %v", h.SuspectAfter, h.Period)
 	case h.StabilizeDelay <= 0:
 		return fmt.Errorf("config: Health.StabilizeDelay = %v", h.StabilizeDelay)
+	case h.QuarantineStrikes < 0:
+		return fmt.Errorf("config: Health.QuarantineStrikes = %d", h.QuarantineStrikes)
 	}
 	return nil
 }
@@ -401,6 +494,18 @@ type NICConfig struct {
 	CompletionWriteLatency sim.Time
 	// Reliability configures the NIC-level reliable-delivery layer.
 	Reliability ReliabilityConfig
+	// E2EChecksum arms the end-to-end payload checksum: a CRC32C over the
+	// message body computed at the source before trigger-fire, carried in
+	// the frame, and verified at the destination after reassembly —
+	// distinct from the link checksum, so it catches corruption the link
+	// CRC passes (device-buffer flips, DMA errors). Failures NACK for
+	// retransmission and count an SDC strike against the sender. Off by
+	// default: the zero value adds no latency and no trace changes.
+	E2EChecksum bool
+	// E2EChecksumLatency is the modeled per-message cost of computing or
+	// verifying the payload checksum (0 = free); only drawn when
+	// E2EChecksum is armed, so the ablation can price the overhead.
+	E2EChecksumLatency sim.Time
 	// Resources bounds the NIC's finite structures; the zero value keeps
 	// the unbounded seed behavior.
 	Resources ResourceConfig
@@ -528,6 +633,8 @@ func (c *SystemConfig) Validate() error {
 		return fmt.Errorf("config: NIC.MaxTriggerEntries = %d", c.NIC.MaxTriggerEntries)
 	case c.DiscreteGPU && c.IOBusLatency <= 0:
 		return fmt.Errorf("config: DiscreteGPU requires IOBusLatency > 0")
+	case c.NIC.E2EChecksumLatency < 0:
+		return fmt.Errorf("config: NIC.E2EChecksumLatency = %v", c.NIC.E2EChecksumLatency)
 	}
 	if err := c.NIC.Reliability.validate(); err != nil {
 		return err
@@ -612,7 +719,10 @@ func (f FaultConfig) validate() error {
 	if err := f.Partition.validate(); err != nil {
 		return err
 	}
-	return f.Degrade.validate()
+	if err := f.Degrade.validate(); err != nil {
+		return err
+	}
+	return f.SDC.validate()
 }
 
 // SchedulerPreset models one GPU front-end hardware scheduler for the

@@ -55,6 +55,7 @@ type Injector struct {
 	cfg   config.FaultConfig
 	rng   *rand.Rand
 	plan  *PartitionPlan
+	sdc   *SDCPlan
 	stats Stats
 }
 
@@ -69,6 +70,7 @@ func NewInjector(cfg config.FaultConfig) *Injector {
 		cfg:  cfg,
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		plan: NewPartitionPlan(cfg.Partition),
+		sdc:  NewSDCPlan(cfg.SDC),
 	}
 }
 
@@ -79,6 +81,15 @@ func (in *Injector) Partitions() *PartitionPlan {
 		return nil
 	}
 	return in.plan
+}
+
+// SDC returns the compiled silent-data-corruption plan (nil for nil or
+// when none is configured); NICs and collectives consult it directly.
+func (in *Injector) SDC() *SDCPlan {
+	if in == nil {
+		return nil
+	}
+	return in.sdc
 }
 
 // Stats returns a snapshot of the injected-fault counters.
@@ -211,6 +222,9 @@ func (in *Injector) Summary() string {
 	}
 	if ds := degradeSummary(c.Degrade); ds != "" {
 		s += " " + ds
+	}
+	if in.sdc != nil {
+		s += " " + in.sdc.Summary()
 	}
 	return s
 }

@@ -190,6 +190,26 @@ func Start(cl *node.Cluster) *Suite {
 			}
 		}
 	})
+	m.OnQuarantine(func(bad int) {
+		// Condemn both directions with the corrupt-data verdict: survivors
+		// stop accepting the quarantined rank's traffic, and its own sends
+		// toward them are withdrawn. Unlike a partition the verdict is
+		// permanent — no OnHeal path ever retracts it.
+		for _, nd := range cl.Nodes {
+			if nd.NIC.Down() {
+				continue
+			}
+			if nd.Index == bad {
+				for _, peer := range cl.Nodes {
+					if peer.Index != bad {
+						nd.NIC.MarkPeerCorrupt(network.NodeID(peer.Index))
+					}
+				}
+			} else {
+				nd.NIC.MarkPeerCorrupt(network.NodeID(bad))
+			}
+		}
+	})
 	m.OnHeal(func(healed int) {
 		// Retract the outage verdicts in both directions; the channels
 		// restart under fresh sessions on the next send.

@@ -46,6 +46,11 @@ const (
 	// the verdict self-heals: when the cut heals and cross-beats resume the
 	// node returns to Alive and OnHeal hooks fire.
 	Partitioned
+	// Quarantined means the node is alive and reachable but accumulated
+	// enough silent-data-corruption strikes (ReportCorrupt) that its
+	// output cannot be trusted. The verdict is permanent: heartbeats never
+	// revive a quarantined member, and collectives recompute without it.
+	Quarantined
 )
 
 func (s Status) String() string {
@@ -56,6 +61,8 @@ func (s Status) String() string {
 		return "suspect"
 	case Partitioned:
 		return "partitioned"
+	case Quarantined:
+		return "quarantined"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -82,6 +89,9 @@ type Stats struct {
 	Rejoins    int64 // revivals that carried a new incarnation
 	Partitions int64 // Alive -> Partitioned transitions
 	Heals      int64 // Partitioned -> Alive transitions
+
+	CorruptReports int64 // SDC strikes fed in via ReportCorrupt
+	Quarantines    int64 // members quarantined for corrupt data
 }
 
 // Membership is the shared failure-detector view of the cluster.
@@ -89,16 +99,21 @@ type Membership struct {
 	eng *sim.Engine
 	cfg config.HealthConfig
 
-	members    []Member
-	viewID     int64
-	lastChange sim.Time
-	changed    *sim.Signal
-	sweeper    *sim.Proc
-	onSuspect  []func(node int)
-	onPart     []func(node int)
-	onHeal     []func(node int)
-	stats      Stats
-	stopped    bool
+	members      []Member
+	viewID       int64
+	lastChange   sim.Time
+	changed      *sim.Signal
+	sweeper      *sim.Proc
+	onSuspect    []func(node int)
+	onPart       []func(node int)
+	onHeal       []func(node int)
+	onQuarantine []func(node int)
+	stats        Stats
+	stopped      bool
+
+	// strikes accumulates corruption reports per subject; reaching the
+	// configured quarantine budget flips the member to Quarantined.
+	strikes []int64
 
 	// lastHeard[i][j] is when observer i last received subject j's
 	// heartbeat — the reachability-vote matrix. Partition detection is
@@ -127,6 +142,7 @@ func NewMembership(eng *sim.Engine, cfg config.HealthConfig, n int) *Membership 
 		lastHeard: make([][]sim.Time, n),
 		compID:    make([]int, n),
 		queue:     make([]int, 0, n),
+		strikes:   make([]int64, n),
 	}
 	now := eng.Now()
 	for i := range m.members {
@@ -180,6 +196,21 @@ func (m *Membership) Partitioned() []int {
 	return out
 }
 
+// Quarantined returns the ranks currently quarantined for corrupt data,
+// in rank order.
+func (m *Membership) Quarantined() []int {
+	var out []int
+	for i := range m.members {
+		if m.members[i].Status == Quarantined {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Strikes returns the accumulated corruption reports against node.
+func (m *Membership) Strikes(node int) int64 { return m.strikes[node] }
+
 // OnSuspect registers a hook invoked (in registration order) each time a
 // node transitions Alive -> Suspect. The cluster wiring uses it to
 // propagate the verdict into survivor NICs' reliability layers.
@@ -201,6 +232,40 @@ func (m *Membership) OnHeal(fn func(node int)) {
 	m.onHeal = append(m.onHeal, fn)
 }
 
+// OnQuarantine registers a hook invoked when a node crosses the strike
+// budget and is quarantined. The suite wiring uses it to declare the
+// node's reliability channels dead with reason PeerDeadCorrupt.
+func (m *Membership) OnQuarantine(fn func(node int)) {
+	m.onQuarantine = append(m.onQuarantine, fn)
+}
+
+// ReportCorrupt feeds n new corruption strikes against subject into the
+// board — blame evidence from e2e checksum failures or verified-collective
+// mismatches on correctly-delivered frames, indicting the subject's
+// compute rather than any link. Crossing the configured strike budget
+// (HealthConfig.QuarantineStrikes, default 3) quarantines the subject:
+// a permanent verdict that fires OnQuarantine hooks and bumps the view.
+func (m *Membership) ReportCorrupt(subject int, n int64) {
+	if n <= 0 {
+		return
+	}
+	m.strikes[subject] += n
+	m.stats.CorruptReports += n
+	mb := &m.members[subject]
+	if mb.Status == Quarantined {
+		return
+	}
+	if m.strikes[subject] < int64(m.cfg.EffectiveQuarantineStrikes()) {
+		return
+	}
+	mb.Status = Quarantined
+	m.stats.Quarantines++
+	m.bump()
+	for _, fn := range m.onQuarantine {
+		fn(subject)
+	}
+}
+
 // Beat records a self-reported heartbeat from node under incarnation inc —
 // shorthand for BeatFrom(node, node, inc), kept for direct-drive callers.
 func (m *Membership) Beat(node int, inc int64) {
@@ -214,6 +279,11 @@ func (m *Membership) Beat(node int, inc int64) {
 // beat while the subject is suspected — revives it and bumps the view.
 func (m *Membership) BeatFrom(observer, subject int, inc int64) {
 	mb := &m.members[subject]
+	if mb.Status == Quarantined {
+		// Quarantine is permanent: a flaky core beats convincingly right up
+		// until it corrupts the next reduction. No beat revives it.
+		return
+	}
 	if inc < mb.Incarnation {
 		return
 	}
@@ -272,6 +342,12 @@ func (m *Membership) recompute(now sim.Time) {
 	// its own beats keep refreshing LastBeat on the shared board.
 	for i := range m.members {
 		mb := &m.members[i]
+		if mb.Status == Quarantined {
+			// Quarantined members are out of the cluster for good: neither
+			// suspected (their silence is expected — channels are condemned)
+			// nor counted in any reachability component below.
+			continue
+		}
 		if mb.Status != Suspect && now-mb.LastBeat > m.cfg.SuspectAfter {
 			mb.Status = Suspect
 			m.stats.Suspicions++
@@ -293,7 +369,7 @@ func (m *Membership) recompute(now sim.Time) {
 	n := len(m.members)
 	nonSuspect := 0
 	for i := 0; i < n; i++ {
-		if m.members[i].Status != Suspect {
+		if m.members[i].Status != Suspect && m.members[i].Status != Quarantined {
 			nonSuspect++
 			m.compID[i] = -1
 		} else {
@@ -337,7 +413,7 @@ func (m *Membership) recompute(now sim.Time) {
 
 	for i := 0; i < n; i++ {
 		mb := &m.members[i]
-		if mb.Status == Suspect {
+		if mb.Status == Suspect || mb.Status == Quarantined {
 			continue
 		}
 		inMaj := majority >= 0 && m.compID[i] == majority

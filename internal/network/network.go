@@ -43,6 +43,12 @@ type Message struct {
 	// message was corrupted in flight; the receiving NIC's checksum
 	// detects it (and NACKs it when reliable delivery is on).
 	Corrupted bool
+	// SilentCorrupt is set by the SDC plan when a packet's payload bits
+	// flipped in flight WITHOUT tripping the link checksum: the link CRC
+	// passes, so only the end-to-end payload checksum (or a verified
+	// collective) can catch it. The receiving NIC materializes the bit
+	// flips into the payload when this is set.
+	SilentCorrupt bool
 	// damaged marks a message with at least one dropped packet; the
 	// fabric suppresses its delivery.
 	damaged bool
@@ -216,6 +222,13 @@ func (f *Fabric) egressDone(portID int) {
 			if fate.Corrupt && !pkt.msg.Corrupted {
 				pkt.msg.Corrupted = true
 				f.msgsCorrupted++
+			}
+			// Silent wire corruption: the payload bits flip but the link
+			// checksum stays green, so the Corrupted flag is NOT set and
+			// the frame delivers normally. Drawn from the SDC plan's
+			// private RNG so arming it never shifts the injector stream.
+			if f.inj.SDC().WirePacket(f.eng.Now(), int(pkt.msg.Src), int(pkt.msg.Dst)) {
+				pkt.msg.SilentCorrupt = true
 			}
 			if fate.DelayFactor > 1 {
 				// Link degradation stretches propagation + switching, not

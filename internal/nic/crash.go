@@ -42,6 +42,11 @@ const (
 	// partition: the peer is alive but unreachable. Unlike a crash the
 	// verdict is revocable — HealPeer clears it when the cut heals.
 	PeerDeadPartition
+	// PeerDeadCorrupt means the membership layer quarantined the peer for
+	// producing corrupt data (accumulated SDC strikes): the peer is alive
+	// and reachable, but its output cannot be trusted. The verdict is
+	// permanent — unlike a partition, a flaky core does not heal.
+	PeerDeadCorrupt
 )
 
 func (r PeerDeadReason) String() string {
@@ -52,6 +57,8 @@ func (r PeerDeadReason) String() string {
 		return "peer crashed"
 	case PeerDeadPartition:
 		return "peer partitioned"
+	case PeerDeadCorrupt:
+		return "peer quarantined (corrupt data)"
 	default:
 		return fmt.Sprintf("PeerDeadReason(%d)", int(r))
 	}
@@ -214,6 +221,22 @@ func (n *NIC) MarkPeerPartitioned(peer network.NodeID) {
 		return
 	}
 	n.rel.declareDead(ch, PeerDeadPartition)
+}
+
+// MarkPeerCorrupt records a quarantine verdict for a peer: the membership
+// layer accumulated enough SDC strikes to stop trusting the peer's data,
+// so the channel is withdrawn with reason PeerDeadCorrupt and upper
+// layers recompute without it. Permanent: quarantined peers are never
+// healed. No-op without reliability or when the peer is already dead.
+func (n *NIC) MarkPeerCorrupt(peer network.NodeID) {
+	if n.rel == nil || n.down || peer == n.id {
+		return
+	}
+	ch := n.rel.chanTo(peer)
+	if ch.dead {
+		return
+	}
+	n.rel.declareDead(ch, PeerDeadCorrupt)
 }
 
 // HealPeer clears a dead verdict against a peer — a healed partition or a

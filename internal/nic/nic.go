@@ -267,6 +267,10 @@ type wireMeta struct {
 	// atomic support
 	atomicOp AtomicOp
 	fetch    bool
+	// end-to-end payload checksum (e2eHas gates verification so frames
+	// from checksum-less sources pass vacuously)
+	e2eSum uint32
+	e2eHas bool
 }
 
 // Stats aggregates NIC observability counters.
@@ -323,6 +327,17 @@ type Stats struct {
 	SessionResets            int64 // receiver adoptions of a healed channel's fresh session
 	StaleSessionDrops        int64 // frames/ACKs from an abandoned channel session
 	RTTSamples               int64 // timestamp-echo RTT measurements folded into SRTT/RTTVAR
+
+	// End-to-end integrity counters (all zero without E2EChecksum or SDC
+	// injection; tested).
+	E2EChecksumFails     int64 // frames whose e2e payload checksum mismatched
+	SDCDetected          int64 // deduplicated silent-corruption strikes recorded
+	SDCUndetected        int64 // corrupt payloads the NIC delivered unflagged
+	PeersDeclaredCorrupt int64 // peer-dead declarations caused by quarantine
+	// FirstE2EFailAt stamps the first e2e checksum failure (meaningful
+	// only when E2EChecksumFails > 0); the SDC ablation subtracts the
+	// injection time to report frame-layer detection latency.
+	FirstE2EFailAt sim.Time
 }
 
 // NIC is one node's network interface.
@@ -366,6 +381,12 @@ type NIC struct {
 	// Survives crashes: it is registration metadata, not NIC state.
 	unreliableMB []uint64
 
+	// strikes counts deduplicated SDC strikes per sending peer — evidence
+	// the membership layer reads to quarantine corrupt ranks. Like
+	// unreliableMB it survives crashes: corruption evidence against a peer
+	// does not evaporate because the observer rebooted.
+	strikes map[network.NodeID]int64
+
 	stats Stats
 }
 
@@ -400,6 +421,10 @@ func (n *NIC) Stats() Stats { return n.stats }
 
 // Config returns the NIC's configuration (resource defaults, latencies).
 func (n *NIC) Config() config.NICConfig { return n.cfg }
+
+// Injector returns the fault injector the NIC draws from; upper layers use
+// it to reach the SDC plan (faulty-reducer windows, injection summaries).
+func (n *NIC) Injector() *fault.Injector { return n.inj }
 
 // SetLookupModel replaces the trigger-list match hardware (ablation hook).
 func (n *NIC) SetLookupModel(m LookupModel) { n.lookup = m }
@@ -806,16 +831,31 @@ func (n *NIC) execPut(p *sim.Proc, c *Command, ep int64) {
 	if f, ok := data.(Deferred); ok {
 		data = f() // buffer contents are read at DMA time
 	}
+	meta := &wireMeta{kind: OpPut, matchBits: c.MatchBits}
+	var summed bool
+	data, summed = n.e2ePrepare(meta, data)
+	if summed && n.cfg.E2EChecksumLatency > 0 {
+		p.Sleep(n.cfg.E2EChecksumLatency)
+		if n.fenced(ep) {
+			n.stats.FencedCommands++
+			return
+		}
+	}
+	// Buffer corruption at rest: the DMA engine reads bits that flipped
+	// after the (clean-buffer) checksum was computed, so the frame leaves
+	// internally inconsistent and the destination's e2e verify catches it.
+	if sdc := n.inj.SDC(); sdc != nil {
+		if cp, ok := data.(Corruptible); ok && sdc.BufferCorrupt(n.eng.Now(), int(n.id)) {
+			data = cp.CorruptCopy()
+		}
+	}
+	meta.data = data
 	n.send(&network.Message{
-		Src:  n.id,
-		Dst:  c.Target,
-		Size: c.Size,
-		Kind: "put",
-		Payload: &wireMeta{
-			kind:      OpPut,
-			matchBits: c.MatchBits,
-			data:      data,
-		},
+		Src:     n.id,
+		Dst:     c.Target,
+		Size:    c.Size,
+		Kind:    "put",
+		Payload: meta,
 	})
 	// Local completion: buffer is reusable once the DMA read finished.
 	n.complete(c)
@@ -927,6 +967,18 @@ func (n *NIC) deliver(m *network.Message) {
 			n.stats.CorruptDropped++
 			return
 		}
+		if m.SilentCorrupt {
+			pl = e2eMaterialize(pl)
+			m.SilentCorrupt = false
+		}
+		if n.e2eFails(pl) {
+			// Bad payload sum on a best-effort datagram: no NACK channel,
+			// so the frame is dropped like a link-corrupt one — but the
+			// strike lands on the sender, because the link accepted it.
+			n.noteE2EFail()
+			n.addStrike(m.Src)
+			return
+		}
 		n.dispatch(m, pl)
 	default:
 		panic(fmt.Sprintf("nic %d: foreign payload %T", n.id, m.Payload))
@@ -935,6 +987,13 @@ func (n *NIC) deliver(m *network.Message) {
 
 // dispatch hands a verified inbound operation to the matching service path.
 func (n *NIC) dispatch(m *network.Message, meta *wireMeta) {
+	if cp, ok := meta.data.(Corruptible); ok && cp.IsCorrupt() {
+		// Simulator omniscience: a corrupt payload is crossing into the
+		// application unflagged — either no e2e checksum was carried or a
+		// retransmission made the frame self-consistent. Only a verified
+		// collective can catch it now.
+		n.stats.SDCUndetected++
+	}
 	switch m.Kind {
 	case "put":
 		n.deliverPut(m, meta)
@@ -1051,11 +1110,25 @@ func (n *NIC) execAtomic(p *sim.Proc, c *Command, ep int64) {
 	meta := &wireMeta{
 		kind:      c.Kind,
 		matchBits: c.MatchBits,
-		data:      operand,
 		atomicOp:  c.Atomic,
 		fetch:     c.Kind == OpFetchAtomic,
 		reqSize:   c.Size,
 	}
+	var summed bool
+	operand, summed = n.e2ePrepare(meta, operand)
+	if summed && n.cfg.E2EChecksumLatency > 0 {
+		p.Sleep(n.cfg.E2EChecksumLatency)
+		if n.fenced(ep) {
+			n.stats.FencedCommands++
+			return
+		}
+	}
+	if sdc := n.inj.SDC(); sdc != nil {
+		if cp, ok := operand.(Corruptible); ok && sdc.BufferCorrupt(n.eng.Now(), int(n.id)) {
+			operand = cp.CorruptCopy()
+		}
+	}
+	meta.data = operand
 	if meta.fetch {
 		n.replySeq++
 		meta.replyMatch = 0x4641455400000000 | n.replySeq

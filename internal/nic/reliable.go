@@ -89,6 +89,10 @@ type relRecv struct {
 	sess     uint64 // adopted sender session (highest seen)
 	expected uint64 // next in-order sequence number
 	buf      map[uint64]*bufFrame
+	// struck records sequence numbers that already cost the sender an SDC
+	// strike in this session, so a retransmission of the same frame — even
+	// one still carrying a stale checksum — can never double-count.
+	struck map[uint64]bool
 }
 
 type bufFrame struct {
@@ -131,7 +135,7 @@ func (r *reliability) chanTo(dst network.NodeID) *relChan {
 func (r *reliability) recvFrom(src network.NodeID) *relRecv {
 	rc := r.recvs[src]
 	if rc == nil {
-		rc = &relRecv{expected: 1, buf: make(map[uint64]*bufFrame)}
+		rc = &relRecv{expected: 1, buf: make(map[uint64]*bufFrame), struck: make(map[uint64]bool)}
 		r.recvs[src] = rc
 	}
 	return rc
@@ -252,6 +256,15 @@ func (r *reliability) noteLink(ch *relChan, good float64) {
 func (r *reliability) transmit(ch *relChan, e *relEntry) {
 	ch.inflight[e.seq] = e
 	e.attempts++
+	if e.attempts > 1 {
+		// A retransmission re-reads the send buffer, so it carries a
+		// freshly computed end-to-end checksum (on a copied wireMeta: the
+		// pointer of earlier transmissions is shared with the wire). A
+		// frame NACKed for silent wire corruption goes out clean; one
+		// whose source buffer corrupted goes out self-consistent — which
+		// is exactly what verified collectives exist to catch.
+		e.meta = e2eRefresh(e.meta)
+	}
 	r.n.emit(&network.Message{
 		Src:     r.n.id,
 		Dst:     ch.dst,
@@ -357,7 +370,31 @@ func (r *reliability) onData(m *network.Message, env *relEnvelope) {
 		rc.sess = env.sess
 		rc.expected = 1
 		rc.buf = make(map[uint64]*bufFrame)
+		rc.struck = make(map[uint64]bool)
 		r.n.stats.SessionResets++
+	}
+	// Materialize silent wire corruption (the link CRC passed, so the
+	// flipped bits are application data now) and verify the end-to-end
+	// payload checksum before the frame can be delivered or buffered.
+	meta := env.meta
+	if m.SilentCorrupt {
+		meta = e2eMaterialize(meta)
+		m.SilentCorrupt = false
+	}
+	if env.seq >= rc.expected && r.n.e2eFails(meta) {
+		// The link accepted this frame but the payload sum is wrong: the
+		// corruption happened end-to-end (sender buffer, DMA, or silent
+		// wire flips). NACK it for retransmission and indict the sender —
+		// once per (session, sequence), so the retransmission of the same
+		// frame can never count as a second strike.
+		r.n.noteE2EFail()
+		if !rc.struck[env.seq] {
+			rc.struck[env.seq] = true
+			r.n.addStrike(m.Src)
+		}
+		r.n.stats.NacksSent++
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, nack: true, nackSeq: env.seq})
+		return
 	}
 	switch {
 	case env.seq < rc.expected:
@@ -366,7 +403,7 @@ func (r *reliability) onData(m *network.Message, env *relEnvelope) {
 		r.n.stats.DupesDropped++
 		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, echoTS: env.sentAt})
 	case env.seq == rc.expected:
-		r.n.dispatch(m, env.meta)
+		r.n.dispatch(m, meta)
 		rc.expected++
 		// Drain any contiguously buffered successors.
 		for {
@@ -381,7 +418,7 @@ func (r *reliability) onData(m *network.Message, env *relEnvelope) {
 		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, echoTS: env.sentAt})
 	default: // out of order: hold it, report the gap
 		if rc.buf[env.seq] == nil {
-			rc.buf[env.seq] = &bufFrame{m: m, meta: env.meta}
+			rc.buf[env.seq] = &bufFrame{m: m, meta: meta}
 		} else {
 			r.n.stats.DupesDropped++
 		}
@@ -417,6 +454,8 @@ func (r *reliability) declareDead(ch *relChan, reason PeerDeadReason) {
 		r.n.stats.PeersDeclaredCrashed++
 	case PeerDeadPartition:
 		r.n.stats.PeersDeclaredPartitioned++
+	case PeerDeadCorrupt:
+		r.n.stats.PeersDeclaredCorrupt++
 	}
 	for s := ch.base + 1; s <= ch.nextSeq; s++ {
 		if e := ch.inflight[s]; e != nil {

@@ -308,6 +308,10 @@ func (c *Cluster) StatsReport() string {
 				ns.Crashes, ns.Restarts, nd.NIC.Incarnation(), ns.DownDrops, ns.StaleSrcDrops, ns.StaleDstDrops,
 				ns.EpochResets, ns.FencedCommands, ns.FencedTriggers, ns.FencedDeliveries, ns.PeersDeclaredCrashed)
 		}
+		if ns.E2EChecksumFails+ns.SDCDetected+ns.SDCUndetected+ns.PeersDeclaredCorrupt > 0 {
+			fmt.Fprintf(&b, "         integ{e2eFails=%d sdcDetected=%d sdcEscaped=%d peersQuarantined=%d linkCorrupt=%d}\n",
+				ns.E2EChecksumFails, ns.SDCDetected, ns.SDCUndetected, ns.PeersDeclaredCorrupt, ns.CorruptDropped)
+		}
 	}
 	if c.Plan != nil {
 		fmt.Fprintf(&b, "%s\n", c.Plan.Summary())
@@ -321,6 +325,10 @@ func (c *Cluster) StatsReport() string {
 		if fs.PartitionDrops+fs.DegradeDrops+fs.DegradeSlowed > 0 {
 			fmt.Fprintf(&b, "degraded: partDrop=%d degradeDrop=%d degradeSlow=%d\n",
 				fs.PartitionDrops, fs.DegradeDrops, fs.DegradeSlowed)
+		}
+		if ss := c.Injector.SDC().Stats(); ss.Total() > 0 {
+			fmt.Fprintf(&b, "sdc injected: wire=%d buffer=%d reducer=%d\n",
+				ss.WireCorruptions, ss.BufferCorruptions, ss.ReducerCorruptions)
 		}
 	}
 	return b.String()
