@@ -26,9 +26,12 @@ check:
 ## adaptive RTO, split-brain refusal, and mid-collective heal rejoin — and
 ## the SDC matrix: silent wire/buffer/reducer corruption caught by the e2e
 ## checksum and claim chain, with blame-driven permanent quarantine and
-## exact sums over the post-quarantine membership.
+## exact sums over the post-quarantine membership — and the straggler
+## matrix: fail-slow GPU/cmd/DMA classes under hedged collectives, with
+## progress-based Slow verdicts, ring bypass of confirmed stragglers,
+## recovery/rejoin, and exact sums over the responsive membership.
 chaos:
-	$(GO) test -race -v -run 'TestChaos|TestReliable|TestAllreduceTimeout|TestAllreduceRingHeal|TestBroadcastHeal|TestBroadcastTimeout|TestRelaxedSyncRace|TestTriggerWriteLoss|TestCrash|TestRecoverable|TestRestartEpoch|TestStaleSrc|TestCancelTriggered|TestMarkPeerCrashed|TestSuite|TestPeerDead|TestPartition|TestDoubleCrash|TestAdaptiveRTO|TestLinkHealth|TestMatrixClassifies|TestSymmetricCut|TestHealReturns|TestSDC|TestQuarantineIsPermanent' ./internal/collective/ ./internal/nic/ ./internal/health/ ./internal/workloads/jacobi/
+	$(GO) test -race -v -run 'TestChaos|TestReliable|TestAllreduceTimeout|TestAllreduceRingHeal|TestBroadcastHeal|TestBroadcastTimeout|TestRelaxedSyncRace|TestTriggerWriteLoss|TestCrash|TestRecoverable|TestRestartEpoch|TestStaleSrc|TestCancelTriggered|TestMarkPeerCrashed|TestSuite|TestPeerDead|TestPartition|TestDoubleCrash|TestAdaptiveRTO|TestLinkHealth|TestMatrixClassifies|TestSymmetricCut|TestHealReturns|TestSDC|TestQuarantineIsPermanent|TestSlow|TestStraggler|TestHedged' ./internal/collective/ ./internal/nic/ ./internal/health/ ./internal/workloads/jacobi/
 
 build:
 	$(GO) build ./...
@@ -64,3 +67,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzTimeString$$' -fuzztime $(FUZZ_TIME) ./internal/sim/
 	$(GO) test -run '^$$' -fuzz '^FuzzPlan$$' -fuzztime $(FUZZ_TIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz '^FuzzE2ERetransmit$$' -fuzztime $(FUZZ_TIME) ./internal/nic/
+	$(GO) test -run '^$$' -fuzz '^FuzzProgressHeartbeat$$' -fuzztime $(FUZZ_TIME) ./internal/health/

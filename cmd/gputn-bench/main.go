@@ -53,6 +53,16 @@
 // corruption rate x class, reporting detection latency, undetected-escape
 // rate with/without verification, and the e2e checksum's clean-path
 // overhead per backend.
+//
+// The -slow-* flag group arms one fail-slow (straggler) window on one node:
+// -slow-gpu-factor dilates its GPU compute, -slow-cmd-factor stretches NIC
+// command parsing (-slow-stall-prob/-slow-stall-us add hard per-command
+// stalls), -slow-dma-factor dilates DMA transfers. All zero keeps behavior
+// bit-for-bit identical to an unconfigured run. -hedge additionally arms
+// progress-based fail-slow detection in the health suite (heartbeat-borne
+// watermarks scored into Slow verdicts). -exp stragglers sweeps slowdown
+// class x factor per backend, comparing an unmitigated run against the
+// detection + hedged-collective stack.
 package main
 
 import (
@@ -89,6 +99,7 @@ var experimentList = []struct{ name, desc string }{
 	{"crash", "crash-stop/restart recovery latency vs restart delay per backend"},
 	{"partitions", "partition heal-delay sweep and gray-link static-vs-adaptive RTO comparison"},
 	{"sdc", "silent-data-corruption sweep: detection latency, escape rate, e2e checksum overhead"},
+	{"stragglers", "fail-slow sweep: unmitigated vs hedged collectives per slowdown class and backend"},
 	{"perf", "simulator self-benchmark: events/sec, allocs/event, wall time (not part of -exp all)"},
 }
 
@@ -130,7 +141,7 @@ func main() { os.Exit(run()) }
 
 // run is main minus os.Exit, so profile-flushing defers always execute.
 func run() int {
-	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|crash|partitions|sdc|perf|figures|all")
+	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|crash|partitions|sdc|stragglers|perf|figures|all")
 	list := flag.Bool("list", false, "list all experiments with one-line descriptions and exit")
 	csvDir := flag.String("csv", "", "also write figure data as CSV into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker threads for sweep replicas (1 = serial)")
@@ -181,6 +192,17 @@ func run() int {
 	sdcUntilUS := flag.Float64("sdc-until-us", 0, "faulty-reducer window end (us); 0 disables the window")
 	e2e := flag.Bool("e2e", false, "arm the end-to-end payload checksum (CRC32C, verified at the destination)")
 	e2eLatencyNS := flag.Float64("e2e-latency-ns", 0, "modeled per-message checksum compute/verify cost (ns)")
+
+	slowSeed := flag.Int64("slow-seed", 42, "fail-slow plan private RNG seed")
+	slowNode := flag.Int("slow-node", 0, "node the fail-slow window dilates")
+	slowFromUS := flag.Float64("slow-from-us", 0, "fail-slow window start (us)")
+	slowUntilUS := flag.Float64("slow-until-us", 0, "fail-slow window end (us); 0 disables the window")
+	slowGPU := flag.Float64("slow-gpu-factor", 0, "GPU compute dilation factor inside the window (>1 slows)")
+	slowCmd := flag.Float64("slow-cmd-factor", 0, "NIC command-parse stretch factor inside the window (>1 slows)")
+	slowStallProb := flag.Float64("slow-stall-prob", 0, "per-command hard-stall probability inside the window [0,1]")
+	slowStallUS := flag.Float64("slow-stall-us", 0, "duration of each hard command stall (us)")
+	slowDMA := flag.Float64("slow-dma-factor", 0, "DMA transfer dilation factor inside the window (>1 slows)")
+	hedge := flag.Bool("hedge", false, "arm progress-based fail-slow detection in the health suite (implies health)")
 
 	capTrig := flag.Int("cap-trigger-entries", 0, "trigger-list capacity (0 = paper default of 16)")
 	capPlaceholders := flag.Int("cap-placeholders", 0, "relaxed-sync placeholder budget (0 = shared with trigger list)")
@@ -287,6 +309,21 @@ func run() int {
 		cfg.NIC.E2EChecksum = true
 		cfg.NIC.E2EChecksumLatency = sim.Time(*e2eLatencyNS * float64(sim.Nanosecond))
 	}
+	if *slowUntilUS > 0 {
+		cfg.Faults.Slow = config.SlowConfig{
+			Seed: *slowSeed,
+			Windows: []config.SlowWindow{{
+				Node:         *slowNode,
+				From:         sim.Time(*slowFromUS * float64(sim.Microsecond)),
+				Until:        sim.Time(*slowUntilUS * float64(sim.Microsecond)),
+				GPUFactor:    *slowGPU,
+				CmdFactor:    *slowCmd,
+				CmdStallProb: *slowStallProb,
+				CmdStallTime: sim.Time(*slowStallUS * float64(sim.Microsecond)),
+				DMAFactor:    *slowDMA,
+			}},
+		}
+	}
 	if *reliable {
 		cfg.NIC.Reliability = config.DefaultReliability()
 		cfg.NIC.Reliability.AdaptiveRTO = *adaptiveRTO
@@ -298,7 +335,7 @@ func run() int {
 			RestartAfter: sim.Time(*crashRestartUS * float64(sim.Microsecond)),
 		}}}
 	}
-	if *crashAtUS > 0 || *healthPeriodUS > 0 || *healthSuspectUS > 0 || *healthStabilizeUS > 0 {
+	if *crashAtUS > 0 || *hedge || *healthPeriodUS > 0 || *healthSuspectUS > 0 || *healthStabilizeUS > 0 {
 		cfg.Health = config.DefaultHealth()
 		if *healthPeriodUS > 0 {
 			cfg.Health.Period = sim.Time(*healthPeriodUS * float64(sim.Microsecond))
@@ -309,6 +346,7 @@ func run() int {
 		if *healthStabilizeUS > 0 {
 			cfg.Health.StabilizeDelay = sim.Time(*healthStabilizeUS * float64(sim.Microsecond))
 		}
+		cfg.Health.SlowDetect = *hedge
 	}
 	cfg.NIC.Resources = config.ResourceConfig{
 		TriggerEntries:     *capTrig,
@@ -336,6 +374,10 @@ func run() int {
 	if h := cfg.Health; h.Enabled {
 		fmt.Printf("health: period=%v suspectAfter=%v stabilize=%v\n",
 			h.Period, h.SuspectAfter, h.StabilizeDelay)
+		if h.SlowDetect {
+			fmt.Printf("slow detect: threshold=%.2f recover=%.2f grace=%v\n",
+				h.EffectiveSlowThreshold(), h.EffectiveSlowRecover(), h.EffectiveSlowGrace())
+		}
 	}
 	if *reliable {
 		r := cfg.NIC.Reliability
@@ -426,6 +468,13 @@ func run() int {
 			fmt.Println(bench.RenderSDC(cfg))
 			return nil
 		},
+		"stragglers": func() error {
+			// The straggler sweep arms its own fail-slow schedule and
+			// detection timing per cell; the -slow-*/-hedge flags configure
+			// standalone runs of the other experiments instead.
+			fmt.Println(bench.RenderStragglers(cfg))
+			return nil
+		},
 		"perf": func() error {
 			rep, err := bench.RunPerf(cfg, *perfPreset)
 			if err != nil {
@@ -456,7 +505,7 @@ func run() int {
 			return nil
 		},
 	}
-	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults", "resources", "crash", "partitions", "sdc"}
+	order := []string{"table1", "table2", "table3", "fig1", "fig8", "fig9", "fig10", "fig11", "ablations", "faults", "resources", "crash", "partitions", "sdc", "stragglers"}
 	figures := []string{"fig1", "fig8", "fig9", "fig10", "fig11"}
 
 	var names []string

@@ -1,0 +1,178 @@
+// Fail-slow tolerance end to end: a 4-node GPU-TN ring Allreduce (with a
+// modeled compute phase before the reduction — the training-step shape)
+// where node 1's GPU runs 10x slow for the first 800us. Nothing crashes
+// and nothing is corrupted: the straggler's heartbeats keep flowing and
+// every byte it sends is correct — it is merely late, the failure mode
+// fail-stop detectors cannot see.
+//
+// The unmitigated run simply dilates: every rank waits on the slow rank's
+// sends, so one node's slowdown is the whole job's. The mitigated run
+// arms progress-based detection (heartbeats piggyback GPU tick and NIC
+// completion watermarks; the membership scores each rank's relative
+// progress) plus the hedged collective (sliced receive waits that file
+// lag reports against a demonstrably-stalling predecessor). The Slow
+// verdict excludes the straggler, the ring re-forms over the responsive
+// ranks, and the sum completes exactly over their inputs. When the slow
+// window ends, the score heals, the verdict lifts (OnRecovered), and the
+// next collective readmits the node — a fail-slow flap, not a death.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/backends"
+	"repro/internal/collective"
+	"repro/internal/config"
+	"repro/internal/health"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+const (
+	nodesN    = 4
+	elems     = 8192
+	straggler = 1
+	// computePhase is the application compute preceding the reduction;
+	// it is where a compute-dilated straggler actually bleeds time (the
+	// collective alone is wire-bound).
+	computePhase = 50 * sim.Microsecond
+	hopTimeout   = 200 * sim.Microsecond
+	hedgeAfter   = 25 * sim.Microsecond
+)
+
+func slowConfig() config.SystemConfig {
+	cfg := config.Default()
+	cfg.NIC.Reliability = config.DefaultReliability()
+	cfg.Faults = config.FaultConfig{Slow: config.SlowConfig{
+		Seed: 7,
+		Windows: []config.SlowWindow{{
+			Node:      straggler,
+			From:      0,
+			Until:     800 * sim.Microsecond,
+			GPUFactor: 10,
+		}},
+	}}
+	return cfg
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	data := make([][]float32, nodesN)
+	for r := range data {
+		data[r] = make([]float32, elems)
+		for i := range data[r] {
+			data[r][i] = float32(rng.Intn(64))
+		}
+	}
+
+	// Arm 1: no detection. The run completes over all four ranks — and
+	// inherits the straggler's dilation wholesale.
+	unmitCluster := node.NewCluster(slowConfig(), nodesN)
+	fmt.Println(unmitCluster.Injector.Summary())
+	unmit, err := collective.Run(unmitCluster, collective.Config{
+		Kind: backends.GPUTN, TotalBytes: elems * 4, Data: data,
+		ComputePhase: computePhase,
+	})
+	if err != nil {
+		log.Fatalf("unmitigated run failed: %v", err)
+	}
+
+	// Arm 2: progress-based detection + hedged collective.
+	cfg := slowConfig()
+	cfg.Health = config.HealthConfig{
+		Enabled:        true,
+		Period:         5 * sim.Microsecond,
+		SuspectAfter:   500 * sim.Microsecond, // slow, not dead: keep fail-stop out of it
+		StabilizeDelay: 20 * sim.Microsecond,
+		SlowDetect:     true,
+		SlowGrace:      5 * sim.Microsecond,
+	}
+	cluster := node.NewCluster(cfg, nodesN)
+	suite := health.Start(cluster)
+	suite.Membership.OnSlow(func(n int) {
+		fmt.Printf("%9v: node %d confirmed SLOW (score %.2f) — view %d\n",
+			cluster.Eng.Now(), n, suite.Membership.SlowScore(n), suite.Membership.ViewID())
+	})
+	suite.Membership.OnRecovered(func(n int) {
+		fmt.Printf("%9v: node %d recovered — view %d\n",
+			cluster.Eng.Now(), n, suite.Membership.ViewID())
+	})
+
+	hcfg := collective.HedgeConfig{
+		RecoverConfig: collective.RecoverConfig{
+			Kind: backends.GPUTN, TotalBytes: elems * 4, Data: data,
+			Timeout: hopTimeout, ComputePhase: computePhase,
+		},
+		HedgeAfter: hedgeAfter,
+	}
+	var first, second collective.RecoverResult
+	var err1, err2 error
+	cluster.Eng.Go("hedged.driver", func(p *sim.Proc) {
+		first, err1 = collective.RunHedged(p, cluster, suite.Membership, hcfg)
+		// Wait out the slow window; the straggler's healthy tick rate
+		// heals its score and the verdict lifts.
+		for i := 0; i < 100 && suite.Membership.Member(straggler).Status != health.Alive; i++ {
+			p.Sleep(50 * sim.Microsecond)
+		}
+		second, err2 = collective.RunHedged(p, cluster, suite.Membership, hcfg)
+		suite.Stop()
+	})
+	cluster.Run()
+	if err1 != nil {
+		log.Fatalf("hedged run failed: %v\n%v", err1, cluster.Diagnose())
+	}
+	if err2 != nil {
+		log.Fatalf("post-recovery run failed: %v\n%v", err2, cluster.Diagnose())
+	}
+
+	fmt.Println()
+	for i, a := range first.Attempts {
+		verdict := "completed"
+		if a.Err != nil {
+			verdict = fmt.Sprintf("abandoned: %v", a.Err)
+		}
+		fmt.Printf("attempt %d: %9v .. %9v over view %d %v  %s\n",
+			i, a.Start, a.End, a.ViewID, a.Alive, verdict)
+	}
+
+	// The hedged run must have excluded the straggler and summed exactly
+	// over the responsive ranks; the post-recovery run must have taken
+	// all four back.
+	for _, r := range first.Alive {
+		if r == straggler {
+			log.Fatalf("straggler %d still in hedged membership %v", straggler, first.Alive)
+		}
+	}
+	if len(second.Alive) != nodesN {
+		log.Fatalf("recovered straggler not readmitted: %v", second.Alive)
+	}
+	for _, res := range []collective.RecoverResult{first, second} {
+		want := make([]float32, elems)
+		for _, r := range res.Alive {
+			for i, v := range data[r] {
+				want[i] += v
+			}
+		}
+		for _, r := range res.Alive {
+			for i := range want {
+				if res.Output[r][i] != want[i] {
+					log.Fatalf("rank %d elem %d: got %v want %v", r, i, res.Output[r][i], want[i])
+				}
+			}
+		}
+	}
+
+	ms := suite.Membership.Stats()
+	fmt.Printf("\nunmitigated (no detection, all 4 ranks): %v\n", unmit.Duration)
+	fmt.Printf("hedged (straggler excluded, exact over %v): %v  — %.2fx faster\n",
+		first.Alive, first.Duration, float64(unmit.Duration)/float64(first.Duration))
+	fmt.Printf("after the window: readmitted, exact over %v in %d attempt(s)\n",
+		second.Alive, len(second.Attempts))
+	fmt.Printf("detector: %d Slow verdict(s), %d recovery(ies), %d lag report(s)\n",
+		ms.SlowVerdicts, ms.SlowsRecovered, ms.LagReports)
+	fmt.Println("\nNothing crashed and nothing was wrong — node 1 was only late. The")
+	fmt.Println("progress watermarks saw its tick rate sag, the hedged hops stopped")
+	fmt.Println("waiting, and the job ran at the speed of its responsive members.")
+}

@@ -82,9 +82,10 @@ func perfSuite(cfg config.SystemConfig, preset string) ([]perfExp, error) {
 	faults := perfExp{"faults", func() { AblationFaultTolerance(cfg, []float64{0, 0.02, 0.05}) }}
 	resources := perfExp{"resources", func() { AblationResourcePressure(cfg, []float64{1.0, 0.5}) }}
 	sdc := perfExp{"sdc", func() { AblationSDC(cfg, []float64{0.02, 0.10}) }}
+	stragglers := perfExp{"stragglers", func() { AblationStraggler(cfg, []float64{10}) }}
 	switch preset {
 	case "full":
-		return []perfExp{core, fig1, fig8, fig9, fig10, fig11, ablations, faults, resources, sdc}, nil
+		return []perfExp{core, fig1, fig8, fig9, fig10, fig11, ablations, faults, resources, sdc, stragglers}, nil
 	case "smoke":
 		return []perfExp{core, fig1, fig8, faults, resources}, nil
 	default:

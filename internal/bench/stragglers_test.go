@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/backends"
+	"repro/internal/config"
+)
+
+// The headline acceptance gate of the fail-slow PR: at a 10x GPU-class
+// slowdown, the hedged arm (progress detection + straggler exclusion)
+// must beat the unmitigated run by at least 2x on the paper's backends
+// of interest (GPU-TN and HDN), with exact sums in every arm of every
+// cell and a recorded detection in the cells that must exclude.
+func TestStragglerMitigationAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size straggler sweep; skipped in -short")
+	}
+	pts := AblationStraggler(config.Default(), []float64{10})
+	if len(pts) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for _, pt := range pts {
+		if !pt.ExactUnmitigated {
+			t.Errorf("%v %s x%g: unmitigated arm not exact", pt.Kind, pt.Class, pt.Factor)
+		}
+		if !pt.ExactHedged {
+			t.Errorf("%v %s x%g: hedged arm not exact over membership %v", pt.Kind, pt.Class, pt.Factor, pt.FinalAlive)
+		}
+		if pt.Class != "gpu" {
+			continue
+		}
+		if !pt.Detected {
+			t.Errorf("%v gpu x%g: straggler never detected", pt.Kind, pt.Factor)
+		}
+		if pt.Kind == backends.GPUTN || pt.Kind == backends.HDN {
+			if s := pt.Speedup(); s < 2 {
+				t.Errorf("%v gpu x%g: hedged speedup %.2fx < 2x (unmit %v, hedged %v)",
+					pt.Kind, pt.Factor, s, pt.Unmitigated, pt.Hedged)
+			}
+		}
+	}
+}

@@ -59,6 +59,12 @@ type Config struct {
 	// reduction with the network transfer. Ignored values 0 and 1 select
 	// the kernel-granularity implementation.
 	Pipeline int
+	// ComputePhase, when > 0, models an application compute kernel of that
+	// duration on each rank's GPU before the reduction — the training-step
+	// shape (compute, then Allreduce). It runs under the fail-slow
+	// injector's compute dilation, so a GPU-class straggler delays its
+	// ring contribution by the full dilated phase.
+	ComputePhase sim.Time
 
 	// Timeout, when > 0, bounds every per-round receive wait: a rank whose
 	// ring predecessor stops sending aborts with a NeighborFailedError
@@ -176,6 +182,52 @@ type rankState struct {
 	// verify, when non-nil, threads the in-band claim chain through sends
 	// and deliveries (RunVerified).
 	verify *verifyState
+	// hedge, when non-nil, slices every receive wait into soft deadlines
+	// that report lag and abandon hops on confirmed-Slow predecessors
+	// (RunHedged).
+	hedge *hedgeRun
+	// peers exposes the attempt's rank states by node index (hedged runs
+	// only): a receiver attributes hedge-deadline blame to its predecessor
+	// only when the predecessor's own receive progress shows it holds the
+	// awaited step's inputs.
+	peers []*rankState
+}
+
+// computePhase runs the modeled application compute kernel preceding the
+// reduction (ComputePhase > 0): one work-group computing for d on the
+// rank's GPU, subject to the fail-slow injector's compute dilation. A
+// no-op when no phase is configured.
+func (st *rankState) computePhase(p *sim.Proc, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	st.nd.GPU.LaunchSync(p, &gpu.Kernel{
+		Name:       "allreduce.compute",
+		WorkGroups: 1,
+		Body:       func(wg *gpu.WGCtx) { wg.Compute(d) },
+	})
+}
+
+// hostRecv waits for the round's delivery on the host: the plain timed wait
+// of HostRecvWaitTimeout, or the hedged slice loop when the run is
+// fail-slow tolerant.
+func (st *rankState) hostRecv(p *sim.Proc, target int64) error {
+	if st.hedge == nil {
+		return backends.HostRecvWaitTimeout(p, st.nd, st.recvCT, target, st.timeout)
+	}
+	return st.hedge.recvHost(p, st, target)
+}
+
+// pollRecv waits for the round's delivery inside a GPU-TN kernel, hedged
+// when armed.
+func (st *rankState) pollRecv(wg *gpu.WGCtx, step int) error {
+	if st.hedge == nil {
+		if !wg.PollUntilFor(st.recvCT.Raw(), int64(step)+1, st.timeout) {
+			return portals.ErrTimeout
+		}
+		return nil
+	}
+	return st.hedge.pollGPU(wg, st, step)
 }
 
 // applyChunk lands one ring chunk into the rank's vector: claim
@@ -373,6 +425,7 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 			continue
 		}
 		run := func(p *sim.Proc) {
+			st.computePhase(p, cfg.ComputePhase)
 			var err error
 			switch cfg.Kind {
 			case backends.CPU:
@@ -567,7 +620,7 @@ func runCPURank(p *sim.Proc, st *rankState) error {
 	for _, r := range st.rounds {
 		md.Data = st.sendPayload(r)
 		backends.HostSend(p, st.nd, md, st.chunk, st.right(), st.mb)
-		if err := backends.HostRecvWaitTimeout(p, st.nd, st.recvCT, int64(r.Step)+1, st.timeout); err != nil {
+		if err := st.hostRecv(p, int64(r.Step)+1); err != nil {
 			return st.neighborFailed(r.Step, err)
 		}
 		if r.Reduce {
@@ -584,7 +637,7 @@ func runHDNRank(p *sim.Proc, st *rankState) error {
 	for _, r := range st.rounds {
 		md.Data = st.sendPayload(r)
 		backends.HostSend(p, st.nd, md, st.chunk, st.right(), st.mb)
-		if err := backends.HostRecvWaitTimeout(p, st.nd, st.recvCT, int64(r.Step)+1, st.timeout); err != nil {
+		if err := st.hostRecv(p, int64(r.Step)+1); err != nil {
 			return st.neighborFailed(r.Step, err)
 		}
 		if r.Reduce {
@@ -627,10 +680,12 @@ func runGPUTNRank(p *sim.Proc, st *rankState) error {
 	perWG := st.gpuReducePerWGTime()
 	rounds := st.rounds
 	failedStep := -1
+	var failCause error
 
 	// Persistent kernel: all rounds inside one kernel dispatch. With a
-	// timeout armed, a work-group that gives up on a round records the
-	// step and exits; its siblings observe the sticky flag and follow.
+	// timeout (or hedge) armed, a work-group that gives up on a round
+	// records the step and exits; its siblings observe the sticky flag and
+	// follow.
 	kern := &gpu.Kernel{
 		Name:       fmt.Sprintf("gputn.allreduce.%d", st.nd.Index),
 		WorkGroups: reduceWGs,
@@ -640,9 +695,9 @@ func runGPUTNRank(p *sim.Proc, st *rankState) error {
 					return
 				}
 				core.TriggerKernel(wg, trig, st.tagBase+uint64(r.Step))
-				if !wg.PollUntilFor(st.recvCT.Raw(), int64(r.Step)+1, st.timeout) {
+				if perr := st.pollRecv(wg, r.Step); perr != nil {
 					if failedStep < 0 || r.Step < failedStep {
-						failedStep = r.Step
+						failedStep, failCause = r.Step, perr
 					}
 					return
 				}
@@ -677,7 +732,14 @@ func runGPUTNRank(p *sim.Proc, st *rankState) error {
 		}
 	}
 	for s := window; s < total; s++ {
-		if st.timeout > 0 {
+		if st.hedge != nil {
+			// Sliced pacing wait: break out within one hedge slice of the
+			// kernel abandoning its hop, instead of waiting out Timeout
+			// against completions that will never come.
+			if err := st.hedge.waitComp(p, st, comp.CT.Raw(), int64(s-window)+1, func() bool { return failedStep >= 0 }); err != nil {
+				break
+			}
+		} else if st.timeout > 0 {
 			if err := comp.CT.WaitTimeout(p, int64(s-window)+1, st.timeout); err != nil {
 				break
 			}
@@ -690,7 +752,10 @@ func runGPUTNRank(p *sim.Proc, st *rankState) error {
 	}
 	kern.Wait(p)
 	if failedStep >= 0 {
-		return st.neighborFailed(failedStep, portals.ErrTimeout)
+		if failCause == nil {
+			failCause = portals.ErrTimeout
+		}
+		return st.neighborFailed(failedStep, failCause)
 	}
 	return nil
 }

@@ -28,15 +28,26 @@ import (
 	"repro/internal/sim"
 )
 
-// recoverMatchBits returns attempt a's landing-region address, disjoint
-// from the plain-run (0xA11), episode (0xA11_0000|e), and heartbeat
-// namespaces.
-func recoverMatchBits(a int) uint64 { return 0x5EC_0000 | uint64(a) }
+// recoverMatchBits returns the landing-region address of run generation
+// gen's attempt a, disjoint from the plain-run (0xA11), episode
+// (0xA11_0000|e), and heartbeat namespaces. Generations start at 1 and
+// stride by 1024 attempts, so the first run on a cluster uses exactly
+// the pre-generation addresses (pay-for-use: single-run traces are
+// untouched) and repeat runs get fresh namespaces — a predecessor's
+// aborted attempt can leak a partially-consumed landing region that
+// would shadow identically-addressed traffic forever.
+func recoverMatchBits(gen int64, a int) uint64 {
+	return 0x5EC_0000 + uint64(gen-1)*1024 + uint64(a)
+}
 
-// recoverTagBase returns attempt a's first trigger tag; the 1<<26 offset
-// keeps the range disjoint from episode tags (episode*4096) and heartbeat
-// tags (0x48420000+peer).
-func recoverTagBase(a int) uint64 { return 1<<26 + uint64(a)*4096 }
+// recoverTagBase returns the first trigger tag of run generation gen's
+// attempt a; the 1<<26 offset keeps the range disjoint from episode tags
+// (episode*4096) and heartbeat tags (0x48420000+peer). Like
+// recoverMatchBits, generation 1 reproduces the pre-generation tags
+// exactly and each generation strides by 1024 attempts.
+func recoverTagBase(gen int64, a int) uint64 {
+	return 1<<26 + (uint64(gen-1)*1024+uint64(a))*4096
+}
 
 // RecoverConfig describes a crash-recoverable Allreduce.
 type RecoverConfig struct {
@@ -55,6 +66,11 @@ type RecoverConfig struct {
 	Timeout sim.Time
 	// MaxAttempts bounds the retry loop (default 8).
 	MaxAttempts int
+	// ComputePhase, when > 0, models an application compute kernel of that
+	// duration on each rank's GPU before the reduction rounds (the
+	// training-step shape); every retry attempt recomputes it. Subject to
+	// the fail-slow injector's compute dilation.
+	ComputePhase sim.Time
 }
 
 // AttemptReport records one attempt for traces and tests.
@@ -87,13 +103,14 @@ type RecoverResult struct {
 // stable membership view. It runs on the calling process (in-simulation):
 // spawn it with eng.Go and read the result after the cluster drains.
 func RunRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg RecoverConfig) (RecoverResult, error) {
-	return runRecoverable(p, cl, m, cfg, nil)
+	return runRecoverable(p, cl, m, cfg, nil, nil)
 }
 
 // runRecoverable is the shared attempt loop; ver (nil for plain
 // recoverable runs) threads the verified layer's claim chain through every
-// attempt and settles blame between attempts.
-func runRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg RecoverConfig, ver *verifyRun) (RecoverResult, error) {
+// attempt and settles blame between attempts, and hedge (nil unless
+// RunHedged) arms the fail-slow sliced waits.
+func runRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg RecoverConfig, ver *verifyRun, hedge *hedgeRun) (RecoverResult, error) {
 	n := cl.Size()
 	var res RecoverResult
 	if n < 2 {
@@ -108,6 +125,15 @@ func runRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg Rec
 	maxAttempts := cfg.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = 8
+	}
+	// The run generation salts this run's landing regions and trigger tags
+	// away from anything a previous run on this cluster staged (including
+	// state a straggler's abandoned runner staged after that run's own
+	// cleanup). Generation 1 — the only run on most clusters — reproduces
+	// the unsalted addresses bit-for-bit.
+	gen := cl.NextCollectiveGen()
+	if maxAttempts > 1024 {
+		return res, fmt.Errorf("collective: MaxAttempts %d exceeds the per-generation namespace (1024)", maxAttempts)
 	}
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
@@ -141,7 +167,7 @@ func runRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg Rec
 			continue
 		}
 		rep := AttemptReport{Start: p.Now(), ViewID: view, Alive: append([]int(nil), alive...)}
-		out, completed, err := runAttempt(p, cl, cfg, alive, attempt, ver)
+		out, completed, err := runAttempt(p, cl, cfg, alive, gen, attempt, ver, hedge)
 		rep.End, rep.Completed, rep.Err = p.Now(), completed, err
 		res.Attempts = append(res.Attempts, rep)
 		if err != nil {
@@ -160,7 +186,21 @@ func runRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg Rec
 				lastErr = verr
 			}
 		}
-		if completed && err == nil && violations == 0 && m.ViewID() == view {
+		viewOK := m.ViewID() == view
+		if !viewOK && hedge != nil {
+			// Hedged runs tolerate benign view churn: a straggler outside
+			// the ring recovering (or being re-condemned) mid-attempt bumps
+			// the view without touching the participants. The attempt
+			// stands as long as every participant stayed responsive; churn
+			// that removed a participant still forces a retry.
+			viewOK = true
+			for _, i := range rep.Alive {
+				if s := m.Member(i).Status; s != health.Alive && s != health.Slow {
+					viewOK = false
+				}
+			}
+		}
+		if completed && err == nil && violations == 0 && viewOK {
 			res.Duration = p.Now()
 			res.ViewID = view
 			res.Alive = rep.Alive
@@ -178,7 +218,7 @@ func runRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg Rec
 // match bits and trigger tags, waiting until every participant's runner
 // has exited (normally or killed by a crash). completed reports whether
 // all runners finished their backend code.
-func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, attempt int, ver *verifyRun) (out [][]float32, completed bool, err error) {
+func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, gen int64, attempt int, ver *verifyRun, hedge *hedgeRun) (out [][]float32, completed bool, err error) {
 	n := cl.Size()
 	ringSize := len(alive)
 	if cfg.TotalBytes < int64(ringSize)*elemBytes {
@@ -195,10 +235,18 @@ func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, a
 	// that will never fire — their thresholds wanted ticks from kernels
 	// that timed out — plus relaxed-sync placeholders from tag writes that
 	// outran cancellation; unreclaimed, they pin the NIC's small
-	// associative list until registration itself fails.
-	if attempt > 0 {
+	// associative list until registration itself fails. The range reaches
+	// back to generation 1 because an abandoned runner of an EARLIER run
+	// can stage entries after that run's final cleanup pass (a straggler
+	// pinned in a dilated compute kernel registers whenever it wakes).
+	// Landing regions are deliberately NOT unlinked: a stale region is the
+	// absorber that soaks up an abandoned runner's late traffic — without
+	// it, a late chunk is a protocol error at the destination NIC. The
+	// first attempt of the cluster's first run skips the pass entirely, so
+	// the seed trace stays untouched.
+	if attempt > 0 || gen > 1 {
 		for _, i := range alive {
-			cl.Nodes[i].Ptl.CancelTriggered(p, recoverTagBase(0), recoverTagBase(attempt))
+			cl.Nodes[i].Ptl.CancelTriggered(p, recoverTagBase(1, 0), recoverTagBase(gen, attempt))
 		}
 	}
 
@@ -215,12 +263,13 @@ func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, a
 			nelems:  nelems,
 			nranks:  ringSize,
 			chunk:   cfg.TotalBytes / int64(ringSize),
-			mb:      recoverMatchBits(attempt),
-			tagBase: recoverTagBase(attempt),
+			mb:      recoverMatchBits(gen, attempt),
+			tagBase: recoverTagBase(gen, attempt),
 			ring:    alive,
 			pos:     pos,
 			timeout: cfg.Timeout,
 			sdc:     nd.NIC.Injector().SDC(),
+			hedge:   hedge,
 		}
 		if cfg.Data != nil {
 			if len(cfg.Data[i]) != nelems {
@@ -232,6 +281,11 @@ func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, a
 			}
 		}
 		states[i] = st
+	}
+	if hedge != nil {
+		for _, i := range alive {
+			states[i].peers = states
+		}
 	}
 	for _, i := range alive {
 		st := states[i]
@@ -250,9 +304,13 @@ func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, a
 	for _, i := range alive {
 		i := i
 		st := states[i]
+		// Hedged GDS runs execute on the HDN path (GDSFallbackHDN): the
+		// stream's waits cannot be sliced, the host's can.
+		kind := hedge.effectiveKind(cfg.Kind)
 		pr := st.nd.Go(fmt.Sprintf("recover.a%d.%s.%d", attempt, cfg.Kind, i), func(p *sim.Proc) {
+			st.computePhase(p, cfg.ComputePhase)
 			var rerr error
-			switch cfg.Kind {
+			switch kind {
 			case backends.CPU:
 				rerr = runCPURank(p, st)
 			case backends.HDN:
@@ -273,7 +331,34 @@ func runAttempt(p *sim.Proc, cl *node.Cluster, cfg RecoverConfig, alive []int, a
 		// report.
 		pr.OnExit(func() { join.Add(1) })
 	}
-	join.WaitGE(p, int64(ringSize))
+	if hedge == nil {
+		join.WaitGE(p, int64(ringSize))
+	} else {
+		// A confirmed straggler's runner can be pinned inside a dilated
+		// kernel long after the verdict; the attempt is already doomed, so
+		// the driver stops waiting on Slow participants (their stale
+		// traffic is attempt-salted away and their runner abandons at its
+		// next receive) and retries over the responsive ranks.
+		for {
+			exited := join.Value()
+			if exited >= int64(ringSize) {
+				break
+			}
+			stop := true
+			for _, i := range alive {
+				if !finished[i] && hedge.m.Member(i).Status != health.Slow {
+					stop = false
+					break
+				}
+			}
+			if stop {
+				break
+			}
+			// Wake on the next runner exit or after one hedge slice,
+			// whichever comes first, to re-evaluate verdicts.
+			join.WaitGEUntil(p, exited+1, p.Now()+hedge.after)
+		}
+	}
 
 	completed = true
 	for _, i := range alive {

@@ -164,7 +164,7 @@ func RunVerified(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg Recove
 		return res, fmt.Errorf("collective: verified runs need Data")
 	}
 	vr := newVerifyRun()
-	rec, err := runRecoverable(p, cl, m, cfg, vr)
+	rec, err := runRecoverable(p, cl, m, cfg, vr, nil)
 	res.RecoverResult = rec
 	res.Violations = vr.log.all
 	res.Quarantined = m.Quarantined()

@@ -145,6 +145,9 @@ type FaultConfig struct {
 	// checksum does NOT catch; the zero value schedules nothing and is
 	// pay-for-use.
 	SDC SDCConfig
+	// Slow schedules deterministic fail-slow (straggler) windows; the zero
+	// value schedules nothing and is pay-for-use.
+	Slow SlowConfig
 }
 
 // Enabled reports whether any fault is armed.
@@ -153,7 +156,8 @@ func (f FaultConfig) Enabled() bool {
 		f.FlapEnd > f.FlapStart ||
 		(f.CmdStallProb > 0 && f.CmdStallTime > 0) ||
 		f.TrigDropProb > 0 || f.TrigDelayJitter > 0 ||
-		f.Partition.Enabled() || f.Degrade.Enabled() || f.SDC.Enabled()
+		f.Partition.Enabled() || f.Degrade.Enabled() || f.SDC.Enabled() ||
+		f.Slow.Enabled()
 }
 
 // CompoundPerPacket converts a per-packet probability (loss, corruption)
@@ -223,6 +227,90 @@ func (s SDCConfig) validate() error {
 		return fmt.Errorf("config: Faults.SDC.FaultyUntil %v before FaultyFrom %v", s.FaultyUntil, s.FaultyFrom)
 	case s.FaultyUntil > s.FaultyFrom && s.FaultyRank < 0:
 		return fmt.Errorf("config: Faults.SDC.FaultyRank = %d", s.FaultyRank)
+	}
+	return nil
+}
+
+// SlowWindow schedules one fail-slow window on one node during [From,
+// Until): the node keeps making progress — no verdict the fail-stop,
+// partition, or integrity layers own applies — it is just slower, through
+// up to three independent component classes:
+//
+//   - gpu: every WGCtx.Compute on the node is dilated by GPUFactor
+//     (kernel clock throttling, thermal capping, a compute-hogging
+//     co-tenant);
+//   - nic: command parsing stretches by CmdFactor, and each command
+//     additionally stalls for CmdStallTime with probability CmdStallProb
+//     (a wedged firmware path, PCIe credit starvation) — stall fates draw
+//     from the plan's private RNG, so arming them never perturbs the main
+//     injector stream;
+//   - dma: every DMA transfer (send-side staging and receive-side
+//     delivery) stretches by DMAFactor (a degraded copy engine).
+//
+// A factor of 0 or 1 leaves that class untouched. The window is armed only
+// when Until > From.
+type SlowWindow struct {
+	Node int
+	From sim.Time
+	// Until bounds the window; 0 with From 0 disarms it. Use a very large
+	// Until for a persistent straggler.
+	Until sim.Time
+	// GPUFactor multiplies GPU compute time (≥ 1 to slow; 0/1 = off).
+	GPUFactor float64
+	// CmdFactor multiplies NIC command-parse latency (≥ 1 to slow).
+	CmdFactor float64
+	// CmdStallProb adds a CmdStallTime stall per NIC command with the
+	// given probability (drawn from the plan's private RNG).
+	CmdStallProb float64
+	CmdStallTime sim.Time
+	// DMAFactor multiplies DMA/copy transfer time (≥ 1 to slow).
+	DMAFactor float64
+}
+
+// armed reports whether the window has a live time span.
+func (w SlowWindow) armed() bool { return w.Until > w.From }
+
+// SlowConfig schedules deterministic fail-slow injection (internal/fault's
+// SlowPlan). The zero value schedules nothing and costs nothing: no RNG
+// draws, no events, a bit-for-bit identical trace (tested) — the same
+// pay-for-use contract as every other plan.
+type SlowConfig struct {
+	// Seed seeds the slow plan's private RNG (used only for CmdStallProb
+	// draws inside armed windows).
+	Seed int64
+	// Windows lists the straggler windows; they may overlap on a node, in
+	// which case factors multiply and stall draws accumulate.
+	Windows []SlowWindow
+}
+
+// Enabled reports whether any straggler window is armed.
+func (s SlowConfig) Enabled() bool {
+	for _, w := range s.Windows {
+		if w.armed() {
+			return true
+		}
+	}
+	return false
+}
+
+func (s SlowConfig) validate() error {
+	for i, w := range s.Windows {
+		switch {
+		case w.Node < 0:
+			return fmt.Errorf("config: Faults.Slow.Windows[%d].Node = %d", i, w.Node)
+		case w.Until < w.From:
+			return fmt.Errorf("config: Faults.Slow.Windows[%d].Until %v before From %v", i, w.Until, w.From)
+		case w.GPUFactor < 0 || w.CmdFactor < 0 || w.DMAFactor < 0:
+			return fmt.Errorf("config: Faults.Slow.Windows[%d] negative factor", i)
+		case (w.GPUFactor > 0 && w.GPUFactor < 1) ||
+			(w.CmdFactor > 0 && w.CmdFactor < 1) ||
+			(w.DMAFactor > 0 && w.DMAFactor < 1):
+			return fmt.Errorf("config: Faults.Slow.Windows[%d] factor in (0, 1) — fail-slow factors are >= 1 (0 or 1 = off)", i)
+		case w.CmdStallProb < 0 || w.CmdStallProb > 1:
+			return fmt.Errorf("config: Faults.Slow.Windows[%d].CmdStallProb = %v outside [0, 1]", i, w.CmdStallProb)
+		case w.CmdStallTime < 0:
+			return fmt.Errorf("config: Faults.Slow.Windows[%d].CmdStallTime = %v", i, w.CmdStallTime)
+		}
 	}
 	return nil
 }
@@ -396,6 +484,49 @@ type HealthConfig struct {
 	// a node the membership tolerates before quarantining it (verdict
 	// Quarantined, permanent: heartbeats cannot revive it). 0 = 3.
 	QuarantineStrikes int
+	// SlowDetect arms progress-based fail-slow detection: heartbeat
+	// payloads carry progress watermarks (GPU tick count, NIC completion
+	// counter), the membership sweep maintains a relative-progress EWMA
+	// score per peer, and a peer whose score stays below SlowThreshold for
+	// SlowGrace is declared Slow (verdict distinct from Suspect /
+	// Partitioned / Quarantined: the peer is alive but off the fast path).
+	// Off by default — scoring never runs and traces stay bit-for-bit
+	// identical to the detection-free seed.
+	SlowDetect bool
+	// SlowThreshold is the EWMA relative-progress score below which a peer
+	// is straggling (1.0 = full speed). 0 = 0.5.
+	SlowThreshold float64
+	// SlowRecover is the score a Slow peer must regain before the verdict
+	// lifts (hysteresis: must exceed SlowThreshold). 0 = 0.8.
+	SlowRecover float64
+	// SlowGrace is how long the score must stay below SlowThreshold before
+	// the Slow verdict lands — transient jitter never flaps. 0 = 2×Period.
+	SlowGrace sim.Time
+}
+
+// EffectiveSlowThreshold returns the armed Slow entry score (default 0.5).
+func (h HealthConfig) EffectiveSlowThreshold() float64 {
+	if h.SlowThreshold > 0 {
+		return h.SlowThreshold
+	}
+	return 0.5
+}
+
+// EffectiveSlowRecover returns the armed Slow exit score (default 0.8).
+func (h HealthConfig) EffectiveSlowRecover() float64 {
+	if h.SlowRecover > 0 {
+		return h.SlowRecover
+	}
+	return 0.8
+}
+
+// EffectiveSlowGrace returns the armed verdict grace period (default
+// 2×Period).
+func (h HealthConfig) EffectiveSlowGrace() sim.Time {
+	if h.SlowGrace > 0 {
+		return h.SlowGrace
+	}
+	return 2 * h.Period
 }
 
 // EffectiveQuarantineStrikes returns the armed strike budget (default 3).
@@ -433,6 +564,15 @@ func (h HealthConfig) Validate() error {
 		return fmt.Errorf("config: Health.StabilizeDelay = %v", h.StabilizeDelay)
 	case h.QuarantineStrikes < 0:
 		return fmt.Errorf("config: Health.QuarantineStrikes = %d", h.QuarantineStrikes)
+	case h.SlowThreshold < 0 || h.SlowThreshold > 1:
+		return fmt.Errorf("config: Health.SlowThreshold = %v outside [0, 1]", h.SlowThreshold)
+	case h.SlowRecover < 0 || h.SlowRecover > 1:
+		return fmt.Errorf("config: Health.SlowRecover = %v outside [0, 1]", h.SlowRecover)
+	case h.SlowGrace < 0:
+		return fmt.Errorf("config: Health.SlowGrace = %v", h.SlowGrace)
+	case h.SlowDetect && h.EffectiveSlowRecover() <= h.EffectiveSlowThreshold():
+		return fmt.Errorf("config: Health.SlowRecover = %v must exceed SlowThreshold = %v (hysteresis)",
+			h.EffectiveSlowRecover(), h.EffectiveSlowThreshold())
 	}
 	return nil
 }
@@ -722,7 +862,10 @@ func (f FaultConfig) validate() error {
 	if err := f.Degrade.validate(); err != nil {
 		return err
 	}
-	return f.SDC.validate()
+	if err := f.SDC.validate(); err != nil {
+		return err
+	}
+	return f.Slow.validate()
 }
 
 // SchedulerPreset models one GPU front-end hardware scheduler for the

@@ -56,6 +56,7 @@ type Injector struct {
 	rng   *rand.Rand
 	plan  *PartitionPlan
 	sdc   *SDCPlan
+	slow  *SlowPlan
 	stats Stats
 }
 
@@ -71,6 +72,7 @@ func NewInjector(cfg config.FaultConfig) *Injector {
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		plan: NewPartitionPlan(cfg.Partition),
 		sdc:  NewSDCPlan(cfg.SDC),
+		slow: NewSlowPlan(cfg.Slow),
 	}
 }
 
@@ -90,6 +92,15 @@ func (in *Injector) SDC() *SDCPlan {
 		return nil
 	}
 	return in.sdc
+}
+
+// Slow returns the compiled fail-slow plan (nil for nil or when none is
+// configured); GPUs and NICs consult it directly.
+func (in *Injector) Slow() *SlowPlan {
+	if in == nil {
+		return nil
+	}
+	return in.slow
 }
 
 // Stats returns a snapshot of the injected-fault counters.
@@ -225,6 +236,9 @@ func (in *Injector) Summary() string {
 	}
 	if in.sdc != nil {
 		s += " " + in.sdc.Summary()
+	}
+	if in.slow != nil {
+		s += " " + in.slow.Summary()
 	}
 	return s
 }

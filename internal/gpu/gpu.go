@@ -51,8 +51,14 @@ func (w *WGCtx) Proc() *sim.Proc { return w.p }
 // Now returns the current simulated time.
 func (w *WGCtx) Now() sim.Time { return w.p.Now() }
 
-// Compute advances the work-group by d of pure computation.
-func (w *WGCtx) Compute(d sim.Time) { w.p.Sleep(d) }
+// Compute advances the work-group by d of pure computation. An installed
+// dilation hook (a fail-slow window) can stretch the duration.
+func (w *WGCtx) Compute(d sim.Time) {
+	if w.gpu.dilate != nil {
+		d = w.gpu.dilate(d)
+	}
+	w.p.Sleep(d)
+}
 
 // Barrier executes a work-group barrier (work_group_barrier).
 func (w *WGCtx) Barrier() { w.p.Sleep(w.gpu.cfg.BarrierWorkGroup) }
@@ -99,6 +105,12 @@ type GPU struct {
 	// launchModel, when non-nil, replaces the fixed KernelLaunch cost with
 	// a queue-depth-dependent one (Figure 1 presets).
 	launchModel func(queued int) sim.Time
+
+	// dilate, when non-nil, stretches every WGCtx.Compute duration — the
+	// fail-slow GPU class (fault.SlowPlan). A struct field rather than
+	// per-kernel state so it survives Reset: a restarted node's silicon is
+	// still throttled.
+	dilate func(d sim.Time) sim.Time
 
 	// frontendProc and live track the scheduler process and in-flight
 	// work-group processes so a node crash can take them all down.
@@ -186,6 +198,10 @@ func (g *GPU) KernelsLaunched() int64 { return g.kernelsLaunched }
 // SetLaunchModel installs a queue-depth-dependent launch-latency model
 // (the Figure 1 scheduler presets). Pass nil to restore the fixed cost.
 func (g *GPU) SetLaunchModel(f func(queued int) sim.Time) { g.launchModel = f }
+
+// SetDilation installs a compute-time dilation hook (the fail-slow GPU
+// class). Pass nil to restore full speed.
+func (g *GPU) SetDilation(f func(d sim.Time) sim.Time) { g.dilate = f }
 
 // Launch enqueues a kernel on the GPU's command queue. The front-end
 // scheduler dispatches it in FIFO order. Completion is observable via

@@ -21,11 +21,16 @@ const (
 	hbBytes     = int64(32)
 )
 
-// hbPayload is the heartbeat put's payload: who beats, and under which
-// incarnation epoch.
+// hbPayload is the heartbeat put's payload: who beats, under which
+// incarnation epoch, and — the fail-slow detection feed — the node's
+// progress watermarks at DMA time: the GPU ticker's tick count (dilated
+// compute shows up directly as a depressed tick rate) and the NIC's
+// command-completion counter.
 type hbPayload struct {
-	Node int
-	Inc  int64
+	Node  int
+	Inc   int64
+	WM    int64
+	NICWM int64
 }
 
 // Agent is one node's heartbeat emitter. Its CPU side loops registering a
@@ -42,6 +47,11 @@ type Agent struct {
 	cfg     config.HealthConfig
 	procs   []*sim.Proc // current incarnation's loop + ticker
 	stopped bool
+	// ticks counts GPU ticker iterations — the progress watermark
+	// heartbeat payloads carry. Monotonic across restarts (the membership
+	// resets its baseline on rejoin, so continuity is never scored across
+	// an epoch).
+	ticks int64
 }
 
 // StartAgent installs the heartbeat service on a node: landing zone,
@@ -73,8 +83,9 @@ func (a *Agent) install() {
 		OnDelivery: func(d nic.Delivery) {
 			if pl, ok := d.Data.(hbPayload); ok {
 				// The receiving node is the observer: its NIC delivering
-				// this put is one reachability vote for pl.Node.
-				a.m.BeatFrom(nd.Index, pl.Node, pl.Inc)
+				// this put is one reachability vote for pl.Node, and the
+				// piggybacked watermarks are its progress evidence.
+				a.m.BeatProgress(nd.Index, pl.Node, pl.Inc, pl.WM, pl.NICWM)
 			}
 		},
 	})
@@ -92,7 +103,18 @@ func (a *Agent) cpuLoop(p *sim.Proc) {
 	nd := a.nd
 	inc := nd.NIC.Incarnation()
 	size := nd.Ptl.Size()
-	md := nd.Ptl.MDBind("hb", hbBytes, hbPayload{Node: nd.Index, Inc: inc}, nil)
+	// The payload is deferred: the NIC reads it at DMA time, so the
+	// watermarks a beat carries are live, not a snapshot from registration.
+	// Resolution is data-only at an instant that already existed, so the
+	// trace stays bit-for-bit with the detection-free seed.
+	md := nd.Ptl.MDBind("hb", hbBytes, nic.Deferred(func() any {
+		return hbPayload{
+			Node:  nd.Index,
+			Inc:   inc,
+			WM:    a.ticks,
+			NICWM: nd.NIC.Stats().CommandsExecuted,
+		}
+	}), nil)
 	for {
 		for peer := 0; peer < size; peer++ {
 			if peer == nd.Index {
@@ -117,6 +139,7 @@ func (a *Agent) ticker(wg *gpu.WGCtx) {
 	size := nd.Ptl.Size()
 	for {
 		wg.Compute(a.cfg.Period)
+		a.ticks++
 		wg.FenceSystem()
 		for peer := 0; peer < size; peer++ {
 			if peer == nd.Index {
@@ -207,6 +230,29 @@ func Start(cl *node.Cluster) *Suite {
 				}
 			} else {
 				nd.NIC.MarkPeerCorrupt(network.NodeID(bad))
+			}
+		}
+	})
+	m.OnSlow(func(slow int) {
+		// Observability only — a straggler's channels stay fully usable
+		// (the mitigation is routing, not condemnation), so unlike every
+		// verdict above nothing is marked dead. Each survivor records the
+		// verdict and the detector's slowdown estimate.
+		est := 0.0
+		if s := m.SlowScore(slow); s > 0 {
+			est = 1 / s
+		}
+		for _, nd := range cl.Nodes {
+			if nd.Index != slow && !nd.NIC.Down() {
+				nd.NIC.NoteSlowPeer()
+				nd.NIC.NoteSlowdownEstimate(est)
+			}
+		}
+	})
+	m.OnRecovered(func(rec int) {
+		for _, nd := range cl.Nodes {
+			if nd.Index != rec && !nd.NIC.Down() {
+				nd.NIC.NoteSlowRecovered()
 			}
 		}
 	})

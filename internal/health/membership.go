@@ -51,6 +51,15 @@ const (
 	// output cannot be trusted. The verdict is permanent: heartbeats never
 	// revive a quarantined member, and collectives recompute without it.
 	Quarantined
+	// Slow means the node is alive, reachable, and honest — it is just not
+	// keeping pace: its progress watermarks advance at a fraction of the
+	// heartbeat rate, or collective hops through it keep missing their
+	// hedge deadlines. Unlike Suspect the node's channels stay fully
+	// usable; the mitigation is routing (ring exclusion, hedged hops), not
+	// condemnation. The verdict self-heals: when the relative-progress
+	// score recovers past the hysteresis band the node returns to Alive
+	// and OnRecovered hooks fire.
+	Slow
 )
 
 func (s Status) String() string {
@@ -63,10 +72,29 @@ func (s Status) String() string {
 		return "partitioned"
 	case Quarantined:
 		return "quarantined"
+	case Slow:
+		return "slow"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
 }
+
+// Fail-slow scoring constants. The EWMA weight balances reaction speed
+// against jitter tolerance: one outlier sample moves the heartbeat score
+// at most 40%, so crossing the verdict threshold takes a sustained trend.
+// Hedge-deadline misses (ReportLag) live on a separate lag score: each
+// miss multiplies it by lagPenalty — two misses from full speed land it
+// below the default 0.5 threshold — and it heals toward full speed by
+// lagRecoverRate per sweep (half-life ~34 periods), NOT by heartbeat
+// samples. The split matters: a NIC-side straggler's heartbeats can look
+// healthy (tiny messages, ticks unaffected), and if arrival samples could
+// replenish the same score a lag report drains, in-band evidence from
+// hedged collectives could never accumulate into a verdict.
+const (
+	slowEWMAAlpha  = 0.4
+	lagPenalty     = 0.6
+	lagRecoverRate = 0.02
+)
 
 // ErrSplitBrain is returned by WaitStable when the view is stable but no
 // component holds a strict majority of the non-Suspect nodes — e.g. a
@@ -92,6 +120,11 @@ type Stats struct {
 
 	CorruptReports int64 // SDC strikes fed in via ReportCorrupt
 	Quarantines    int64 // members quarantined for corrupt data
+
+	SlowVerdicts    int64 // Alive -> Slow transitions
+	SlowsRecovered  int64 // Slow -> Alive transitions
+	LagReports      int64 // hedge-deadline misses fed in via ReportLag
+	ProgressSamples int64 // EWMA relative-progress samples folded in
 }
 
 // Membership is the shared failure-detector view of the cluster.
@@ -108,8 +141,25 @@ type Membership struct {
 	onPart       []func(node int)
 	onHeal       []func(node int)
 	onQuarantine []func(node int)
+	onSlow       []func(node int)
+	onRecovered  []func(node int)
 	stats        Stats
 	stopped      bool
+
+	// Fail-slow detection state, armed only when cfg.SlowDetect (all
+	// slices nil otherwise — detection-free views never pay for it).
+	// wm/nicWM are the latest progress watermarks per subject (GPU tick
+	// count and NIC command completions, piggybacked on heartbeats); the
+	// prev pair is the last sample the EWMA consumed.
+	wm         []int64
+	nicWM      []int64
+	wmAt       []sim.Time
+	wmPrev     []int64
+	wmPrevAt   []sim.Time
+	wmValid    []bool
+	score      []float64
+	lagScore   []float64  // hedge-deadline debt, decayed by time not samples
+	belowSince []sim.Time // when the score first dipped below threshold; -1 = not below
 
 	// strikes accumulates corruption reports per subject; reaching the
 	// configured quarantine budget flips the member to Quarantined.
@@ -150,6 +200,22 @@ func NewMembership(eng *sim.Engine, cfg config.HealthConfig, n int) *Membership 
 		m.lastHeard[i] = make([]sim.Time, n)
 		for j := range m.lastHeard[i] {
 			m.lastHeard[i][j] = now
+		}
+	}
+	if cfg.SlowDetect {
+		m.wm = make([]int64, n)
+		m.nicWM = make([]int64, n)
+		m.wmAt = make([]sim.Time, n)
+		m.wmPrev = make([]int64, n)
+		m.wmPrevAt = make([]sim.Time, n)
+		m.wmValid = make([]bool, n)
+		m.score = make([]float64, n)
+		m.lagScore = make([]float64, n)
+		m.belowSince = make([]sim.Time, n)
+		for i := 0; i < n; i++ {
+			m.score[i] = 1
+			m.lagScore[i] = 1
+			m.belowSince[i] = -1
 		}
 	}
 	m.sweeper = eng.Go("health.sweep", m.sweep)
@@ -196,6 +262,38 @@ func (m *Membership) Partitioned() []int {
 	return out
 }
 
+// Slow returns the ranks currently carrying the Slow verdict, in rank
+// order.
+func (m *Membership) Slow() []int {
+	var out []int
+	for i := range m.members {
+		if m.members[i].Status == Slow {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SlowScore returns node's effective progress score (1 = full speed,
+// approaching 0 = stalled): the lower of its heartbeat-rate EWMA and its
+// lag-report debt. Returns 1 when slow detection is off.
+func (m *Membership) SlowScore(node int) float64 {
+	if m.score == nil {
+		return 1
+	}
+	return min(m.score[node], m.lagScore[node])
+}
+
+// ProgressWatermark returns node's latest piggybacked progress watermarks:
+// GPU heartbeat tick count and NIC command completions. Zero when slow
+// detection is off or nothing was observed yet.
+func (m *Membership) ProgressWatermark(node int) (ticks, nicCompletions int64) {
+	if m.wm == nil {
+		return 0, 0
+	}
+	return m.wm[node], m.nicWM[node]
+}
+
 // Quarantined returns the ranks currently quarantined for corrupt data,
 // in rank order.
 func (m *Membership) Quarantined() []int {
@@ -237,6 +335,20 @@ func (m *Membership) OnHeal(fn func(node int)) {
 // node's reliability channels dead with reason PeerDeadCorrupt.
 func (m *Membership) OnQuarantine(fn func(node int)) {
 	m.onQuarantine = append(m.onQuarantine, fn)
+}
+
+// OnSlow registers a hook invoked each time a node transitions
+// Alive -> Slow. The suite wiring uses it to record the verdict in NIC
+// stats; recovery drivers see the straggler leave Alive() automatically.
+func (m *Membership) OnSlow(fn func(node int)) {
+	m.onSlow = append(m.onSlow, fn)
+}
+
+// OnRecovered registers a hook invoked each time a node returns to Alive
+// from Slow — the late-rejoin path: the next stable attempt includes it
+// again.
+func (m *Membership) OnRecovered(fn func(node int)) {
+	m.onRecovered = append(m.onRecovered, fn)
 }
 
 // ReportCorrupt feeds n new corruption strikes against subject into the
@@ -299,6 +411,12 @@ func (m *Membership) BeatFrom(observer, subject int, inc int64) {
 		mb.Incarnation = inc
 		m.stats.Rejoins++
 	}
+	if m.score != nil && (rejoin || mb.Status == Suspect) {
+		// A rejoin or revival restarts the progress baseline: the new
+		// incarnation's watermarks start over, and scoring across the
+		// silent gap would manufacture a false Slow verdict.
+		m.resetProgress(subject)
+	}
 	if mb.Status == Suspect || rejoin {
 		revived := mb.Status == Suspect
 		if revived {
@@ -315,6 +433,62 @@ func (m *Membership) BeatFrom(observer, subject int, inc int64) {
 			}
 		}
 	}
+}
+
+// BeatProgress is BeatFrom plus progress evidence: the heartbeat payload
+// carried the subject's progress watermarks (GPU tick count, NIC command
+// completions), read live at DMA time. With slow detection off it degrades
+// to exactly BeatFrom.
+func (m *Membership) BeatProgress(observer, subject int, inc, ticks, nicCompletions int64) {
+	mb := &m.members[subject]
+	stale := mb.Status == Quarantined || inc < mb.Incarnation
+	m.BeatFrom(observer, subject, inc)
+	if m.score == nil || stale {
+		return
+	}
+	if ticks > m.wm[subject] {
+		m.wm[subject] = ticks
+		m.wmAt[subject] = m.eng.Now()
+	}
+	if nicCompletions > m.nicWM[subject] {
+		m.nicWM[subject] = nicCompletions
+	}
+}
+
+// ReportLag feeds n hedge-deadline misses against subject into the board —
+// in-band evidence from a hedged collective whose hop through the subject
+// kept missing its soft deadline. Each miss multiplies the subject's lag
+// score by lagPenalty; the debt heals with time (lagRecoverRate per
+// sweep), never with heartbeat samples, so a NIC-side straggler whose
+// heartbeats look healthy is still condemned once misses outpace the
+// decay. The verdict itself lands at the next sweep once the effective
+// score has sat below threshold for the grace period. No-op when slow
+// detection is off.
+func (m *Membership) ReportLag(subject int, n int64) {
+	if n <= 0 || m.score == nil {
+		return
+	}
+	m.stats.LagReports += n
+	mb := &m.members[subject]
+	if mb.Status == Suspect || mb.Status == Quarantined {
+		return
+	}
+	for k := int64(0); k < n; k++ {
+		m.lagScore[subject] *= lagPenalty
+	}
+}
+
+// resetProgress restarts subject's progress baseline and scores.
+func (m *Membership) resetProgress(subject int) {
+	m.wm[subject] = 0
+	m.nicWM[subject] = 0
+	m.wmAt[subject] = 0
+	m.wmPrev[subject] = 0
+	m.wmPrevAt[subject] = 0
+	m.wmValid[subject] = false
+	m.score[subject] = 1
+	m.lagScore[subject] = 1
+	m.belowSince[subject] = -1
 }
 
 // bump advances the view and wakes everything waiting on it.
@@ -356,6 +530,9 @@ func (m *Membership) recompute(now sim.Time) {
 				fn(i)
 			}
 		}
+	}
+	if m.score != nil {
+		m.scoreProgress(now)
 	}
 	if !m.crossEvidence {
 		return
@@ -434,6 +611,99 @@ func (m *Membership) recompute(now sim.Time) {
 			}
 		}
 	}
+}
+
+// scoreProgress folds the latest progress watermarks into each member's
+// relative-progress EWMA, decays lag debt, and applies the Slow verdict
+// lifecycle with hysteresis.
+//
+// The heartbeat score moves ONLY on arrival samples — a fresh watermark
+// since the last consumed one scores rel = Δticks / (Δt / Period), the
+// subject's observed heartbeat-tick rate against the configured rate. A
+// GPU-class straggler's ticker is dilated, so its rel collapses to
+// 1/factor. Tick counts are captured at NIC DMA time, so the rate is
+// robust to delivery queueing: a burst of beats that sat behind a bulk
+// chunk transfer still scores rel ~ 1. Deliberately NO sample is taken
+// during silence — a busy NIC legitimately delays beats for a full bulk
+// transfer, and scoring the gap would condemn every node that merely
+// sends large chunks (total silence beyond SuspectAfter is fail-stop
+// suspicion's verdict, not a slow one).
+//
+// The lag score heals toward 1 by lagRecoverRate per sweep; the verdict
+// runs on the effective score min(heartbeat, lag), so either feed alone
+// can condemn and both must look healthy to recover.
+//
+// Verdicts: Alive drops to Slow when the effective score sits below
+// SlowThreshold for SlowGrace (transient jitter never flaps); Slow
+// returns to Alive only past the higher SlowRecover bound.
+// Suspect/Partitioned/Quarantined members are never scored — their
+// failure modes belong to other verdicts.
+func (m *Membership) scoreProgress(now sim.Time) {
+	thr := m.cfg.EffectiveSlowThreshold()
+	rec := m.cfg.EffectiveSlowRecover()
+	grace := m.cfg.EffectiveSlowGrace()
+	period := float64(m.cfg.Period)
+	for i := range m.members {
+		mb := &m.members[i]
+		if mb.Status == Suspect || mb.Status == Quarantined || mb.Status == Partitioned {
+			m.belowSince[i] = -1
+			continue
+		}
+		switch {
+		case !m.wmValid[i]:
+			if m.wmAt[i] > 0 || m.wm[i] > 0 {
+				// First observation anchors the baseline; no score yet.
+				m.wmPrev[i], m.wmPrevAt[i] = m.wm[i], m.wmAt[i]
+				m.wmValid[i] = true
+			}
+		case m.wmAt[i] > m.wmPrevAt[i]:
+			dt := float64(m.wmAt[i] - m.wmPrevAt[i])
+			if expected := dt / period; expected > 0 {
+				rel := float64(m.wm[i]-m.wmPrev[i]) / expected
+				m.sample(i, rel)
+			}
+			m.wmPrev[i], m.wmPrevAt[i] = m.wm[i], m.wmAt[i]
+		}
+		m.lagScore[i] += (1 - m.lagScore[i]) * lagRecoverRate
+		eff := min(m.score[i], m.lagScore[i])
+		switch {
+		case mb.Status == Alive && eff < thr:
+			if m.belowSince[i] < 0 {
+				m.belowSince[i] = now
+			} else if now-m.belowSince[i] >= grace {
+				mb.Status = Slow
+				m.stats.SlowVerdicts++
+				m.belowSince[i] = -1
+				m.bump()
+				for _, fn := range m.onSlow {
+					fn(i)
+				}
+			}
+		case mb.Status == Alive:
+			m.belowSince[i] = -1
+		case mb.Status == Slow && eff > rec:
+			mb.Status = Alive
+			m.stats.SlowsRecovered++
+			m.belowSince[i] = -1
+			m.bump()
+			for _, fn := range m.onRecovered {
+				fn(i)
+			}
+		}
+	}
+}
+
+// sample folds one relative-progress observation (clamped to [0, 1]) into
+// node i's EWMA.
+func (m *Membership) sample(i int, rel float64) {
+	if rel < 0 {
+		rel = 0
+	}
+	if rel > 1 {
+		rel = 1
+	}
+	m.score[i] = (1-slowEWMAAlpha)*m.score[i] + slowEWMAAlpha*rel
+	m.stats.ProgressSamples++
 }
 
 // WaitStable parks p until the view has been unchanged for StabilizeDelay,

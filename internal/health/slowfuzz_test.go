@@ -1,0 +1,110 @@
+package health
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// FuzzProgressHeartbeat drives the progress-watermark detector with an
+// arbitrary interleaving of progress beats (including stale watermarks),
+// lag reports, plain beats, incarnation bumps, and time — and checks the
+// detector's structural invariants after every operation:
+//
+//   - the effective slow score stays in [0, 1];
+//   - the recorded tick watermark never regresses within an incarnation
+//     (stale evidence is dropped, not folded in);
+//   - recoveries never outnumber verdicts, and the member status stays in
+//     the legal set for a beating, never-crashing population.
+func FuzzProgressHeartbeat(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 1, 4, 3, 0, 2, 2, 2, 4, 7, 0, 0, 50})
+	f.Add([]byte{1, 2, 255, 1, 2, 200, 1, 5, 1, 1, 4, 15, 1, 0, 1})
+	f.Add([]byte{2, 1, 8, 2, 1, 8, 2, 4, 16, 2, 0, 3, 2, 3, 0, 2, 5, 9})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const n = 3
+		// Bound the op stream: the invariant check after every op is
+		// quadratic in stream length, and a megabyte of ops teaches the
+		// fuzzer nothing a few thousand don't.
+		if len(ops) > 4096 {
+			ops = ops[:4096]
+		}
+		e := sim.NewEngine()
+		cfg := config.HealthConfig{
+			Enabled:        true,
+			Period:         5 * sim.Microsecond,
+			SuspectAfter:   10 * sim.Millisecond,
+			StabilizeDelay: 20 * sim.Microsecond,
+			SlowDetect:     true,
+			SlowGrace:      5 * sim.Microsecond,
+		}
+		m := NewMembership(e, cfg, n)
+		ticks := make([]int64, n)
+		nicWM := make([]int64, n)
+		inc := []int64{1, 1, 1}
+		prevWM := make([]int64, n)
+
+		check := func() {
+			for nd := 0; nd < n; nd++ {
+				if s := m.SlowScore(nd); s < 0 || s > 1 {
+					t.Fatalf("node %d slow score %v out of [0,1]", nd, s)
+				}
+				w, _ := m.ProgressWatermark(nd)
+				if w < prevWM[nd] {
+					t.Fatalf("node %d watermark regressed: %d -> %d", nd, prevWM[nd], w)
+				}
+				prevWM[nd] = w
+				switch m.Member(nd).Status {
+				case Alive, Slow:
+				default:
+					t.Fatalf("node %d status %v; a beating node must stay Alive or Slow", nd, m.Member(nd).Status)
+				}
+			}
+			st := m.Stats()
+			if st.SlowsRecovered > st.SlowVerdicts {
+				t.Fatalf("recoveries %d exceed verdicts %d", st.SlowsRecovered, st.SlowVerdicts)
+			}
+		}
+
+		e.Go("fuzz.driver", func(p *sim.Proc) {
+			for i := 0; i+2 < len(ops); i += 3 {
+				subj := int(ops[i]) % n
+				obs := (subj + 1) % n
+				arg := int64(ops[i+2])
+				switch ops[i+1] % 6 {
+				case 0:
+					ticks[subj] += arg
+					nicWM[subj] += arg / 2
+					m.BeatProgress(obs, subj, inc[subj], ticks[subj], nicWM[subj])
+				case 1:
+					// Stale evidence: an old payload delivered late must
+					// not move the watermark backwards.
+					m.BeatProgress(obs, subj, inc[subj], ticks[subj]-arg, nicWM[subj]-arg)
+				case 2:
+					m.ReportLag(subj, 1+arg%3)
+				case 3:
+					m.Beat(subj, inc[subj])
+				case 4:
+					p.Sleep(sim.Time(1+arg%16) * sim.Microsecond)
+				case 5:
+					// Restart: a higher incarnation resets the progress
+					// baseline, so the monotonicity tracker restarts too.
+					inc[subj]++
+					ticks[subj] = arg
+					nicWM[subj] = arg / 2
+					prevWM[subj] = 0
+					m.BeatProgress(obs, subj, inc[subj], ticks[subj], nicWM[subj])
+				}
+				// Keep everyone beating so the fail-stop detector stays
+				// out of the picture; this fuzz targets the slow scorer.
+				for nd := 0; nd < n; nd++ {
+					m.Beat(nd, inc[nd])
+				}
+				check()
+			}
+			m.Stop()
+		})
+		e.Run()
+		check()
+	})
+}

@@ -338,6 +338,21 @@ type Stats struct {
 	// only when E2EChecksumFails > 0); the SDC ablation subtracts the
 	// injection time to report frame-layer detection latency.
 	FirstE2EFailAt sim.Time
+
+	// Fail-slow counters (all zero without a SlowPlan or slow-detection
+	// verdicts; tested). The injection side counts slowdowns this NIC
+	// suffered; the observability side counts verdicts and hedges this
+	// node's health/collective layers recorded.
+	SlowCmdStretched  int64 // commands whose parse latency a slow window stretched
+	SlowCmdStalls     int64 // commands that additionally drew a stall
+	SlowDMAStretched  int64 // DMA transfers stretched by a slow window
+	PeersDeclaredSlow int64 // Slow verdicts recorded against peers
+	SlowRecoveries    int64 // Slow verdicts lifted after the peer recovered
+	HedgedSends       int64 // collective hops re-sent via the hedge path
+	// MaxSlowdownSeen is the detector's largest observed slowdown estimate
+	// (reciprocal of the lowest progress score a peer reached), ×100 fixed
+	// point. 0 = never estimated.
+	MaxSlowdownSeen int64
 }
 
 // NIC is one node's network interface.
@@ -428,6 +443,26 @@ func (n *NIC) Injector() *fault.Injector { return n.inj }
 
 // SetLookupModel replaces the trigger-list match hardware (ablation hook).
 func (n *NIC) SetLookupModel(m LookupModel) { n.lookup = m }
+
+// NoteSlowPeer records a Slow verdict this node's health layer issued
+// against a peer. Observability only: unlike MarkPeerCrashed /
+// MarkPeerPartitioned, a straggler's channels stay fully usable — the
+// mitigation is routing (ring exclusion, hedged hops), not condemnation.
+func (n *NIC) NoteSlowPeer() { n.stats.PeersDeclaredSlow++ }
+
+// NoteSlowRecovered records a Slow verdict lifting.
+func (n *NIC) NoteSlowRecovered() { n.stats.SlowRecoveries++ }
+
+// NoteHedgedSend records one collective hop re-sent via the hedge path.
+func (n *NIC) NoteHedgedSend() { n.stats.HedgedSends++ }
+
+// NoteSlowdownEstimate folds one detector slowdown estimate (reciprocal
+// progress score) into the max-observed stat, ×100 fixed point.
+func (n *NIC) NoteSlowdownEstimate(factor float64) {
+	if v := int64(factor * 100); v > n.stats.MaxSlowdownSeen {
+		n.stats.MaxSlowdownSeen = v
+	}
+}
 
 // MarkUnreliable registers a match-bits region as unreliable-datagram
 // class: puts addressed to it bypass the reliability layer entirely (no
@@ -799,7 +834,19 @@ func (n *NIC) runCommands(p *sim.Proc) {
 		if d := n.inj.CommandStall(int(n.id)); d > 0 {
 			p.Sleep(d)
 		}
-		p.Sleep(n.cfg.CommandLatency)
+		parse := n.cfg.CommandLatency
+		if slow := n.inj.Slow(); slow != nil {
+			stretched, stall := slow.CommandSlow(n.eng.Now(), int(n.id), parse)
+			if stretched > parse {
+				n.stats.SlowCmdStretched++
+			}
+			if stall > 0 {
+				n.stats.SlowCmdStalls++
+				p.Sleep(stall)
+			}
+			parse = stretched
+		}
+		p.Sleep(parse)
 		if n.fenced(ep) {
 			// The node crashed while this command was being parsed: it is
 			// abandoned, never reaching the fabric.
@@ -820,9 +867,22 @@ func (n *NIC) runCommands(p *sim.Proc) {
 	}
 }
 
+// dmaTime prices one DMA transfer of size bytes, stretched by any armed
+// fail-slow DMA window covering this node now.
+func (n *NIC) dmaTime(size int64) sim.Time {
+	d := n.cfg.DMAStartup + sim.BytesAtGbps(size, n.cfg.DMAGBps*8)
+	if slow := n.inj.Slow(); slow != nil {
+		if sd := slow.DMADilate(n.eng.Now(), int(n.id), d); sd > d {
+			n.stats.SlowDMAStretched++
+			d = sd
+		}
+	}
+	return d
+}
+
 func (n *NIC) execPut(p *sim.Proc, c *Command, ep int64) {
 	// DMA-read the send buffer from memory.
-	p.Sleep(n.cfg.DMAStartup + sim.BytesAtGbps(c.Size, n.cfg.DMAGBps*8))
+	p.Sleep(n.dmaTime(c.Size))
 	if n.fenced(ep) {
 		n.stats.FencedCommands++
 		return
@@ -1032,7 +1092,7 @@ func (n *NIC) deliverPut(m *network.Message, meta *wireMeta) {
 		}
 	}
 	// DMA-write into target memory, then raise target-side notification.
-	dmaDone := n.cfg.DMAStartup + sim.BytesAtGbps(m.Size, n.cfg.DMAGBps*8)
+	dmaDone := n.dmaTime(m.Size)
 	src, size, data := m.Src, m.Size, meta.data
 	ep := n.inc
 	n.eng.After(dmaDone, func() {
@@ -1065,7 +1125,7 @@ func (n *NIC) serveGet(m *network.Message, meta *wireMeta) {
 		data = r.ReadBack(meta.reqSize)
 	}
 	// DMA-read the region, then send the reply.
-	dma := n.cfg.DMAStartup + sim.BytesAtGbps(meta.reqSize, n.cfg.DMAGBps*8)
+	dma := n.dmaTime(meta.reqSize)
 	src := m.Src
 	ep := n.inc
 	n.eng.After(dma, func() {
@@ -1098,7 +1158,7 @@ func (n *NIC) serveGet(m *network.Message, meta *wireMeta) {
 // carrying the operand. Fetch variants expose a use-once reply region
 // exactly like gets.
 func (n *NIC) execAtomic(p *sim.Proc, c *Command, ep int64) {
-	p.Sleep(n.cfg.DMAStartup + sim.BytesAtGbps(c.Size, n.cfg.DMAGBps*8))
+	p.Sleep(n.dmaTime(c.Size))
 	if n.fenced(ep) {
 		n.stats.FencedCommands++
 		return
@@ -1166,7 +1226,7 @@ func (n *NIC) serveAtomic(m *network.Message, meta *wireMeta) {
 	if r.ApplyAtomic == nil {
 		panic(fmt.Sprintf("nic %d: atomic to region %#x without ApplyAtomic", n.id, r.MatchBits))
 	}
-	dma := n.cfg.DMAStartup + sim.BytesAtGbps(m.Size, n.cfg.DMAGBps*8)
+	dma := n.dmaTime(m.Size)
 	src := m.Src
 	ep := n.inc
 	n.eng.After(dma, func() {

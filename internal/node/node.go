@@ -119,6 +119,22 @@ type Cluster struct {
 	// Plan is the armed crash-stop/restart schedule; nil when cfg.Crash is
 	// zero-valued (no crashes).
 	Plan *fault.CrashPlan
+
+	// collectiveGen counts recover-family collective runs launched on this
+	// cluster (see NextCollectiveGen).
+	collectiveGen int64
+}
+
+// NextCollectiveGen returns the next collective run generation, starting
+// at 1. Recover-family runs (RunRecoverable / RunVerified / RunHedged)
+// salt their landing regions and trigger tags with it so a repeat run on
+// the same cluster never collides with state leaked by a predecessor —
+// an aborted attempt's runner can stage its ring long after the attempt
+// was abandoned (e.g. a straggler pinned in a dilated kernel), leaving
+// entries the earlier run's own cleanup pass never saw.
+func (c *Cluster) NextCollectiveGen() int64 {
+	c.collectiveGen++
+	return c.collectiveGen
 }
 
 // NewCluster builds an n-node cluster from the configuration. The
@@ -164,6 +180,15 @@ func NewCluster(cfg config.SystemConfig, n int) *Cluster {
 			Ptl:     portals.Init(eng, nc, i, n),
 			HostMem: hostMem,
 			GPUMem:  gpuMem,
+		}
+		if slow := inj.Slow(); slow.AffectsGPU(i) {
+			// Fail-slow GPU class: dilate every Compute on this node. The
+			// hook is installed once and survives GPU.Reset — a restarted
+			// straggler is still a straggler until its window closes.
+			idx := i
+			nd.GPU.SetDilation(func(d sim.Time) sim.Time {
+				return slow.GPUDilate(eng.Now(), idx, d)
+			})
 		}
 		c.Nodes = append(c.Nodes, nd)
 	}
@@ -245,6 +270,17 @@ func (c *Cluster) Diagnose() *sim.HangError {
 	if he != nil {
 		he.Crashed = crashed
 		he.Partitions = c.unhealedPartitions()
+		if len(he.Starved) == 0 && len(crashed) == 0 {
+			// Nothing starved, nothing crashed: the stall pattern of a
+			// fail-slow rank. Name the up node with the least NIC progress
+			// as the suspect.
+			for _, nd := range c.Nodes {
+				wm := nd.NIC.Stats().CommandsExecuted
+				if he.MinProgress == nil || wm < he.MinProgress.Watermark {
+					he.MinProgress = &sim.RankProgress{Rank: nd.Index, Watermark: wm}
+				}
+			}
+		}
 	}
 	return he
 }
@@ -312,6 +348,12 @@ func (c *Cluster) StatsReport() string {
 			fmt.Fprintf(&b, "         integ{e2eFails=%d sdcDetected=%d sdcEscaped=%d peersQuarantined=%d linkCorrupt=%d}\n",
 				ns.E2EChecksumFails, ns.SDCDetected, ns.SDCUndetected, ns.PeersDeclaredCorrupt, ns.CorruptDropped)
 		}
+		if ns.SlowCmdStretched+ns.SlowCmdStalls+ns.SlowDMAStretched+ns.PeersDeclaredSlow+ns.SlowRecoveries+ns.HedgedSends > 0 {
+			fmt.Fprintf(&b, "         slow{cmdStretch=%d cmdStalls=%d dmaStretch=%d peersSlow=%d recovered=%d hedged=%d maxSlowdown=%.2fx}\n",
+				ns.SlowCmdStretched, ns.SlowCmdStalls, ns.SlowDMAStretched,
+				ns.PeersDeclaredSlow, ns.SlowRecoveries, ns.HedgedSends,
+				float64(ns.MaxSlowdownSeen)/100)
+		}
 	}
 	if c.Plan != nil {
 		fmt.Fprintf(&b, "%s\n", c.Plan.Summary())
@@ -329,6 +371,10 @@ func (c *Cluster) StatsReport() string {
 		if ss := c.Injector.SDC().Stats(); ss.Total() > 0 {
 			fmt.Fprintf(&b, "sdc injected: wire=%d buffer=%d reducer=%d\n",
 				ss.WireCorruptions, ss.BufferCorruptions, ss.ReducerCorruptions)
+		}
+		if ws := c.Injector.Slow().Stats(); ws.Total() > 0 {
+			fmt.Fprintf(&b, "slow injected: gpuDilations=%d cmdStretched=%d cmdStalls=%d dmaStretched=%d\n",
+				ws.GPUDilations, ws.CmdStretched, ws.CmdStalls, ws.DMAStretched)
 		}
 	}
 	return b.String()

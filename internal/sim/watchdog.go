@@ -88,6 +88,20 @@ func (u UnhealedPartition) String() string {
 	return fmt.Sprintf("%v%s%v (partitioned at %v, never healed)", u.A, dir, u.B, u.At)
 }
 
+// RankProgress names the up node with the least forward progress at
+// quiescence, with its progress watermark (NIC commands executed). When a
+// simulation stalls with nothing starved and nothing crashed, the rank
+// everyone is (transitively) waiting on is the one that moved least — the
+// fail-slow suspect.
+type RankProgress struct {
+	Rank      int
+	Watermark int64
+}
+
+func (r RankProgress) String() string {
+	return fmt.Sprintf("node %d (watermark %d)", r.Rank, r.Watermark)
+}
+
 // HangError is the structured diagnosis of a simulation that went quiescent
 // with unsatisfied waiters. It is the shared error type behind every
 // "a rank never completed" path; callers unwrap it with errors.As to reach
@@ -105,6 +119,10 @@ type HangError struct {
 	// Partitions lists network cuts still in force whose schedule never
 	// heals them (populated by Cluster.Diagnose from the fault injector).
 	Partitions []UnhealedPartition
+	// MinProgress, when set, names the up node with the lowest progress
+	// watermark — the fail-slow suspect of a stall with no starved
+	// resources (populated by Cluster.Diagnose).
+	MinProgress *RankProgress
 }
 
 // diagListMax bounds how many entries an Error() string spells out.
@@ -136,6 +154,9 @@ func (e *HangError) Error() string {
 	}
 	if len(e.Blocked) > 0 {
 		fmt.Fprintf(&b, "; blocked: %s", joinCapped(e.Blocked))
+	}
+	if e.MinProgress != nil {
+		fmt.Fprintf(&b, "; minimum progress: %s", e.MinProgress.String())
 	}
 	return b.String()
 }
