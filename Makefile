@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check chaos build test vet lint bench bench-smoke fuzz-smoke
+.PHONY: check chaos build test vet lint bench bench-smoke bench-shards fuzz-smoke
 
 # Pinned so CI runs reproduce: bump deliberately, not via a floating tag.
 STATICCHECK_VERSION ?= 2024.1.1
@@ -59,6 +59,20 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/gputn-bench -exp perf -perf-preset smoke -bench-baseline BENCH_sim.json -bench-out BENCH_sim.json
 
+## bench-shards: the parallel-engine smoke — runs fig10 on the serial
+## engine and at -shards 1 and -shards 4, failing if the sharded engine's
+## simulated output diverges from the serial engine's (shard-count
+## invariance is the engine's correctness contract; DESIGN.md §15), then
+## runs the shard determinism matrix under the race detector.
+bench-shards:
+	$(GO) build -o /tmp/gputn-bench-shards ./cmd/gputn-bench
+	/tmp/gputn-bench-shards -exp fig10 > /tmp/fig10-serial.txt
+	/tmp/gputn-bench-shards -exp fig10 -shards 1 | grep -v '^engine: sharded' > /tmp/fig10-s1.txt
+	/tmp/gputn-bench-shards -exp fig10 -shards 4 | grep -v '^engine: sharded' > /tmp/fig10-s4.txt
+	diff /tmp/fig10-serial.txt /tmp/fig10-s1.txt
+	diff /tmp/fig10-serial.txt /tmp/fig10-s4.txt
+	GOMAXPROCS=4 $(GO) test -race -run 'TestShard' -count=1 ./internal/sim/ ./internal/collective/
+
 ## fuzz-smoke: every committed Fuzz* target under the actual fuzzer for
 ## FUZZ_TIME each — plain `go test` only replays their seed corpora. The
 ## engine allows one -fuzz pattern per invocation, so targets run serially.
@@ -68,3 +82,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPlan$$' -fuzztime $(FUZZ_TIME) ./internal/core/
 	$(GO) test -run '^$$' -fuzz '^FuzzE2ERetransmit$$' -fuzztime $(FUZZ_TIME) ./internal/nic/
 	$(GO) test -run '^$$' -fuzz '^FuzzProgressHeartbeat$$' -fuzztime $(FUZZ_TIME) ./internal/health/
+	$(GO) test -run '^$$' -fuzz '^FuzzShardAssignment$$' -fuzztime $(FUZZ_TIME) ./internal/sim/

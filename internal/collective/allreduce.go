@@ -449,7 +449,7 @@ func Run(c *node.Cluster, cfg Config) (Result, error) {
 			}
 			res.PerRank[i] = p.Now()
 		}
-		c.Eng.Go(fmt.Sprintf("allreduce.%s.%d", cfg.Kind, i), run)
+		c.GoRank(i, fmt.Sprintf("allreduce.%s.%d", cfg.Kind, i), run)
 	}
 	c.Run()
 	if err := errors.Join(errs...); err != nil {

@@ -196,7 +196,7 @@ func RunBroadcast(c *node.Cluster, cfg BcastConfig) (BcastResult, error) {
 		if st == nil {
 			continue
 		}
-		c.Eng.Go(fmt.Sprintf("bcast.%s.%d", cfg.Kind, i), func(p *sim.Proc) {
+		c.GoRank(i, fmt.Sprintf("bcast.%s.%d", cfg.Kind, i), func(p *sim.Proc) {
 			if err := st.run(p); err != nil {
 				errs[i] = err
 				return

@@ -51,6 +51,12 @@ type Stats struct {
 // Injector makes all fault decisions for one cluster. Its methods are
 // nil-safe: a nil receiver returns the zero (fault-free) verdict, so model
 // code calls them unconditionally.
+//
+// By default all decisions draw from one shared RNG stream — the seed
+// behavior every tuned chaos schedule depends on. Shard switches to
+// per-node streams and counters so decisions attributed to different nodes
+// never touch shared state; a sharded cluster requires it (each verdict is
+// drawn on the deciding node's engine).
 type Injector struct {
 	cfg   config.FaultConfig
 	rng   *rand.Rand
@@ -58,6 +64,66 @@ type Injector struct {
 	sdc   *SDCPlan
 	slow  *SlowPlan
 	stats Stats
+
+	// sharded mode (nil/empty when off)
+	nodeRngs  []*rand.Rand
+	nodeStats []Stats
+}
+
+// shardSeed derives node i's private stream seed from a base seed. Any
+// deterministic injective-ish mix works; what matters is that every node
+// gets an independent stream fixed by (base, i) alone.
+func shardSeed(base int64, i int) int64 {
+	return base*1000003 + int64(i)*7919 + 1
+}
+
+// Shard switches the injector (and its SDC and fail-slow plans) to
+// per-node fault streams and counters for a cluster of n nodes. Verdicts
+// become a deterministic function of (seed, node, local history) instead of
+// (seed, global draw order) — which is exactly what makes them invariant
+// under shard partitioning, at the cost of a different (equally valid)
+// fault schedule than the shared-stream mode. Aggregate accessors are
+// unaffected. Must be called before any draw.
+func (in *Injector) Shard(n int) {
+	if in == nil {
+		return
+	}
+	in.nodeRngs = make([]*rand.Rand, n)
+	for i := range in.nodeRngs {
+		in.nodeRngs[i] = rand.New(rand.NewSource(shardSeed(in.cfg.Seed, i)))
+	}
+	in.nodeStats = make([]Stats, n)
+	in.sdc.Shard(n)
+	in.slow.Shard(n)
+}
+
+// r returns the RNG for a decision attributed to node.
+func (in *Injector) r(node int) *rand.Rand {
+	if in.nodeRngs != nil {
+		return in.nodeRngs[node]
+	}
+	return in.rng
+}
+
+// st returns the counter block for a decision attributed to node.
+func (in *Injector) st(node int) *Stats {
+	if in.nodeStats != nil {
+		return &in.nodeStats[node]
+	}
+	return &in.stats
+}
+
+func (a *Stats) add(b Stats) {
+	a.PacketsDropped += b.PacketsDropped
+	a.FlapDrops += b.FlapDrops
+	a.PartitionDrops += b.PartitionDrops
+	a.DegradeDrops += b.DegradeDrops
+	a.PacketsCorrupted += b.PacketsCorrupted
+	a.PacketsDelayed += b.PacketsDelayed
+	a.DegradeSlowed += b.DegradeSlowed
+	a.TriggerDrops += b.TriggerDrops
+	a.TriggerDelays += b.TriggerDelays
+	a.CommandStalls += b.CommandStalls
 }
 
 // NewInjector builds an injector for an enabled fault configuration. It
@@ -103,12 +169,18 @@ func (in *Injector) Slow() *SlowPlan {
 	return in.slow
 }
 
-// Stats returns a snapshot of the injected-fault counters.
+// Stats returns a snapshot of the injected-fault counters, aggregated
+// across per-node blocks in sharded mode. Read between runs, not from
+// concurrent model code.
 func (in *Injector) Stats() Stats {
 	if in == nil {
 		return Stats{}
 	}
-	return in.stats
+	out := in.stats
+	for i := range in.nodeStats {
+		out.add(in.nodeStats[i])
+	}
+	return out
 }
 
 // Config returns the injector's configuration (zero for nil).
@@ -128,16 +200,18 @@ func (in *Injector) Packet(now sim.Time, src, dst int) PacketFate {
 	if in == nil {
 		return PacketFate{}
 	}
-	c := &in.cfg
+	// Packet verdicts are drawn at the source's egress, so they attribute
+	// to src in sharded mode.
+	c, rng, st := &in.cfg, in.r(src), in.st(src)
 	if c.FlapEnd > c.FlapStart && now >= c.FlapStart && now < c.FlapEnd &&
 		(src == c.FlapNode || dst == c.FlapNode) {
-		in.stats.PacketsDropped++
-		in.stats.FlapDrops++
+		st.PacketsDropped++
+		st.FlapDrops++
 		return PacketFate{Drop: true}
 	}
 	if in.plan.Blackholed(now, src, dst) {
-		in.stats.PacketsDropped++
-		in.stats.PartitionDrops++
+		st.PacketsDropped++
+		st.PartitionDrops++
 		return PacketFate{Drop: true}
 	}
 	var f PacketFate
@@ -146,9 +220,9 @@ func (in *Injector) Packet(now sim.Time, src, dst int) PacketFate {
 		if !degradeMatch(w, now, src, dst) {
 			continue
 		}
-		if loss := degradeLoss(w, now); loss > 0 && in.rng.Float64() < loss {
-			in.stats.PacketsDropped++
-			in.stats.DegradeDrops++
+		if loss := degradeLoss(w, now); loss > 0 && rng.Float64() < loss {
+			st.PacketsDropped++
+			st.DegradeDrops++
 			return PacketFate{Drop: true}
 		}
 		if w.LatencyFactor > f.DelayFactor {
@@ -156,21 +230,21 @@ func (in *Injector) Packet(now sim.Time, src, dst int) PacketFate {
 		}
 	}
 	if f.DelayFactor > 1 {
-		in.stats.DegradeSlowed++
+		st.DegradeSlowed++
 	}
-	if c.DropProb > 0 && in.rng.Float64() < c.DropProb {
-		in.stats.PacketsDropped++
+	if c.DropProb > 0 && rng.Float64() < c.DropProb {
+		st.PacketsDropped++
 		f.Drop = true
 		return f
 	}
-	if c.CorruptProb > 0 && in.rng.Float64() < c.CorruptProb {
-		in.stats.PacketsCorrupted++
+	if c.CorruptProb > 0 && rng.Float64() < c.CorruptProb {
+		st.PacketsCorrupted++
 		f.Corrupt = true
 	}
 	if c.DelayJitter > 0 {
-		f.Delay = sim.Time(in.rng.Int63n(int64(c.DelayJitter) + 1))
+		f.Delay = sim.Time(rng.Int63n(int64(c.DelayJitter) + 1))
 		if f.Delay > 0 {
-			in.stats.PacketsDelayed++
+			st.PacketsDelayed++
 		}
 	}
 	return f
@@ -182,15 +256,15 @@ func (in *Injector) TriggerFault(node int) (drop bool, delay sim.Time) {
 	if in == nil {
 		return false, 0
 	}
-	c := &in.cfg
-	if c.TrigDropProb > 0 && in.rng.Float64() < c.TrigDropProb {
-		in.stats.TriggerDrops++
+	c, rng, st := &in.cfg, in.r(node), in.st(node)
+	if c.TrigDropProb > 0 && rng.Float64() < c.TrigDropProb {
+		st.TriggerDrops++
 		return true, 0
 	}
 	if c.TrigDelayJitter > 0 {
-		delay = sim.Time(in.rng.Int63n(int64(c.TrigDelayJitter) + 1))
+		delay = sim.Time(rng.Int63n(int64(c.TrigDelayJitter) + 1))
 		if delay > 0 {
-			in.stats.TriggerDelays++
+			st.TriggerDelays++
 		}
 	}
 	return false, delay
@@ -203,8 +277,8 @@ func (in *Injector) CommandStall(node int) sim.Time {
 		return 0
 	}
 	c := &in.cfg
-	if c.CmdStallProb > 0 && c.CmdStallTime > 0 && in.rng.Float64() < c.CmdStallProb {
-		in.stats.CommandStalls++
+	if c.CmdStallProb > 0 && c.CmdStallTime > 0 && in.r(node).Float64() < c.CmdStallProb {
+		in.st(node).CommandStalls++
 		return c.CmdStallTime
 	}
 	return 0

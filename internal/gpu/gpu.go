@@ -252,7 +252,14 @@ func (g *GPU) frontend(p *sim.Proc) {
 			for wg := 0; wg < k.WorkGroups; wg++ {
 				wg := wg
 				kk := k
-				g.track(g.eng.Go(fmt.Sprintf("gpu.%s.wg%d", k.Name, wg), func(wp *sim.Proc) {
+				// Per-work-group names only matter to trace output and
+				// hang diagnostics; untraced runs share the kernel name
+				// instead of paying a Sprintf per work-group.
+				name := k.Name
+				if g.eng.Trace != nil {
+					name = fmt.Sprintf("gpu.%s.wg%d", k.Name, wg)
+				}
+				g.track(g.eng.Go(name, func(wp *sim.Proc) {
 					g.slots.Acquire(wp, 1)
 					defer g.slots.Release(1)
 					ctx := &WGCtx{gpu: g, p: wp, Group: wg, NumGroups: kk.WorkGroups, WGSize: kk.WGSize}

@@ -29,19 +29,30 @@ type Proc struct {
 	// killed marks a process condemned by Engine.Kill; it exits at its
 	// next resume instead of running model code.
 	killed bool
-	// wakeLabel and sleep0Label are precomputed so the wake fast path never
-	// concatenates strings per event.
+	// wakeLabel and sleep0Label are built lazily (and only while Trace is
+	// installed) so the wake fast path never concatenates strings per
+	// event in untraced runs.
 	wakeLabel   string
 	sleep0Label string
 	// waiting, when non-nil, records the condition wait the process is
 	// parked on; the watchdog reads it to diagnose quiescent simulations.
+	// It always points at waitBuf, which is reused across parks so the
+	// park fast path allocates nothing.
 	waiting *waitState
+	waitBuf waitState
 	// onExit callbacks run when the goroutine terminates for any reason —
 	// normal return, panic, or a Kill that lands before the body ever ran
 	// (when function-level defers do not exist yet). Join counting uses
 	// this to stay accurate across crashes.
 	onExit []func()
+	// lane is the execution lane every event scheduled for this process
+	// runs under (and therefore the birth lane of events the process
+	// schedules while running). Fixed at spawn time.
+	lane uint32
 }
+
+// Lane returns the process's execution lane.
+func (p *Proc) Lane() uint32 { return p.lane }
 
 // Name returns the label given at spawn time.
 func (p *Proc) Name() string { return p.name }
@@ -57,14 +68,21 @@ func (p *Proc) Engine() *Engine { return p.eng }
 func (p *Proc) Now() Time { return p.eng.Now() }
 
 // Go spawns a process. fn starts executing at the current simulation time,
-// after already-queued events at this time have run.
+// after already-queued events at this time have run. The process inherits
+// the engine's current lane (the lane of the scheduling context).
 func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.GoLane(e.curLane, name, fn)
+}
+
+// GoLane spawns a process pinned to an explicit execution lane. All events
+// that resume the process, and all events it schedules while running, carry
+// this lane.
+func (e *Engine) GoLane(lane uint32, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		eng:         e,
-		name:        name,
-		resume:      make(chan struct{}),
-		wakeLabel:   "wake:" + name,
-		sleep0Label: "sleep0:" + name,
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		lane:   lane,
 	}
 	e.nprocs++
 	e.procs = append(e.procs, p)
@@ -91,8 +109,35 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 			fn(p)
 		}()
 	}()
-	e.scheduleProc(e.now, "start:"+name, p)
+	startLabel := ""
+	if e.Trace != nil {
+		startLabel = "start:" + name
+	}
+	e.scheduleProc(e.now, startLabel, p)
 	return p
+}
+
+// wakeLbl returns the process's wake label for traced engines ("" when no
+// Trace is installed, skipping the per-wake string concatenation).
+func (p *Proc) wakeLbl() string {
+	if p.eng.Trace == nil {
+		return ""
+	}
+	if p.wakeLabel == "" {
+		p.wakeLabel = "wake:" + p.name
+	}
+	return p.wakeLabel
+}
+
+// sleep0Lbl is wakeLbl for zero-length sleeps.
+func (p *Proc) sleep0Lbl() string {
+	if p.eng.Trace == nil {
+		return ""
+	}
+	if p.sleep0Label == "" {
+		p.sleep0Label = "sleep0:" + p.name
+	}
+	return p.sleep0Label
 }
 
 // dispatch resumes p and blocks the engine until p parks or terminates.
@@ -146,9 +191,22 @@ func (p *Proc) OnExit(fn func()) { p.onExit = append(p.onExit, fn) }
 // parkWaiting is park with a watchdog annotation: while parked, the process
 // is reported by Engine.BlockedWaiters as blocked on the given condition.
 func (p *Proc) parkWaiting(kind string, detail func() string) {
-	p.waiting = &waitState{kind: kind, detail: detail}
+	p.waitBuf = waitState{kind: kind, detail: detail}
+	p.waiting = &p.waitBuf
 	p.park()
 	p.waiting = nil
+	p.waitBuf = waitState{}
+}
+
+// parkWaitingCounter is parkWaiting for counter waits: the annotation is
+// carried as plain fields instead of a closure, so the Portals counting-
+// event hot path (CT waits fire per message) allocates nothing.
+func (p *Proc) parkWaitingCounter(c *Counter, target int64) {
+	p.waitBuf = waitState{kind: "counter", ctr: c, target: target}
+	p.waiting = &p.waitBuf
+	p.park()
+	p.waiting = nil
+	p.waitBuf = waitState{}
 }
 
 // wake schedules a dispatch of p at the engine's current time. It is the
@@ -164,12 +222,12 @@ func (p *Proc) Sleep(d Time) {
 	}
 	if d == 0 {
 		// Still yield, so that a zero-length sleep is a scheduling point.
-		p.wake(p.sleep0Label)
+		p.wake(p.sleep0Lbl())
 		p.park()
 		return
 	}
 	e := p.eng
-	e.scheduleProc(e.now+d, p.wakeLabel, p)
+	e.scheduleProc(e.now+d, p.wakeLbl(), p)
 	p.park()
 }
 

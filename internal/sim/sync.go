@@ -92,9 +92,7 @@ func (c *Counter) WaitGE(p *Proc, target int64) {
 		return
 	}
 	c.waiters = append(c.waiters, ctWaiter{p: p, target: target})
-	p.parkWaiting("counter", func() string {
-		return fmt.Sprintf("value=%d target=%d", c.value, target)
-	})
+	p.parkWaitingCounter(c, target)
 }
 
 // WaitGEUntil parks p until the counter value is ≥ target or the absolute
@@ -227,6 +225,12 @@ func (r *Resource) Available() int64 { return r.capacity - r.inUse }
 func (r *Resource) Acquire(p *Proc, n int64) {
 	if n <= 0 || n > r.capacity {
 		panic("sim: Resource.Acquire with invalid amount")
+	}
+	// Uncontended fast path: no queue and enough capacity means admit()
+	// would grant immediately — take the units without a waiter record.
+	if len(r.waiters) == 0 && r.capacity-r.inUse >= n {
+		r.inUse += n
+		return
 	}
 	w := &resWaiter{p: p, n: n}
 	r.waiters = append(r.waiters, w)

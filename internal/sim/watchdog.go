@@ -169,6 +169,10 @@ func (e *HangError) Error() string {
 type waitState struct {
 	kind   string
 	detail func() string
+	// ctr/target annotate counter waits without a per-wait closure
+	// (see parkWaitingCounter); detail takes precedence when set.
+	ctr    *Counter
+	target int64
 }
 
 // BlockedWaiters lists every live process currently parked on an
@@ -183,6 +187,8 @@ func (e *Engine) BlockedWaiters() []BlockedWaiter {
 		w := BlockedWaiter{Proc: p.name, Kind: p.waiting.kind}
 		if p.waiting.detail != nil {
 			w.Detail = p.waiting.detail()
+		} else if p.waiting.ctr != nil {
+			w.Detail = fmt.Sprintf("value=%d target=%d", p.waiting.ctr.Value(), p.waiting.target)
 		}
 		out = append(out, w)
 	}
@@ -198,12 +204,29 @@ func (e *Engine) BlockedWaiters() []BlockedWaiter {
 // entries awaiting reclamation cannot wake anyone and do not defer the
 // diagnosis.)
 func (e *Engine) Diagnose(starved []StarvedTrigger) *HangError {
-	if e.Pending() > 0 {
-		return nil
+	return DiagnoseAll([]*Engine{e}, starved)
+}
+
+// DiagnoseAll is Diagnose across a sharded engine group. The simulation is
+// quiescent only when every engine's queue is drained (a pending event on
+// any shard can still wake waiters anywhere via cross-shard mail), blocked
+// waiters aggregate across all engines, and the quiescence time is the
+// latest engine clock (the shard coordinator aligns clocks at quiescence,
+// so for a completed sharded run they agree).
+func DiagnoseAll(engines []*Engine, starved []StarvedTrigger) *HangError {
+	var blocked []BlockedWaiter
+	var at Time
+	for _, e := range engines {
+		if e.Pending() > 0 {
+			return nil
+		}
+		blocked = append(blocked, e.BlockedWaiters()...)
+		if e.now > at {
+			at = e.now
+		}
 	}
-	blocked := e.BlockedWaiters()
 	if len(blocked) == 0 && len(starved) == 0 {
 		return nil
 	}
-	return &HangError{At: e.now, Blocked: blocked, Starved: starved}
+	return &HangError{At: at, Blocked: blocked, Starved: starved}
 }

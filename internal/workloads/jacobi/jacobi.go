@@ -137,7 +137,7 @@ func Run(c *node.Cluster, params Params) (Result, error) {
 	for r := range states {
 		r := r
 		st := states[r]
-		c.Eng.Go(fmt.Sprintf("jacobi.%s.%d", params.Kind, r), func(p *sim.Proc) {
+		c.GoRank(r, fmt.Sprintf("jacobi.%s.%d", params.Kind, r), func(p *sim.Proc) {
 			switch params.Kind {
 			case backends.CPU:
 				st.runCPU(p)
