@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check chaos build test vet lint bench bench-smoke bench-shards fuzz-smoke
+.PHONY: check chaos chaos-scenarios chaos-search build test vet lint bench bench-smoke bench-shards fuzz-smoke
 
 # Pinned so CI runs reproduce: bump deliberately, not via a floating tag.
 STATICCHECK_VERSION ?= 2024.1.1
@@ -32,6 +32,23 @@ check:
 ## recovery/rejoin, and exact sums over the responsive membership.
 chaos:
 	$(GO) test -race -v -run 'TestChaos|TestReliable|TestAllreduceTimeout|TestAllreduceRingHeal|TestBroadcastHeal|TestBroadcastTimeout|TestRelaxedSyncRace|TestTriggerWriteLoss|TestCrash|TestRecoverable|TestRestartEpoch|TestStaleSrc|TestCancelTriggered|TestMarkPeerCrashed|TestSuite|TestPeerDead|TestPartition|TestDoubleCrash|TestAdaptiveRTO|TestLinkHealth|TestMatrixClassifies|TestSymmetricCut|TestHealReturns|TestSDC|TestQuarantineIsPermanent|TestSlow|TestStraggler|TestHedged' ./internal/collective/ ./internal/nic/ ./internal/health/ ./internal/workloads/jacobi/
+
+## chaos-scenarios: the composed correlated-failure matrix under the race
+## detector — every backend x chaos seeds 1-5 x {rack-crash+cut,
+## gray+straggler, restart-storm} completes exactly at zero audit
+## violations, plus scenario determinism (byte-identical reruns, shard
+## invariance, zero-config bit-for-bit), the scenario flag grammar, and the
+## seeded double-fire / stale-delivery auditor regressions.
+chaos-scenarios:
+	$(GO) test -race -v -count=1 -run 'TestScenario|TestApplyScenario|TestAuditor|TestChaosScenario|TestChaosSearch|TestSampledScenarios' ./internal/collective/ ./internal/fault/ ./internal/config/ ./internal/nic/ ./internal/bench/
+
+## chaos-search: a budgeted shrinking chaos search per seeded protocol bug —
+## each must be found, minimized, and emitted as a replayable -scenario-*
+## flag line; the honest search must come back clean. CI runs this nightly
+## and uploads the reproducer output.
+chaos-search:
+	$(GO) run ./cmd/gputn-bench -exp chaossearch -chaos-seed 42 -chaos-trials 4
+	$(GO) run ./cmd/gputn-bench -exp chaossearch -chaos-seed 42 -chaos-trials 4 -chaos-inject doublefire
 
 build:
 	$(GO) build ./...
@@ -76,10 +93,14 @@ bench-shards:
 ## fuzz-smoke: every committed Fuzz* target under the actual fuzzer for
 ## FUZZ_TIME each — plain `go test` only replays their seed corpora. The
 ## engine allows one -fuzz pattern per invocation, so targets run serially.
+## The target list is discovered from the tree, so a new Fuzz* function is
+## picked up without touching this file.
 fuzz-smoke:
-	$(GO) test -run '^$$' -fuzz '^FuzzBytesAtGbps$$' -fuzztime $(FUZZ_TIME) ./internal/sim/
-	$(GO) test -run '^$$' -fuzz '^FuzzTimeString$$' -fuzztime $(FUZZ_TIME) ./internal/sim/
-	$(GO) test -run '^$$' -fuzz '^FuzzPlan$$' -fuzztime $(FUZZ_TIME) ./internal/core/
-	$(GO) test -run '^$$' -fuzz '^FuzzE2ERetransmit$$' -fuzztime $(FUZZ_TIME) ./internal/nic/
-	$(GO) test -run '^$$' -fuzz '^FuzzProgressHeartbeat$$' -fuzztime $(FUZZ_TIME) ./internal/health/
-	$(GO) test -run '^$$' -fuzz '^FuzzShardAssignment$$' -fuzztime $(FUZZ_TIME) ./internal/sim/
+	@set -e; \
+	grep -rlE '^func Fuzz' --include='*_test.go' internal | sort | while read -r file; do \
+		dir=$$(dirname "$$file"); \
+		grep -hoE '^func Fuzz[A-Za-z0-9_]*' "$$file" | sed 's/^func //' | while read -r target; do \
+			echo "==> $$target ./$$dir/"; \
+			$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME) "./$$dir/" || exit 1; \
+		done || exit 1; \
+	done

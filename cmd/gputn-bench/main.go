@@ -72,6 +72,20 @@
 // watermarks scored into Slow verdicts). -exp stragglers sweeps slowdown
 // class x factor per backend, comparing an unmitigated run against the
 // detection + hedged-collective stack.
+//
+// The -scenario-* flag group arms the correlated-failure scenario composer
+// for every experiment: -scenario-domains names failure domains
+// ("rack0=0,1,2,3;rack1=4,5,6,7"), -scenario-events schedules correlated
+// events over them ("rackfail:rack0@50us,heal=80us,jitter=10us" crashes the
+// whole rack AND cuts it off, then heals with a per-node jittered restart
+// storm; other kinds: crash, cut, gray, slow), and -scenario-seed drives the
+// composer's private jitter stream. All-empty keeps behavior bit-for-bit
+// identical to an unconfigured run. -exp chaossearch samples -chaos-trials
+// random composed scenarios from -chaos-seed, runs each on all four
+// backends under the always-on invariant auditor, and greedily shrinks any
+// violation to a minimal reproducer emitted as a replayable -scenario-*
+// flag set (-chaos-replay consumes it); -chaos-inject doublefire|staledeliver
+// arms a seeded protocol bug so the search provably catches violations.
 package main
 
 import (
@@ -109,6 +123,7 @@ var experimentList = []struct{ name, desc string }{
 	{"partitions", "partition heal-delay sweep and gray-link static-vs-adaptive RTO comparison"},
 	{"sdc", "silent-data-corruption sweep: detection latency, escape rate, e2e checksum overhead"},
 	{"stragglers", "fail-slow sweep: unmitigated vs hedged collectives per slowdown class and backend"},
+	{"chaossearch", "shrinking chaos search: random correlated scenarios x backends under the invariant auditor (not part of -exp all)"},
 	{"perf", "simulator self-benchmark: events/sec, allocs/event, wall time (not part of -exp all)"},
 }
 
@@ -150,7 +165,7 @@ func main() { os.Exit(run()) }
 
 // run is main minus os.Exit, so profile-flushing defers always execute.
 func run() int {
-	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|crash|partitions|sdc|stragglers|perf|figures|all")
+	exp := flag.String("exp", "all", "experiment to run: fig1|fig8|fig9|fig10|fig11|table1|table2|table3|ablations|faults|resources|crash|partitions|sdc|stragglers|chaossearch|perf|figures|all")
 	list := flag.Bool("list", false, "list all experiments with one-line descriptions and exit")
 	csvDir := flag.String("csv", "", "also write figure data as CSV into this directory")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker threads for sweep replicas (1 = serial)")
@@ -213,6 +228,14 @@ func run() int {
 	slowStallUS := flag.Float64("slow-stall-us", 0, "duration of each hard command stall (us)")
 	slowDMA := flag.Float64("slow-dma-factor", 0, "DMA transfer dilation factor inside the window (>1 slows)")
 	hedge := flag.Bool("hedge", false, "arm progress-based fail-slow detection in the health suite (implies health)")
+
+	scenarioSeed := flag.Int64("scenario-seed", 42, "composed-scenario private jitter RNG seed")
+	scenarioDomains := flag.String("scenario-domains", "", `named failure domains, e.g. "rack0=0,1,2,3;rack1=4,5,6,7"`)
+	scenarioEvents := flag.String("scenario-events", "", `correlated events over the domains, e.g. "rackfail:rack0@50us,heal=80us,jitter=10us"; empty disables the composer`)
+	chaosSeed := flag.Int64("chaos-seed", 42, "chaos-search scenario-sampling seed")
+	chaosTrials := flag.Int("chaos-trials", 6, "chaos-search scenarios sampled per run")
+	chaosInject := flag.String("chaos-inject", "", "arm a seeded protocol bug for chaossearch: doublefire|staledeliver")
+	chaosReplay := flag.Bool("chaos-replay", false, "replay the -scenario-* flags on every backend and report audit verdicts instead of searching")
 
 	capTrig := flag.Int("cap-trigger-entries", 0, "trigger-list capacity (0 = paper default of 16)")
 	capPlaceholders := flag.Int("cap-placeholders", 0, "relaxed-sync placeholder budget (0 = shared with trigger list)")
@@ -339,6 +362,19 @@ func run() int {
 		cfg.NIC.Reliability = config.DefaultReliability()
 		cfg.NIC.Reliability.AdaptiveRTO = *adaptiveRTO
 	}
+	if *scenarioEvents != "" {
+		doms, err := config.ParseScenarioDomains(*scenarioDomains)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gputn-bench: -scenario-domains:", err)
+			return 2
+		}
+		evs, err := config.ParseScenarioEvents(*scenarioEvents)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gputn-bench: -scenario-events:", err)
+			return 2
+		}
+		cfg.Scenario = config.ScenarioConfig{Seed: *scenarioSeed, Domains: doms, Events: evs}
+	}
 	if *crashAtUS > 0 {
 		cfg.Crash = config.CrashConfig{Events: []config.CrashEvent{{
 			Node:         *crashNode,
@@ -385,6 +421,10 @@ func run() int {
 	}
 	fmt.Println(fault.NewInjector(cfg.Faults).Summary())
 	fmt.Println(fault.NewCrashPlan(cfg.Crash).Summary())
+	if cfg.Scenario.Enabled() {
+		fmt.Printf("scenario: seed=%d domains=%q events=%q\n", cfg.Scenario.Seed,
+			config.FormatScenarioDomains(cfg.Scenario.Domains), config.FormatScenarioEvents(cfg.Scenario.Events))
+	}
 	if h := cfg.Health; h.Enabled {
 		fmt.Printf("health: period=%v suspectAfter=%v stabilize=%v\n",
 			h.Period, h.SuspectAfter, h.StabilizeDelay)
@@ -487,6 +527,24 @@ func run() int {
 			// detection timing per cell; the -slow-*/-hedge flags configure
 			// standalone runs of the other experiments instead.
 			fmt.Println(bench.RenderStragglers(cfg))
+			return nil
+		},
+		"chaossearch": func() error {
+			// Search mode samples -chaos-trials random composed scenarios and
+			// shrinks the first auditor violation; replay mode reruns the
+			// -scenario-* flags (a minimized reproducer) on every backend.
+			if *chaosReplay {
+				if !cfg.Scenario.Enabled() {
+					return fmt.Errorf("chaossearch: -chaos-replay needs -scenario-domains/-scenario-events")
+				}
+				fmt.Println(bench.RenderChaosReplay(cfg, *chaosInject))
+				return nil
+			}
+			fmt.Println(bench.RenderChaosSearch(cfg, bench.ChaosConfig{
+				Seed:   *chaosSeed,
+				Trials: *chaosTrials,
+				Inject: *chaosInject,
+			}))
 			return nil
 		},
 		"perf": func() error {

@@ -1,0 +1,446 @@
+// Shrinking chaos search: sample random composed correlated-failure
+// scenarios (config.ScenarioConfig), run a recoverable collective under
+// each on every backend with the always-on invariant auditor, and — when
+// a scenario produces an auditor violation — greedily shrink it (drop
+// events, shrink failure domains, shorten windows) to a minimal
+// reproducer that serializes to a replayable -scenario-* flag set.
+//
+// Sampling, running, and shrinking are fully deterministic for a given
+// seed: the sampler draws from its own RNG before any simulation runs,
+// sweep results come back in submission order, and the greedy shrink is
+// a fixed-order sequential descent.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/backends"
+	"repro/internal/collective"
+	"repro/internal/config"
+	"repro/internal/health"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+const (
+	// chaosNodes sizes every chaos cluster: two racks of four, big enough
+	// for a rack to fail while the survivors keep a strict majority.
+	chaosNodes = 8
+	// chaosBytes is the per-rank payload (1024 float32 elements).
+	chaosBytes = int64(4 << 10)
+	// chaosTimeout bounds per-round receive waits so mid-attempt failures
+	// abort instead of hanging (GDS stream waits cannot time out; the
+	// horizon below catches those).
+	chaosTimeout = 50 * sim.Microsecond
+	// chaosHorizon is the watchdog deadline: a run still incomplete by
+	// then (a GDS rank pinned in an uninterruptible stream wait) has its
+	// health service stopped so the event queues can drain.
+	chaosHorizon = 5 * sim.Millisecond
+	// chaosAttempts bounds each run's recovery retries.
+	chaosAttempts = 6
+	// shrinkBudget bounds the reproduce runs one minimization may spend.
+	shrinkBudget = 150
+)
+
+// Seeded protocol-bug names for -chaos-inject: regression fuel proving
+// the auditor catches real invariant breaks (see config.FaultConfig).
+const (
+	InjectDoubleFire   = "doublefire"
+	InjectStaleDeliver = "staledeliver"
+)
+
+// chaosKinds is every backend a scenario runs on, in report order.
+var chaosKinds = []backends.Kind{backends.CPU, backends.HDN, backends.GDS, backends.GPUTN}
+
+// ChaosConfig parameterizes a chaos search.
+type ChaosConfig struct {
+	// Seed drives scenario sampling (and, salted per trial, each sampled
+	// scenario's private jitter stream).
+	Seed int64
+	// Trials is the number of random scenarios sampled.
+	Trials int
+	// Inject optionally arms a seeded protocol bug (InjectDoubleFire or
+	// InjectStaleDeliver); empty searches the honest protocol.
+	Inject string
+}
+
+// ChaosOutcome is one (scenario, backend) run's audit verdict.
+type ChaosOutcome struct {
+	Scenario config.ScenarioConfig
+	Kind     backends.Kind
+	// Completed reports whether the recovery driver returned before the
+	// watchdog horizon; RunErr carries its error (nil on success).
+	Completed bool
+	RunErr    error
+	// Checks, Violations, Dropped summarize the auditor verdict.
+	Checks     int64
+	Violations []audit.Violation
+	Dropped    int
+}
+
+// Clean reports whether the auditor stayed silent.
+func (o ChaosOutcome) Clean() bool { return len(o.Violations) == 0 && o.Dropped == 0 }
+
+// applyChaosInject arms the requested seeded protocol bug.
+func applyChaosInject(f *config.FaultConfig, inject string) error {
+	switch inject {
+	case "":
+	case InjectDoubleFire:
+		f.DebugDoubleFire = true
+	case InjectStaleDeliver:
+		f.DebugStaleDeliver = true
+	default:
+		return fmt.Errorf("bench: unknown chaos injection %q (want %s or %s)",
+			inject, InjectDoubleFire, InjectStaleDeliver)
+	}
+	return nil
+}
+
+// chaosData builds integer-valued per-rank vectors: every partial sum
+// stays far below 2^24, so float32 reduction is exact in any ring order
+// and the auditor's exact-reduction predicate is sound.
+func chaosData(n, nelems int) [][]float32 {
+	data := make([][]float32, n)
+	for r := range data {
+		data[r] = make([]float32, nelems)
+		for i := range data[r] {
+			data[r][i] = float32((r+i)%7 + 1)
+		}
+	}
+	return data
+}
+
+// RunChaosScenario composes one scenario into a fresh cluster, drives a
+// recoverable data-carrying Allreduce under it, drains the run, and
+// returns the audit verdict. The caller's cfg supplies the baseline
+// platform; health, reliability, and the scenario are layered on top.
+func RunChaosScenario(cfg config.SystemConfig, sc config.ScenarioConfig, kind backends.Kind, inject string) ChaosOutcome {
+	c := cfg
+	c.Scenario = sc
+	c.Health = crashHealthOrDefault(cfg)
+	c.NIC.Reliability = config.DefaultReliability()
+	if err := applyChaosInject(&c.Faults, inject); err != nil {
+		panic(err)
+	}
+	rcfg := collective.RecoverConfig{
+		Kind:        kind,
+		TotalBytes:  chaosBytes,
+		Data:        chaosData(chaosNodes, int(chaosBytes/4)),
+		MaxAttempts: chaosAttempts,
+	}
+	if kind != backends.GDS {
+		rcfg.Timeout = chaosTimeout
+	}
+	cl := node.NewCluster(c, chaosNodes)
+	suite := health.Start(cl)
+	out := ChaosOutcome{Scenario: sc, Kind: kind}
+	cl.Eng.Go("bench.chaos.driver", func(p *sim.Proc) {
+		_, rerr := collective.RunRecoverable(p, cl, suite.Membership, rcfg)
+		out.Completed, out.RunErr = true, rerr
+		suite.Stop()
+	})
+	cl.RunUntil(chaosHorizon)
+	if !out.Completed {
+		// Watchdog: an uninterruptible wait (GDS mid-attempt crash) pins
+		// the driver forever; stop the heartbeat machinery so the
+		// remaining events drain and the auditor can reconcile.
+		suite.Stop()
+	}
+	cl.Run()
+	cl.Audit.Finish(cl.Eng.Now(), true)
+	out.Checks = cl.Audit.ChecksEvaluated()
+	out.Violations, out.Dropped = cl.Audit.Violations()
+	return out
+}
+
+// sampleChaosScenario draws one random composed scenario: the fixed
+// two-racks-and-a-pair domain layout plus 1-3 random correlated events.
+// All times are whole microseconds so flag-text round-trips stay tidy.
+func sampleChaosScenario(rng *rand.Rand, seed int64) config.ScenarioConfig {
+	sc := config.ScenarioConfig{
+		Seed: seed,
+		Domains: []config.ScenarioDomain{
+			{Name: "rack0", Nodes: []int{0, 1, 2, 3}},
+			{Name: "rack1", Nodes: []int{4, 5, 6, 7}},
+			{Name: "pair", Nodes: []int{2, 5}},
+		},
+	}
+	us := func(lo, hi int) sim.Time {
+		return sim.Time(lo+rng.Intn(hi-lo+1)) * sim.Microsecond
+	}
+	domains := []string{"rack0", "rack1", "pair"}
+	kinds := []string{config.ScenarioRackFail, config.ScenarioCrash, config.ScenarioCut,
+		config.ScenarioGray, config.ScenarioSlow}
+	nev := 1 + rng.Intn(3)
+	for e := 0; e < nev; e++ {
+		ev := config.ScenarioEvent{
+			Kind:   kinds[rng.Intn(len(kinds))],
+			Domain: domains[rng.Intn(len(domains))],
+			At:     us(20, 120),
+		}
+		switch ev.Kind {
+		case config.ScenarioCrash, config.ScenarioRackFail:
+			if rng.Intn(4) > 0 { // mostly restart storms, sometimes fail-stop
+				ev.Heal = us(30, 120)
+				if rng.Intn(2) == 0 {
+					ev.Jitter = us(1, 20)
+				}
+			}
+		case config.ScenarioCut:
+			ev.Heal = us(30, 120)
+			ev.Asymmetric = rng.Intn(4) == 0
+		case config.ScenarioGray:
+			ev.Heal = us(30, 120)
+			ev.LatencyFactor = float64(2 + rng.Intn(9))
+			if rng.Intn(2) == 0 {
+				ev.LossProb = float64(1+rng.Intn(10)) / 100
+			}
+		case config.ScenarioSlow:
+			ev.Heal = us(30, 120)
+			ev.GPUFactor = float64(2 + rng.Intn(7))
+			if rng.Intn(2) == 0 {
+				ev.CmdFactor = float64(2 + rng.Intn(4))
+			}
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+	return sc
+}
+
+// ChaosSearchResult reports a full search: every outcome, and — when a
+// violation was found — the minimized reproducer.
+type ChaosSearchResult struct {
+	Trials   int
+	Outcomes []ChaosOutcome
+	// Found is the first violating outcome in submission order; nil when
+	// every run was clean.
+	Found *ChaosOutcome
+	// Check is the violated invariant the shrink preserved.
+	Check string
+	// Minimized is the shrunk scenario reproducing Check; ShrinkRuns
+	// counts the reproduce runs the descent spent.
+	Minimized  *config.ScenarioConfig
+	ShrinkRuns int
+}
+
+// RunChaosSearch samples cc.Trials scenarios, runs each on every backend,
+// and shrinks the first violation found.
+func RunChaosSearch(cfg config.SystemConfig, cc ChaosConfig) ChaosSearchResult {
+	trials := cc.Trials
+	if trials <= 0 {
+		trials = 6
+	}
+	rng := rand.New(rand.NewSource(cc.Seed))
+	scenarios := make([]config.ScenarioConfig, trials)
+	for i := range scenarios {
+		// Salt each trial's private jitter stream off the search seed.
+		scenarios[i] = sampleChaosScenario(rng, cc.Seed+int64(i)*1019)
+	}
+	res := ChaosSearchResult{Trials: trials}
+	res.Outcomes = parallelMap(trials*len(chaosKinds), func(idx int) ChaosOutcome {
+		return RunChaosScenario(cfg, scenarios[idx/len(chaosKinds)], chaosKinds[idx%len(chaosKinds)], cc.Inject)
+	})
+	for i := range res.Outcomes {
+		if !res.Outcomes[i].Clean() {
+			res.Found = &res.Outcomes[i]
+			break
+		}
+	}
+	if res.Found == nil {
+		return res
+	}
+	res.Check = res.Found.Violations[0].Check
+	min, runs := ShrinkChaos(cfg, res.Found.Scenario, res.Found.Kind, cc.Inject, res.Check)
+	res.Minimized, res.ShrinkRuns = &min, runs
+	return res
+}
+
+// ShrinkChaos greedily minimizes a violating scenario while the named
+// invariant keeps failing on the given backend: drop events, shrink the
+// referenced failure domains, zero jitters, and halve heal windows and
+// start times. Every candidate is validated before it runs, so the
+// descent never leaves the legal scenario space. Returns the minimized
+// scenario and the number of reproduce runs spent (bounded by
+// shrinkBudget).
+func ShrinkChaos(cfg config.SystemConfig, sc config.ScenarioConfig, kind backends.Kind, inject, check string) (config.ScenarioConfig, int) {
+	runs := 0
+	repro := func(cand config.ScenarioConfig) bool {
+		if runs >= shrinkBudget {
+			return false
+		}
+		c := cfg
+		c.Scenario = cand
+		if c.Validate() != nil {
+			return false
+		}
+		runs++
+		out := RunChaosScenario(cfg, cand, kind, inject)
+		for _, v := range out.Violations {
+			if v.Check == check {
+				return true
+			}
+		}
+		return false
+	}
+	halve := func(t sim.Time) sim.Time {
+		h := t / 2
+		if h >= 2*sim.Microsecond {
+			h -= h % sim.Microsecond
+		}
+		return h
+	}
+	cur := sc
+	for changed := true; changed && runs < shrinkBudget; {
+		changed = false
+		// Drop events, left to right.
+		for i := 0; i < len(cur.Events) && len(cur.Events) > 1; {
+			cand := cur
+			cand.Events = append(append([]config.ScenarioEvent(nil), cur.Events[:i]...), cur.Events[i+1:]...)
+			if repro(cand) {
+				cur, changed = cand, true
+			} else {
+				i++
+			}
+		}
+		// Shrink referenced domains: keep the first half of the node list.
+		for d := range cur.Domains {
+			for len(cur.Domains[d].Nodes) > 1 {
+				cand := cur
+				cand.Domains = append([]config.ScenarioDomain(nil), cur.Domains...)
+				nodes := cur.Domains[d].Nodes
+				cand.Domains[d].Nodes = append([]int(nil), nodes[:(len(nodes)+1)/2]...)
+				if !repro(cand) {
+					break
+				}
+				cur, changed = cand, true
+			}
+		}
+		// Shorten: zero jitters, halve heals and start times.
+		for i := range cur.Events {
+			if cur.Events[i].Jitter > 0 {
+				cand := cur
+				cand.Events = append([]config.ScenarioEvent(nil), cur.Events...)
+				cand.Events[i].Jitter = 0
+				if repro(cand) {
+					cur, changed = cand, true
+				}
+			}
+			for _, field := range []string{"heal", "at"} {
+				for {
+					cand := cur
+					cand.Events = append([]config.ScenarioEvent(nil), cur.Events...)
+					ev := &cand.Events[i]
+					switch field {
+					case "heal":
+						if ev.Heal == 0 {
+							break
+						}
+						ev.Heal = halve(ev.Heal)
+						if ev.Heal == 0 {
+							ev.Jitter = 0
+						}
+					case "at":
+						if ev.At <= sim.Microsecond {
+							break
+						}
+						ev.At = halve(ev.At)
+					}
+					if cand.Events[i] == cur.Events[i] || !repro(cand) {
+						break
+					}
+					cur, changed = cand, true
+				}
+			}
+		}
+	}
+	// Unreferenced domains have no runtime effect; drop them for free.
+	used := map[string]bool{}
+	for _, ev := range cur.Events {
+		used[ev.Domain] = true
+	}
+	var keep []config.ScenarioDomain
+	for _, d := range cur.Domains {
+		if used[d.Name] {
+			keep = append(keep, d)
+		}
+	}
+	cur.Domains = keep
+	return cur, runs
+}
+
+// ReplayFlags serializes a scenario (plus optional injection) as the
+// gputn-bench flag set that reproduces it.
+func ReplayFlags(sc config.ScenarioConfig, inject string) string {
+	var b strings.Builder
+	b.WriteString("-exp chaossearch -chaos-replay")
+	if inject != "" {
+		fmt.Fprintf(&b, " -chaos-inject %s", inject)
+	}
+	fmt.Fprintf(&b, " -scenario-seed %d -scenario-domains %q -scenario-events %q",
+		sc.Seed, config.FormatScenarioDomains(sc.Domains), config.FormatScenarioEvents(sc.Events))
+	return b.String()
+}
+
+// RenderChaosSearch runs a search and renders the report: per-outcome
+// audit verdicts and, when a violation was found, the minimized
+// reproducer with its replay flag line.
+func RenderChaosSearch(cfg config.SystemConfig, cc ChaosConfig) string {
+	res := RunChaosSearch(cfg, cc)
+	var b strings.Builder
+	inject := cc.Inject
+	if inject == "" {
+		inject = "none"
+	}
+	fmt.Fprintf(&b, "Chaos search: %d scenarios x %d backends, seed=%d inject=%s\n",
+		res.Trials, len(chaosKinds), cc.Seed, inject)
+	clean := 0
+	for _, o := range res.Outcomes {
+		if o.Clean() {
+			clean++
+		}
+	}
+	fmt.Fprintf(&b, "outcomes: %d clean, %d violating\n", clean, len(res.Outcomes)-clean)
+	for i, o := range res.Outcomes {
+		status := "clean"
+		if !o.Clean() {
+			status = fmt.Sprintf("VIOLATION %s", o.Violations[0])
+		} else if o.RunErr != nil {
+			status = fmt.Sprintf("clean (run error: %v)", o.RunErr)
+		} else if !o.Completed {
+			status = "clean (watchdog: run never completed)"
+		}
+		fmt.Fprintf(&b, "  trial %d %-6v checks=%-7d %s\n", i/len(chaosKinds), o.Kind, o.Checks, status)
+	}
+	if res.Found == nil {
+		b.WriteString("no violations: every sampled scenario upheld every invariant\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "shrinking %s on %v (%d reproduce runs):\n", res.Check, res.Found.Kind, res.ShrinkRuns)
+	fmt.Fprintf(&b, "  minimized: domains=%q events=%q\n",
+		config.FormatScenarioDomains(res.Minimized.Domains), config.FormatScenarioEvents(res.Minimized.Events))
+	fmt.Fprintf(&b, "  replay: %s\n", ReplayFlags(*res.Minimized, cc.Inject))
+	return b.String()
+}
+
+// RenderChaosReplay runs cfg.Scenario (normally parsed from -scenario-*
+// flags) on every backend and renders the audit verdicts — the consumer
+// of ReplayFlags output.
+func RenderChaosReplay(cfg config.SystemConfig, inject string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos replay: domains=%q events=%q\n",
+		config.FormatScenarioDomains(cfg.Scenario.Domains), config.FormatScenarioEvents(cfg.Scenario.Events))
+	for _, k := range chaosKinds {
+		o := RunChaosScenario(cfg, cfg.Scenario, k, inject)
+		status := "clean"
+		if !o.Clean() {
+			status = fmt.Sprintf("VIOLATION %s", o.Violations[0])
+		} else if o.RunErr != nil {
+			status = fmt.Sprintf("clean (run error: %v)", o.RunErr)
+		}
+		fmt.Fprintf(&b, "  %-6v checks=%-7d %s\n", k, o.Checks, status)
+	}
+	return b.String()
+}

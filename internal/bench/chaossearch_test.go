@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/backends"
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// doubleFireScenario is a minimal crash+restart scenario: the restarted
+// incarnation is where the seeded double-fire bug strikes.
+func doubleFireScenario() config.ScenarioConfig {
+	return config.ScenarioConfig{
+		Seed:    1,
+		Domains: []config.ScenarioDomain{{Name: "pair", Nodes: []int{2, 5}}},
+		Events: []config.ScenarioEvent{{
+			Kind: config.ScenarioCrash, Domain: "pair",
+			At: 70 * sim.Microsecond, Heal: 30 * sim.Microsecond,
+		}},
+	}
+}
+
+// The seeded double-fire bug must be caught by the trigger-once invariant
+// on a plain crash+restart scenario; the honest run of the identical
+// scenario must be audit-clean — the violation is the bug's, not the
+// scenario's.
+func TestChaosScenarioDetectsSeededDoubleFire(t *testing.T) {
+	sc := doubleFireScenario()
+	out := RunChaosScenario(config.Default(), sc, backends.GPUTN, InjectDoubleFire)
+	if out.Clean() {
+		t.Fatal("seeded double-fire produced no violation")
+	}
+	if out.Violations[0].Check != audit.CheckTriggerOnce {
+		t.Fatalf("violation check = %q, want %q", out.Violations[0].Check, audit.CheckTriggerOnce)
+	}
+	honest := RunChaosScenario(config.Default(), sc, backends.GPUTN, "")
+	if !honest.Clean() {
+		t.Fatalf("honest run of the same scenario violated: %v", honest.Violations)
+	}
+	if honest.Checks == 0 {
+		t.Fatal("honest run evaluated zero checks (auditor vacuous)")
+	}
+}
+
+// The same (scenario, backend, inject) cell must replay bit-identically:
+// same checks count, same violation list.
+func TestChaosScenarioDeterministic(t *testing.T) {
+	sc := doubleFireScenario()
+	a := RunChaosScenario(config.Default(), sc, backends.HDN, InjectDoubleFire)
+	b := RunChaosScenario(config.Default(), sc, backends.HDN, InjectDoubleFire)
+	if a.Checks != b.Checks || !reflect.DeepEqual(a.Violations, b.Violations) {
+		t.Fatalf("replay diverged: checks %d/%d violations %v/%v",
+			a.Checks, b.Checks, a.Violations, b.Violations)
+	}
+}
+
+// A small honest search is clean on every outcome, and twice over: the
+// sampler, sweep order, and verdicts are deterministic.
+func TestChaosSearchHonestCleanAndDeterministic(t *testing.T) {
+	cc := ChaosConfig{Seed: 42, Trials: 2}
+	res := RunChaosSearch(config.Default(), cc)
+	if res.Found != nil {
+		t.Fatalf("honest search found a violation: %v (scenario %+v)",
+			res.Found.Violations, res.Found.Scenario)
+	}
+	if len(res.Outcomes) != cc.Trials*len(chaosKinds) {
+		t.Fatalf("outcomes = %d, want %d", len(res.Outcomes), cc.Trials*len(chaosKinds))
+	}
+	for i, o := range res.Outcomes {
+		if o.Checks == 0 {
+			t.Fatalf("outcome %d evaluated zero checks", i)
+		}
+	}
+	res2 := RunChaosSearch(config.Default(), cc)
+	for i := range res.Outcomes {
+		if res.Outcomes[i].Checks != res2.Outcomes[i].Checks ||
+			!reflect.DeepEqual(res.Outcomes[i].Scenario, res2.Outcomes[i].Scenario) {
+			t.Fatalf("outcome %d diverged between searches", i)
+		}
+	}
+}
+
+// The end-to-end acceptance loop: an injected double-fire is found by the
+// search, greedily shrunk, and the minimized scenario — serialized to
+// replay flags and re-parsed — reproduces the same invariant violation.
+func TestChaosSearchFindsShrinksAndReplays(t *testing.T) {
+	cc := ChaosConfig{Seed: 42, Trials: 2, Inject: InjectDoubleFire}
+	res := RunChaosSearch(config.Default(), cc)
+	if res.Found == nil {
+		t.Fatal("search with seeded double-fire found nothing")
+	}
+	if res.Check != audit.CheckTriggerOnce {
+		t.Fatalf("violated check = %q, want %q", res.Check, audit.CheckTriggerOnce)
+	}
+	if res.Minimized == nil || res.ShrinkRuns == 0 || res.ShrinkRuns > shrinkBudget {
+		t.Fatalf("shrink did not run: minimized=%v runs=%d", res.Minimized, res.ShrinkRuns)
+	}
+	if len(res.Minimized.Events) > len(res.Found.Scenario.Events) {
+		t.Fatalf("shrink grew the scenario: %d -> %d events",
+			len(res.Found.Scenario.Events), len(res.Minimized.Events))
+	}
+	// The minimized scenario must still be legal on the bench platform.
+	c := config.Default()
+	c.Scenario = *res.Minimized
+	if err := c.Validate(); err != nil {
+		t.Fatalf("minimized scenario invalid: %v", err)
+	}
+
+	// Round-trip through the flag grammar, as a replay invocation would.
+	doms, err := config.ParseScenarioDomains(config.FormatScenarioDomains(res.Minimized.Domains))
+	if err != nil {
+		t.Fatalf("minimized domains do not reparse: %v", err)
+	}
+	evs, err := config.ParseScenarioEvents(config.FormatScenarioEvents(res.Minimized.Events))
+	if err != nil {
+		t.Fatalf("minimized events do not reparse: %v", err)
+	}
+	replayed := config.ScenarioConfig{Seed: res.Minimized.Seed, Domains: doms, Events: evs}
+	if !reflect.DeepEqual(replayed, *res.Minimized) {
+		t.Fatalf("flag round trip changed the reproducer:\n%+v\n%+v", replayed, *res.Minimized)
+	}
+	out := RunChaosScenario(config.Default(), replayed, res.Found.Kind, cc.Inject)
+	found := false
+	for _, v := range out.Violations {
+		if v.Check == res.Check {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("replayed reproducer did not violate %s: %v", res.Check, out.Violations)
+	}
+
+	flags := ReplayFlags(*res.Minimized, cc.Inject)
+	for _, want := range []string{"-exp chaossearch", "-chaos-replay",
+		"-chaos-inject doublefire", "-scenario-seed", "-scenario-domains", "-scenario-events"} {
+		if !strings.Contains(flags, want) {
+			t.Fatalf("replay flags missing %q: %s", want, flags)
+		}
+	}
+}
+
+// The sampler only emits scenarios the validator accepts — the search
+// never wastes a run on an illegal draw.
+func TestSampledScenariosAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 200; i++ {
+		cfg := config.Default()
+		cfg.Scenario = sampleChaosScenario(rng, int64(i))
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("draw %d invalid: %v\n%+v", i, err, cfg.Scenario)
+		}
+	}
+}
+
+// chaosData keeps every element integer-valued and small so fp32 reduction
+// is exact in any order — the soundness precondition of the auditor's
+// exact-reduction predicate.
+func TestChaosDataIntegerValued(t *testing.T) {
+	data := chaosData(chaosNodes, 64)
+	for r := range data {
+		for i, v := range data[r] {
+			if v != float32(int(v)) || v < 1 || v > 7 {
+				t.Fatalf("rank %d elem %d = %v, want integer in [1,7]", r, i, v)
+			}
+		}
+	}
+}
+
+func TestRenderChaosSearchAndReplay(t *testing.T) {
+	out := RenderChaosSearch(config.Default(), ChaosConfig{Seed: 42, Trials: 1})
+	for _, want := range []string{"Chaos search", "1 scenarios x 4 backends", "clean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("search report missing %q:\n%s", want, out)
+		}
+	}
+	cfg := config.Default()
+	cfg.Scenario = doubleFireScenario()
+	rep := RenderChaosReplay(cfg, InjectDoubleFire)
+	for _, want := range []string{"Chaos replay", "VIOLATION", "trigger-once"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("replay report missing %q:\n%s", want, rep)
+		}
+	}
+}

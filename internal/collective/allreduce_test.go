@@ -2,7 +2,6 @@ package collective
 
 import (
 	"math"
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -152,20 +151,7 @@ func TestChunkRangeCoversAll(t *testing.T) {
 	}
 }
 
-// makeInputs builds deterministic per-rank vectors and their expected sum.
-func makeInputs(n, nelems int, seed int64) (data [][]float32, want []float32) {
-	rng := rand.New(rand.NewSource(seed))
-	data = make([][]float32, n)
-	want = make([]float32, nelems)
-	for r := 0; r < n; r++ {
-		data[r] = make([]float32, nelems)
-		for i := range data[r] {
-			data[r][i] = float32(rng.Intn(64)) // exact in fp32 addition
-			want[i] += data[r][i]
-		}
-	}
-	return data, want
-}
+// makeInputs lives in chaostest_test.go, shared with the chaos suites.
 
 func TestAllreduceCorrectnessAllBackends(t *testing.T) {
 	for _, kind := range backends.All() {

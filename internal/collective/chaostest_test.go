@@ -1,0 +1,211 @@
+package collective
+
+// Shared chaos-matrix scaffolding for the crash, partition, SDC,
+// straggler, and scenario suites: the fixed seed list, the mixed fault
+// schedule, input builders, the build-start-drive-drain harness, and the
+// exact-sum result checkers. Suite-specific schedules (crash timelines,
+// partition scenarios, slow windows) stay with their matrices.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/health"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+// chaosSeeds are the fixed fault schedules of the chaos suite (also run by
+// `make chaos`); determinism makes each one a regression test, not a dice
+// roll.
+var chaosSeeds = []int64{1, 2, 3, 4, 5}
+
+// chaosFaults is a mixed fault schedule: loss, corruption, jitter on the
+// fabric plus stalls in the NIC command pipeline.
+func chaosFaults(seed int64) config.FaultConfig {
+	return config.FaultConfig{
+		Seed:         seed,
+		DropProb:     0.05,
+		CorruptProb:  0.02,
+		DelayJitter:  500 * sim.Nanosecond,
+		CmdStallProb: 0.05,
+		CmdStallTime: 1 * sim.Microsecond,
+	}
+}
+
+// chaosCluster builds a reliable cluster under the seeded chaos schedule.
+func chaosCluster(t *testing.T, n int, seed int64) *node.Cluster {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Faults = chaosFaults(seed)
+	cfg.NIC.Reliability = config.DefaultReliability()
+	return node.NewCluster(cfg, n)
+}
+
+// crashHealth is the heartbeat timing of the crash chaos suite. The
+// suspicion timeout leaves room for heartbeat retransmits under the lossy
+// chaos schedules, so a congested-but-alive node is never falsely accused
+// (an accusation is sticky for the incarnation).
+func crashHealth() config.HealthConfig {
+	return config.HealthConfig{
+		Enabled:        true,
+		Period:         10 * sim.Microsecond,
+		SuspectAfter:   150 * sim.Microsecond,
+		StabilizeDelay: 60 * sim.Microsecond,
+	}
+}
+
+// crashElems sizes the payload so one attempt spans roughly 20-30us of
+// simulated time: the first attempt starts at StabilizeDelay (60us), so a
+// crash at 70us always lands mid-attempt.
+const crashElems = 16384
+
+// makeInputs builds deterministic per-rank vectors and their expected sum.
+func makeInputs(n, nelems int, seed int64) (data [][]float32, want []float32) {
+	rng := rand.New(rand.NewSource(seed))
+	data = make([][]float32, n)
+	want = make([]float32, nelems)
+	for r := 0; r < n; r++ {
+		data[r] = make([]float32, nelems)
+		for i := range data[r] {
+			data[r][i] = float32(rng.Intn(64)) // exact in fp32 addition
+			want[i] += data[r][i]
+		}
+	}
+	return data, want
+}
+
+// makePositiveInputs is makeInputs shifted to [1, 64]: every element (and
+// so every partial sum) is >= 1, keeping the deterministic bit flip's
+// delta >= 0.5 — comfortably above verifyEps, so no injected corruption
+// can hide inside the claim-check band.
+func makePositiveInputs(n, nelems int, seed int64) (data [][]float32, want []float32) {
+	rng := rand.New(rand.NewSource(seed))
+	data = make([][]float32, n)
+	want = make([]float32, nelems)
+	for r := 0; r < n; r++ {
+		data[r] = make([]float32, nelems)
+		for i := range data[r] {
+			data[r][i] = float32(1 + rng.Intn(64))
+			want[i] += data[r][i]
+		}
+	}
+	return data, want
+}
+
+// driveChaos builds the cluster, starts the health suite, runs the given
+// driver in-simulation, and drains the cluster. The driver runs under the
+// suite and must not call suite.Stop itself.
+func driveChaos(t *testing.T, cfg config.SystemConfig, n int, name string,
+	driver func(p *sim.Proc, cl *node.Cluster, m *health.Membership) error) (*node.Cluster, *health.Suite) {
+	t.Helper()
+	cl := node.NewCluster(cfg, n)
+	suite := health.Start(cl)
+	var rerr error
+	cl.Eng.Go(name, func(p *sim.Proc) {
+		rerr = driver(p, cl, suite.Membership)
+		suite.Stop()
+	})
+	cl.Run()
+	if rerr != nil {
+		if diag := cl.Diagnose(); diag != nil {
+			t.Fatalf("%s failed: %v\n%v", name, rerr, diag)
+		}
+		t.Fatalf("%s failed: %v", name, rerr)
+	}
+	return cl, suite
+}
+
+// driveRecoverable drives one recoverable collective to completion.
+func driveRecoverable(t *testing.T, cfg config.SystemConfig, n int, rcfg RecoverConfig) (RecoverResult, *node.Cluster, *health.Suite) {
+	t.Helper()
+	var res RecoverResult
+	cl, suite := driveChaos(t, cfg, n, "recover.driver",
+		func(p *sim.Proc, cl *node.Cluster, m *health.Membership) error {
+			var err error
+			res, err = RunRecoverable(p, cl, m, rcfg)
+			return err
+		})
+	return res, cl, suite
+}
+
+// driveVerified drives one verified collective to completion.
+func driveVerified(t *testing.T, cfg config.SystemConfig, n int, rcfg RecoverConfig) (VerifyResult, *node.Cluster, *health.Suite) {
+	t.Helper()
+	var res VerifyResult
+	cl, suite := driveChaos(t, cfg, n, "verify.driver",
+		func(p *sim.Proc, cl *node.Cluster, m *health.Membership) error {
+			var err error
+			res, err = RunVerified(p, cl, m, rcfg)
+			return err
+		})
+	return res, cl, suite
+}
+
+// expectSum checks res against the exact element-wise sum over the
+// expected final membership: every surviving rank holds it, and no other
+// rank produced output.
+func expectSum(t *testing.T, res RecoverResult, data [][]float32, finalAlive []int, nelems, n int) {
+	t.Helper()
+	inFinal := make([]bool, n)
+	want := make([]float32, nelems)
+	for _, r := range finalAlive {
+		inFinal[r] = true
+		for i := range want {
+			want[i] += data[r][i]
+		}
+	}
+	if len(res.Alive) != len(finalAlive) {
+		t.Fatalf("result over %v, want membership %v", res.Alive, finalAlive)
+	}
+	for k, r := range finalAlive {
+		if res.Alive[k] != r {
+			t.Fatalf("result over %v, want membership %v", res.Alive, finalAlive)
+		}
+	}
+	for r := 0; r < n; r++ {
+		if !inFinal[r] {
+			if res.Output[r] != nil {
+				t.Fatalf("rank %d outside final membership produced output", r)
+			}
+			continue
+		}
+		for i := range want {
+			if res.Output[r][i] != want[i] {
+				t.Fatalf("rank %d elem %d: got %v want %v", r, i, res.Output[r][i], want[i])
+			}
+		}
+	}
+}
+
+// expectExactOverAlive checks the result is the exact fp32 sum of the
+// final membership's inputs, on every member, and nil elsewhere — the
+// membership itself is whatever the run converged on.
+func expectExactOverAlive(t *testing.T, res RecoverResult, data [][]float32, nelems, n int) {
+	t.Helper()
+	want := make([]float32, nelems)
+	member := make(map[int]bool, len(res.Alive))
+	for _, r := range res.Alive {
+		member[r] = true
+		for i, v := range data[r] {
+			want[i] += v
+		}
+	}
+	for r := 0; r < n; r++ {
+		if !member[r] {
+			if res.Output[r] != nil {
+				t.Fatalf("rank %d outside final membership %v has an output", r, res.Alive)
+			}
+			continue
+		}
+		if len(res.Output[r]) != nelems {
+			t.Fatalf("rank %d output has %d elems, want %d", r, len(res.Output[r]), nelems)
+		}
+		for i, v := range res.Output[r] {
+			if v != want[i] {
+				t.Fatalf("rank %d elem %d = %v, want exact %v over membership %v", r, i, v, want[i], res.Alive)
+			}
+		}
+	}
+}

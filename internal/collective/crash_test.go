@@ -5,24 +5,14 @@ import (
 
 	"repro/internal/backends"
 	"repro/internal/config"
-	"repro/internal/health"
 	"repro/internal/nic"
 	"repro/internal/node"
 	"repro/internal/sim"
 )
 
-// crashHealth is the heartbeat timing of the crash chaos suite. The
-// suspicion timeout leaves room for heartbeat retransmits under the lossy
-// chaos schedules, so a congested-but-alive node is never falsely accused
-// (an accusation is sticky for the incarnation).
-func crashHealth() config.HealthConfig {
-	return config.HealthConfig{
-		Enabled:        true,
-		Period:         10 * sim.Microsecond,
-		SuspectAfter:   150 * sim.Microsecond,
-		StabilizeDelay: 60 * sim.Microsecond,
-	}
-}
+// crashHealth, crashElems, driveRecoverable, and expectSum live in
+// chaostest_test.go, shared with the partition/SDC/straggler/scenario
+// suites.
 
 // crashSchedule is one deterministic crash scenario on a 4-node cluster.
 type crashSchedule struct {
@@ -30,11 +20,6 @@ type crashSchedule struct {
 	events     []config.CrashEvent
 	finalAlive []int
 }
-
-// crashElems sizes the payload so one attempt spans roughly 20-30us of
-// simulated time: the first attempt starts at StabilizeDelay (60us), so a
-// crash at 70us always lands mid-attempt.
-const crashElems = 16384
 
 // timeoutSchedules exercise backends whose receive waits can time out:
 // crashes land mid-attempt and the survivors abort and retry.
@@ -84,64 +69,6 @@ func schedulesFor(kind backends.Kind) []crashSchedule {
 		return gdsSchedules
 	}
 	return timeoutSchedules
-}
-
-// driveRecoverable builds the cluster, starts the health suite, runs the
-// recovery driver in-simulation, and drains the cluster.
-func driveRecoverable(t *testing.T, cfg config.SystemConfig, n int, rcfg RecoverConfig) (RecoverResult, *node.Cluster, *health.Suite) {
-	t.Helper()
-	cl := node.NewCluster(cfg, n)
-	suite := health.Start(cl)
-	var res RecoverResult
-	var rerr error
-	cl.Eng.Go("recover.driver", func(p *sim.Proc) {
-		res, rerr = RunRecoverable(p, cl, suite.Membership, rcfg)
-		suite.Stop()
-	})
-	cl.Run()
-	if rerr != nil {
-		if diag := cl.Diagnose(); diag != nil {
-			t.Fatalf("recoverable run failed: %v\n%v", rerr, diag)
-		}
-		t.Fatalf("recoverable run failed: %v", rerr)
-	}
-	return res, cl, suite
-}
-
-// expectSum checks res against the exact element-wise sum over the
-// expected final membership: every surviving rank holds it, and no other
-// rank produced output.
-func expectSum(t *testing.T, res RecoverResult, data [][]float32, finalAlive []int, nelems, n int) {
-	t.Helper()
-	inFinal := make([]bool, n)
-	want := make([]float32, nelems)
-	for _, r := range finalAlive {
-		inFinal[r] = true
-		for i := range want {
-			want[i] += data[r][i]
-		}
-	}
-	if len(res.Alive) != len(finalAlive) {
-		t.Fatalf("result over %v, want membership %v", res.Alive, finalAlive)
-	}
-	for k, r := range finalAlive {
-		if res.Alive[k] != r {
-			t.Fatalf("result over %v, want membership %v", res.Alive, finalAlive)
-		}
-	}
-	for r := 0; r < n; r++ {
-		if !inFinal[r] {
-			if res.Output[r] != nil {
-				t.Fatalf("rank %d outside final membership produced output", r)
-			}
-			continue
-		}
-		for i := range want {
-			if res.Output[r][i] != want[i] {
-				t.Fatalf("rank %d elem %d: got %v want %v", r, i, res.Output[r][i], want[i])
-			}
-		}
-	}
 }
 
 // The chaos crash matrix: every backend x every seeded fault schedule x

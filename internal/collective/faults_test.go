@@ -12,31 +12,8 @@ import (
 	"repro/internal/sim"
 )
 
-// chaosSeeds are the fixed fault schedules of the chaos suite (also run by
-// `make chaos`); determinism makes each one a regression test, not a dice
-// roll.
-var chaosSeeds = []int64{1, 2, 3, 4, 5}
-
-// chaosFaults is a mixed fault schedule: loss, corruption, jitter on the
-// fabric plus stalls in the NIC command pipeline.
-func chaosFaults(seed int64) config.FaultConfig {
-	return config.FaultConfig{
-		Seed:         seed,
-		DropProb:     0.05,
-		CorruptProb:  0.02,
-		DelayJitter:  500 * sim.Nanosecond,
-		CmdStallProb: 0.05,
-		CmdStallTime: 1 * sim.Microsecond,
-	}
-}
-
-func chaosCluster(t *testing.T, n int, seed int64) *node.Cluster {
-	t.Helper()
-	cfg := config.Default()
-	cfg.Faults = chaosFaults(seed)
-	cfg.NIC.Reliability = config.DefaultReliability()
-	return node.NewCluster(cfg, n)
-}
+// The chaos scaffolding (chaosSeeds, chaosFaults, chaosCluster) lives in
+// chaostest_test.go, shared with the crash/partition/SDC/straggler suites.
 
 // The §7 headline invariant: on every backend, under every fixed fault
 // schedule, a lossy-fabric Allreduce produces the exact element-wise sum —

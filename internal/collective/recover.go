@@ -205,6 +205,13 @@ func runRecoverable(p *sim.Proc, cl *node.Cluster, m *health.Membership, cfg Rec
 			res.ViewID = view
 			res.Alive = rep.Alive
 			res.Output = out
+			if out != nil && len(rep.Alive) > 0 && !cl.Cfg.Faults.SDC.Enabled() {
+				// Exact-reduction invariant: the committed result must be the
+				// elementwise sum of the final membership's inputs. Skipped
+				// under SDC injection — deliberately corrupted data is an
+				// application-level wrong answer, not a protocol violation.
+				cl.Audit.ReductionResult(p.Now(), gen, out[rep.Alive[0]], cfg.Data, rep.Alive)
+			}
 			return res, nil
 		}
 	}

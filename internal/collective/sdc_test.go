@@ -2,7 +2,6 @@ package collective
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"repro/internal/backends"
@@ -18,23 +17,8 @@ import (
 // matrix fast.
 const sdcElems = 8192
 
-// makePositiveInputs is makeInputs shifted to [1, 64]: every element (and
-// so every partial sum) is >= 1, keeping the deterministic bit flip's
-// delta >= 0.5 — comfortably above verifyEps, so no injected corruption
-// can hide inside the claim-check band.
-func makePositiveInputs(n, nelems int, seed int64) (data [][]float32, want []float32) {
-	rng := rand.New(rand.NewSource(seed))
-	data = make([][]float32, n)
-	want = make([]float32, nelems)
-	for r := 0; r < n; r++ {
-		data[r] = make([]float32, nelems)
-		for i := range data[r] {
-			data[r][i] = float32(1 + rng.Intn(64))
-			want[i] += data[r][i]
-		}
-	}
-	return data, want
-}
+// makePositiveInputs and driveVerified live in chaostest_test.go, shared
+// with the crash/partition/straggler/scenario suites.
 
 // sdcScenario is one corruption class of the SDC chaos matrix.
 type sdcScenario struct {
@@ -93,28 +77,6 @@ var sdcScenarios = []sdcScenario{
 		badRank:    1,
 		finalAlive: []int{0, 2, 3},
 	},
-}
-
-// driveVerified builds the cluster, starts the health suite, runs the
-// verified driver in-simulation, and drains the cluster.
-func driveVerified(t *testing.T, cfg config.SystemConfig, n int, rcfg RecoverConfig) (VerifyResult, *node.Cluster, *health.Suite) {
-	t.Helper()
-	cl := node.NewCluster(cfg, n)
-	suite := health.Start(cl)
-	var res VerifyResult
-	var rerr error
-	cl.Eng.Go("verify.driver", func(p *sim.Proc) {
-		res, rerr = RunVerified(p, cl, suite.Membership, rcfg)
-		suite.Stop()
-	})
-	cl.Run()
-	if rerr != nil {
-		if diag := cl.Diagnose(); diag != nil {
-			t.Fatalf("verified run failed: %v\n%v", rerr, diag)
-		}
-		t.Fatalf("verified run failed: %v", rerr)
-	}
-	return res, cl, suite
 }
 
 // The SDC chaos matrix: every backend x every seed x every corruption

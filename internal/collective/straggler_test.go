@@ -92,35 +92,8 @@ func runHedgedStraggler(t *testing.T, kind backends.Kind, slow config.SlowConfig
 	return res, cl, suite
 }
 
-// expectExactOverAlive checks the hedged result is the exact fp32 sum of
-// the final membership's inputs, on every member, and nil elsewhere.
-func expectExactOverAlive(t *testing.T, res RecoverResult, data [][]float32, nelems, n int) {
-	t.Helper()
-	want := make([]float32, nelems)
-	member := make(map[int]bool, len(res.Alive))
-	for _, r := range res.Alive {
-		member[r] = true
-		for i, v := range data[r] {
-			want[i] += v
-		}
-	}
-	for r := 0; r < n; r++ {
-		if !member[r] {
-			if res.Output[r] != nil {
-				t.Fatalf("rank %d outside final membership %v has an output", r, res.Alive)
-			}
-			continue
-		}
-		if len(res.Output[r]) != nelems {
-			t.Fatalf("rank %d output has %d elems, want %d", r, len(res.Output[r]), nelems)
-		}
-		for i, v := range res.Output[r] {
-			if v != want[i] {
-				t.Fatalf("rank %d elem %d = %v, want exact %v over membership %v", r, i, v, want[i], res.Alive)
-			}
-		}
-	}
-}
+// expectExactOverAlive lives in chaostest_test.go, shared with the
+// scenario suite.
 
 // A SlowConfig with a seed but no armed window must be bit-for-bit
 // indistinguishable from the zero config — the plan compiles to nil and

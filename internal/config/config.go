@@ -148,6 +148,17 @@ type FaultConfig struct {
 	// Slow schedules deterministic fail-slow (straggler) windows; the zero
 	// value schedules nothing and is pay-for-use.
 	Slow SlowConfig
+	// DebugDoubleFire seeds a known invariant violation for auditor
+	// regression tests and chaos search: the first trigger-list fire on a
+	// restarted incarnation launches its staged operation twice. Requires
+	// a crash-restart scenario with post-restart triggered traffic to
+	// manifest, which is what makes shrinking toward it meaningful.
+	DebugDoubleFire bool
+	// DebugStaleDeliver seeds the complementary violation: the first
+	// inbound frame addressed to a previous incarnation of the receiver
+	// is dispatched instead of epoch-fenced. Requires a crash-restart with
+	// traffic in flight across the restart.
+	DebugStaleDeliver bool
 }
 
 // Enabled reports whether any fault is armed.
@@ -157,7 +168,7 @@ func (f FaultConfig) Enabled() bool {
 		(f.CmdStallProb > 0 && f.CmdStallTime > 0) ||
 		f.TrigDropProb > 0 || f.TrigDelayJitter > 0 ||
 		f.Partition.Enabled() || f.Degrade.Enabled() || f.SDC.Enabled() ||
-		f.Slow.Enabled()
+		f.Slow.Enabled() || f.DebugDoubleFire || f.DebugStaleDeliver
 }
 
 // CompoundPerPacket converts a per-packet probability (loss, corruption)
@@ -692,6 +703,12 @@ type SystemConfig struct {
 	// Health starts heartbeat-based membership agents; the zero value
 	// starts nothing and is pay-for-use.
 	Health HealthConfig
+	// Scenario composes the single-class fault plans into one correlated
+	// timeline over named failure domains; the zero value composes nothing
+	// and is pay-for-use. Expansion happens once, before plans are built
+	// (fault.Scenario.Apply), so each sub-plan keeps its private RNG
+	// stream.
+	Scenario ScenarioConfig
 	// Shards selects the simulation engine layout. 0 (the default) is the
 	// serial seed-exact path: one engine, no event lanes, bit-identical to
 	// the pre-sharding simulator. N ≥ 1 assigns every node an event lane and
@@ -799,6 +816,9 @@ func (c *SystemConfig) Validate() error {
 		return err
 	}
 	if err := c.Health.Validate(); err != nil {
+		return err
+	}
+	if err := c.Scenario.validate(); err != nil {
 		return err
 	}
 	return c.Faults.validate()

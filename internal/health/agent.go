@@ -185,6 +185,7 @@ func Start(cl *node.Cluster) *Suite {
 		cfg = config.DefaultHealth()
 	}
 	m := NewMembership(cl.Eng, cfg, cl.Size())
+	m.SetAuditor(cl.Audit)
 	s := &Suite{Membership: m, cl: cl}
 	m.OnSuspect(func(suspect int) {
 		for _, nd := range cl.Nodes {

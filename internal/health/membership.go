@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/config"
 	"repro/internal/sim"
 )
@@ -145,6 +146,7 @@ type Membership struct {
 	onRecovered  []func(node int)
 	stats        Stats
 	stopped      bool
+	au           *audit.Auditor
 
 	// Fail-slow detection state, armed only when cfg.SlowDetect (all
 	// slices nil otherwise — detection-free views never pay for it).
@@ -224,6 +226,11 @@ func NewMembership(eng *sim.Engine, cfg config.HealthConfig, n int) *Membership 
 
 // Config returns the timing configuration the view runs under.
 func (m *Membership) Config() config.HealthConfig { return m.cfg }
+
+// SetAuditor installs the invariant auditor; every stable view WaitStable
+// hands out is then checked for strict majority and view-id stability.
+// Health clusters run on the serial engine, so the global hook is safe.
+func (m *Membership) SetAuditor(a *audit.Auditor) { m.au = a }
 
 // Stats returns a snapshot of the transition counters.
 func (m *Membership) Stats() Stats { return m.stats }
@@ -718,6 +725,25 @@ func (m *Membership) WaitStable(p *sim.Proc) (int64, error) {
 		if d <= 0 {
 			if m.splitBrain {
 				return m.viewID, ErrSplitBrain
+			}
+			if m.au != nil {
+				// The adopted member set is the ranks a collective may build
+				// on (Alive + Slow); the population for the majority rule is
+				// everyone not condemned as crashed or corrupt — Partitioned
+				// members count against the majority, exactly as in recompute.
+				members := make([]int, 0, len(m.members))
+				population := 0
+				for i := range m.members {
+					switch m.members[i].Status {
+					case Suspect, Quarantined:
+					case Partitioned:
+						population++
+					default: // Alive, Slow
+						population++
+						members = append(members, i)
+					}
+				}
+				m.au.ViewAdopted(p.Now(), uint64(m.viewID), members, population)
 			}
 			return m.viewID, nil
 		}

@@ -12,6 +12,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/sim"
@@ -117,6 +118,7 @@ type Fabric struct {
 	eng *sim.Engine
 	cfg config.NetworkConfig
 	inj *fault.Injector
+	au  *audit.Auditor
 
 	// engs[i] is the engine owning node i's ports; lanes[i] its event lane.
 	// Default: every node on the construction engine, lane 0 (the serial
@@ -245,6 +247,12 @@ func (f *Fabric) Bind(id NodeID, h Handler) {
 // keeps the fabric lossless.
 func (f *Fabric) SetInjector(in *fault.Injector) { f.inj = in }
 
+// SetAuditor installs the invariant auditor's per-pair message
+// conservation hooks (sends and losses counted by the source engine,
+// deliveries by the destination engine — the fabric's own cell-ownership
+// discipline). Nil keeps the hooks no-ops.
+func (f *Fabric) SetAuditor(a *audit.Auditor) { f.au = a }
+
 // Send injects a message. It is asynchronous: the call returns immediately
 // and delivery happens via the destination handler. Sending to self is
 // rejected — loopback is the NIC model's job, not the fabric's.
@@ -268,6 +276,7 @@ func (f *Fabric) Send(m *Message) {
 	}
 	f.anyTraffic[src] = true
 	f.bytesSent[src] += m.Size
+	f.au.MessageSent(src, int(m.Dst))
 
 	remaining := m.Size
 	for {
@@ -316,6 +325,7 @@ func (f *Fabric) egressDone(portID int) {
 			if !pkt.msg.damaged {
 				pkt.msg.damaged = true
 				f.msgsLost[portID]++
+				f.au.MessageLost(portID, pkt.dst)
 			}
 			dropped = true
 		} else {
@@ -399,6 +409,7 @@ func (f *Fabric) deliverPacket(pkt *packet) {
 	}
 	f.msgsDelivered[portID]++
 	f.lastDelivery[portID] = f.engs[portID].Now()
+	f.au.MessageDelivered(int(m.Src), portID)
 	h := f.handlers[portID]
 	if h == nil {
 		panic(fmt.Sprintf("network: no handler bound for node %d", portID))

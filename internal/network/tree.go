@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/sim"
@@ -29,6 +30,9 @@ type Transport interface {
 	LastDelivery() sim.Time
 	// SetInjector installs a fault injector (nil = lossless).
 	SetInjector(in *fault.Injector)
+	// SetAuditor installs the invariant auditor's message-conservation
+	// hooks (nil = no-op).
+	SetAuditor(a *audit.Auditor)
 	// PacketsDropped / MessagesLost / MessagesCorrupted report injected
 	// fault accounting; all zero on a lossless fabric.
 	PacketsDropped() int64
@@ -90,6 +94,7 @@ type TreeFabric struct {
 	eng *sim.Engine
 	cfg config.NetworkConfig
 	inj *fault.Injector
+	au  *audit.Auditor
 
 	leafSize int
 	nleaves  int
@@ -165,6 +170,10 @@ func (t *TreeFabric) Bind(id NodeID, h Handler) { t.handlers[id] = h }
 // SetInjector implements Transport.
 func (t *TreeFabric) SetInjector(in *fault.Injector) { t.inj = in }
 
+// SetAuditor implements Transport. Tree clusters run on a single engine
+// (serialRequired), so every hook fires in one event order.
+func (t *TreeFabric) SetAuditor(a *audit.Auditor) { t.au = a }
+
 // Send implements Transport.
 func (t *TreeFabric) Send(m *Message) {
 	if int(m.Src) < 0 || int(m.Src) >= len(t.handlers) || int(m.Dst) < 0 || int(m.Dst) >= len(t.handlers) {
@@ -181,6 +190,7 @@ func (t *TreeFabric) Send(m *Message) {
 	}
 	m.SentAt = t.eng.Now()
 	t.bytesSent[m.Src] += m.Size
+	t.au.MessageSent(int(m.Src), int(m.Dst))
 
 	var path []*stage
 	if t.leaf(m.Src) == t.leaf(m.Dst) {
@@ -232,6 +242,7 @@ func (t *TreeFabric) stageDone(s *stage) {
 			if !pkt.msg.damaged {
 				pkt.msg.damaged = true
 				t.msgsLost++
+				t.au.MessageLost(int(pkt.msg.Src), int(pkt.msg.Dst))
 			}
 			dropped = true
 		} else {
@@ -276,6 +287,7 @@ func (t *TreeFabric) deliver(pkt *treePacket) {
 		}
 		t.msgsDelivered[dst]++
 		t.lastDelivery = t.eng.Now()
+		t.au.MessageDelivered(int(pkt.msg.Src), int(dst))
 		h := t.handlers[dst]
 		if h == nil {
 			panic(fmt.Sprintf("network: no handler bound for node %d", dst))

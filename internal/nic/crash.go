@@ -112,10 +112,12 @@ func (n *NIC) peerEpochOf(id network.NodeID) int64 {
 }
 
 func (n *NIC) setPeerEpoch(id network.NodeID, e int64) {
+	old := n.peerEpochOf(id)
 	for int(id) >= len(n.peerEpoch) {
 		n.peerEpoch = append(n.peerEpoch, 0)
 	}
 	n.peerEpoch[id] = e
+	n.au.PeerEpochSet(n.eng.Now(), int(n.id), int(id), old, e)
 }
 
 // fenced reports whether work captured under incarnation ep must be
@@ -135,6 +137,11 @@ func (n *NIC) Crash() {
 	n.down = true
 	n.downAt = n.eng.Now()
 	n.stats.Crashes++
+	for _, e := range n.entries {
+		// The trigger list dies with the incarnation; the auditor forgets
+		// each instance so its live-fired set stays bounded.
+		n.au.TriggerRetired(int(n.id), e.regSeq)
+	}
 	n.entries = nil
 	n.regions = nil
 	for {
@@ -166,6 +173,7 @@ func (n *NIC) Restart() {
 	n.down = false
 	n.inc++
 	n.stats.Restarts++
+	n.au.Incarnated(n.eng.Now(), int(n.id), n.inc-1, n.inc)
 	if n.cfg.Reliability.Enabled {
 		// Cold state; OnPeerDead callbacks from the previous life are gone
 		// with the processes that registered them.

@@ -3,7 +3,9 @@ package nic
 import (
 	"testing"
 
+	"repro/internal/audit"
 	"repro/internal/config"
+	"repro/internal/fault"
 	"repro/internal/network"
 	"repro/internal/sim"
 )
@@ -201,5 +203,72 @@ func TestMarkPeerCrashedDeclaresWithReason(t *testing.T) {
 	}
 	if st := r.nics[0].Stats(); st.PeersDeclaredCrashed != 1 {
 		t.Fatalf("PeersDeclaredCrashed = %d, want 1 (idempotent)", st.PeersDeclaredCrashed)
+	}
+}
+
+// The seeded stale-delivery bug (DebugStaleDeliver): exactly one frame
+// addressed to this NIC's previous incarnation is dispatched instead of
+// fenced, and the always-on auditor must flag it as a no-stale-delivery
+// violation. The honest twin of the same timeline fences the frame
+// (StaleDstDrops) and the audit stays clean — proving the check keys on
+// the protocol break, not on the crash schedule.
+func TestAuditorCatchesSeededStaleDelivery(t *testing.T) {
+	run := func(debug bool) (*audit.Auditor, Stats, int64) {
+		cfg := config.Default()
+		eng := sim.NewEngine()
+		fab := network.NewFabric(eng, cfg.Network, 2)
+		inj := fault.NewInjector(config.FaultConfig{DebugStaleDeliver: debug})
+		fab.SetInjector(inj)
+		au := audit.New(2)
+		r := &rig{eng: eng, fab: fab}
+		for i := 0; i < 2; i++ {
+			nc := New(eng, cfg.NIC, network.NodeID(i), fab)
+			nc.SetInjector(inj)
+			nc.SetAuditor(au)
+			r.nics = append(r.nics, nc)
+		}
+		recv := sim.NewCounter(eng)
+		r.nics[1].ExposeRegion(&Region{MatchBits: 0x10, Counter: recv})
+		eng.Go("driver", func(p *sim.Proc) {
+			// Restart node 1 without telling node 0: the next put is
+			// stamped with the dead incarnation's epoch.
+			r.nics[1].Crash()
+			p.Sleep(sim.Microsecond)
+			r.nics[1].Restart()
+			r.nics[1].ExposeRegion(&Region{MatchBits: 0x10, Counter: recv})
+			r.nics[0].PostCommand(p, &Command{Kind: OpPut, Target: 1, MatchBits: 0x10, Size: 64})
+		})
+		eng.Run()
+		au.Finish(eng.Now(), true)
+		return au, r.nics[1].Stats(), recv.Value()
+	}
+
+	au, st, recv := run(true)
+	vs, _ := au.Violations()
+	if len(vs) == 0 {
+		t.Fatal("seeded stale delivery produced no violation")
+	}
+	for _, v := range vs {
+		if v.Check != audit.CheckStaleDelivery {
+			t.Fatalf("violation check = %q, want %q (%v)", v.Check, audit.CheckStaleDelivery, v)
+		}
+	}
+	if recv == 0 {
+		t.Fatal("debug frame was not actually delivered to the wrong incarnation")
+	}
+	if st.StaleDstDrops != 0 {
+		t.Fatalf("debug run also fenced the frame: StaleDstDrops = %d", st.StaleDstDrops)
+	}
+
+	auHonest, stHonest, recvHonest := run(false)
+	if !auHonest.Clean() {
+		vs, _ := auHonest.Violations()
+		t.Fatalf("honest run violated: %v", vs)
+	}
+	if stHonest.StaleDstDrops == 0 {
+		t.Fatal("honest run never fenced the stale frame (vacuous twin)")
+	}
+	if recvHonest != 0 {
+		t.Fatal("honest run delivered a stale frame")
 	}
 }

@@ -16,6 +16,7 @@ package nic
 import (
 	"fmt"
 
+	"repro/internal/audit"
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/network"
@@ -252,6 +253,12 @@ type triggerEntry struct {
 	op        *Command
 	hasOp     bool
 	fired     bool
+	// regSeq identifies this registration instance for the invariant
+	// auditor's trigger-once check: re-registering a consumed entry is a
+	// NEW instance (fresh regSeq), so legitimate tag reuse (heartbeats)
+	// never trips the exactly-once predicate while a genuine double fire
+	// of one instance always does.
+	regSeq uint64
 	// overrides accumulates dynamic fields from trigger writes (§3.4).
 	overrides DynamicWrite
 }
@@ -402,6 +409,19 @@ type NIC struct {
 	// does not evaporate because the observer rebooted.
 	strikes map[network.NodeID]int64
 
+	// au is the always-on invariant auditor (nil-safe hooks); regSeqNext
+	// numbers trigger-list registration instances for its trigger-once
+	// check.
+	au         *audit.Auditor
+	regSeqNext uint64
+
+	// Seeded-violation debug knobs (config.FaultConfig.Debug*), cached by
+	// SetInjector; the bools record that the one-shot violation happened.
+	dbgDoubleFire   bool
+	dbgStaleDeliver bool
+	dblFired        bool
+	staleDelivered  bool
+
 	stats Stats
 }
 
@@ -520,7 +540,22 @@ func (n *NIC) SetIOBusLatency(d sim.Time) { n.ioBusLatency = d }
 
 // SetInjector installs the fault injector for NIC-local faults (command
 // stalls, trigger-write loss/delay). Nil keeps the NIC fault-free.
-func (n *NIC) SetInjector(in *fault.Injector) { n.inj = in }
+func (n *NIC) SetInjector(in *fault.Injector) {
+	n.inj = in
+	cfg := in.Config()
+	n.dbgDoubleFire = cfg.DebugDoubleFire
+	n.dbgStaleDeliver = cfg.DebugStaleDeliver
+}
+
+// SetAuditor installs the invariant auditor. Nil (the default) keeps every
+// hook a no-op.
+func (n *NIC) SetAuditor(a *audit.Auditor) { n.au = a }
+
+// nextRegSeq numbers a new trigger-list registration instance.
+func (n *NIC) nextRegSeq() uint64 {
+	n.regSeqNext++
+	return n.regSeqNext
+}
 
 // OnPeerDead registers a callback invoked when the reliability layer gives
 // up on a peer (retry budget exhausted). No-op without reliability.
@@ -668,7 +703,10 @@ func (n *NIC) RegisterTriggered(p *sim.Proc, tag uint64, threshold int64, op *Co
 			return fmt.Errorf("nic: tag %d: %w", tag, ErrTagBusy)
 		}
 		if e.fired {
-			// Entry was consumed; treat as fresh registration reusing the slot.
+			// Entry was consumed; treat as fresh registration reusing the
+			// slot — a new instance as far as the trigger-once audit goes.
+			n.au.TriggerRetired(int(n.id), e.regSeq)
+			e.regSeq = n.nextRegSeq()
 			e.counter, e.fired = 0, false
 			e.overrides = DynamicWrite{}
 		}
@@ -683,7 +721,7 @@ func (n *NIC) RegisterTriggered(p *sim.Proc, tag uint64, threshold int64, op *Co
 		n.stats.RegistrationRejects++
 		return fmt.Errorf("nic: %w (%d active entries)", ErrTriggerListFull, n.capTriggers())
 	}
-	n.entries = append(n.entries, &triggerEntry{tag: tag, threshold: threshold, op: op, hasOp: true})
+	n.entries = append(n.entries, &triggerEntry{tag: tag, threshold: threshold, op: op, hasOp: true, regSeq: n.nextRegSeq()})
 	n.noteTriggerWater()
 	return nil
 }
@@ -708,6 +746,7 @@ func (n *NIC) CancelTriggered(p *sim.Proc, lo, hi uint64) int {
 			if !e.fired {
 				canceled++
 			}
+			n.au.TriggerRetired(int(n.id), e.regSeq)
 			continue
 		}
 		kept = append(kept, e)
@@ -772,7 +811,7 @@ func (n *NIC) runTriggers(p *sim.Proc) {
 				n.stats.DroppedTriggers++
 				continue
 			}
-			e = &triggerEntry{tag: w.Tag, counter: 1}
+			e = &triggerEntry{tag: w.Tag, counter: 1, regSeq: n.nextRegSeq()}
 			n.entries = append(n.entries, e)
 			n.stats.PlaceholdersMade++
 			n.noteTriggerWater()
@@ -806,6 +845,7 @@ func (e *triggerEntry) mergeOverrides(w DynamicWrite) {
 func (n *NIC) fire(e *triggerEntry) {
 	e.fired = true
 	n.stats.TriggerFires++
+	n.au.TriggerFired(n.eng.Now(), int(n.id), e.regSeq, int64(e.tag))
 	op := e.op
 	if e.overrides.Fields() > 0 {
 		dyn := *op // the NIC patches a copy of the staged descriptor
@@ -822,6 +862,15 @@ func (n *NIC) fire(e *triggerEntry) {
 		op = &dyn
 	}
 	n.enqueueCmd(op)
+	if n.dbgDoubleFire && n.inc > 1 && !n.dblFired {
+		// Seeded violation (DebugDoubleFire): the first fire of the
+		// restarted incarnation launches its operation twice. The auditor's
+		// trigger-once check must flag it.
+		n.dblFired = true
+		n.stats.TriggerFires++
+		n.au.TriggerFired(n.eng.Now(), int(n.id), e.regSeq, int64(e.tag))
+		n.enqueueCmd(op)
+	}
 }
 
 // runCommands executes staged commands: parse, DMA the payload, inject
@@ -1000,6 +1049,17 @@ func (n *NIC) deliver(m *network.Message) {
 		return
 	}
 	if de != n.inc {
+		if n.dbgStaleDeliver && !n.staleDelivered {
+			if pl, ok := m.Payload.(*wireMeta); ok && !m.Corrupted && !m.SilentCorrupt {
+				// Seeded violation (DebugStaleDeliver): dispatch one frame
+				// addressed to this NIC's previous incarnation instead of
+				// fencing it. The auditor's no-stale-delivery check must
+				// flag it.
+				n.staleDelivered = true
+				n.dispatch(m, pl)
+				return
+			}
+		}
 		n.stats.StaleDstDrops++
 		return
 	}
@@ -1047,6 +1107,19 @@ func (n *NIC) deliver(m *network.Message) {
 
 // dispatch hands a verified inbound operation to the matching service path.
 func (n *NIC) dispatch(m *network.Message, meta *wireMeta) {
+	if n.au != nil {
+		// No-stale-delivery audit: every frame crossing into protocol
+		// handlers must be from the sender's live incarnation and addressed
+		// to this one. Zero epochs (non-NIC test harnesses) read as 1.
+		se, de := m.SrcEpoch, m.DstEpoch
+		if se == 0 {
+			se = 1
+		}
+		if de == 0 {
+			de = 1
+		}
+		n.au.Dispatched(n.eng.Now(), int(n.id), int(m.Src), se, n.peerEpochOf(m.Src), de, n.inc)
+	}
 	if cp, ok := meta.data.(Corruptible); ok && cp.IsCorrupt() {
 		// Simulator omniscience: a corrupt payload is crossing into the
 		// application unflagged — either no e2e checksum was carried or a

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/audit"
 	"repro/internal/config"
 	"repro/internal/cpu"
 	"repro/internal/fault"
@@ -131,10 +132,20 @@ type Cluster struct {
 	// Plan is the armed crash-stop/restart schedule; nil when cfg.Crash is
 	// zero-valued (no crashes).
 	Plan *fault.CrashPlan
+	// Scenario is the composed correlated-failure scenario that was expanded
+	// into the fault plans above; nil when cfg.Scenario is zero-valued.
+	Scenario *fault.Scenario
+	// Audit is the always-on invariant auditor threaded through the NIC,
+	// fabric, health, and collective hot paths. Never nil.
+	Audit *audit.Auditor
 
 	// collectiveGen counts recover-family collective runs launched on this
 	// cluster (see NextCollectiveGen).
 	collectiveGen int64
+	// quiescent records whether the last drive drained the event queues
+	// completely (Run, not RunUntil) — the precondition for the auditor's
+	// message-conservation reconciliation.
+	quiescent bool
 }
 
 // NextCollectiveGen returns the next collective run generation, starting
@@ -171,6 +182,14 @@ func NewCluster(cfg config.SystemConfig, n int) *Cluster {
 	}
 	if n < 1 {
 		panic("node: cluster needs at least one node")
+	}
+	// Compose the correlated-failure scenario (if any) into the crash,
+	// partition, degrade, and slow schedules BEFORE any plan or engine-layout
+	// decision reads the config: an expanded crash schedule must flip
+	// serialRequired exactly as a hand-written one would.
+	scen, serr := fault.ApplyScenario(&cfg, n)
+	if serr != nil {
+		panic(fmt.Sprintf("node: %v", serr))
 	}
 	// Engine layout: cfg.Shards == 0 is the serial seed-exact path (one
 	// engine, no lanes). cfg.Shards ≥ 1 assigns every node a lane and
@@ -228,7 +247,9 @@ func NewCluster(cfg config.SystemConfig, n int) *Cluster {
 		inj.Shard(n)
 	}
 	fab.SetInjector(inj)
-	c := &Cluster{Eng: eng, Engines: engines, Sharded: sharded, Cfg: cfg, Fabric: fab, Injector: inj}
+	au := audit.New(n)
+	fab.SetAuditor(au)
+	c := &Cluster{Eng: eng, Engines: engines, Sharded: sharded, Cfg: cfg, Fabric: fab, Injector: inj, Scenario: scen, Audit: au}
 	for i := 0; i < n; i++ {
 		e := engOf(i)
 		// Bracket construction with the node's lane: the NIC's service
@@ -239,6 +260,7 @@ func NewCluster(cfg config.SystemConfig, n int) *Cluster {
 		gpuMem := memsys.FromGPU(cfg.GPU, cfg.CPU)
 		nc := nic.New(e, cfg.NIC, network.NodeID(i), fab)
 		nc.SetInjector(inj)
+		nc.SetAuditor(au)
 		if cfg.DiscreteGPU {
 			nc.SetIOBusLatency(cfg.IOBusLatency)
 		}
@@ -315,18 +337,22 @@ func (c *Cluster) Size() int { return len(c.Nodes) }
 func (c *Cluster) Run() {
 	if c.Sharded != nil {
 		c.Sharded.Run()
-		return
+	} else {
+		c.Eng.Run()
 	}
-	c.Eng.Run()
+	c.quiescent = true
 }
 
-// RunUntil drives the simulation to the deadline.
+// RunUntil drives the simulation to the deadline. Messages legitimately
+// stranded in flight at the cutoff exempt the run from the auditor's full
+// conservation reconciliation (over-delivery is still checked).
 func (c *Cluster) RunUntil(t sim.Time) {
 	if c.Sharded != nil {
 		c.Sharded.RunUntil(t)
-		return
+	} else {
+		c.Eng.RunUntil(t)
 	}
-	c.Eng.RunUntil(t)
+	c.quiescent = false
 }
 
 // GoRank spawns the driver process for one rank's software, pinned to the
@@ -451,6 +477,9 @@ func (c *Cluster) StatsReport() string {
 				float64(ns.MaxSlowdownSeen)/100)
 		}
 	}
+	if c.Scenario != nil {
+		fmt.Fprintf(&b, "%s\n", c.Scenario.Summary())
+	}
 	if c.Plan != nil {
 		fmt.Fprintf(&b, "%s\n", c.Plan.Summary())
 	}
@@ -473,5 +502,7 @@ func (c *Cluster) StatsReport() string {
 				ws.GPUDilations, ws.CmdStretched, ws.CmdStalls, ws.DMAStretched)
 		}
 	}
+	c.Audit.Finish(c.Eng.Now(), c.quiescent)
+	fmt.Fprintf(&b, "%s\n", c.Audit.Report())
 	return b.String()
 }
