@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check chaos chaos-scenarios chaos-search build test vet lint bench bench-smoke bench-shards fuzz-smoke
+.PHONY: check chaos chaos-scenarios chaos-search chaos-topology build test vet lint bench bench-smoke bench-shards fuzz-smoke
 
 # Pinned so CI runs reproduce: bump deliberately, not via a floating tag.
 STATICCHECK_VERSION ?= 2024.1.1
@@ -41,6 +41,17 @@ chaos:
 ## seeded double-fire / stale-delivery auditor regressions.
 chaos-scenarios:
 	$(GO) test -race -v -count=1 -run 'TestScenario|TestApplyScenario|TestAuditor|TestChaosScenario|TestChaosSearch|TestSampledScenarios' ./internal/collective/ ./internal/fault/ ./internal/config/ ./internal/nic/ ./internal/bench/
+
+## chaos-topology: the fat-tree failure-domain matrix under the race
+## detector at full scale (CHAOS_TOPOLOGY_FULL=1: every backend x chaos
+## seeds 1-5 x {spine-kill, pod-cut, incast-storm} at 64 nodes) plus the
+## fabric unit suite: spine/trunk kill rerouting, named Unrouteable
+## diagnoses, credit/ECN bounds, hop conservation under kills, shard-count
+## invariance, and the zero-config bit-for-bit guarantee. The 256-node
+## pod-scale smoke runs without -race (wall-clock, not correctness).
+chaos-topology:
+	CHAOS_TOPOLOGY_FULL=1 $(GO) test -race -v -count=1 -timeout 60m -run 'TestFatTree|TestTopologyChaosMatrix|TestLookahead' ./internal/collective/ ./internal/network/
+	CHAOS_TOPOLOGY_FULL=1 $(GO) test -v -count=1 -timeout 30m -run 'TestTopologyChaos256Smoke' ./internal/collective/
 
 ## chaos-search: a budgeted shrinking chaos search per seeded protocol bug —
 ## each must be found, minimized, and emitted as a replayable -scenario-*

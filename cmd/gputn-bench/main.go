@@ -242,6 +242,20 @@ func run() int {
 	capCmdQ := flag.Int("cap-cmdq", 0, "host command-queue depth; full queues backpressure posters (0 = unbounded)")
 	capTrigFIFO := flag.Int("cap-trigger-fifo", 0, "trigger FIFO depth; overflow drops and counts (0 = unbounded)")
 	capEQ := flag.Int("cap-eq", 0, "default event-queue capacity; overflow drops PTL_EQ_DROPPED-style (0 = unbounded)")
+
+	topo := flag.String("topo", "", "interconnect topology: star|tree|fattree (empty = the Table 2 star)")
+	topoLeaf := flag.Int("topo-leaf", 0, "nodes per leaf switch for -topo tree/fattree (0 = default)")
+	topoPodLeaves := flag.Int("topo-podleaves", 0, "fat-tree leaf switches per pod (0 = 2)")
+	topoSpines := flag.Int("topo-spines", 0, "fat-tree spine switches per pod (0 = 2)")
+	topoCores := flag.Int("topo-cores", 0, "fat-tree core switches (0 = spines)")
+	topoCredits := flag.Int("topo-credits", 0, "fat-tree per-port queue credits; senders backpressure when exhausted (0 = unbounded)")
+	topoECN := flag.Int("topo-ecn", 0, "fat-tree ECN marking threshold in queued frames (0 = never mark)")
+	switchTier := flag.String("switch-tier", "", "deterministic switch-kill tier: leaf|spine|core|trunk (needs -switch-at-us)")
+	switchIndex := flag.Int("switch-index", 0, "switch index within -switch-tier")
+	switchA := flag.String("switch-a", "", `trunk endpoint A ref for -switch-tier trunk, e.g. "leaf0"`)
+	switchB := flag.String("switch-b", "", `trunk endpoint B ref for -switch-tier trunk, e.g. "spine1"`)
+	switchAtUS := flag.Float64("switch-at-us", 0, "switch-kill time (us); 0 disables the switch schedule")
+	switchRestoreUS := flag.Float64("switch-restore-us", 0, "restore delay after the kill (us); 0 = never restored")
 	flag.Parse()
 
 	if *list {
@@ -404,6 +418,30 @@ func run() int {
 	if *capTrigFIFO > 0 {
 		cfg.NIC.TriggerFIFODepth = *capTrigFIFO
 	}
+	if *topo != "" {
+		cfg.Network.Topology = *topo
+		if *topo == config.TopologyTree && *topoLeaf > 0 {
+			cfg.Network.TreeLeafSize = *topoLeaf
+		}
+	}
+	cfg.Network.FatTree = config.TopologyConfig{
+		LeafSize:     *topoLeaf,
+		PodLeaves:    *topoPodLeaves,
+		Spines:       *topoSpines,
+		Cores:        *topoCores,
+		QueueCredits: *topoCredits,
+		ECNThreshold: *topoECN,
+	}
+	if *switchAtUS > 0 {
+		cfg.Faults.Switch = config.SwitchConfig{Events: []config.SwitchEvent{{
+			Tier:         *switchTier,
+			Index:        *switchIndex,
+			A:            *switchA,
+			B:            *switchB,
+			At:           sim.Time(*switchAtUS * float64(sim.Microsecond)),
+			RestoreAfter: sim.Time(*switchRestoreUS * float64(sim.Microsecond)),
+		}}}
+	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "gputn-bench:", err)
 		return 2
@@ -421,6 +459,17 @@ func run() int {
 	}
 	fmt.Println(fault.NewInjector(cfg.Faults).Summary())
 	fmt.Println(fault.NewCrashPlan(cfg.Crash).Summary())
+	switch cfg.Network.Topology {
+	case config.TopologyFatTree:
+		ft := cfg.Network.FatTree.WithDefaults()
+		fmt.Printf("topology: fattree leaf=%d podleaves=%d spines=%d cores=%d credits=%d ecn=%d\n",
+			ft.LeafSize, ft.PodLeaves, ft.Spines, ft.Cores, ft.QueueCredits, ft.ECNThreshold)
+	case config.TopologyTree:
+		fmt.Printf("topology: tree leaf=%d\n", cfg.Network.TreeLeafSize)
+	}
+	if cfg.Faults.Switch.Enabled() {
+		fmt.Println(fault.NewSwitchPlan(cfg.Faults.Switch).Summary())
+	}
 	if cfg.Scenario.Enabled() {
 		fmt.Printf("scenario: seed=%d domains=%q events=%q\n", cfg.Scenario.Seed,
 			config.FormatScenarioDomains(cfg.Scenario.Domains), config.FormatScenarioEvents(cfg.Scenario.Events))

@@ -1,0 +1,106 @@
+// Switch failure domains on the fat-tree fabric: a 16-node GPU-TN ring
+// Allreduce runs on the three-tier leaf/spine/core topology while a
+// deterministic schedule kills pod-0's spine0 mid-collective and never
+// restores it. Every frame the dead switch held or receives is dropped;
+// deterministic ECMP failover moves the affected flows onto the surviving
+// spine, the reliability layer retransmits what was lost (retried paths
+// are re-picked, so retransmissions route around the corpse), and the
+// collective completes with the exact element-wise sum.
+//
+// The second act removes the redundancy: with BOTH pod-0 spines dead and
+// reliability off, cross-leaf traffic inside the pod has no surviving
+// path. The run does not hang — the watchdog drains and the diagnosis
+// names every unrouteable flow with the routing reason.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/backends"
+	"repro/internal/collective"
+	"repro/internal/config"
+	"repro/internal/network"
+	"repro/internal/node"
+	"repro/internal/sim"
+)
+
+func main() {
+	const nodesN = 16
+	const elems = 4096
+
+	data := make([][]float32, nodesN)
+	want := make([]float32, elems)
+	for r := range data {
+		data[r] = make([]float32, elems)
+		for i := range data[r] {
+			data[r][i] = float32((r*7 + i) % 23)
+			want[i] += data[r][i]
+		}
+	}
+
+	// --- Act 1: spine kill with a surviving sibling -> reroute + exact sum.
+	cfg := config.Default()
+	cfg.Network.Topology = config.TopologyFatTree
+	cfg.NIC.Reliability = config.DefaultReliability()
+	cfg.NIC.MaxTriggerEntries = 2*nodesN + 16
+	cfg.Faults.Switch = config.SwitchConfig{Events: []config.SwitchEvent{
+		{Tier: config.SwitchTierSpine, Index: 0, At: 10 * sim.Microsecond},
+	}}
+
+	cluster := node.NewCluster(cfg, nodesN)
+	ft := cluster.Fabric.(*network.FatTree)
+	fmt.Printf("fat-tree: %d leaves, %d pods, %d spines, %d cores (%d switches)\n",
+		ft.Leaves(), ft.Pods(), ft.Spines(), ft.Cores(), ft.SwitchCount())
+	fmt.Println(cluster.SwitchPlan.Summary())
+
+	res, err := collective.Run(cluster, collective.Config{
+		Kind:       backends.GPUTN,
+		TotalBytes: elems * 4,
+		Data:       data,
+	})
+	if err != nil {
+		log.Fatalf("allreduce with spine0 dead: %v\n%v", err, cluster.Diagnose())
+	}
+	for r := 0; r < nodesN; r++ {
+		for i := range want {
+			if res.Output[r][i] != want[i] {
+				log.Fatalf("rank %d elem %d: got %v want %v", r, i, res.Output[r][i], want[i])
+			}
+		}
+	}
+	var retrans int64
+	for _, nd := range cluster.Nodes {
+		retrans += nd.NIC.Stats().Retransmits
+	}
+	fmt.Printf("completed in %v despite the kill: exact sum on all %d ranks\n",
+		res.Duration, nodesN)
+	fmt.Printf("fabric: switchDrops=%d retransmits=%d unrouteable=%d\n\n",
+		ft.SwitchDrops(), retrans, ft.Unrouteable())
+
+	// --- Act 2: kill the whole redundancy -> a named diagnosis, never a hang.
+	cfg2 := config.Default()
+	cfg2.Network.Topology = config.TopologyFatTree
+	cfg2.NIC.MaxTriggerEntries = 2*nodesN + 16
+	cfg2.Faults.Switch = config.SwitchConfig{Events: []config.SwitchEvent{
+		{Tier: config.SwitchTierSpine, Index: 0, At: 2 * sim.Microsecond},
+		{Tier: config.SwitchTierSpine, Index: 1, At: 2 * sim.Microsecond},
+	}}
+	cluster2 := node.NewCluster(cfg2, nodesN)
+	ft2 := cluster2.Fabric.(*network.FatTree)
+	fmt.Println(cluster2.SwitchPlan.Summary())
+	_, err = collective.Run(cluster2, collective.Config{
+		Kind:       backends.GPUTN,
+		TotalBytes: elems * 4,
+		Data:       data,
+	})
+	if err == nil {
+		log.Fatal("allreduce over a severed pod somehow completed")
+	}
+	fmt.Printf("with both pod-0 spines dead the run fails fast (unrouteable=%d):\n%v\n",
+		ft2.Unrouteable(), err)
+
+	fmt.Println("\nKilling any single switch on a redundant fat-tree is survivable:")
+	fmt.Println("ECMP re-picks paths per retransmission. Killing the last path is")
+	fmt.Println("diagnosed by name — bounded failure, never a silent hang.")
+}

@@ -55,12 +55,13 @@ func ProcessViolations() int64 { return processViolations.Load() }
 
 // Check names, as they appear in violation reports.
 const (
-	CheckTriggerOnce   = "trigger-once"
-	CheckEpochMonotone = "epoch-monotone"
-	CheckStaleDelivery = "stale-delivery"
-	CheckConservation  = "conservation"
-	CheckMajority      = "single-majority"
-	CheckReduction     = "exact-reduction"
+	CheckTriggerOnce     = "trigger-once"
+	CheckEpochMonotone   = "epoch-monotone"
+	CheckStaleDelivery   = "stale-delivery"
+	CheckConservation    = "conservation"
+	CheckHopConservation = "hop-conservation"
+	CheckMajority        = "single-majority"
+	CheckReduction       = "exact-reduction"
 )
 
 // maxViolations bounds the retained violation list; further violations
@@ -100,6 +101,11 @@ type Auditor struct {
 	// by the src engine, delivers cells by the dst engine — disjoint
 	// ownership, no synchronization needed.
 	sends, delivers, lost [][]int64
+
+	// Per-switch hop ledgers (RegisterHops): frames entering, leaving,
+	// and dropped-with-reason at each switch of a multi-hop fabric.
+	// Single-engine contexts only (the fat-tree forces serialRequired).
+	hopIn, hopOut, hopDropped []int64
 
 	// Global state, touched only from serial contexts (health membership
 	// and recoverable collectives force the serial engine) or Finish.
@@ -260,6 +266,46 @@ func (a *Auditor) MessageLost(src, dst int) {
 	a.lost[src][dst]++
 }
 
+// --- Per-hop (switch) conservation hooks ----------------------------------
+
+// RegisterHops sizes the per-switch hop ledgers for a k-switch fabric.
+// The fabric calls HopIn when a frame enters a switch's port, HopOut when
+// it leaves on the wire, and HopDropped when the switch drops it (dead
+// port, killed mid-queue); at a quiescent Finish every switch must
+// balance: in == out + dropped. Nil-safe like every hook.
+func (a *Auditor) RegisterHops(k int) {
+	if a == nil || k <= 0 {
+		return
+	}
+	a.hopIn = make([]int64, k)
+	a.hopOut = make([]int64, k)
+	a.hopDropped = make([]int64, k)
+}
+
+// HopIn counts one frame entering switch sw.
+func (a *Auditor) HopIn(sw int) {
+	if a == nil || a.hopIn == nil {
+		return
+	}
+	a.hopIn[sw]++
+}
+
+// HopOut counts one frame leaving switch sw on the wire.
+func (a *Auditor) HopOut(sw int) {
+	if a == nil || a.hopOut == nil {
+		return
+	}
+	a.hopOut[sw]++
+}
+
+// HopDropped counts one frame switch sw dropped with reason.
+func (a *Auditor) HopDropped(sw int) {
+	if a == nil || a.hopDropped == nil {
+		return
+	}
+	a.hopDropped[sw]++
+}
+
 // --- Membership hooks -----------------------------------------------------
 
 // ViewAdopted records the membership adopting view viewID with the given
@@ -340,6 +386,17 @@ func (a *Auditor) Finish(now sim.Time, quiescent bool) {
 				a.globalViolation(now, CheckConservation,
 					"pair %d->%d: %d sent but only %d delivered + %d lost after drain", s, d, sent, got, lost)
 			}
+		}
+	}
+	for sw := range a.hopIn {
+		a.globalChecks++
+		in, out, dropped := a.hopIn[sw], a.hopOut[sw], a.hopDropped[sw]
+		if out+dropped > in {
+			a.globalViolation(now, CheckHopConservation,
+				"switch %d: %d forwarded + %d dropped exceeds %d entered", sw, out, dropped, in)
+		} else if quiescent && out+dropped < in {
+			a.globalViolation(now, CheckHopConservation,
+				"switch %d: %d entered but only %d forwarded + %d dropped after drain", sw, in, out, dropped)
 		}
 	}
 }

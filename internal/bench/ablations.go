@@ -422,6 +422,10 @@ func RenderAblations(cfg config.SystemConfig) string {
 	starT, treeT := AblationTopology(cfg, 16, 4)
 	fmt.Fprintf(&b, "topology (8MB allreduce, 16 nodes): star=%.1fus tree(4/leaf)=%.1fus\n",
 		starT.Us(), treeT.Us())
+
+	inStar, inFT, inCtl := AblationFatTreeIncast(cfg, 16, 64<<10)
+	fmt.Fprintf(&b, "fat-tree incast (15->1, 64KB each): star=%.1fus fattree=%.1fus credits+ecn=%.1fus\n",
+		inStar.Us(), inFT.Us(), inCtl.Us())
 	return b.String()
 }
 
@@ -448,6 +452,54 @@ func AblationTopology(cfg config.SystemConfig, nodes, leafSize int) (star, tree 
 		return run(t)
 	})
 	return both[0], both[1]
+}
+
+// AblationFatTreeIncast measures the N-1 -> 1 incast that motivates
+// per-hop flow control: every node fires one `size`-byte put at node 0
+// simultaneously, converging on node 0's single ingress. Returns the
+// completion time on the star, on the unbounded fat-tree (deep switch
+// queues), and on the fat-tree with QueueCredits + ECN feeding the
+// adaptive RTO (bounded queueing; senders pace instead of piling up).
+func AblationFatTreeIncast(cfg config.SystemConfig, nodes int, size int64) (star, fattree, controlled sim.Time) {
+	// Micro-rig: ambient driver procs wait directly on the sink's counting
+	// event — remote-state coupling outside the fabric, so it measures on
+	// the serial engine regardless of -shards (output stays shard-count
+	// invariant; the fat-tree is serial-only anyway).
+	cfg.Shards = 0
+	run := func(c config.SystemConfig) sim.Time {
+		cl := node.NewCluster(c, nodes)
+		recvCT := cl.Nodes[0].Ptl.CTAlloc()
+		cl.Nodes[0].Ptl.MEAppend(&portals.ME{MatchBits: microMatchBits, Length: size, CT: recvCT})
+		for i := 1; i < nodes; i++ {
+			nd := cl.Nodes[i]
+			nd.Ptl.PutAsync(nd.Ptl.MDBind("src", size, nil, nil), size, 0, microMatchBits)
+		}
+		var done sim.Time
+		cl.Eng.Go("sink", func(p *sim.Proc) {
+			recvCT.Wait(p, int64(nodes-1))
+			done = p.Now()
+		})
+		cl.Run()
+		return done
+	}
+	ft := cfg
+	ft.Network.Topology = config.TopologyFatTree
+	ctl := ft
+	ctl.Network.FatTree.QueueCredits = 8
+	ctl.Network.FatTree.ECNThreshold = 4
+	ctl.NIC.Reliability = config.DefaultReliability()
+	ctl.NIC.Reliability.AdaptiveRTO = true
+	all := parallelMap(3, func(i int) sim.Time {
+		switch i {
+		case 0:
+			return run(cfg)
+		case 1:
+			return run(ft)
+		default:
+			return run(ctl)
+		}
+	})
+	return all[0], all[1], all[2]
 }
 
 // AblationJacobiOverlap compares the plain GPU-TN Jacobi against the

@@ -40,6 +40,7 @@ func TestEveryExperimentAuditClean(t *testing.T) {
 		{"sdc", func(t *testing.T) { RenderSDC(cfg) }},
 		{"stragglers", func(t *testing.T) { RenderStragglers(cfg) }},
 		{"chaossearch", func(t *testing.T) { RenderChaosSearch(cfg, ChaosConfig{Seed: 42, Trials: 1}) }},
+		{"fattree-incast", func(t *testing.T) { AblationFatTreeIncast(cfg, 16, 64<<10) }},
 		{"perf", func(t *testing.T) {
 			if _, err := RunPerf(cfg, "smoke"); err != nil {
 				t.Fatal(err)

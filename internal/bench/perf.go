@@ -99,11 +99,12 @@ func perfSuite(cfg config.SystemConfig, preset string) ([]perfExp, error) {
 	resources := perfExp{"resources", cfg.Shards, func() { AblationResourcePressure(cfg, []float64{1.0, 0.5}) }}
 	sdc := perfExp{"sdc", cfg.Shards, func() { AblationSDC(cfg, []float64{0.02, 0.10}) }}
 	stragglers := perfExp{"stragglers", cfg.Shards, func() { AblationStraggler(cfg, []float64{10}) }}
+	incast := perfExp{"fattree.incast", cfg.Shards, func() { AblationFatTreeIncast(cfg, 16, 64<<10) }}
 	switch preset {
 	case "full":
-		return []perfExp{core, fig1, fig8, fig9, fig10, fig10s4, fig11, ablations, faults, resources, sdc, stragglers}, nil
+		return []perfExp{core, fig1, fig8, fig9, fig10, fig10s4, fig11, ablations, faults, resources, sdc, stragglers, incast}, nil
 	case "smoke":
-		return []perfExp{core, fig1, fig8, fig10s4, faults, resources}, nil
+		return []perfExp{core, fig1, fig8, fig10s4, faults, resources, incast}, nil
 	default:
 		return nil, fmt.Errorf("bench: unknown perf preset %q (want full or smoke)", preset)
 	}

@@ -148,6 +148,9 @@ type FaultConfig struct {
 	// Slow schedules deterministic fail-slow (straggler) windows; the zero
 	// value schedules nothing and is pay-for-use.
 	Slow SlowConfig
+	// Switch schedules deterministic switch/trunk failures on the fat-tree
+	// fabric; the zero value schedules nothing and is pay-for-use.
+	Switch SwitchConfig
 	// DebugDoubleFire seeds a known invariant violation for auditor
 	// regression tests and chaos search: the first trigger-list fire on a
 	// restarted incarnation launches its staged operation twice. Requires
@@ -168,7 +171,8 @@ func (f FaultConfig) Enabled() bool {
 		(f.CmdStallProb > 0 && f.CmdStallTime > 0) ||
 		f.TrigDropProb > 0 || f.TrigDelayJitter > 0 ||
 		f.Partition.Enabled() || f.Degrade.Enabled() || f.SDC.Enabled() ||
-		f.Slow.Enabled() || f.DebugDoubleFire || f.DebugStaleDeliver
+		f.Slow.Enabled() || f.Switch.Enabled() ||
+		f.DebugDoubleFire || f.DebugStaleDeliver
 }
 
 // CompoundPerPacket converts a per-packet probability (loss, corruption)
@@ -477,6 +481,97 @@ func (c CrashConfig) validate() error {
 	return nil
 }
 
+// Switch tier names for SwitchEvent.Tier.
+const (
+	// SwitchTierLeaf names a leaf (top-of-rack) switch.
+	SwitchTierLeaf = "leaf"
+	// SwitchTierSpine names a pod-local spine switch (global index).
+	SwitchTierSpine = "spine"
+	// SwitchTierCore names a core switch.
+	SwitchTierCore = "core"
+	// SwitchTierTrunk names one inter-switch link, identified by its two
+	// endpoint refs (A, B) like "leaf0"/"spine1".
+	SwitchTierTrunk = "trunk"
+)
+
+// ParseSwitchRef splits a switch reference like "spine2" into its tier
+// name and index. Only leaf/spine/core refs are valid (a trunk is a pair
+// of refs, not a ref itself).
+func ParseSwitchRef(ref string) (tier string, index int, err error) {
+	for _, t := range []string{SwitchTierLeaf, SwitchTierSpine, SwitchTierCore} {
+		if len(ref) > len(t) && ref[:len(t)] == t {
+			idx := 0
+			for _, c := range ref[len(t):] {
+				if c < '0' || c > '9' {
+					return "", 0, fmt.Errorf("config: bad switch ref %q", ref)
+				}
+				idx = idx*10 + int(c-'0')
+			}
+			return t, idx, nil
+		}
+	}
+	return "", 0, fmt.Errorf("config: bad switch ref %q (want leaf<k>, spine<k>, or core<k>)", ref)
+}
+
+// SwitchEvent schedules one deterministic switch-domain failure on the
+// fat-tree fabric: at At the named switch (Tier leaf/spine/core, Index)
+// or trunk (Tier trunk, endpoints A and B) goes dark — every frame queued
+// in or arriving at its ports is dropped with reason "switchdown" — and,
+// when RestoreAfter > 0, comes back empty at At+RestoreAfter. Routing
+// fails over deterministically to surviving paths; when none remain the
+// affected messages are counted Unrouteable and surface in the watchdog
+// diagnosis instead of hanging.
+type SwitchEvent struct {
+	// Tier is SwitchTierLeaf/Spine/Core (with Index) or SwitchTierTrunk
+	// (with A and B endpoint refs).
+	Tier  string
+	Index int
+	// A and B name the trunk endpoints, e.g. "leaf0" and "spine1"; used
+	// only when Tier is SwitchTierTrunk. Order is irrelevant — both
+	// directions of the link die.
+	A, B string
+	At   sim.Time
+	// RestoreAfter is the outage duration; 0 = never restored.
+	RestoreAfter sim.Time
+}
+
+// SwitchConfig holds the deterministic switch/trunk failure schedule. The
+// zero value schedules nothing and costs nothing: no RNG draws, no
+// events, a bit-for-bit identical trace (tested).
+type SwitchConfig struct {
+	Events []SwitchEvent
+}
+
+// Enabled reports whether any switch failure is scheduled.
+func (s SwitchConfig) Enabled() bool { return len(s.Events) > 0 }
+
+func (s SwitchConfig) validate() error {
+	for i, ev := range s.Events {
+		switch ev.Tier {
+		case SwitchTierLeaf, SwitchTierSpine, SwitchTierCore:
+			if ev.Index < 0 {
+				return fmt.Errorf("config: Faults.Switch.Events[%d].Index = %d", i, ev.Index)
+			}
+		case SwitchTierTrunk:
+			if _, _, err := ParseSwitchRef(ev.A); err != nil {
+				return fmt.Errorf("config: Faults.Switch.Events[%d].A: %v", i, err)
+			}
+			if _, _, err := ParseSwitchRef(ev.B); err != nil {
+				return fmt.Errorf("config: Faults.Switch.Events[%d].B: %v", i, err)
+			}
+		default:
+			return fmt.Errorf("config: Faults.Switch.Events[%d].Tier = %q", i, ev.Tier)
+		}
+		if ev.At <= 0 {
+			return fmt.Errorf("config: Faults.Switch.Events[%d].At = %v (must be > 0)", i, ev.At)
+		}
+		if ev.RestoreAfter < 0 {
+			return fmt.Errorf("config: Faults.Switch.Events[%d].RestoreAfter = %v", i, ev.RestoreAfter)
+		}
+	}
+	return nil
+}
+
 // HealthConfig configures heartbeat-based membership (internal/health):
 // each node's CPU pre-registers triggered-op heartbeat Puts that a GPU
 // counter tick fires (the paper's own mechanism), and silence beyond
@@ -668,6 +763,9 @@ const (
 	TopologyStar = "star"
 	// TopologyTree is the two-level tree extension with shared uplinks.
 	TopologyTree = "tree"
+	// TopologyFatTree is the three-tier leaf/spine/core fat-tree with
+	// per-hop flow control and switch failure domains.
+	TopologyFatTree = "fattree"
 )
 
 // NetworkConfig mirrors the "Network Configuration" block of Table 2.
@@ -677,10 +775,116 @@ type NetworkConfig struct {
 	BandwidthGbps float64  // 100 Gb/s
 	MTUBytes      int64    // packetization unit
 	// Topology selects the interconnect: TopologyStar (default, the
-	// paper's configuration) or TopologyTree.
+	// paper's configuration), TopologyTree, or TopologyFatTree.
 	Topology string
 	// TreeLeafSize is the nodes-per-leaf-switch of TopologyTree.
 	TreeLeafSize int
+	// FatTree shapes the TopologyFatTree fabric; the zero value takes the
+	// WithDefaults layout and is pay-for-use (ignored unless Topology is
+	// TopologyFatTree).
+	FatTree TopologyConfig
+}
+
+// TopologyConfig shapes the fat-tree fabric: nodes attach to leaf
+// switches, PodLeaves leaves plus Spines pod-local spine switches form a
+// pod, and Cores core switches join the pods. Routing is up/down ECMP:
+// same-leaf traffic turns at the leaf, intra-pod traffic at a pod spine,
+// cross-pod traffic at a core. The zero value is pay-for-use — with
+// Topology unset or TopologyStar it draws nothing and changes nothing
+// (tested bit-for-bit against the star seed trace).
+type TopologyConfig struct {
+	// LeafSize is the number of nodes per leaf switch. 0 = 4.
+	LeafSize int
+	// PodLeaves is the number of leaf switches per pod. 0 = 2.
+	PodLeaves int
+	// Spines is the number of spine switches per pod — the intra-pod ECMP
+	// width, and the pod's redundancy against a spine kill. 0 = 2.
+	Spines int
+	// Cores is the number of core switches joining the pods — the
+	// cross-pod ECMP width. 0 = Spines.
+	Cores int
+	// QueueCredits bounds each switch transmit port to that many frames
+	// queued-or-in-service; a sender hop blocks (backpressure, never drop)
+	// until a credit frees. 0 = unbounded, the seed behavior.
+	QueueCredits int
+	// ECNThreshold marks a frame's message when it enqueues on a port
+	// already holding that many frames; the receiving NIC echoes the mark
+	// in its ACK and the sender's adaptive RTO backs off. 0 = never mark.
+	ECNThreshold int
+}
+
+// WithDefaults returns the topology with zero fields replaced by the
+// default k=4-ish layout (4 nodes/leaf, 2 leaves/pod, 2 spines/pod,
+// cores = spines).
+func (t TopologyConfig) WithDefaults() TopologyConfig {
+	if t.LeafSize <= 0 {
+		t.LeafSize = 4
+	}
+	if t.PodLeaves <= 0 {
+		t.PodLeaves = 2
+	}
+	if t.Spines <= 0 {
+		t.Spines = 2
+	}
+	if t.Cores <= 0 {
+		t.Cores = t.Spines
+	}
+	return t
+}
+
+// Leaves returns the number of leaf switches needed for n nodes.
+func (t TopologyConfig) Leaves(n int) int {
+	t = t.WithDefaults()
+	return (n + t.LeafSize - 1) / t.LeafSize
+}
+
+// Pods returns the number of pods needed for n nodes.
+func (t TopologyConfig) Pods(n int) int {
+	t = t.WithDefaults()
+	return (t.Leaves(n) + t.PodLeaves - 1) / t.PodLeaves
+}
+
+// LeafOf returns the leaf switch index of a node.
+func (t TopologyConfig) LeafOf(node int) int {
+	return node / t.WithDefaults().LeafSize
+}
+
+// PodOf returns the pod index of a node.
+func (t TopologyConfig) PodOf(node int) int {
+	t = t.WithDefaults()
+	return t.LeafOf(node) / t.PodLeaves
+}
+
+// PodNodes returns the nodes of pod p among n total, in ascending order.
+func (t TopologyConfig) PodNodes(p, n int) []int {
+	t = t.WithDefaults()
+	per := t.LeafSize * t.PodLeaves
+	var nodes []int
+	for i := p * per; i < (p+1)*per && i < n; i++ {
+		nodes = append(nodes, i)
+	}
+	return nodes
+}
+
+func (t TopologyConfig) validate() error {
+	switch {
+	case t.LeafSize < 0:
+		return fmt.Errorf("config: Network.FatTree.LeafSize = %d", t.LeafSize)
+	case t.PodLeaves < 0:
+		return fmt.Errorf("config: Network.FatTree.PodLeaves = %d", t.PodLeaves)
+	case t.Spines < 0:
+		return fmt.Errorf("config: Network.FatTree.Spines = %d", t.Spines)
+	case t.Cores < 0:
+		return fmt.Errorf("config: Network.FatTree.Cores = %d", t.Cores)
+	case t.QueueCredits < 0:
+		return fmt.Errorf("config: Network.FatTree.QueueCredits = %d", t.QueueCredits)
+	case t.ECNThreshold < 0:
+		return fmt.Errorf("config: Network.FatTree.ECNThreshold = %d", t.ECNThreshold)
+	case t.QueueCredits > 0 && t.ECNThreshold > t.QueueCredits:
+		return fmt.Errorf("config: Network.FatTree.ECNThreshold = %d exceeds QueueCredits = %d",
+			t.ECNThreshold, t.QueueCredits)
+	}
+	return nil
 }
 
 // SystemConfig aggregates a full node + fabric configuration.
@@ -793,8 +997,11 @@ func (c *SystemConfig) Validate() error {
 		return fmt.Errorf("config: Network.MTUBytes = %d", c.Network.MTUBytes)
 	case c.Network.Topology == TopologyTree && c.Network.TreeLeafSize <= 0:
 		return fmt.Errorf("config: tree topology requires TreeLeafSize > 0")
-	case c.Network.Topology != "" && c.Network.Topology != TopologyStar && c.Network.Topology != TopologyTree:
+	case c.Network.Topology != "" && c.Network.Topology != TopologyStar &&
+		c.Network.Topology != TopologyTree && c.Network.Topology != TopologyFatTree:
 		return fmt.Errorf("config: unknown topology %q", c.Network.Topology)
+	case c.Faults.Switch.Enabled() && c.Network.Topology != TopologyFatTree:
+		return fmt.Errorf("config: Faults.Switch events require Network.Topology = %q", TopologyFatTree)
 	case c.NIC.MaxTriggerEntries <= 0:
 		return fmt.Errorf("config: NIC.MaxTriggerEntries = %d", c.NIC.MaxTriggerEntries)
 	case c.DiscreteGPU && c.IOBusLatency <= 0:
@@ -805,6 +1012,9 @@ func (c *SystemConfig) Validate() error {
 		return fmt.Errorf("config: Shards = %d", c.Shards)
 	case c.Shards > 0 && c.Network.LinkLatency+c.Network.SwitchLatency <= 0:
 		return fmt.Errorf("config: sharding requires a positive cross-node latency (LinkLatency+SwitchLatency)")
+	}
+	if err := c.Network.FatTree.validate(); err != nil {
+		return err
 	}
 	if err := c.NIC.Reliability.validate(); err != nil {
 		return err
@@ -896,6 +1106,9 @@ func (f FaultConfig) validate() error {
 		return err
 	}
 	if err := f.SDC.validate(); err != nil {
+		return err
+	}
+	if err := f.Switch.validate(); err != nil {
 		return err
 	}
 	return f.Slow.validate()

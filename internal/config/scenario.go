@@ -42,7 +42,34 @@ const (
 	// When Heal > 0 the cut heals at At+Heal and the restart storm lands
 	// jittered around the same instant.
 	ScenarioRackFail = "rackfail"
+	// ScenarioSwitchFail kills one fat-tree switch at At. Its Domain is a
+	// topology token — a switch ref like "spine1" (leaf<k>/spine<k>/
+	// core<k>) — not a defined node domain. Heal > 0 restores the switch
+	// at At+Heal. Requires Network.Topology = TopologyFatTree.
+	ScenarioSwitchFail = "switchfail"
+	// ScenarioPodFail is the pod-scale correlated compound on a fat-tree:
+	// at At the pod's leaf and spine switches all die AND the pod's nodes
+	// crash-stop (the pod lost power). Its Domain is the topology token
+	// "pod<k>". Heal > 0 restores the switches at At+Heal and lands the
+	// node restart storm jittered around the same instant.
+	ScenarioPodFail = "podfail"
 )
+
+// ParseScenarioPod parses the "pod<k>" topology token of a podfail event.
+func ParseScenarioPod(s string) (int, bool) {
+	rest, ok := strings.CutPrefix(s, "pod")
+	if !ok || rest == "" {
+		return 0, false
+	}
+	n := 0
+	for _, c := range rest {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
 
 // ScenarioEvent is one correlated event on one failure domain.
 type ScenarioEvent struct {
@@ -113,8 +140,21 @@ func (s ScenarioConfig) validate() error {
 		}
 	}
 	for i, ev := range s.Events {
-		if !names[ev.Domain] {
-			return fmt.Errorf("config: Scenario.Events[%d] targets undefined domain %q", i, ev.Domain)
+		switch ev.Kind {
+		case ScenarioSwitchFail:
+			// Topology token, not a node domain: validated by shape here,
+			// against the built fabric when the plan is armed.
+			if _, _, err := ParseSwitchRef(ev.Domain); err != nil {
+				return fmt.Errorf("config: Scenario.Events[%d]: switchfail targets a switch ref (leaf<k>/spine<k>/core<k>), got %q", i, ev.Domain)
+			}
+		case ScenarioPodFail:
+			if _, ok := ParseScenarioPod(ev.Domain); !ok {
+				return fmt.Errorf("config: Scenario.Events[%d]: podfail targets a pod token (pod<k>), got %q", i, ev.Domain)
+			}
+		default:
+			if !names[ev.Domain] {
+				return fmt.Errorf("config: Scenario.Events[%d] targets undefined domain %q", i, ev.Domain)
+			}
 		}
 		if ev.At <= 0 {
 			return fmt.Errorf("config: Scenario.Events[%d].At = %v (must be > 0)", i, ev.At)
@@ -123,9 +163,13 @@ func (s ScenarioConfig) validate() error {
 			return fmt.Errorf("config: Scenario.Events[%d] negative Heal/Jitter", i)
 		}
 		switch ev.Kind {
-		case ScenarioCrash, ScenarioRackFail:
+		case ScenarioCrash, ScenarioRackFail, ScenarioPodFail:
 			if ev.Jitter > 0 && ev.Heal == 0 {
 				return fmt.Errorf("config: Scenario.Events[%d]: Jitter without Heal (nothing restarts)", i)
+			}
+		case ScenarioSwitchFail:
+			if ev.Jitter > 0 {
+				return fmt.Errorf("config: Scenario.Events[%d]: switchfail takes no Jitter", i)
 			}
 		case ScenarioCut:
 			if ev.Jitter > 0 {

@@ -27,6 +27,10 @@ func scenarioFixture() ScenarioConfig {
 				Heal: 100 * sim.Microsecond, LatencyFactor: 10, LossProb: 0.05},
 			{Kind: ScenarioSlow, Domain: "rack1", At: 5 * sim.Microsecond,
 				Heal: 50 * sim.Microsecond, GPUFactor: 8, CmdFactor: 2, DMAFactor: 4},
+			{Kind: ScenarioSwitchFail, Domain: "spine1", At: 70 * sim.Microsecond,
+				Heal: 60 * sim.Microsecond},
+			{Kind: ScenarioPodFail, Domain: "pod0", At: 70 * sim.Microsecond,
+				Heal: 60 * sim.Microsecond, Jitter: 10 * sim.Microsecond},
 		},
 	}
 }
@@ -67,6 +71,10 @@ func TestScenarioValidateRejects(t *testing.T) {
 		}, "every factor off"},
 		{"unknown kind", func(s *ScenarioConfig) { s.Events[0].Kind = "meteor" }, "unknown kind"},
 		{"asym non-cut", func(s *ScenarioConfig) { s.Events[1].Asymmetric = true }, "cut only"},
+		{"switchfail bad ref", func(s *ScenarioConfig) { s.Events[5].Domain = "rack0" }, "switch ref"},
+		{"switchfail jitter", func(s *ScenarioConfig) { s.Events[5].Jitter = sim.Microsecond }, "no Jitter"},
+		{"podfail bad token", func(s *ScenarioConfig) { s.Events[6].Domain = "podX" }, "pod token"},
+		{"podfail jitter without heal", func(s *ScenarioConfig) { s.Events[6].Heal = 0 }, "Jitter without Heal"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -195,6 +203,8 @@ func FuzzScenarioRoundTrip(f *testing.F) {
 	f.Add("rackfail:rack0@70us,heal=60us,jitter=10us;gray:rack1@30us,heal=100us,lat=10,loss=0.05")
 	f.Add("crash:pair@1us,heal=1ps")
 	f.Add("cut:rack1@30us,heal=40us,asym;slow:rack1@5us,heal=50us,gpu=8,cmd=2,dma=4")
+	f.Add("switchfail:spine1@70us,heal=60us;podfail:pod0@70us,heal=60us,jitter=10us")
+	f.Add("switchfail:leaf0@5us;switchfail:core2@1ms,heal=2ms")
 	f.Fuzz(func(t *testing.T, text string) {
 		evs, err := ParseScenarioEvents(text)
 		if err != nil {

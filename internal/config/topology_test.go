@@ -1,0 +1,174 @@
+package config
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTopologyConfigDefaults(t *testing.T) {
+	var z TopologyConfig
+	d := z.WithDefaults()
+	if d.LeafSize != 4 || d.PodLeaves != 2 || d.Spines != 2 || d.Cores != 2 {
+		t.Errorf("WithDefaults() = %+v", d)
+	}
+	// Cores defaults to Spines, not to the fixed 2.
+	if got := (TopologyConfig{Spines: 5}).WithDefaults().Cores; got != 5 {
+		t.Errorf("Cores default = %d, want Spines (5)", got)
+	}
+	// Explicit fields survive.
+	c := TopologyConfig{LeafSize: 8, PodLeaves: 4, Spines: 4, Cores: 3}
+	if got := c.WithDefaults(); got != c {
+		t.Errorf("WithDefaults clobbered explicit fields: %+v", got)
+	}
+}
+
+func TestTopologyConfigHelpers(t *testing.T) {
+	var z TopologyConfig // 4 nodes/leaf, 2 leaves/pod
+	if got := z.Leaves(16); got != 4 {
+		t.Errorf("Leaves(16) = %d", got)
+	}
+	if got := z.Leaves(17); got != 5 { // partial leaf still counts
+		t.Errorf("Leaves(17) = %d", got)
+	}
+	if got := z.Pods(16); got != 2 {
+		t.Errorf("Pods(16) = %d", got)
+	}
+	if got := z.Pods(17); got != 3 { // partial pod still counts
+		t.Errorf("Pods(17) = %d", got)
+	}
+	if got := z.LeafOf(7); got != 1 {
+		t.Errorf("LeafOf(7) = %d", got)
+	}
+	if got := z.PodOf(7); got != 0 {
+		t.Errorf("PodOf(7) = %d", got)
+	}
+	if got := z.PodOf(8); got != 1 {
+		t.Errorf("PodOf(8) = %d", got)
+	}
+	if got := z.PodNodes(1, 16); !reflect.DeepEqual(got, []int{8, 9, 10, 11, 12, 13, 14, 15}) {
+		t.Errorf("PodNodes(1, 16) = %v", got)
+	}
+	// Trailing pod truncates at n.
+	if got := z.PodNodes(1, 10); !reflect.DeepEqual(got, []int{8, 9}) {
+		t.Errorf("PodNodes(1, 10) = %v", got)
+	}
+}
+
+func TestTopologyConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  TopologyConfig
+		want string
+	}{
+		{"negative leaf", TopologyConfig{LeafSize: -1}, "LeafSize"},
+		{"negative podleaves", TopologyConfig{PodLeaves: -2}, "PodLeaves"},
+		{"negative spines", TopologyConfig{Spines: -1}, "Spines"},
+		{"negative cores", TopologyConfig{Cores: -1}, "Cores"},
+		{"negative credits", TopologyConfig{QueueCredits: -1}, "QueueCredits"},
+		{"negative ecn", TopologyConfig{ECNThreshold: -1}, "ECNThreshold"},
+		{"ecn above credits", TopologyConfig{QueueCredits: 2, ECNThreshold: 3}, "exceeds QueueCredits"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+	// Zero value and ECN-without-credit-bound are both fine.
+	if err := (TopologyConfig{}).validate(); err != nil {
+		t.Errorf("zero value rejected: %v", err)
+	}
+	if err := (TopologyConfig{ECNThreshold: 5}).validate(); err != nil {
+		t.Errorf("unbounded queue with ECN rejected: %v", err)
+	}
+}
+
+func TestParseSwitchRef(t *testing.T) {
+	accept := []struct {
+		ref  string
+		tier string
+		idx  int
+	}{
+		{"leaf0", SwitchTierLeaf, 0},
+		{"spine12", SwitchTierSpine, 12},
+		{"core3", SwitchTierCore, 3},
+	}
+	for _, tc := range accept {
+		tier, idx, err := ParseSwitchRef(tc.ref)
+		if err != nil || tier != tc.tier || idx != tc.idx {
+			t.Errorf("ParseSwitchRef(%q) = %q, %d, %v", tc.ref, tier, idx, err)
+		}
+	}
+	for _, bad := range []string{"", "rack0", "spine", "leaf-1", "core1b", "trunk0"} {
+		if _, _, err := ParseSwitchRef(bad); err == nil {
+			t.Errorf("ParseSwitchRef(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSwitchConfigValidate(t *testing.T) {
+	if (SwitchConfig{}).Enabled() {
+		t.Error("zero switch config enabled")
+	}
+	good := SwitchConfig{Events: []SwitchEvent{
+		{Tier: SwitchTierSpine, Index: 1, At: 70 * sim.Microsecond, RestoreAfter: 60 * sim.Microsecond},
+		{Tier: SwitchTierTrunk, A: "leaf0", B: "spine1", At: 5 * sim.Microsecond},
+	}}
+	if !good.Enabled() {
+		t.Error("armed switch config not Enabled")
+	}
+	if err := good.validate(); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		ev   SwitchEvent
+		want string
+	}{
+		{"bad tier", SwitchEvent{Tier: "rack", At: sim.Microsecond}, "Tier"},
+		{"negative index", SwitchEvent{Tier: SwitchTierLeaf, Index: -1, At: sim.Microsecond}, "Index"},
+		{"bad trunk A", SwitchEvent{Tier: SwitchTierTrunk, A: "pod0", B: "spine1", At: sim.Microsecond}, "A"},
+		{"bad trunk B", SwitchEvent{Tier: SwitchTierTrunk, A: "leaf0", B: "", At: sim.Microsecond}, "B"},
+		{"zero At", SwitchEvent{Tier: SwitchTierCore}, "At"},
+		{"negative restore", SwitchEvent{Tier: SwitchTierCore, At: sim.Microsecond, RestoreAfter: -1}, "RestoreAfter"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := SwitchConfig{Events: []SwitchEvent{tc.ev}}
+			err := sc.validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestSwitchEventsRequireFatTree(t *testing.T) {
+	c := Default() // star topology
+	c.Faults.Switch.Events = []SwitchEvent{
+		{Tier: SwitchTierSpine, Index: 0, At: 10 * sim.Microsecond},
+	}
+	err := c.Validate()
+	if err == nil || !strings.Contains(err.Error(), TopologyFatTree) {
+		t.Errorf("Validate() = %v, want fattree requirement", err)
+	}
+	c.Network.Topology = TopologyFatTree
+	if err := c.Validate(); err != nil {
+		t.Errorf("switch events on fattree rejected: %v", err)
+	}
+}
+
+func TestFatTreeConfigValidatedInSystemConfig(t *testing.T) {
+	c := Default()
+	c.Network.Topology = TopologyFatTree
+	c.Network.FatTree.QueueCredits = 2
+	c.Network.FatTree.ECNThreshold = 3
+	if err := c.Validate(); err == nil {
+		t.Error("ECNThreshold > QueueCredits slipped through SystemConfig.Validate")
+	}
+}

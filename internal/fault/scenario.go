@@ -30,12 +30,13 @@ const scenarioSeedSalt = 0x5CE7A210
 // Scenario is a compiled correlated-failure timeline: bookkeeping about
 // what ApplyScenario expanded, kept on the cluster for reporting.
 type Scenario struct {
-	cfg      config.ScenarioConfig
-	crashes  int // crash-stop events scheduled
-	restarts int // of which restart (storm members)
-	cuts     int // partition events scheduled
-	grays    int // degrade windows scheduled
-	slows    int // slow windows scheduled
+	cfg         config.ScenarioConfig
+	crashes     int // crash-stop events scheduled
+	restarts    int // of which restart (storm members)
+	cuts        int // partition events scheduled
+	grays       int // degrade windows scheduled
+	slows       int // slow windows scheduled
+	switchKills int // switch/trunk failure events scheduled
 }
 
 // ApplyScenario expands cfg.Scenario into the single-class plan schedules
@@ -111,6 +112,54 @@ func ApplyScenario(cfg *config.SystemConfig, n int) (*Scenario, error) {
 				})
 				s.slows++
 			}
+		case config.ScenarioSwitchFail:
+			if cfg.Network.Topology != config.TopologyFatTree {
+				return nil, fmt.Errorf("fault: switchfail scenario requires Network.Topology = %q", config.TopologyFatTree)
+			}
+			tier, idx, err := config.ParseSwitchRef(ev.Domain)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkSwitchIndex(cfg.Network.FatTree, n, tier, idx); err != nil {
+				return nil, err
+			}
+			cfg.Faults.Switch.Events = append(cfg.Faults.Switch.Events, config.SwitchEvent{
+				Tier: tier, Index: idx, At: ev.At, RestoreAfter: ev.Heal,
+			})
+			s.switchKills++
+		case config.ScenarioPodFail:
+			// The pod loses power: its leaf and spine switches die together
+			// with its nodes. Heal restores the switches and lands the node
+			// restart storm jittered around the same instant.
+			if cfg.Network.Topology != config.TopologyFatTree {
+				return nil, fmt.Errorf("fault: podfail scenario requires Network.Topology = %q", config.TopologyFatTree)
+			}
+			pod, _ := config.ParseScenarioPod(ev.Domain)
+			topo := cfg.Network.FatTree.WithDefaults()
+			if pod >= topo.Pods(n) {
+				return nil, fmt.Errorf("fault: podfail references pod %d but the fat-tree has %d pods", pod, topo.Pods(n))
+			}
+			for l := pod * topo.PodLeaves; l < (pod+1)*topo.PodLeaves && l < topo.Leaves(n); l++ {
+				cfg.Faults.Switch.Events = append(cfg.Faults.Switch.Events, config.SwitchEvent{
+					Tier: config.SwitchTierLeaf, Index: l, At: ev.At, RestoreAfter: ev.Heal,
+				})
+				s.switchKills++
+			}
+			for sp := pod * topo.Spines; sp < (pod+1)*topo.Spines; sp++ {
+				cfg.Faults.Switch.Events = append(cfg.Faults.Switch.Events, config.SwitchEvent{
+					Tier: config.SwitchTierSpine, Index: sp, At: ev.At, RestoreAfter: ev.Heal,
+				})
+				s.switchKills++
+			}
+			for _, node := range topo.PodNodes(pod, n) {
+				ce := config.CrashEvent{Node: node, At: ev.At}
+				if ev.Heal > 0 {
+					ce.RestartAfter = ev.Heal + jitter(ev.Jitter)
+					s.restarts++
+				}
+				cfg.Crash.Events = append(cfg.Crash.Events, ce)
+				s.crashes++
+			}
 		default:
 			// Unreachable after config validation; keep the compiler honest.
 			return nil, fmt.Errorf("fault: scenario event kind %q", ev.Kind)
@@ -139,7 +188,31 @@ func (s *Scenario) Summary() string {
 	if s.slows > 0 {
 		fmt.Fprintf(&b, " slow-windows=%d", s.slows)
 	}
+	if s.switchKills > 0 {
+		fmt.Fprintf(&b, " switch-kills=%d", s.switchKills)
+	}
 	return b.String()
+}
+
+// checkSwitchIndex bounds a switchfail ref against the fat-tree shape the
+// cluster will build for n nodes.
+func checkSwitchIndex(topo config.TopologyConfig, n int, tier string, idx int) error {
+	topo = topo.WithDefaults()
+	var have int
+	switch tier {
+	case config.SwitchTierLeaf:
+		have = topo.Leaves(n)
+	case config.SwitchTierSpine:
+		have = topo.Pods(n) * topo.Spines
+	case config.SwitchTierCore:
+		have = topo.Cores
+	default:
+		return fmt.Errorf("fault: switchfail tier %q", tier)
+	}
+	if idx >= have {
+		return fmt.Errorf("fault: switchfail references %s%d but the fat-tree has %d", tier, idx, have)
+	}
+	return nil
 }
 
 // Config returns the source scenario.

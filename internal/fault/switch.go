@@ -1,0 +1,90 @@
+// Deterministic switch/trunk failure schedules for the fat-tree fabric.
+// A SwitchPlan turns a config.SwitchConfig into engine events: at each
+// event's time a whole switch (leaf/spine/core) or one inter-switch trunk
+// goes dark — the fabric drops everything it held and routes around it —
+// and, if a restore delay is configured, comes back empty that much
+// later. The schedule is pure configuration — no randomness — so a given
+// plan replays bit-for-bit under any seed.
+package fault
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// SwitchPlan is an armed (or armable) deterministic switch-failure
+// schedule.
+type SwitchPlan struct {
+	events []config.SwitchEvent
+}
+
+// NewSwitchPlan builds a plan from configuration. It returns nil when the
+// configuration schedules nothing, and all methods are nil-safe, so the
+// failure-free hot path stays untouched (pay-for-use).
+func NewSwitchPlan(cfg config.SwitchConfig) *SwitchPlan {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &SwitchPlan{events: cfg.Events}
+}
+
+// Arm schedules the plan's events on the engine: kill fires at each
+// event's At with the dead switch (tier, index) — or, for a trunk event,
+// killTrunk with both endpoints — and the matching restore fires
+// RestoreAfter later when one is configured. Callbacks run as ordinary
+// engine events, interleaved deterministically with model traffic.
+func (p *SwitchPlan) Arm(eng *sim.Engine,
+	kill, restore func(tier string, index int),
+	killTrunk, restoreTrunk func(aTier string, aIdx int, bTier string, bIdx int)) {
+	if p == nil {
+		return
+	}
+	now := eng.Now()
+	for _, ev := range p.events {
+		ev := ev
+		if ev.Tier == config.SwitchTierTrunk {
+			aT, aI, errA := config.ParseSwitchRef(ev.A)
+			bT, bI, errB := config.ParseSwitchRef(ev.B)
+			if errA != nil || errB != nil {
+				// Validate() rejects malformed refs before a plan is built.
+				panic(fmt.Sprintf("fault: unvalidated trunk event %q-%q", ev.A, ev.B))
+			}
+			eng.After(ev.At-now, func() { killTrunk(aT, aI, bT, bI) })
+			if ev.RestoreAfter > 0 {
+				eng.After(ev.At+ev.RestoreAfter-now, func() { restoreTrunk(aT, aI, bT, bI) })
+			}
+			continue
+		}
+		eng.After(ev.At-now, func() { kill(ev.Tier, ev.Index) })
+		if ev.RestoreAfter > 0 {
+			eng.After(ev.At+ev.RestoreAfter-now, func() { restore(ev.Tier, ev.Index) })
+		}
+	}
+}
+
+// Summary renders a one-line human-readable description of the schedule
+// (used by run headers). Nil plans describe themselves as inactive.
+func (p *SwitchPlan) Summary() string {
+	if p == nil {
+		return "switch failures: none"
+	}
+	parts := make([]string, 0, len(p.events))
+	for _, ev := range p.events {
+		var s string
+		if ev.Tier == config.SwitchTierTrunk {
+			s = fmt.Sprintf("trunk %s-%s @%v", ev.A, ev.B, ev.At)
+		} else {
+			s = fmt.Sprintf("%s%d @%v", ev.Tier, ev.Index, ev.At)
+		}
+		if ev.RestoreAfter > 0 {
+			s += fmt.Sprintf(" (restore +%v)", ev.RestoreAfter)
+		} else {
+			s += " (no restore)"
+		}
+		parts = append(parts, s)
+	}
+	return "switch failures: " + strings.Join(parts, ", ")
+}

@@ -1,0 +1,203 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+func TestNewSwitchPlanNilForZeroConfig(t *testing.T) {
+	if NewSwitchPlan(config.SwitchConfig{}) != nil {
+		t.Error("zero switch config built a plan")
+	}
+	// Nil plans are safe to use everywhere the cluster does.
+	var p *SwitchPlan
+	if got := p.Summary(); got != "switch failures: none" {
+		t.Errorf("nil Summary() = %q", got)
+	}
+	p.Arm(sim.NewEngine(), nil, nil, nil, nil) // must not panic
+}
+
+func TestSwitchPlanArmSchedules(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := config.SwitchConfig{Events: []config.SwitchEvent{
+		{Tier: config.SwitchTierSpine, Index: 1, At: 10 * sim.Microsecond, RestoreAfter: 5 * sim.Microsecond},
+		{Tier: config.SwitchTierTrunk, A: "leaf0", B: "spine1", At: 20 * sim.Microsecond},
+		{Tier: config.SwitchTierCore, Index: 0, At: 30 * sim.Microsecond},
+	}}
+	type call struct {
+		op   string
+		at   sim.Time
+		args [4]int
+	}
+	var calls []call
+	ref := func(tier string) int {
+		switch tier {
+		case config.SwitchTierLeaf:
+			return 0
+		case config.SwitchTierSpine:
+			return 1
+		default:
+			return 2
+		}
+	}
+	NewSwitchPlan(cfg).Arm(eng,
+		func(tier string, idx int) {
+			calls = append(calls, call{"kill", eng.Now(), [4]int{ref(tier), idx}})
+		},
+		func(tier string, idx int) {
+			calls = append(calls, call{"restore", eng.Now(), [4]int{ref(tier), idx}})
+		},
+		func(aT string, aI int, bT string, bI int) {
+			calls = append(calls, call{"killTrunk", eng.Now(), [4]int{ref(aT), aI, ref(bT), bI}})
+		},
+		func(aT string, aI int, bT string, bI int) {
+			calls = append(calls, call{"restoreTrunk", eng.Now(), [4]int{ref(aT), aI, ref(bT), bI}})
+		})
+	eng.Run()
+	want := []call{
+		{"kill", 10 * sim.Microsecond, [4]int{1, 1, 0, 0}},
+		{"restore", 15 * sim.Microsecond, [4]int{1, 1, 0, 0}},
+		{"killTrunk", 20 * sim.Microsecond, [4]int{0, 0, 1, 1}},
+		{"kill", 30 * sim.Microsecond, [4]int{2, 0, 0, 0}},
+	}
+	if !reflect.DeepEqual(calls, want) {
+		t.Errorf("armed calls:\n got %+v\nwant %+v", calls, want)
+	}
+}
+
+func TestSwitchPlanSummary(t *testing.T) {
+	p := NewSwitchPlan(config.SwitchConfig{Events: []config.SwitchEvent{
+		{Tier: config.SwitchTierSpine, Index: 1, At: 70 * sim.Microsecond, RestoreAfter: 60 * sim.Microsecond},
+		{Tier: config.SwitchTierTrunk, A: "leaf0", B: "spine1", At: 5 * sim.Microsecond},
+	}})
+	got := p.Summary()
+	for _, want := range []string{"spine1 @70us", "(restore +60us)", "trunk leaf0-spine1 @5us", "(no restore)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Summary() = %q, missing %q", got, want)
+		}
+	}
+}
+
+// fatTreeScenarioConfig returns a 16-node-ready config with the fat-tree
+// topology armed (default shape: 4 leaves, 2 pods, 4 pod-spines, 2 cores).
+func fatTreeScenarioConfig() config.SystemConfig {
+	cfg := config.Default()
+	cfg.Network.Topology = config.TopologyFatTree
+	return cfg
+}
+
+func TestApplyScenarioSwitchFail(t *testing.T) {
+	cfg := fatTreeScenarioConfig()
+	cfg.Scenario = config.ScenarioConfig{
+		Events: []config.ScenarioEvent{
+			{Kind: config.ScenarioSwitchFail, Domain: "spine1",
+				At: 70 * sim.Microsecond, Heal: 60 * sim.Microsecond},
+			{Kind: config.ScenarioSwitchFail, Domain: "core0", At: 90 * sim.Microsecond},
+		},
+	}
+	s, err := ApplyScenario(&cfg, 16)
+	if err != nil {
+		t.Fatalf("ApplyScenario: %v", err)
+	}
+	want := []config.SwitchEvent{
+		{Tier: config.SwitchTierSpine, Index: 1, At: 70 * sim.Microsecond, RestoreAfter: 60 * sim.Microsecond},
+		{Tier: config.SwitchTierCore, Index: 0, At: 90 * sim.Microsecond},
+	}
+	if !reflect.DeepEqual(cfg.Faults.Switch.Events, want) {
+		t.Errorf("switch events = %+v", cfg.Faults.Switch.Events)
+	}
+	if len(cfg.Crash.Events) != 0 {
+		t.Errorf("switchfail crashed nodes: %+v", cfg.Crash.Events)
+	}
+	if got := s.Summary(); got != "scenario: domains=0 events=2 switch-kills=2" {
+		t.Errorf("Summary() = %q", got)
+	}
+}
+
+func TestApplyScenarioPodFail(t *testing.T) {
+	cfg := fatTreeScenarioConfig()
+	cfg.Scenario = config.ScenarioConfig{
+		Seed: 3,
+		Events: []config.ScenarioEvent{
+			{Kind: config.ScenarioPodFail, Domain: "pod1",
+				At: 70 * sim.Microsecond, Heal: 60 * sim.Microsecond, Jitter: 10 * sim.Microsecond},
+		},
+	}
+	s, err := ApplyScenario(&cfg, 16)
+	if err != nil {
+		t.Fatalf("ApplyScenario: %v", err)
+	}
+	// Pod 1 of the default 16-node shape: leaves 2-3, spines 2-3, nodes 8-15.
+	wantSwitch := []config.SwitchEvent{
+		{Tier: config.SwitchTierLeaf, Index: 2, At: 70 * sim.Microsecond, RestoreAfter: 60 * sim.Microsecond},
+		{Tier: config.SwitchTierLeaf, Index: 3, At: 70 * sim.Microsecond, RestoreAfter: 60 * sim.Microsecond},
+		{Tier: config.SwitchTierSpine, Index: 2, At: 70 * sim.Microsecond, RestoreAfter: 60 * sim.Microsecond},
+		{Tier: config.SwitchTierSpine, Index: 3, At: 70 * sim.Microsecond, RestoreAfter: 60 * sim.Microsecond},
+	}
+	if !reflect.DeepEqual(cfg.Faults.Switch.Events, wantSwitch) {
+		t.Errorf("switch events = %+v\nwant %+v", cfg.Faults.Switch.Events, wantSwitch)
+	}
+	if len(cfg.Crash.Events) != 8 {
+		t.Fatalf("crash events = %+v, want 8 (nodes 8-15)", cfg.Crash.Events)
+	}
+	for i, ce := range cfg.Crash.Events {
+		if ce.Node != 8+i || ce.At != 70*sim.Microsecond {
+			t.Errorf("crash[%d] = %+v, want node %d at 70us", i, ce, 8+i)
+		}
+		if ce.RestartAfter < 60*sim.Microsecond || ce.RestartAfter > 70*sim.Microsecond {
+			t.Errorf("crash[%d].RestartAfter = %v outside [heal, heal+jitter]", i, ce.RestartAfter)
+		}
+	}
+	if got := s.Summary(); got != "scenario: domains=0 events=1 crashes=8 restarts=8 switch-kills=4" {
+		t.Errorf("Summary() = %q", got)
+	}
+}
+
+func TestApplyScenarioSwitchKindErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*config.SystemConfig)
+		want   string
+	}{
+		{"switchfail on star", func(c *config.SystemConfig) {
+			c.Network.Topology = config.TopologyStar
+			c.Scenario.Events = []config.ScenarioEvent{
+				{Kind: config.ScenarioSwitchFail, Domain: "spine0", At: sim.Microsecond}}
+		}, "requires Network.Topology"},
+		{"podfail on star", func(c *config.SystemConfig) {
+			c.Network.Topology = config.TopologyStar
+			c.Scenario.Events = []config.ScenarioEvent{
+				{Kind: config.ScenarioPodFail, Domain: "pod0", At: sim.Microsecond}}
+		}, "requires Network.Topology"},
+		{"spine out of range", func(c *config.SystemConfig) {
+			c.Scenario.Events = []config.ScenarioEvent{
+				{Kind: config.ScenarioSwitchFail, Domain: "spine99", At: sim.Microsecond}}
+		}, "the fat-tree has"},
+		{"leaf out of range", func(c *config.SystemConfig) {
+			c.Scenario.Events = []config.ScenarioEvent{
+				{Kind: config.ScenarioSwitchFail, Domain: "leaf9", At: sim.Microsecond}}
+		}, "the fat-tree has"},
+		{"core out of range", func(c *config.SystemConfig) {
+			c.Scenario.Events = []config.ScenarioEvent{
+				{Kind: config.ScenarioSwitchFail, Domain: "core7", At: sim.Microsecond}}
+		}, "the fat-tree has"},
+		{"pod out of range", func(c *config.SystemConfig) {
+			c.Scenario.Events = []config.ScenarioEvent{
+				{Kind: config.ScenarioPodFail, Domain: "pod9", At: sim.Microsecond}}
+		}, "pods"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := fatTreeScenarioConfig()
+			tc.mutate(&cfg)
+			_, err := ApplyScenario(&cfg, 16)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("ApplyScenario = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}

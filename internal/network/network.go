@@ -50,6 +50,12 @@ type Message struct {
 	// collective) can catch it. The receiving NIC materializes the bit
 	// flips into the payload when this is set.
 	SilentCorrupt bool
+	// ECN is set by a congested fat-tree switch port (occupancy at or
+	// above TopologyConfig.ECNThreshold when a frame of this message
+	// enqueued); the receiving NIC echoes it in the corresponding ACK so
+	// the sender's adaptive RTO backs off. Congestion feedback only — it
+	// never fails a checksum or suppresses delivery.
+	ECN bool
 	// damaged marks a message with at least one dropped packet; the
 	// fabric suppresses its delivery.
 	damaged bool
@@ -210,13 +216,21 @@ func (f *Fabric) freePacket(owner int, p *packet) {
 	f.pktFree[owner] = append(f.pktFree[owner], p)
 }
 
-// Lookahead returns the minimum cross-node interaction latency of a star
-// fabric under cfg: the switch flight (link propagation + switch traversal)
-// every packet pays between its source and destination ports. Degradation
-// and jitter only stretch it (DelayFactor ≥ 1, Delay ≥ 0), so it bounds the
+// Lookahead returns the minimum cross-node interaction latency of the
+// active topology under cfg — the smallest per-hop flight any packet pays
+// between two nodes' engines. On the star that is the single switch
+// flight (link propagation + switch traversal); on the multi-hop tree and
+// fat-tree fabrics the final ingress hop pays propagation only, so the
+// window must shrink to LinkLatency alone. Degradation and jitter only
+// stretch a hop (DelayFactor ≥ 1, Delay ≥ 0), so this bounds the
 // conservative synchronization window of a sharded run from below.
 func Lookahead(cfg config.NetworkConfig) sim.Time {
-	return cfg.LinkLatency + cfg.SwitchLatency
+	switch cfg.Topology {
+	case config.TopologyTree, config.TopologyFatTree:
+		return cfg.LinkLatency
+	default:
+		return cfg.LinkLatency + cfg.SwitchLatency
+	}
 }
 
 // SetSharding partitions the fabric's nodes across a sharded engine group:

@@ -59,6 +59,31 @@ type stage struct {
 	// faultPoint marks the injection stage (the node-to-leaf egress hop);
 	// fault verdicts are drawn exactly once per packet, there.
 	faultPoint bool
+
+	// Fat-tree extensions (FatTree only; all zero and inert for
+	// TreeFabric — a stage with credits 0 never blocks, never marks, and
+	// belongs to no switch).
+	//
+	// dead marks a port of a killed switch or trunk: arriving frames are
+	// dropped with reason "switchdown", and full() reads false so
+	// upstream ports never block on a sink.
+	dead bool
+	// credits bounds occupancy (queued + in-service + reserved); 0 =
+	// unbounded. ecnThresh marks arriving messages when occupancy is at
+	// or above it; 0 = never mark.
+	credits   int
+	ecnThresh int
+	// reserved counts frames committed upstream (serialization started)
+	// but still in post-latency flight toward this stage.
+	reserved int
+	// blocked is the FIFO of upstream stages stalled waiting for one of
+	// this stage's credits; stalled marks a stage parked in some
+	// downstream blocked list.
+	blocked []*stage
+	stalled bool
+	// owner is the audit switch index whose hop-conservation ledger this
+	// port belongs to; -1 = node-owned (the egress injection port).
+	owner int
 }
 
 func (s *stage) push(p *treePacket) { s.q = append(s.q, p) }

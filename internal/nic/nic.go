@@ -360,6 +360,12 @@ type Stats struct {
 	// (reciprocal of the lowest progress score a peer reached), ×100 fixed
 	// point. 0 = never estimated.
 	MaxSlowdownSeen int64
+
+	// ECN congestion-feedback counters (all zero unless a fat-tree port
+	// crossed its marking threshold; tested).
+	ECNMarksSeen int64 // inbound data frames carrying a congestion mark
+	ECNEchoed    int64 // ACK/NACK frames that echoed a mark to the sender
+	ECNBackoffs  int64 // sender RTO-stretch increases driven by echoed marks
 }
 
 // NIC is one node's network interface.

@@ -38,7 +38,9 @@ type relEnvelope struct {
 // an immediate retransmit of nackSeq (corrupt arrival). sess names the
 // receiver's current session — the sender ignores ACKs from older sessions.
 // echoTS, when nonzero, echoes the sentAt timestamp of the frame that
-// provoked this ACK (the RTT measurement channel).
+// provoked this ACK (the RTT measurement channel). ecn echoes the
+// congestion-experienced mark a fat-tree switch set on the provoking data
+// frame, feeding the sender's ECN backoff.
 type relAck struct {
 	cum     uint64
 	saw     uint64
@@ -46,6 +48,7 @@ type relAck struct {
 	echoTS  sim.Time
 	nack    bool
 	nackSeq uint64
+	ecn     bool
 }
 
 // relAckBytes is the modeled wire size of an ACK/NACK control frame.
@@ -82,7 +85,16 @@ type relChan struct {
 	// health is the link-health EWMA in [0, 1]: 1 = clean, pulled toward 0
 	// by retransmits and inflated RTT samples, toward 1 by clean exchanges.
 	health float64
+	// ecnBackoff is the multiplicative RTO stretch driven by echoed ECN
+	// marks: 0 = no congestion seen (no stretch), otherwise doubles per
+	// marked ACK up to ecnBackoffCap and halves back toward 0 on unmarked
+	// ACKs. Only a congested fat-tree fabric ever sets marks, so every
+	// other topology keeps this at 0 and its traces unchanged.
+	ecnBackoff int
 }
+
+// ecnBackoffCap bounds the ECN-driven RTO stretch multiplier.
+const ecnBackoffCap = 8
 
 // relRecv is the receiver-side state from one source.
 type relRecv struct {
@@ -206,6 +218,12 @@ func (r *reliability) rto(ch *relChan, size int64, attempts int) sim.Time {
 	} else {
 		t = r.cfg.RTOBase + r.cfg.RTOPerKB*sim.Time(size/1024+1)
 	}
+	if ch.ecnBackoff > 0 {
+		// Congestion-experienced marks echoed by the peer: stretch the
+		// timeout multiplicatively so retransmissions back off before the
+		// retry budget burns down on a merely-congested (not lossy) path.
+		t *= sim.Time(ch.ecnBackoff)
+	}
 	for i := 1; i < attempts; i++ {
 		t *= 2
 		if t >= r.cfg.MaxBackoff {
@@ -309,6 +327,21 @@ func (r *reliability) onAck(src network.NodeID, a *relAck) {
 	if a.echoTS > 0 {
 		r.sampleRTT(ch, r.n.eng.Now()-a.echoTS)
 	}
+	if a.ecn {
+		// The path is congested, not broken: widen the RTO stretch.
+		if ch.ecnBackoff == 0 {
+			ch.ecnBackoff = 2
+		} else if ch.ecnBackoff < ecnBackoffCap {
+			ch.ecnBackoff *= 2
+		}
+		r.n.stats.ECNBackoffs++
+	} else if ch.ecnBackoff > 0 {
+		// Unmarked ACK: decay the stretch back toward nothing.
+		ch.ecnBackoff /= 2
+		if ch.ecnBackoff < 2 {
+			ch.ecnBackoff = 0
+		}
+	}
 	if a.nack {
 		if e := ch.inflight[a.nackSeq]; e != nil {
 			e.timer.Cancel()
@@ -351,11 +384,17 @@ func (r *reliability) onAck(src network.NodeID, a *relAck) {
 // onData processes an inbound sequenced data frame.
 func (r *reliability) onData(m *network.Message, env *relEnvelope) {
 	rc := r.recvFrom(m.Src)
+	if m.ECN {
+		// A congested fat-tree port marked this frame in flight. The mark is
+		// fabric metadata (set by a switch, not carried in the payload), so
+		// it survives corruption and is echoed on every ACK shape below.
+		r.n.stats.ECNMarksSeen++
+	}
 	if m.Corrupted {
 		// A corrupt frame's header fields are untrusted: NACK it under the
 		// current session without adopting anything from it.
 		r.n.stats.NacksSent++
-		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, nack: true, nackSeq: env.seq})
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, nack: true, nackSeq: env.seq, ecn: m.ECN})
 		return
 	}
 	if env.sess != rc.sess {
@@ -393,7 +432,7 @@ func (r *reliability) onData(m *network.Message, env *relEnvelope) {
 			r.n.addStrike(m.Src)
 		}
 		r.n.stats.NacksSent++
-		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, nack: true, nackSeq: env.seq})
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, nack: true, nackSeq: env.seq, ecn: m.ECN})
 		return
 	}
 	switch {
@@ -401,7 +440,7 @@ func (r *reliability) onData(m *network.Message, env *relEnvelope) {
 		// Duplicate of an already-delivered frame (a lost ACK made the
 		// sender retransmit): drop it and refresh the cumulative ACK.
 		r.n.stats.DupesDropped++
-		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, echoTS: env.sentAt})
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, echoTS: env.sentAt, ecn: m.ECN})
 	case env.seq == rc.expected:
 		r.n.dispatch(m, meta)
 		rc.expected++
@@ -415,14 +454,14 @@ func (r *reliability) onData(m *network.Message, env *relEnvelope) {
 			r.n.dispatch(bf.m, bf.meta)
 			rc.expected++
 		}
-		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, echoTS: env.sentAt})
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, echoTS: env.sentAt, ecn: m.ECN})
 	default: // out of order: hold it, report the gap
 		if rc.buf[env.seq] == nil {
 			rc.buf[env.seq] = &bufFrame{m: m, meta: meta}
 		} else {
 			r.n.stats.DupesDropped++
 		}
-		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, saw: env.seq, echoTS: env.sentAt})
+		r.sendAck(m.Src, &relAck{cum: rc.expected - 1, sess: rc.sess, saw: env.seq, echoTS: env.sentAt, ecn: m.ECN})
 	}
 }
 
@@ -430,6 +469,9 @@ func (r *reliability) onData(m *network.Message, env *relEnvelope) {
 func (r *reliability) sendAck(dst network.NodeID, a *relAck) {
 	if !a.nack {
 		r.n.stats.AcksSent++
+	}
+	if a.ecn {
+		r.n.stats.ECNEchoed++
 	}
 	r.n.emit(&network.Message{
 		Src:     r.n.id,

@@ -132,6 +132,9 @@ type Cluster struct {
 	// Plan is the armed crash-stop/restart schedule; nil when cfg.Crash is
 	// zero-valued (no crashes).
 	Plan *fault.CrashPlan
+	// SwitchPlan is the armed switch/trunk failure schedule; nil when
+	// cfg.Faults.Switch is zero-valued (no switch failures).
+	SwitchPlan *fault.SwitchPlan
 	// Scenario is the composed correlated-failure scenario that was expanded
 	// into the fault plans above; nil when cfg.Scenario is zero-valued.
 	Scenario *fault.Scenario
@@ -173,7 +176,8 @@ func (c *Cluster) NextCollectiveGen() int64 {
 // cfg.Shards, which keeps every shard count trivially identical.
 func serialRequired(cfg *config.SystemConfig) bool {
 	return cfg.Health.Enabled || cfg.Crash.Enabled() ||
-		cfg.Network.Topology == config.TopologyTree
+		cfg.Network.Topology == config.TopologyTree ||
+		cfg.Network.Topology == config.TopologyFatTree
 }
 
 func NewCluster(cfg config.SystemConfig, n int) *Cluster {
@@ -237,6 +241,10 @@ func NewCluster(cfg config.SystemConfig, n int) *Cluster {
 		// serialRequired keeps tree clusters on one engine; flights inherit
 		// the sender's lane, which is deterministic on a single engine.
 		fab = network.NewTreeFabric(eng, cfg.Network, n, cfg.Network.TreeLeafSize)
+	case config.TopologyFatTree:
+		// Like the tree, the fat-tree's shared switch ports force a single
+		// engine (serialRequired), so every shard count runs identically.
+		fab = network.NewFatTree(eng, cfg.Network, n)
 	default:
 		panic(fmt.Sprintf("node: unknown topology %q", cfg.Network.Topology))
 	}
@@ -248,6 +256,9 @@ func NewCluster(cfg config.SystemConfig, n int) *Cluster {
 	}
 	fab.SetInjector(inj)
 	au := audit.New(n)
+	if ft, ok := fab.(*network.FatTree); ok {
+		au.RegisterHops(ft.SwitchCount())
+	}
 	fab.SetAuditor(au)
 	c := &Cluster{Eng: eng, Engines: engines, Sharded: sharded, Cfg: cfg, Fabric: fab, Injector: inj, Scenario: scen, Audit: au}
 	for i := 0; i < n; i++ {
@@ -291,6 +302,15 @@ func NewCluster(cfg config.SystemConfig, n int) *Cluster {
 	if plan := fault.NewCrashPlan(cfg.Crash); plan != nil {
 		c.Plan = plan
 		plan.Arm(eng, c.CrashNode, c.RestartNode)
+	}
+	if plan := fault.NewSwitchPlan(cfg.Faults.Switch); plan != nil {
+		ft, ok := fab.(*network.FatTree)
+		if !ok {
+			// Validate() rejects switch events on non-fat-tree topologies.
+			panic("node: switch plan without a fat-tree fabric")
+		}
+		c.SwitchPlan = plan
+		plan.Arm(eng, ft.KillSwitch, ft.RestoreSwitch, ft.KillTrunk, ft.RestoreTrunk)
 	}
 	return c
 }
@@ -392,6 +412,14 @@ func (c *Cluster) Diagnose() *sim.HangError {
 	if he != nil {
 		he.Crashed = crashed
 		he.Partitions = c.unhealedPartitions()
+		if ft, ok := c.Fabric.(*network.FatTree); ok && ft.Unrouteable() > 0 {
+			total := ft.Unrouteable()
+			for _, s := range ft.UnroutedSamples() {
+				he.Unrouteable = append(he.Unrouteable, sim.Unrouteable{
+					Src: int(s.Src), Dst: int(s.Dst), At: s.At, Reason: s.Reason, Drops: total,
+				})
+			}
+		}
 		if len(he.Starved) == 0 && len(crashed) == 0 {
 			// Nothing starved, nothing crashed: the stall pattern of a
 			// fail-slow rank. Name the up node with the least NIC progress
@@ -476,12 +504,23 @@ func (c *Cluster) StatsReport() string {
 				ns.PeersDeclaredSlow, ns.SlowRecoveries, ns.HedgedSends,
 				float64(ns.MaxSlowdownSeen)/100)
 		}
+		if ns.ECNMarksSeen+ns.ECNEchoed+ns.ECNBackoffs > 0 {
+			fmt.Fprintf(&b, "         ecn{marksSeen=%d echoed=%d backoffs=%d}\n",
+				ns.ECNMarksSeen, ns.ECNEchoed, ns.ECNBackoffs)
+		}
 	}
 	if c.Scenario != nil {
 		fmt.Fprintf(&b, "%s\n", c.Scenario.Summary())
 	}
 	if c.Plan != nil {
 		fmt.Fprintf(&b, "%s\n", c.Plan.Summary())
+	}
+	if c.SwitchPlan != nil {
+		fmt.Fprintf(&b, "%s\n", c.SwitchPlan.Summary())
+	}
+	if ft, ok := c.Fabric.(*network.FatTree); ok {
+		fmt.Fprintf(&b, "fattree: switchDrops=%d ecnMarks=%d unrouteable=%d\n",
+			ft.SwitchDrops(), ft.ECNMarks(), ft.Unrouteable())
 	}
 	if c.Injector != nil {
 		fs := c.Injector.Stats()

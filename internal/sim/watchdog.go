@@ -88,6 +88,28 @@ func (u UnhealedPartition) String() string {
 	return fmt.Sprintf("%v%s%v (partitioned at %v, never healed)", u.A, dir, u.B, u.At)
 }
 
+// Unrouteable names a fabric route that no longer exists: messages
+// between Src and Dst found every candidate path crossing a dead switch
+// or trunk, so the fabric dropped them at injection — a hang cause
+// distinct from a crash or a configured partition: the endpoints are up,
+// but the interconnect between them is gone. Defined here rather than in
+// the network package because sim sits below it in the import order; the
+// cluster diagnosis converts from the fabric's samples.
+type Unrouteable struct {
+	// Src and Dst are the endpoints of the first unroutable message.
+	Src, Dst int
+	// At is the simulated time of that message.
+	At Time
+	// Reason names the exhausted resource, e.g. "leaf 1 down".
+	Reason string
+	// Drops is the total count of unroutable messages on the fabric.
+	Drops int64
+}
+
+func (u Unrouteable) String() string {
+	return fmt.Sprintf("%d->%d unrouteable at %v (%s; %d messages dropped)", u.Src, u.Dst, u.At, u.Reason, u.Drops)
+}
+
 // RankProgress names the up node with the least forward progress at
 // quiescence, with its progress watermark (NIC commands executed). When a
 // simulation stalls with nothing starved and nothing crashed, the rank
@@ -119,6 +141,10 @@ type HangError struct {
 	// Partitions lists network cuts still in force whose schedule never
 	// heals them (populated by Cluster.Diagnose from the fault injector).
 	Partitions []UnhealedPartition
+	// Unrouteable lists fabric routes with no surviving path — messages
+	// the fat-tree dropped at injection because every candidate crossed a
+	// dead switch or trunk (populated by Cluster.Diagnose).
+	Unrouteable []Unrouteable
 	// MinProgress, when set, names the up node with the lowest progress
 	// watermark — the fail-slow suspect of a stall with no starved
 	// resources (populated by Cluster.Diagnose).
@@ -148,6 +174,9 @@ func (e *HangError) Error() string {
 	}
 	if len(e.Partitions) > 0 {
 		fmt.Fprintf(&b, "; unhealed partitions: %s", joinCapped(e.Partitions))
+	}
+	if len(e.Unrouteable) > 0 {
+		fmt.Fprintf(&b, "; unrouteable: %s", joinCapped(e.Unrouteable))
 	}
 	if len(e.Starved) > 0 {
 		fmt.Fprintf(&b, "; starved triggers: %s", joinCapped(e.Starved))
